@@ -1,0 +1,56 @@
+//! One bench target per paper artifact.
+//!
+//! These are *macro* benches: each runs a smoke-scale version of one
+//! figure/table experiment exactly once and reports wall-clock and the
+//! simulated-events throughput. (Criterion's repeated sampling is a poor
+//! fit for multi-second simulation runs; the `engine` bench covers the
+//! hot paths statistically, and `ablations` covers design choices.)
+//!
+//! Run with `cargo bench --bench paper_experiments`.
+
+use std::time::Instant;
+
+use isol_bench::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, table1, writeback};
+use isol_bench::{Fidelity, OutputSink};
+
+const F: Fidelity = Fidelity::Smoke;
+
+fn time<T>(name: &str, f: impl FnOnce(&mut OutputSink) -> std::io::Result<T>) -> T {
+    let mut sink = OutputSink::quiet();
+    let t0 = Instant::now();
+    let out = f(&mut sink).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    println!("{name:<32} {:>10.2?}", t0.elapsed());
+    out
+}
+
+fn main() {
+    // Honor `cargo bench -- <filter>` by substring, like libtest.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let selected = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f));
+
+    println!("paper-experiment regeneration benches (smoke fidelity):");
+    let f3 = selected("fig3").then(|| time("fig3_latency_overhead", |s| fig3::run(F, s)));
+    let f4 = selected("fig4").then(|| time("fig4_bandwidth_scalability", |s| fig4::run(F, s)));
+    let f5 = selected("fig5").then(|| time("fig5_fairness_scaling", |s| fig5::run(F, s)));
+    let f6 = selected("fig6").then(|| time("fig6_mixed_workload_fairness", |s| fig6::run(F, s)));
+    let f7 = selected("fig7").then(|| time("fig7_tradeoff_fronts", |s| fig7::run(F, s)));
+    let q = selected("q10").then(|| time("q10_burst_response", |s| q10::run(F, s)));
+    if selected("fig2") {
+        time("fig2_knob_showcases", |s| fig2::run(F, s));
+    }
+    if selected("optane") {
+        time("optane_generalizability", |s| optane::run(F, s));
+    }
+    if selected("writeback") {
+        time("writeback_attribution", |s| writeback::run(F, s));
+    }
+    if let (Some(f3), Some(f4), Some(f5), Some(f6), Some(f7), Some(q)) =
+        (f3.as_ref(), f4.as_ref(), f5.as_ref(), f6.as_ref(), f7.as_ref(), q.as_ref())
+    {
+        let t0 = Instant::now();
+        let t = table1::derive(f3, f4, f5, f6, f7, q, F);
+        println!("table1_verdict_derivation        {:>10.2?}", t0.elapsed());
+        assert_eq!(t.rows.len(), 5, "five knob rows");
+    }
+    println!("done.");
+}

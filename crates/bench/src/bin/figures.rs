@@ -1,0 +1,144 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [--fidelity smoke|standard|full] [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane | all]
+//! ```
+//!
+//! Prints the paper-style tables and writes CSVs under
+//! `target/isol-bench/`. `table1` needs the results of figs 3–7 and
+//! Q10; when selected it runs whatever of those were not already
+//! selected.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use isol_bench::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, table1, writeback};
+use isol_bench::{Fidelity, OutputSink};
+use isol_bench_harness::{parse_selection, OUTPUT_DIR};
+
+fn main() -> ExitCode {
+    let mut fidelity = Fidelity::Standard;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--fidelity" {
+            match args.next().as_deref() {
+                Some("smoke") => fidelity = Fidelity::Smoke,
+                Some("standard") => fidelity = Fidelity::Standard,
+                Some("full") => fidelity = Fidelity::Full,
+                other => {
+                    eprintln!("unknown fidelity {other:?} (smoke|standard|full)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    let selection = match parse_selection(rest) {
+        Ok(s) => s,
+        Err(bad) => {
+            eprintln!(
+                "unknown experiment `{bad}`; known: fig2..fig7, q10, table1, optane, all"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sink = match OutputSink::with_dir(OUTPUT_DIR) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot create {OUTPUT_DIR}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sink.note(&format!(
+        "# isol-bench figure regeneration ({fidelity:?} fidelity), CSVs in {OUTPUT_DIR}/"
+    ));
+
+    let wants = |name: &str| selection.iter().any(|s| s == name);
+    let needs_table1 = wants("table1");
+    let t0 = Instant::now();
+
+    // fig2 is standalone; the rest feed Table I.
+    let result: std::io::Result<()> = (|| {
+        if wants("fig2") {
+            let started = Instant::now();
+            sink.note("\n=== fig2 ===");
+            fig2::run(fidelity, &mut sink)?;
+            sink.note(&format!("(fig2 took {:.1?})", started.elapsed()));
+        }
+        if wants("optane") {
+            let started = Instant::now();
+            sink.note("\n=== optane ===");
+            optane::run(fidelity, &mut sink)?;
+            sink.note(&format!("(optane took {:.1?})", started.elapsed()));
+        }
+        if wants("writeback") {
+            let started = Instant::now();
+            sink.note("\n=== writeback ===");
+            writeback::run(fidelity, &mut sink)?;
+            sink.note(&format!("(writeback took {:.1?})", started.elapsed()));
+        }
+        let mut f3 = None;
+        let mut f4 = None;
+        let mut f5 = None;
+        let mut f6 = None;
+        let mut f7 = None;
+        let mut q = None;
+        macro_rules! stage {
+            ($name:literal, $slot:ident, $module:ident) => {
+                if wants($name) || needs_table1 {
+                    let started = Instant::now();
+                    sink.note(&format!("\n=== {} ===", $name));
+                    $slot = Some($module::run(fidelity, &mut sink)?);
+                    sink.note(&format!("({} took {:.1?})", $name, started.elapsed()));
+                }
+            };
+        }
+        stage!("fig3", f3, fig3);
+        stage!("fig4", f4, fig4);
+        stage!("fig5", f5, fig5);
+        stage!("fig6", f6, fig6);
+        stage!("fig7", f7, fig7);
+        stage!("q10", q, q10);
+        if needs_table1 {
+            sink.note("\n=== table1 ===");
+            let result = table1::derive(
+                f3.as_ref().expect("fig3 ran"),
+                f4.as_ref().expect("fig4 ran"),
+                f5.as_ref().expect("fig5 ran"),
+                f6.as_ref().expect("fig6 ran"),
+                f7.as_ref().expect("fig7 ran"),
+                q.as_ref().expect("q10 ran"),
+                fidelity,
+            );
+            table1::emit(&result, &mut sink)?;
+            let matches = result
+                .rows
+                .iter()
+                .filter(|r| {
+                    table1::paper_verdicts(r.knob).is_some_and(|p| {
+                        p == [r.overhead, r.fairness, r.tradeoffs, r.bursts]
+                    })
+                })
+                .count();
+            sink.note(&format!(
+                "verdict rows matching the paper's Table I: {matches}/{}",
+                result.rows.len()
+            ));
+        }
+        Ok(())
+    })();
+
+    if let Err(e) = result {
+        eprintln!("figure regeneration failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    sink.note(&format!(
+        "\nDone in {:.1?}; {} tables emitted.",
+        t0.elapsed(),
+        sink.emitted().len()
+    ));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,75 @@
+//! # isol-bench-harness — benchmark harness and figure regeneration
+//!
+//! Two entry points:
+//!
+//! * the **`figures` binary** regenerates every table and figure of the
+//!   paper (`cargo run --release -p isol-bench-harness --bin figures --
+//!   all`), printing the same rows/series the paper reports and writing
+//!   CSVs under [`OUTPUT_DIR`],
+//! * the **Criterion benches** (`cargo bench`) cover the simulator's
+//!   hot paths (`engine`), a scaled-down run of every paper experiment
+//!   (`paper_experiments`), and the design-choice ablations from
+//!   DESIGN.md §8 (`ablations`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The directory experiment CSVs are written into.
+pub const OUTPUT_DIR: &str = "target/isol-bench";
+
+/// Parses the figure-selection arguments of the `figures` binary.
+/// Returns the normalized list of experiment names to run.
+///
+/// # Errors
+///
+/// Returns the offending token when it is not a known experiment.
+pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<String>, String> {
+    const KNOWN: [&str; 10] =
+        ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "table1", "optane", "writeback"];
+    let mut out = Vec::new();
+    for a in args {
+        let a = a.to_lowercase();
+        match a.as_str() {
+            "all" => {
+                out = KNOWN.iter().map(|s| (*s).to_owned()).collect();
+                return Ok(out);
+            }
+            k if KNOWN.contains(&k) => out.push(a),
+            other => return Err(other.to_owned()),
+        }
+    }
+    if out.is_empty() {
+        out = KNOWN.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selection_means_all() {
+        let sel = parse_selection(Vec::new()).unwrap();
+        assert_eq!(sel.len(), 10);
+        assert!(sel.contains(&"table1".to_owned()));
+        assert!(sel.contains(&"optane".to_owned()));
+    }
+
+    #[test]
+    fn explicit_selection_is_kept() {
+        let sel = parse_selection(vec!["fig3".into(), "Q10".into()]).unwrap();
+        assert_eq!(sel, vec!["fig3", "q10"]);
+    }
+
+    #[test]
+    fn all_overrides() {
+        let sel = parse_selection(vec!["fig3".into(), "all".into()]).unwrap();
+        assert_eq!(sel.len(), 10);
+    }
+
+    #[test]
+    fn unknown_is_an_error() {
+        assert_eq!(parse_selection(vec!["fig9".into()]), Err("fig9".to_owned()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed identifiers for the entities of the simulation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one simulated application (a fio job clone).
+    AppId,
+    "app"
+);
+id_type!(
+    /// Identifies one cgroup in the hierarchy (dense index, root = 0).
+    GroupId,
+    "cg"
+);
+id_type!(
+    /// Identifies one simulated NVMe device.
+    DeviceId,
+    "nvme"
+);
+id_type!(
+    /// Identifies one simulated CPU core.
+    CoreId,
+    "cpu"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(AppId(3).index(), 3);
+        assert_eq!(AppId::from(4), AppId(4));
+    }
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(AppId(1).to_string(), "app1");
+        assert_eq!(GroupId(2).to_string(), "cg2");
+        assert_eq!(DeviceId(0).to_string(), "nvme0");
+        assert_eq!(CoreId(9).to_string(), "cpu9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(GroupId(1));
+        assert!(s.contains(&GroupId(1)));
+        assert!(DeviceId(1) < DeviceId(2));
+    }
+}

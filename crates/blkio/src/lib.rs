@@ -1,0 +1,209 @@
+//! # blkio — shared block-I/O model types
+//!
+//! Every layer of the isol-bench simulation (workload generator, QoS
+//! controllers, I/O schedulers, NVMe device, host engine) speaks in terms of
+//! the types defined here:
+//!
+//! * [`IoOp`] / [`AccessPattern`] — what an I/O does and how it lands,
+//! * [`PrioClass`] — the `ioprio` scheduling classes that `io.prio.class`
+//!   assigns and MQ-Deadline consumes,
+//! * [`AppId`], [`GroupId`], [`DeviceId`], [`CoreId`] — typed identifiers,
+//! * [`IoRequest`] — one in-flight I/O with its full lifecycle timestamps.
+//!
+//! # Example
+//!
+//! ```
+//! use blkio::{IoOp, IoRequest, AppId, GroupId, DeviceId, PrioClass, AccessPattern};
+//! use simcore::SimTime;
+//!
+//! let req = IoRequest::new(
+//!     1,
+//!     AppId(0),
+//!     GroupId(0),
+//!     DeviceId(0),
+//!     IoOp::Read,
+//!     AccessPattern::Random,
+//!     4096,
+//!     0,
+//!     SimTime::ZERO,
+//! );
+//! assert!(req.op.is_read());
+//! assert_eq!(req.len, 4096);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod request;
+
+pub use ids::{AppId, CoreId, DeviceId, GroupId};
+pub use request::{IoRequest, ReqId};
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The direction of an I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IoOp {
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+}
+
+impl IoOp {
+    /// `true` for [`IoOp::Read`].
+    #[must_use]
+    pub const fn is_read(self) -> bool {
+        matches!(self, IoOp::Read)
+    }
+
+    /// `true` for [`IoOp::Write`].
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, IoOp::Write)
+    }
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        })
+    }
+}
+
+/// How a request stream lands on the address space.
+///
+/// Flash service cost differs between sequential and random access, and the
+/// `io.cost` linear model prices them separately (`rseqiops` vs
+/// `rrandiops`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Monotonically increasing offsets.
+    Sequential,
+    /// Uniformly random offsets.
+    Random,
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessPattern::Sequential => "seq",
+            AccessPattern::Random => "rand",
+        })
+    }
+}
+
+/// Linux `ioprio` scheduling classes, as set by the `io.prio.class` cgroup
+/// knob and consumed by MQ-Deadline.
+///
+/// Ordering: `Idle < BestEffort < Realtime` (higher = more urgent), so
+/// `PrioClass` can be compared directly when picking a dispatch class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrioClass {
+    /// Only serviced when nothing else is pending (plus anti-starvation aging).
+    Idle,
+    /// The default class.
+    BestEffort,
+    /// Strictly preferred over best-effort and idle.
+    Realtime,
+}
+
+impl Default for PrioClass {
+    fn default() -> Self {
+        PrioClass::BestEffort
+    }
+}
+
+impl PrioClass {
+    /// All classes, most urgent first.
+    pub const ALL: [PrioClass; 3] = [PrioClass::Realtime, PrioClass::BestEffort, PrioClass::Idle];
+
+    /// Kernel-style name: `none-to-rt` uses `rt`; cgroup v2 accepts
+    /// `idle`, `best-effort`, `rt` (and `none`, which we map to
+    /// best-effort as the kernel's effective default does).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            PrioClass::Idle => "idle",
+            PrioClass::BestEffort => "best-effort",
+            PrioClass::Realtime => "rt",
+        }
+    }
+
+    /// Parses the cgroup-v2 `io.prio.class` value grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it is not one of
+    /// `none | idle | best-effort | be | rt | realtime | restrict-to-be | promote-to-rt`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "idle" => Ok(PrioClass::Idle),
+            "best-effort" | "be" | "none" | "restrict-to-be" => Ok(PrioClass::BestEffort),
+            "rt" | "realtime" | "promote-to-rt" => Ok(PrioClass::Realtime),
+            other => Err(other.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for PrioClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        assert!(IoOp::Read.is_read());
+        assert!(!IoOp::Read.is_write());
+        assert!(IoOp::Write.is_write());
+        assert_eq!(IoOp::Read.to_string(), "read");
+        assert_eq!(IoOp::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn pattern_display() {
+        assert_eq!(AccessPattern::Sequential.to_string(), "seq");
+        assert_eq!(AccessPattern::Random.to_string(), "rand");
+    }
+
+    #[test]
+    fn prio_ordering_is_urgency() {
+        assert!(PrioClass::Realtime > PrioClass::BestEffort);
+        assert!(PrioClass::BestEffort > PrioClass::Idle);
+        assert_eq!(PrioClass::ALL[0], PrioClass::Realtime);
+    }
+
+    #[test]
+    fn prio_parse_accepts_kernel_grammar() {
+        assert_eq!(PrioClass::parse("idle").unwrap(), PrioClass::Idle);
+        assert_eq!(PrioClass::parse("best-effort").unwrap(), PrioClass::BestEffort);
+        assert_eq!(PrioClass::parse("be").unwrap(), PrioClass::BestEffort);
+        assert_eq!(PrioClass::parse("none").unwrap(), PrioClass::BestEffort);
+        assert_eq!(PrioClass::parse("rt").unwrap(), PrioClass::Realtime);
+        assert_eq!(PrioClass::parse("promote-to-rt").unwrap(), PrioClass::Realtime);
+        assert_eq!(PrioClass::parse(" idle ").unwrap(), PrioClass::Idle);
+        assert!(PrioClass::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn prio_display_roundtrips() {
+        for p in PrioClass::ALL {
+            assert_eq!(PrioClass::parse(p.as_str()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn default_prio_is_best_effort() {
+        assert_eq!(PrioClass::default(), PrioClass::BestEffort);
+    }
+}

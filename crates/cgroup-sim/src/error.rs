@@ -1,0 +1,92 @@
+//! Error type for hierarchy and knob operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::Hierarchy`] operations and knob parsing.
+///
+/// These mirror the `-EINVAL`/`-EBUSY`/`-ENOENT` failures the kernel's
+/// cgroupfs returns for the corresponding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgroupError {
+    /// The referenced group id does not exist.
+    NoSuchGroup,
+    /// A sibling with this name already exists.
+    DuplicateName(String),
+    /// Group names may not be empty or contain `/` or NUL.
+    InvalidName(String),
+    /// Attempted to attach a process to a management group (one with
+    /// controllers enabled in `subtree_control`) — the "no internal
+    /// processes" rule.
+    ProcessInManagementGroup,
+    /// Attempted to enable a controller on a group that has member
+    /// processes.
+    ControllerOnProcessGroup,
+    /// Attempted to set an I/O knob on a group whose parent does not have
+    /// the `io` controller enabled.
+    IoControllerNotEnabled,
+    /// This knob may only be written in the root group (`io.cost.model`,
+    /// `io.cost.qos`).
+    RootOnly(&'static str),
+    /// This knob may not be written in the root group (e.g. `io.max`).
+    NotInRoot(&'static str),
+    /// Unknown knob file name.
+    NoSuchKnob(String),
+    /// The knob value failed to parse; carries a description.
+    InvalidValue(String),
+    /// Attempted to delete a group that still has children or processes.
+    Busy,
+    /// The root group cannot be removed.
+    CannotRemoveRoot,
+}
+
+impl fmt::Display for CgroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgroupError::NoSuchGroup => f.write_str("no such cgroup"),
+            CgroupError::DuplicateName(n) => write!(f, "cgroup `{n}` already exists"),
+            CgroupError::InvalidName(n) => write!(f, "invalid cgroup name `{n}`"),
+            CgroupError::ProcessInManagementGroup => {
+                f.write_str("cannot attach process to a management group (no internal processes)")
+            }
+            CgroupError::ControllerOnProcessGroup => {
+                f.write_str("cannot enable controller on a group with member processes")
+            }
+            CgroupError::IoControllerNotEnabled => {
+                f.write_str("parent does not have the io controller enabled in subtree_control")
+            }
+            CgroupError::RootOnly(k) => write!(f, "`{k}` can only be set in the root cgroup"),
+            CgroupError::NotInRoot(k) => write!(f, "`{k}` cannot be set in the root cgroup"),
+            CgroupError::NoSuchKnob(k) => write!(f, "unknown knob file `{k}`"),
+            CgroupError::InvalidValue(v) => write!(f, "invalid knob value: {v}"),
+            CgroupError::Busy => f.write_str("cgroup still has children or processes"),
+            CgroupError::CannotRemoveRoot => f.write_str("the root cgroup cannot be removed"),
+        }
+    }
+}
+
+impl Error for CgroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let msgs = [
+            CgroupError::NoSuchGroup.to_string(),
+            CgroupError::RootOnly("io.cost.qos").to_string(),
+            CgroupError::InvalidValue("bad".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(CgroupError::Busy);
+    }
+}

@@ -1,0 +1,748 @@
+//! The cgroup-v2 tree: groups, the management/process-group rule,
+//! knob storage, and hierarchical weight resolution.
+
+use std::collections::{BTreeMap, HashSet};
+
+use blkio::{AppId, GroupId, PrioClass};
+use serde::{Deserialize, Serialize};
+
+use crate::knobs::{
+    BfqWeight, DevNode, IoCostModel, IoCostQos, IoLatency, IoMax, IoWeight, Knob,
+};
+use crate::CgroupError;
+
+/// Per-group knob state (what the group's cgroupfs files contain).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct KnobState {
+    io_max: BTreeMap<DevNode, IoMax>,
+    io_latency: BTreeMap<DevNode, IoLatency>,
+    weight: IoWeight,
+    bfq_weight: BfqWeight,
+    prio: Option<PrioClass>,
+}
+
+/// One cgroup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Group {
+    name: String,
+    parent: Option<GroupId>,
+    children: Vec<GroupId>,
+    procs: Vec<AppId>,
+    /// `+io` present in `cgroup.subtree_control` (management group).
+    io_enabled: bool,
+    knobs: KnobState,
+}
+
+impl Group {
+    /// The group's own name (not the full path).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parent group, `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<GroupId> {
+        self.parent
+    }
+
+    /// Child groups.
+    #[must_use]
+    pub fn children(&self) -> &[GroupId] {
+        &self.children
+    }
+
+    /// Member processes (apps).
+    #[must_use]
+    pub fn procs(&self) -> &[AppId] {
+        &self.procs
+    }
+
+    /// `true` if this group delegates I/O control to its children
+    /// (management group).
+    #[must_use]
+    pub fn is_management(&self) -> bool {
+        self.io_enabled
+    }
+}
+
+/// A cgroup-v2 hierarchy.
+///
+/// See the crate docs for an end-to-end example. All structural rules the
+/// paper describes (§IV-A) are enforced:
+///
+/// * processes cannot live in management groups and vice versa,
+/// * I/O knobs require the *parent* to have `+io` in `subtree_control`
+///   (except `io.prio.class`, which is per-process-group, and the
+///   root-only `io.cost.*`),
+/// * `io.cost.model` / `io.cost.qos` can only be written in the root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hierarchy {
+    groups: Vec<Group>,
+    cost_model: BTreeMap<DevNode, IoCostModel>,
+    cost_qos: BTreeMap<DevNode, IoCostQos>,
+    proc_group: BTreeMap<AppId, GroupId>,
+}
+
+impl Hierarchy {
+    /// The root group, present in every hierarchy.
+    pub const ROOT: GroupId = GroupId(0);
+
+    /// Creates a hierarchy containing only the root group.
+    #[must_use]
+    pub fn new() -> Self {
+        Hierarchy {
+            groups: vec![Group {
+                name: "root".to_owned(),
+                parent: None,
+                children: Vec::new(),
+                procs: Vec::new(),
+                io_enabled: true,
+                knobs: KnobState::default(),
+            }],
+            cost_model: BTreeMap::new(),
+            cost_qos: BTreeMap::new(),
+            proc_group: BTreeMap::new(),
+        }
+    }
+
+    fn get(&self, id: GroupId) -> Result<&Group, CgroupError> {
+        self.groups.get(id.index()).ok_or(CgroupError::NoSuchGroup)
+    }
+
+    fn get_mut(&mut self, id: GroupId) -> Result<&mut Group, CgroupError> {
+        self.groups.get_mut(id.index()).ok_or(CgroupError::NoSuchGroup)
+    }
+
+    /// Borrow a group.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::NoSuchGroup`] if `id` is stale.
+    pub fn group(&self, id: GroupId) -> Result<&Group, CgroupError> {
+        self.get(id)
+    }
+
+    /// Number of groups (including removed slots — ids are never reused,
+    /// matching inode behaviour; removed groups read as errors).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` if only the root exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.len() == 1
+    }
+
+    /// All live group ids, root first, in creation order.
+    #[must_use]
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        (0..self.groups.len()).map(GroupId).collect()
+    }
+
+    /// Full slash-separated path of a group.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::NoSuchGroup`] if `id` is stale.
+    pub fn path(&self, id: GroupId) -> Result<String, CgroupError> {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(g) = cur {
+            let group = self.get(g)?;
+            parts.push(group.name.clone());
+            cur = group.parent;
+        }
+        parts.reverse();
+        Ok(parts.join("/"))
+    }
+
+    /// Creates a child group under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CgroupError::InvalidName`] for empty names or names with `/`,
+    /// * [`CgroupError::DuplicateName`] if a sibling has the name,
+    /// * [`CgroupError::NoSuchGroup`] if `parent` is stale.
+    pub fn create(&mut self, parent: GroupId, name: &str) -> Result<GroupId, CgroupError> {
+        if name.is_empty() || name.contains('/') || name.contains('\0') {
+            return Err(CgroupError::InvalidName(name.to_owned()));
+        }
+        let parent_group = self.get(parent)?;
+        if parent_group
+            .children
+            .iter()
+            .any(|&c| self.groups[c.index()].name == name)
+        {
+            return Err(CgroupError::DuplicateName(name.to_owned()));
+        }
+        let id = GroupId(self.groups.len());
+        self.groups.push(Group {
+            name: name.to_owned(),
+            parent: Some(parent),
+            children: Vec::new(),
+            procs: Vec::new(),
+            io_enabled: false,
+            knobs: KnobState::default(),
+        });
+        self.get_mut(parent)?.children.push(id);
+        Ok(id)
+    }
+
+    /// Enables the `io` controller in the group's `subtree_control`,
+    /// turning it into a management group whose children may carry I/O
+    /// knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::ControllerOnProcessGroup`] if the group already has
+    /// member processes.
+    pub fn enable_io(&mut self, id: GroupId) -> Result<(), CgroupError> {
+        let g = self.get(id)?;
+        if !g.procs.is_empty() {
+            return Err(CgroupError::ControllerOnProcessGroup);
+        }
+        self.get_mut(id)?.io_enabled = true;
+        Ok(())
+    }
+
+    /// Attaches a process (app) to a group, making it a process group.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::ProcessInManagementGroup`] if the group has `+io`
+    /// enabled — the "no internal processes" rule (the root is exempt, as
+    /// in the kernel).
+    pub fn attach_process(&mut self, id: GroupId, app: AppId) -> Result<(), CgroupError> {
+        let g = self.get(id)?;
+        if g.io_enabled && id != Self::ROOT {
+            return Err(CgroupError::ProcessInManagementGroup);
+        }
+        if let Some(old) = self.proc_group.insert(app, id) {
+            self.get_mut(old)?.procs.retain(|&a| a != app);
+        }
+        self.get_mut(id)?.procs.push(app);
+        Ok(())
+    }
+
+    /// The group a process currently lives in (root if never attached).
+    #[must_use]
+    pub fn group_of(&self, app: AppId) -> GroupId {
+        self.proc_group.get(&app).copied().unwrap_or(Self::ROOT)
+    }
+
+    /// Removes an empty leaf group.
+    ///
+    /// # Errors
+    ///
+    /// * [`CgroupError::CannotRemoveRoot`],
+    /// * [`CgroupError::Busy`] if the group still has children or procs.
+    pub fn remove(&mut self, id: GroupId) -> Result<(), CgroupError> {
+        if id == Self::ROOT {
+            return Err(CgroupError::CannotRemoveRoot);
+        }
+        let g = self.get(id)?;
+        if !g.children.is_empty() || !g.procs.is_empty() {
+            return Err(CgroupError::Busy);
+        }
+        let parent = g.parent.expect("non-root has a parent");
+        self.get_mut(parent)?.children.retain(|&c| c != id);
+        // Tombstone: rename so the slot reads as detached. Ids are not
+        // reused.
+        let slot = self.get_mut(id)?;
+        slot.parent = None;
+        slot.name.clear();
+        Ok(())
+    }
+
+    /// Writes a knob file on a group, enforcing all placement rules.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CgroupError`] from parsing or rule violations.
+    pub fn write(&mut self, id: GroupId, file: &str, value: &str) -> Result<(), CgroupError> {
+        let knob = Knob::parse(file, value)?;
+        self.apply(id, knob)
+    }
+
+    /// Applies an already-parsed knob, enforcing all placement rules.
+    ///
+    /// # Errors
+    ///
+    /// Rule violations: see [`Hierarchy::write`].
+    pub fn apply(&mut self, id: GroupId, knob: Knob) -> Result<(), CgroupError> {
+        // Placement rules.
+        match &knob {
+            Knob::CostModel(..) | Knob::CostQos(..) => {
+                if id != Self::ROOT {
+                    return Err(CgroupError::RootOnly(knob.kind().file_name()));
+                }
+            }
+            Knob::PrioClass(_) => {
+                // Not part of the delegation model; meaningful on process
+                // groups only (it is not inheritable). Allowed anywhere
+                // but the root.
+                if id == Self::ROOT {
+                    return Err(CgroupError::NotInRoot("io.prio.class"));
+                }
+                self.get(id)?;
+            }
+            _ => {
+                if id == Self::ROOT {
+                    return Err(CgroupError::NotInRoot(knob.kind().file_name()));
+                }
+                let parent = self.get(id)?.parent.ok_or(CgroupError::NoSuchGroup)?;
+                if !self.get(parent)?.io_enabled {
+                    return Err(CgroupError::IoControllerNotEnabled);
+                }
+            }
+        }
+        match knob {
+            Knob::Max(dev, v) => {
+                let g = self.get_mut(id)?;
+                if v.is_unlimited() {
+                    g.knobs.io_max.remove(&dev);
+                } else {
+                    g.knobs.io_max.insert(dev, v);
+                }
+            }
+            Knob::Latency(dev, v) => {
+                let g = self.get_mut(id)?;
+                if v.target_us == 0 {
+                    g.knobs.io_latency.remove(&dev);
+                } else {
+                    g.knobs.io_latency.insert(dev, v);
+                }
+            }
+            Knob::Weight(v) => self.get_mut(id)?.knobs.weight = v,
+            Knob::BfqWeight(v) => self.get_mut(id)?.knobs.bfq_weight = v,
+            Knob::PrioClass(v) => self.get_mut(id)?.knobs.prio = Some(v),
+            Knob::CostModel(dev, v) => {
+                self.cost_model.insert(dev, v);
+            }
+            Knob::CostQos(dev, v) => {
+                self.cost_qos.insert(dev, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads back a knob file as the kernel would render it.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::NoSuchKnob`] / [`CgroupError::NoSuchGroup`].
+    pub fn read(&self, id: GroupId, file: &str) -> Result<String, CgroupError> {
+        use crate::knobs::KnobKind;
+        let kind = KnobKind::from_file_name(file)?;
+        let g = self.get(id)?;
+        Ok(match kind {
+            KnobKind::Max => g
+                .knobs
+                .io_max
+                .iter()
+                .map(|(d, m)| format!("{d} {m}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            KnobKind::Latency => g
+                .knobs
+                .io_latency
+                .iter()
+                .map(|(d, l)| format!("{d} {l}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            KnobKind::Weight => g.knobs.weight.to_string(),
+            KnobKind::BfqWeight => g.knobs.bfq_weight.to_string(),
+            KnobKind::PrioClass => {
+                g.knobs.prio.unwrap_or_default().as_str().to_owned()
+            }
+            KnobKind::CostModel => self
+                .cost_model
+                .iter()
+                .map(|(d, m)| format!("{d} {m}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            KnobKind::CostQos => self
+                .cost_qos
+                .iter()
+                .map(|(d, q)| format!("{d} {q}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Effective-configuration accessors used by the controllers.
+    // ------------------------------------------------------------------
+
+    /// Effective `io.max` for a group on a device: the most restrictive
+    /// limit along the ancestor chain (hierarchical throttling).
+    #[must_use]
+    pub fn io_max(&self, id: GroupId, dev: DevNode) -> IoMax {
+        let mut eff = IoMax::default();
+        let mut cur = Some(id);
+        while let Some(g) = cur {
+            let Ok(group) = self.get(g) else { break };
+            if let Some(m) = group.knobs.io_max.get(&dev) {
+                eff.rbps = min_limit(eff.rbps, m.rbps);
+                eff.wbps = min_limit(eff.wbps, m.wbps);
+                eff.riops = min_limit(eff.riops, m.riops);
+                eff.wiops = min_limit(eff.wiops, m.wiops);
+            }
+            cur = group.parent;
+        }
+        eff
+    }
+
+    /// Effective `io.latency` target: the group's own, or the nearest
+    /// ancestor's (children inherit the protection domain).
+    #[must_use]
+    pub fn io_latency(&self, id: GroupId, dev: DevNode) -> Option<IoLatency> {
+        let mut cur = Some(id);
+        while let Some(g) = cur {
+            let Ok(group) = self.get(g) else { break };
+            if let Some(l) = group.knobs.io_latency.get(&dev) {
+                return Some(*l);
+            }
+            cur = group.parent;
+        }
+        None
+    }
+
+    /// The group's own `io.weight` for a device (default 100).
+    #[must_use]
+    pub fn io_weight(&self, id: GroupId, dev: DevNode) -> u32 {
+        self.get(id).map_or(IoWeight::DEFAULT, |g| g.knobs.weight.for_dev(dev))
+    }
+
+    /// The group's own `io.bfq.weight` for a device (default 100).
+    #[must_use]
+    pub fn bfq_weight(&self, id: GroupId, dev: DevNode) -> u32 {
+        self.get(id).map_or(IoWeight::DEFAULT, |g| g.knobs.bfq_weight.for_dev(dev))
+    }
+
+    /// The I/O priority class effective for processes directly in this
+    /// group. **Not inheritable** (per the paper and kernel): only the
+    /// group's own setting counts.
+    #[must_use]
+    pub fn prio_class(&self, id: GroupId) -> PrioClass {
+        self.get(id).ok().and_then(|g| g.knobs.prio).unwrap_or_default()
+    }
+
+    /// The root `io.cost.model` for a device, if configured.
+    #[must_use]
+    pub fn cost_model(&self, dev: DevNode) -> Option<&IoCostModel> {
+        self.cost_model.get(&dev)
+    }
+
+    /// The root `io.cost.qos` for a device, if configured.
+    #[must_use]
+    pub fn cost_qos(&self, dev: DevNode) -> Option<&IoCostQos> {
+        self.cost_qos.get(&dev)
+    }
+
+    /// Hierarchical weight share of `id` among `active` groups, using
+    /// `weight_of` to read each group's absolute weight (so the same
+    /// routine serves both iocost's `io.weight` and BFQ's
+    /// `io.bfq.weight`).
+    ///
+    /// The share is the product along the path root → `id` of
+    /// `w(child) / Σ w(active siblings)`, where a group is *active* if it
+    /// is in `active` or has an active descendant. Returns 0 if `id` is
+    /// not active.
+    #[must_use]
+    pub fn hweight<F>(&self, id: GroupId, active: &HashSet<GroupId>, weight_of: F) -> f64
+    where
+        F: Fn(GroupId) -> u32,
+    {
+        // Mark every group that is active or has an active descendant.
+        let mut live: HashSet<GroupId> = HashSet::new();
+        for &a in active {
+            let mut cur = Some(a);
+            while let Some(g) = cur {
+                if !live.insert(g) {
+                    break;
+                }
+                cur = self.get(g).ok().and_then(Group::parent);
+            }
+        }
+        if !live.contains(&id) {
+            return 0.0;
+        }
+        // Walk from the root down to `id`, multiplying level shares.
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(g) = cur {
+            path.push(g);
+            cur = self.get(g).ok().and_then(Group::parent);
+        }
+        path.reverse(); // root .. id
+        let mut share = 1.0;
+        for w in path.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            let Ok(pg) = self.get(parent) else { return 0.0 };
+            let total: u64 = pg
+                .children
+                .iter()
+                .filter(|c| live.contains(c))
+                .map(|&c| u64::from(weight_of(c)))
+                .sum();
+            if total == 0 {
+                return 0.0;
+            }
+            share *= f64::from(weight_of(child)) / total as f64;
+        }
+        share
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn min_limit(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_hierarchy() -> (Hierarchy, GroupId, GroupId, GroupId, GroupId) {
+        // Fig. 1: root -> controller.slice (+io) -> {container-a.service,
+        // container-b.service, broken.service}
+        let mut h = Hierarchy::new();
+        let slice = h.create(Hierarchy::ROOT, "controller.slice").unwrap();
+        h.enable_io(slice).unwrap();
+        let a = h.create(slice, "container-a.service").unwrap();
+        let b = h.create(slice, "container-b.service").unwrap();
+        let broken = h.create(slice, "broken.service").unwrap();
+        (h, slice, a, b, broken)
+    }
+
+    #[test]
+    fn paths_render() {
+        let (h, slice, a, ..) = fig1_hierarchy();
+        assert_eq!(h.path(Hierarchy::ROOT).unwrap(), "root");
+        assert_eq!(h.path(slice).unwrap(), "root/controller.slice");
+        assert_eq!(h.path(a).unwrap(), "root/controller.slice/container-a.service");
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_rejected() {
+        let mut h = Hierarchy::new();
+        h.create(Hierarchy::ROOT, "x").unwrap();
+        assert_eq!(
+            h.create(Hierarchy::ROOT, "x"),
+            Err(CgroupError::DuplicateName("x".into()))
+        );
+        assert!(matches!(
+            h.create(Hierarchy::ROOT, "a/b"),
+            Err(CgroupError::InvalidName(_))
+        ));
+        assert!(matches!(h.create(Hierarchy::ROOT, ""), Err(CgroupError::InvalidName(_))));
+    }
+
+    #[test]
+    fn no_internal_processes_rule() {
+        let (mut h, slice, a, ..) = fig1_hierarchy();
+        // slice is a management group: no processes allowed.
+        assert_eq!(
+            h.attach_process(slice, AppId(0)),
+            Err(CgroupError::ProcessInManagementGroup)
+        );
+        // a is a process group: attaching works...
+        h.attach_process(a, AppId(0)).unwrap();
+        assert_eq!(h.group_of(AppId(0)), a);
+        // ...and enabling a controller on it now fails.
+        assert_eq!(h.enable_io(a), Err(CgroupError::ControllerOnProcessGroup));
+    }
+
+    #[test]
+    fn broken_service_cannot_have_io_knobs() {
+        // "broken.service" is a child of a process-holding... actually in
+        // Fig. 1 broken.service is a *child of a process group's sibling*;
+        // the rule illustrated is that children of groups WITHOUT +io in
+        // subtree_control cannot set knobs. Model that directly:
+        let mut h = Hierarchy::new();
+        let slice = h.create(Hierarchy::ROOT, "no-io.slice").unwrap();
+        // no enable_io on slice
+        let broken = h.create(slice, "broken.service").unwrap();
+        assert_eq!(
+            h.write(broken, "io.max", "259:0 rbps=1000"),
+            Err(CgroupError::IoControllerNotEnabled)
+        );
+    }
+
+    #[test]
+    fn root_only_and_not_in_root_rules() {
+        let (mut h, _, a, ..) = fig1_hierarchy();
+        assert_eq!(
+            h.write(a, "io.cost.qos", "259:0 enable=1 min=50 max=100"),
+            Err(CgroupError::RootOnly("io.cost.qos"))
+        );
+        h.write(
+            Hierarchy::ROOT,
+            "io.cost.model",
+            "259:0 ctrl=user rbps=100 rseqiops=1 rrandiops=1 wbps=1 wseqiops=1 wrandiops=1",
+        )
+        .unwrap();
+        assert!(h.cost_model(DevNode::nvme(0)).is_some());
+        assert_eq!(
+            h.write(Hierarchy::ROOT, "io.max", "259:0 rbps=1"),
+            Err(CgroupError::NotInRoot("io.max"))
+        );
+        assert_eq!(
+            h.write(Hierarchy::ROOT, "io.prio.class", "rt"),
+            Err(CgroupError::NotInRoot("io.prio.class"))
+        );
+    }
+
+    #[test]
+    fn prio_class_works_without_parent_io() {
+        let mut h = Hierarchy::new();
+        let slice = h.create(Hierarchy::ROOT, "s").unwrap();
+        // No +io anywhere below root; io.prio.class is exempt.
+        let g = h.create(slice, "g").unwrap();
+        h.write(g, "io.prio.class", "idle").unwrap();
+        assert_eq!(h.prio_class(g), PrioClass::Idle);
+        // And it is NOT inherited by children.
+        let child = h.create(g, "child").unwrap();
+        assert_eq!(h.prio_class(child), PrioClass::BestEffort);
+    }
+
+    #[test]
+    fn io_max_is_hierarchically_min() {
+        let (mut h, slice, a, ..) = fig1_hierarchy();
+        h.write(slice, "io.max", "259:0 rbps=1000").unwrap();
+        h.write(a, "io.max", "259:0 rbps=5000 wbps=70").unwrap();
+        let eff = h.io_max(a, DevNode::nvme(0));
+        assert_eq!(eff.rbps, Some(1000)); // parent is tighter
+        assert_eq!(eff.wbps, Some(70));
+        // Writing all-max clears the entry.
+        h.write(a, "io.max", "259:0 rbps=max wbps=max").unwrap();
+        let eff = h.io_max(a, DevNode::nvme(0));
+        assert_eq!(eff.rbps, Some(1000));
+        assert_eq!(eff.wbps, None);
+    }
+
+    #[test]
+    fn io_latency_inherits_from_ancestors() {
+        let (mut h, slice, a, ..) = fig1_hierarchy();
+        h.write(slice, "io.latency", "259:0 target=200").unwrap();
+        assert_eq!(h.io_latency(a, DevNode::nvme(0)).unwrap().target_us, 200);
+        h.write(a, "io.latency", "259:0 target=75").unwrap();
+        assert_eq!(h.io_latency(a, DevNode::nvme(0)).unwrap().target_us, 75);
+        // target=0 clears.
+        h.write(a, "io.latency", "259:0 target=0").unwrap();
+        assert_eq!(h.io_latency(a, DevNode::nvme(0)).unwrap().target_us, 200);
+    }
+
+    #[test]
+    fn weights_default_to_100() {
+        let (mut h, _, a, b, _) = fig1_hierarchy();
+        assert_eq!(h.io_weight(a, DevNode::nvme(0)), 100);
+        h.write(a, "io.weight", "default 10000").unwrap();
+        h.write(b, "io.bfq.weight", "default 1000").unwrap();
+        assert_eq!(h.io_weight(a, DevNode::nvme(0)), 10_000);
+        assert_eq!(h.bfq_weight(b, DevNode::nvme(0)), 1_000);
+        assert_eq!(h.bfq_weight(a, DevNode::nvme(0)), 100);
+    }
+
+    #[test]
+    fn read_renders_kernel_style() {
+        let (mut h, _, a, ..) = fig1_hierarchy();
+        h.write(a, "io.max", "259:0 rbps=1000").unwrap();
+        let shown = h.read(a, "io.max").unwrap();
+        assert_eq!(shown, "259:0 rbps=1000 wbps=max riops=max wiops=max");
+        assert_eq!(h.read(a, "io.weight").unwrap(), "default 100");
+        assert_eq!(h.read(a, "io.prio.class").unwrap(), "best-effort");
+        assert!(matches!(h.read(a, "cpu.max"), Err(CgroupError::NoSuchKnob(_))));
+    }
+
+    #[test]
+    fn remove_rules() {
+        let (mut h, slice, a, b, broken) = fig1_hierarchy();
+        assert_eq!(h.remove(Hierarchy::ROOT), Err(CgroupError::CannotRemoveRoot));
+        assert_eq!(h.remove(slice), Err(CgroupError::Busy));
+        h.attach_process(a, AppId(1)).unwrap();
+        assert_eq!(h.remove(a), Err(CgroupError::Busy));
+        h.remove(b).unwrap();
+        h.remove(broken).unwrap();
+        assert!(h.group(b).is_ok(), "tombstoned slot still readable");
+        assert_eq!(h.group(b).unwrap().parent(), None);
+    }
+
+    #[test]
+    fn hweight_flat_two_groups() {
+        // The paper's example: A weight 1000, B weight 1 → B gets 1/1001.
+        let (mut h, _, a, b, _) = fig1_hierarchy();
+        h.write(a, "io.bfq.weight", "default 1000").unwrap();
+        h.write(b, "io.bfq.weight", "default 1").unwrap();
+        let active: HashSet<GroupId> = [a, b].into_iter().collect();
+        let dev = DevNode::nvme(0);
+        let wa = h.hweight(a, &active, |g| h.bfq_weight(g, dev));
+        let wb = h.hweight(b, &active, |g| h.bfq_weight(g, dev));
+        assert!((wa - 1000.0 / 1001.0).abs() < 1e-12);
+        assert!((wb - 1.0 / 1001.0).abs() < 1e-12);
+        assert!((wa + wb - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hweight_ignores_inactive_siblings() {
+        let (h, _, a, b, _) = fig1_hierarchy();
+        let only_a: HashSet<GroupId> = [a].into_iter().collect();
+        let dev = DevNode::nvme(0);
+        assert!((h.hweight(a, &only_a, |g| h.io_weight(g, dev)) - 1.0).abs() < 1e-12);
+        assert_eq!(h.hweight(b, &only_a, |g| h.io_weight(g, dev)), 0.0);
+    }
+
+    #[test]
+    fn hweight_is_hierarchical() {
+        // root -> s1 (w 100) -> {x (w 100), y (w 300)}; root -> s2 (w 100) -> z
+        let mut h = Hierarchy::new();
+        let s1 = h.create(Hierarchy::ROOT, "s1").unwrap();
+        let s2 = h.create(Hierarchy::ROOT, "s2").unwrap();
+        h.enable_io(s1).unwrap();
+        h.enable_io(s2).unwrap();
+        let x = h.create(s1, "x").unwrap();
+        let y = h.create(s1, "y").unwrap();
+        let z = h.create(s2, "z").unwrap();
+        h.write(y, "io.weight", "default 300").unwrap();
+        let active: HashSet<GroupId> = [x, y, z].into_iter().collect();
+        let dev = DevNode::nvme(0);
+        let wf = |g: GroupId| h.io_weight(g, dev);
+        let wx = h.hweight(x, &active, wf);
+        let wy = h.hweight(y, &active, wf);
+        let wz = h.hweight(z, &active, wf);
+        // s1 and s2 split 50/50; inside s1, x:y = 100:300.
+        assert!((wx - 0.5 * 0.25).abs() < 1e-12);
+        assert!((wy - 0.5 * 0.75).abs() < 1e-12);
+        assert!((wz - 0.5).abs() < 1e-12);
+        assert!((wx + wy + wz - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reattaching_process_moves_it() {
+        let (mut h, _, a, b, _) = fig1_hierarchy();
+        h.attach_process(a, AppId(3)).unwrap();
+        h.attach_process(b, AppId(3)).unwrap();
+        assert_eq!(h.group_of(AppId(3)), b);
+        assert!(h.group(a).unwrap().procs().is_empty());
+        assert_eq!(h.group(b).unwrap().procs(), &[AppId(3)]);
+    }
+
+    #[test]
+    fn unattached_process_defaults_to_root() {
+        let h = Hierarchy::new();
+        assert_eq!(h.group_of(AppId(9)), Hierarchy::ROOT);
+    }
+}

@@ -1,0 +1,816 @@
+//! The I/O knob value types and their kernel sysfs grammars.
+//!
+//! Each knob type provides `parse_*` from the cgroup-v2 file grammar and a
+//! `Display` impl that re-renders it, so knob files round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CgroupError;
+
+/// A block-device node identified by `major:minor`, the key used by all
+/// per-device knob lines (`io.max`, `io.latency`, `io.cost.*`).
+///
+/// # Example
+///
+/// ```
+/// use cgroup_sim::DevNode;
+/// let d = DevNode::nvme(2);
+/// assert_eq!(d.to_string(), "259:2");
+/// assert_eq!("259:2".parse::<DevNode>().unwrap(), d);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DevNode {
+    /// Device major number.
+    pub major: u32,
+    /// Device minor number.
+    pub minor: u32,
+}
+
+impl DevNode {
+    /// NVMe character-device convention used throughout the simulator:
+    /// major 259 (`blkext`), minor = device index.
+    #[must_use]
+    pub const fn nvme(index: u32) -> Self {
+        DevNode { major: 259, minor: index }
+    }
+
+    /// The simulator device index, assuming the [`DevNode::nvme`]
+    /// convention.
+    #[must_use]
+    pub const fn nvme_index(self) -> u32 {
+        self.minor
+    }
+}
+
+impl fmt::Display for DevNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.major, self.minor)
+    }
+}
+
+impl std::str::FromStr for DevNode {
+    type Err = CgroupError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (maj, min) = s
+            .split_once(':')
+            .ok_or_else(|| CgroupError::InvalidValue(format!("`{s}` is not MAJOR:MINOR")))?;
+        let major = maj
+            .parse()
+            .map_err(|_| CgroupError::InvalidValue(format!("bad major in `{s}`")))?;
+        let minor = min
+            .parse()
+            .map_err(|_| CgroupError::InvalidValue(format!("bad minor in `{s}`")))?;
+        Ok(DevNode { major, minor })
+    }
+}
+
+fn parse_limit(tok: &str) -> Result<Option<u64>, CgroupError> {
+    if tok == "max" {
+        Ok(None)
+    } else {
+        tok.parse::<u64>()
+            .map(Some)
+            .map_err(|_| CgroupError::InvalidValue(format!("`{tok}` is not a number or `max`")))
+    }
+}
+
+fn fmt_limit(v: Option<u64>) -> String {
+    v.map_or_else(|| "max".to_owned(), |n| n.to_string())
+}
+
+/// `io.max` — static bandwidth/IOPS limits for one device.
+///
+/// Grammar: `MAJOR:MINOR [rbps=V] [wbps=V] [riops=V] [wiops=V]` where each
+/// `V` is a number or `max` (unlimited). `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoMax {
+    /// Read bytes per second.
+    pub rbps: Option<u64>,
+    /// Write bytes per second.
+    pub wbps: Option<u64>,
+    /// Read IOs per second.
+    pub riops: Option<u64>,
+    /// Write IOs per second.
+    pub wiops: Option<u64>,
+}
+
+impl IoMax {
+    /// `true` when every limit is `max` (the knob has no effect).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.rbps.is_none() && self.wbps.is_none() && self.riops.is_none() && self.wiops.is_none()
+    }
+
+    /// Parses the fields after the device key.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::InvalidValue`] on unknown keys or malformed numbers.
+    pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
+        let mut out = IoMax::default();
+        for field in s.split_whitespace() {
+            let (k, v) = field.split_once('=').ok_or_else(|| {
+                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
+            })?;
+            match k {
+                "rbps" => out.rbps = parse_limit(v)?,
+                "wbps" => out.wbps = parse_limit(v)?,
+                "riops" => out.riops = parse_limit(v)?,
+                "wiops" => out.wiops = parse_limit(v)?,
+                other => {
+                    return Err(CgroupError::InvalidValue(format!("unknown io.max key `{other}`")))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for IoMax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rbps={} wbps={} riops={} wiops={}",
+            fmt_limit(self.rbps),
+            fmt_limit(self.wbps),
+            fmt_limit(self.riops),
+            fmt_limit(self.wiops)
+        )
+    }
+}
+
+/// `io.latency` — a P90 completion-latency target for one device, in
+/// microseconds. Grammar: `MAJOR:MINOR target=USEC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoLatency {
+    /// Target tail latency in microseconds.
+    pub target_us: u64,
+}
+
+impl IoLatency {
+    /// Parses the fields after the device key.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::InvalidValue`] on anything but `target=<usec>`.
+    pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
+        let mut target = None;
+        for field in s.split_whitespace() {
+            match field.split_once('=') {
+                Some(("target", v)) => {
+                    target = Some(v.parse().map_err(|_| {
+                        CgroupError::InvalidValue(format!("bad io.latency target `{v}`"))
+                    })?);
+                }
+                _ => {
+                    return Err(CgroupError::InvalidValue(format!(
+                        "unknown io.latency field `{field}`"
+                    )))
+                }
+            }
+        }
+        target
+            .map(|target_us| IoLatency { target_us })
+            .ok_or_else(|| CgroupError::InvalidValue("io.latency needs target=".into()))
+    }
+}
+
+impl fmt::Display for IoLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target={}", self.target_us)
+    }
+}
+
+/// `io.weight` — the iocost absolute weight, 1..=10000 (default 100).
+///
+/// Grammar: `default <w>` and/or `MAJOR:MINOR <w>` per-device overrides.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoWeight {
+    /// The default weight applied to all devices without an override.
+    pub default: u32,
+    /// Per-device overrides.
+    pub per_dev: BTreeMap<DevNode, u32>,
+}
+
+impl Default for IoWeight {
+    fn default() -> Self {
+        IoWeight { default: Self::DEFAULT, per_dev: BTreeMap::new() }
+    }
+}
+
+impl IoWeight {
+    /// Kernel default weight.
+    pub const DEFAULT: u32 = 100;
+    /// Minimum settable weight.
+    pub const MIN: u32 = 1;
+    /// Maximum settable weight.
+    pub const MAX: u32 = 10_000;
+
+    /// The weight in effect for `dev`.
+    #[must_use]
+    pub fn for_dev(&self, dev: DevNode) -> u32 {
+        self.per_dev.get(&dev).copied().unwrap_or(self.default)
+    }
+
+    /// Parses the whole file value (possibly multiple lines).
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::InvalidValue`] for weights outside `1..=10000` or a
+    /// malformed line.
+    pub fn parse(s: &str, max: u32) -> Result<Self, CgroupError> {
+        let mut out = IoWeight::default();
+        for line in s.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let (key, w) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| CgroupError::InvalidValue(format!("`{line}` is not KEY WEIGHT")))?;
+            let w: u32 = w
+                .trim()
+                .parse()
+                .map_err(|_| CgroupError::InvalidValue(format!("bad weight `{w}`")))?;
+            if !(Self::MIN..=max).contains(&w) {
+                return Err(CgroupError::InvalidValue(format!(
+                    "weight {w} out of range 1..={max}"
+                )));
+            }
+            if key == "default" {
+                out.default = w;
+            } else {
+                out.per_dev.insert(key.parse()?, w);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for IoWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "default {}", self.default)?;
+        for (dev, w) in &self.per_dev {
+            write!(f, "\n{dev} {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `io.bfq.weight` — BFQ's absolute weight, 1..=1000 (default 100); same
+/// file grammar as [`IoWeight`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BfqWeight(pub IoWeight);
+
+impl Default for BfqWeight {
+    fn default() -> Self {
+        BfqWeight(IoWeight::default())
+    }
+}
+
+impl BfqWeight {
+    /// Maximum settable BFQ weight.
+    pub const MAX: u32 = 1_000;
+
+    /// Parses the file value with BFQ's 1..=1000 range.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoWeight::parse`].
+    pub fn parse(s: &str) -> Result<Self, CgroupError> {
+        IoWeight::parse(s, Self::MAX).map(BfqWeight)
+    }
+
+    /// The weight in effect for `dev`.
+    #[must_use]
+    pub fn for_dev(&self, dev: DevNode) -> u32 {
+        self.0.for_dev(dev)
+    }
+}
+
+impl fmt::Display for BfqWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Whether an `io.cost` parameter set is kernel-derived or user-provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostCtrl {
+    /// Kernel defaults / auto mode.
+    Auto,
+    /// User-supplied parameters.
+    User,
+}
+
+impl fmt::Display for CostCtrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CostCtrl::Auto => "auto",
+            CostCtrl::User => "user",
+        })
+    }
+}
+
+/// `io.cost.model` — the linear cost model for one device (root only).
+///
+/// Grammar: `MAJOR:MINOR ctrl=auto|user [model=linear] rbps=… rseqiops=…
+/// rrandiops=… wbps=… wseqiops=… wrandiops=…`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCostModel {
+    /// auto or user.
+    pub ctrl: CostCtrl,
+    /// Max sequential read bytes/s.
+    pub rbps: u64,
+    /// Max sequential read IOs/s.
+    pub rseqiops: u64,
+    /// Max random read IOs/s.
+    pub rrandiops: u64,
+    /// Max sequential write bytes/s.
+    pub wbps: u64,
+    /// Max sequential write IOs/s.
+    pub wseqiops: u64,
+    /// Max random write IOs/s.
+    pub wrandiops: u64,
+}
+
+impl IoCostModel {
+    /// Parses the fields after the device key.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::InvalidValue`] on unknown keys, bad numbers, or any
+    /// zero coefficient (the kernel rejects those too).
+    pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
+        let mut ctrl = CostCtrl::User;
+        let mut vals: BTreeMap<&str, u64> = BTreeMap::new();
+        for field in s.split_whitespace() {
+            let (k, v) = field.split_once('=').ok_or_else(|| {
+                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
+            })?;
+            match k {
+                "ctrl" => {
+                    ctrl = match v {
+                        "auto" => CostCtrl::Auto,
+                        "user" => CostCtrl::User,
+                        _ => {
+                            return Err(CgroupError::InvalidValue(format!("bad ctrl `{v}`")))
+                        }
+                    };
+                }
+                "model" => {
+                    if v != "linear" {
+                        return Err(CgroupError::InvalidValue(format!(
+                            "only the linear model is supported, got `{v}`"
+                        )));
+                    }
+                }
+                "rbps" | "rseqiops" | "rrandiops" | "wbps" | "wseqiops" | "wrandiops" => {
+                    let n: u64 = v.parse().map_err(|_| {
+                        CgroupError::InvalidValue(format!("bad {k} value `{v}`"))
+                    })?;
+                    if n == 0 {
+                        return Err(CgroupError::InvalidValue(format!("{k} must be nonzero")));
+                    }
+                    vals.insert(k, n);
+                }
+                other => {
+                    return Err(CgroupError::InvalidValue(format!(
+                        "unknown io.cost.model key `{other}`"
+                    )))
+                }
+            }
+        }
+        let get = |k: &str| {
+            vals.get(k)
+                .copied()
+                .ok_or_else(|| CgroupError::InvalidValue(format!("io.cost.model missing {k}=")))
+        };
+        Ok(IoCostModel {
+            ctrl,
+            rbps: get("rbps")?,
+            rseqiops: get("rseqiops")?,
+            rrandiops: get("rrandiops")?,
+            wbps: get("wbps")?,
+            wseqiops: get("wseqiops")?,
+            wrandiops: get("wrandiops")?,
+        })
+    }
+}
+
+impl fmt::Display for IoCostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ctrl={} model=linear rbps={} rseqiops={} rrandiops={} wbps={} wseqiops={} wrandiops={}",
+            self.ctrl, self.rbps, self.rseqiops, self.rrandiops, self.wbps, self.wseqiops,
+            self.wrandiops
+        )
+    }
+}
+
+/// `io.cost.qos` — when and how much iocost restrains groups (root only).
+///
+/// Grammar: `MAJOR:MINOR enable=0|1 ctrl=auto|user rpct=… rlat=… wpct=…
+/// wlat=… min=… max=…`; `rpct`/`wpct` are latency percentiles, `rlat`/
+/// `wlat` targets in microseconds, `min`/`max` the vrate scaling range in
+/// percent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoCostQos {
+    /// Controller enabled.
+    pub enable: bool,
+    /// auto or user.
+    pub ctrl: CostCtrl,
+    /// Read latency percentile (e.g. 95.0); 0 disables the read signal.
+    pub rpct: f64,
+    /// Read latency target, microseconds.
+    pub rlat_us: u64,
+    /// Write latency percentile; 0 disables the write signal.
+    pub wpct: f64,
+    /// Write latency target, microseconds.
+    pub wlat_us: u64,
+    /// Minimum vrate scaling, percent of the model speed.
+    pub min_pct: f64,
+    /// Maximum vrate scaling, percent of the model speed.
+    pub max_pct: f64,
+}
+
+impl Default for IoCostQos {
+    fn default() -> Self {
+        // Kernel defaults: qos disabled, full-speed window.
+        IoCostQos {
+            enable: false,
+            ctrl: CostCtrl::Auto,
+            rpct: 0.0,
+            rlat_us: 0,
+            wpct: 0.0,
+            wlat_us: 0,
+            min_pct: 100.0,
+            max_pct: 100.0,
+        }
+    }
+}
+
+impl IoCostQos {
+    /// Parses the fields after the device key.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::InvalidValue`] on unknown keys, out-of-range
+    /// percentages, or `min > max`.
+    pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
+        let mut q = IoCostQos::default();
+        for field in s.split_whitespace() {
+            let (k, v) = field.split_once('=').ok_or_else(|| {
+                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
+            })?;
+            let parse_f = |v: &str, k: &str| -> Result<f64, CgroupError> {
+                v.parse()
+                    .map_err(|_| CgroupError::InvalidValue(format!("bad {k} value `{v}`")))
+            };
+            match k {
+                "enable" => q.enable = v == "1",
+                "ctrl" => {
+                    q.ctrl = match v {
+                        "auto" => CostCtrl::Auto,
+                        "user" => CostCtrl::User,
+                        _ => return Err(CgroupError::InvalidValue(format!("bad ctrl `{v}`"))),
+                    };
+                }
+                "rpct" => q.rpct = parse_f(v, k)?,
+                "wpct" => q.wpct = parse_f(v, k)?,
+                "rlat" => {
+                    q.rlat_us = v.parse().map_err(|_| {
+                        CgroupError::InvalidValue(format!("bad rlat value `{v}`"))
+                    })?;
+                }
+                "wlat" => {
+                    q.wlat_us = v.parse().map_err(|_| {
+                        CgroupError::InvalidValue(format!("bad wlat value `{v}`"))
+                    })?;
+                }
+                "min" => q.min_pct = parse_f(v, k)?,
+                "max" => q.max_pct = parse_f(v, k)?,
+                other => {
+                    return Err(CgroupError::InvalidValue(format!(
+                        "unknown io.cost.qos key `{other}`"
+                    )))
+                }
+            }
+        }
+        for (name, pct) in [("rpct", q.rpct), ("wpct", q.wpct)] {
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(CgroupError::InvalidValue(format!("{name} out of range: {pct}")));
+            }
+        }
+        if q.min_pct > q.max_pct {
+            return Err(CgroupError::InvalidValue(format!(
+                "min ({}) must not exceed max ({})",
+                q.min_pct, q.max_pct
+            )));
+        }
+        if !(1.0..=10_000.0).contains(&q.min_pct) || !(1.0..=10_000.0).contains(&q.max_pct) {
+            return Err(CgroupError::InvalidValue("min/max must be in 1..=10000 pct".into()));
+        }
+        Ok(q)
+    }
+}
+
+impl fmt::Display for IoCostQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "enable={} ctrl={} rpct={:.2} rlat={} wpct={:.2} wlat={} min={:.2} max={:.2}",
+            u8::from(self.enable),
+            self.ctrl,
+            self.rpct,
+            self.rlat_us,
+            self.wpct,
+            self.wlat_us,
+            self.min_pct,
+            self.max_pct
+        )
+    }
+}
+
+/// A parsed knob write: which file and its typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Knob {
+    /// `io.max` for one device.
+    Max(DevNode, IoMax),
+    /// `io.latency` for one device.
+    Latency(DevNode, IoLatency),
+    /// `io.weight`.
+    Weight(IoWeight),
+    /// `io.bfq.weight`.
+    BfqWeight(BfqWeight),
+    /// `io.prio.class`.
+    PrioClass(blkio::PrioClass),
+    /// `io.cost.model` for one device (root only).
+    CostModel(DevNode, IoCostModel),
+    /// `io.cost.qos` for one device (root only).
+    CostQos(DevNode, IoCostQos),
+}
+
+/// The knob file names, for dispatch and error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KnobKind {
+    /// `io.max`
+    Max,
+    /// `io.latency`
+    Latency,
+    /// `io.weight`
+    Weight,
+    /// `io.bfq.weight`
+    BfqWeight,
+    /// `io.prio.class`
+    PrioClass,
+    /// `io.cost.model`
+    CostModel,
+    /// `io.cost.qos`
+    CostQos,
+}
+
+impl KnobKind {
+    /// The cgroupfs file name.
+    #[must_use]
+    pub const fn file_name(self) -> &'static str {
+        match self {
+            KnobKind::Max => "io.max",
+            KnobKind::Latency => "io.latency",
+            KnobKind::Weight => "io.weight",
+            KnobKind::BfqWeight => "io.bfq.weight",
+            KnobKind::PrioClass => "io.prio.class",
+            KnobKind::CostModel => "io.cost.model",
+            KnobKind::CostQos => "io.cost.qos",
+        }
+    }
+
+    /// Parses a file name.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::NoSuchKnob`] for unknown names.
+    pub fn from_file_name(name: &str) -> Result<Self, CgroupError> {
+        Ok(match name {
+            "io.max" => KnobKind::Max,
+            "io.latency" => KnobKind::Latency,
+            "io.weight" => KnobKind::Weight,
+            "io.bfq.weight" => KnobKind::BfqWeight,
+            "io.prio.class" => KnobKind::PrioClass,
+            "io.cost.model" => KnobKind::CostModel,
+            "io.cost.qos" => KnobKind::CostQos,
+            other => return Err(CgroupError::NoSuchKnob(other.to_owned())),
+        })
+    }
+}
+
+impl Knob {
+    /// Parses one knob write: the file name plus the written value, using
+    /// the kernel grammar for that file.
+    ///
+    /// # Errors
+    ///
+    /// [`CgroupError::NoSuchKnob`] or [`CgroupError::InvalidValue`].
+    pub fn parse(file: &str, value: &str) -> Result<Self, CgroupError> {
+        let kind = KnobKind::from_file_name(file)?;
+        let value = value.trim();
+        let split_dev = |value: &str| -> Result<(DevNode, String), CgroupError> {
+            let mut it = value.splitn(2, char::is_whitespace);
+            let dev: DevNode = it.next().unwrap_or("").parse()?;
+            Ok((dev, it.next().unwrap_or("").to_owned()))
+        };
+        Ok(match kind {
+            KnobKind::Max => {
+                let (dev, rest) = split_dev(value)?;
+                Knob::Max(dev, IoMax::parse_fields(&rest)?)
+            }
+            KnobKind::Latency => {
+                let (dev, rest) = split_dev(value)?;
+                Knob::Latency(dev, IoLatency::parse_fields(&rest)?)
+            }
+            KnobKind::Weight => Knob::Weight(IoWeight::parse(value, IoWeight::MAX)?),
+            KnobKind::BfqWeight => Knob::BfqWeight(BfqWeight::parse(value)?),
+            KnobKind::PrioClass => Knob::PrioClass(
+                blkio::PrioClass::parse(value)
+                    .map_err(|t| CgroupError::InvalidValue(format!("bad prio class `{t}`")))?,
+            ),
+            KnobKind::CostModel => {
+                let (dev, rest) = split_dev(value)?;
+                Knob::CostModel(dev, IoCostModel::parse_fields(&rest)?)
+            }
+            KnobKind::CostQos => {
+                let (dev, rest) = split_dev(value)?;
+                Knob::CostQos(dev, IoCostQos::parse_fields(&rest)?)
+            }
+        })
+    }
+
+    /// Which file this knob belongs to.
+    #[must_use]
+    pub const fn kind(&self) -> KnobKind {
+        match self {
+            Knob::Max(..) => KnobKind::Max,
+            Knob::Latency(..) => KnobKind::Latency,
+            Knob::Weight(..) => KnobKind::Weight,
+            Knob::BfqWeight(..) => KnobKind::BfqWeight,
+            Knob::PrioClass(..) => KnobKind::PrioClass,
+            Knob::CostModel(..) => KnobKind::CostModel,
+            Knob::CostQos(..) => KnobKind::CostQos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devnode_roundtrip() {
+        let d: DevNode = "259:7".parse().unwrap();
+        assert_eq!(d, DevNode::nvme(7));
+        assert_eq!(d.to_string(), "259:7");
+        assert_eq!(d.nvme_index(), 7);
+        assert!("2597".parse::<DevNode>().is_err());
+        assert!("a:b".parse::<DevNode>().is_err());
+    }
+
+    #[test]
+    fn io_max_parses_kernel_examples() {
+        let m = IoMax::parse_fields("rbps=2097152 wbps=max riops=120 wiops=max").unwrap();
+        assert_eq!(m.rbps, Some(2_097_152));
+        assert_eq!(m.wbps, None);
+        assert_eq!(m.riops, Some(120));
+        assert_eq!(m.wiops, None);
+        assert!(!m.is_unlimited());
+    }
+
+    #[test]
+    fn io_max_partial_fields_default_to_max() {
+        let m = IoMax::parse_fields("rbps=1000").unwrap();
+        assert_eq!(m.rbps, Some(1000));
+        assert!(m.wbps.is_none() && m.riops.is_none() && m.wiops.is_none());
+        let empty = IoMax::parse_fields("").unwrap();
+        assert!(empty.is_unlimited());
+    }
+
+    #[test]
+    fn io_max_display_roundtrips() {
+        let m = IoMax { rbps: Some(5), wbps: None, riops: None, wiops: Some(9) };
+        let again = IoMax::parse_fields(&m.to_string()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn io_max_rejects_garbage() {
+        assert!(IoMax::parse_fields("rbps").is_err());
+        assert!(IoMax::parse_fields("zbps=12").is_err());
+        assert!(IoMax::parse_fields("rbps=alot").is_err());
+    }
+
+    #[test]
+    fn io_latency_parses() {
+        let l = IoLatency::parse_fields("target=75").unwrap();
+        assert_eq!(l.target_us, 75);
+        assert_eq!(l.to_string(), "target=75");
+        assert!(IoLatency::parse_fields("").is_err());
+        assert!(IoLatency::parse_fields("target=abc").is_err());
+        assert!(IoLatency::parse_fields("goal=10").is_err());
+    }
+
+    #[test]
+    fn io_weight_default_and_overrides() {
+        let w = IoWeight::parse("default 250\n259:0 1000", IoWeight::MAX).unwrap();
+        assert_eq!(w.default, 250);
+        assert_eq!(w.for_dev(DevNode::nvme(0)), 1000);
+        assert_eq!(w.for_dev(DevNode::nvme(1)), 250);
+        let rendered = w.to_string();
+        let reparsed = IoWeight::parse(&rendered, IoWeight::MAX).unwrap();
+        assert_eq!(w, reparsed);
+    }
+
+    #[test]
+    fn io_weight_range_enforced() {
+        assert!(IoWeight::parse("default 0", IoWeight::MAX).is_err());
+        assert!(IoWeight::parse("default 10001", IoWeight::MAX).is_err());
+        assert!(IoWeight::parse("default 10000", IoWeight::MAX).is_ok());
+        // BFQ caps at 1000.
+        assert!(BfqWeight::parse("default 1001").is_err());
+        assert!(BfqWeight::parse("default 1000").is_ok());
+    }
+
+    #[test]
+    fn cost_model_full_line() {
+        let m = IoCostModel::parse_fields(
+            "ctrl=user model=linear rbps=2464424576 rseqiops=97620 rrandiops=93364 \
+             wbps=1186341888 wseqiops=25184 wrandiops=25184",
+        )
+        .unwrap();
+        assert_eq!(m.ctrl, CostCtrl::User);
+        assert_eq!(m.rbps, 2_464_424_576);
+        assert_eq!(m.wrandiops, 25_184);
+        let again = IoCostModel::parse_fields(&m.to_string()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn cost_model_requires_all_coefficients() {
+        assert!(IoCostModel::parse_fields("ctrl=user rbps=1").is_err());
+        assert!(IoCostModel::parse_fields(
+            "rbps=1 rseqiops=1 rrandiops=1 wbps=1 wseqiops=1 wrandiops=0"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cost_qos_parses_and_validates() {
+        let q = IoCostQos::parse_fields(
+            "enable=1 ctrl=user rpct=95.00 rlat=100 wpct=95.00 wlat=500 min=50.00 max=150.00",
+        )
+        .unwrap();
+        assert!(q.enable);
+        assert_eq!(q.rlat_us, 100);
+        assert!((q.min_pct - 50.0).abs() < 1e-9);
+        let again = IoCostQos::parse_fields(&q.to_string()).unwrap();
+        assert_eq!(q, again);
+        assert!(IoCostQos::parse_fields("min=90 max=50").is_err());
+        assert!(IoCostQos::parse_fields("rpct=150").is_err());
+    }
+
+    #[test]
+    fn knob_parse_dispatches_by_file() {
+        match Knob::parse("io.max", "259:0 rbps=1000").unwrap() {
+            Knob::Max(dev, m) => {
+                assert_eq!(dev, DevNode::nvme(0));
+                assert_eq!(m.rbps, Some(1000));
+            }
+            other => panic!("wrong knob {other:?}"),
+        }
+        match Knob::parse("io.prio.class", "rt").unwrap() {
+            Knob::PrioClass(p) => assert_eq!(p, blkio::PrioClass::Realtime),
+            other => panic!("wrong knob {other:?}"),
+        }
+        assert!(matches!(
+            Knob::parse("io.nonsense", "1"),
+            Err(CgroupError::NoSuchKnob(_))
+        ));
+        assert_eq!(Knob::parse("io.latency", "259:0 target=75").unwrap().kind(), KnobKind::Latency);
+    }
+
+    #[test]
+    fn knob_kind_file_names_roundtrip() {
+        for kind in [
+            KnobKind::Max,
+            KnobKind::Latency,
+            KnobKind::Weight,
+            KnobKind::BfqWeight,
+            KnobKind::PrioClass,
+            KnobKind::CostModel,
+            KnobKind::CostQos,
+        ] {
+            assert_eq!(KnobKind::from_file_name(kind.file_name()).unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # cgroup-sim — a cgroup-v2 hierarchy model for I/O control
+//!
+//! Models the part of cgroup v2 that the paper exercises (§IV-A, Fig. 1):
+//!
+//! * a [`Hierarchy`] of groups rooted at [`Hierarchy::ROOT`],
+//! * the **management vs. process group** distinction: a group either
+//!   delegates resource control to children (has `+io` in
+//!   `cgroup.subtree_control`) or holds processes — never both,
+//! * the six I/O knob files with the kernel's sysfs value grammar:
+//!   `io.max`, `io.latency`, `io.weight`, `io.bfq.weight`,
+//!   `io.prio.class`, and the root-only `io.cost.model` / `io.cost.qos`,
+//! * hierarchical weight resolution (the `hweight` that both BFQ and
+//!   iocost derive from absolute weights).
+//!
+//! The simulated controllers in `ioqos`/`iosched-sim` read their
+//! configuration from this crate, exactly as the kernel controllers read
+//! theirs from cgroupfs.
+//!
+//! # Example
+//!
+//! ```
+//! use cgroup_sim::{Hierarchy, DevNode};
+//! use blkio::AppId;
+//!
+//! # fn main() -> Result<(), cgroup_sim::CgroupError> {
+//! let mut h = Hierarchy::new();
+//! let slice = h.create(Hierarchy::ROOT, "controller.slice")?;
+//! h.enable_io(slice)?; // management group: children may set io.* knobs
+//! let a = h.create(slice, "container-a.service")?;
+//! h.attach_process(a, AppId(0))?;
+//! h.write(a, "io.max", "259:0 rbps=1572864000 wbps=max")?;
+//! let max = h.io_max(a, DevNode::nvme(0));
+//! assert_eq!(max.rbps, Some(1_572_864_000));
+//! assert_eq!(max.wbps, None);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod hierarchy;
+mod knobs;
+
+pub use error::CgroupError;
+pub use hierarchy::{Group, Hierarchy};
+pub use knobs::{
+    BfqWeight, CostCtrl, DevNode, IoCostModel, IoCostQos, IoLatency, IoMax, IoWeight, Knob,
+    KnobKind,
+};

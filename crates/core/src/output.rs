@@ -1,0 +1,113 @@
+//! Where experiment tables go: stdout and/or CSV files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use iostats::Table;
+
+/// Collects experiment tables, printing them and optionally writing CSV
+/// files (one per table) into a directory for plotting.
+///
+/// # Example
+///
+/// ```no_run
+/// use isol_bench::OutputSink;
+/// use iostats::Table;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut sink = OutputSink::with_dir("target/isol-bench")?;
+/// let mut t = Table::new(vec!["x", "y"]);
+/// t.row_display(&[1, 2]);
+/// sink.emit("fig3_p99", &t)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OutputSink {
+    dir: Option<PathBuf>,
+    quiet: bool,
+    emitted: Vec<String>,
+}
+
+impl OutputSink {
+    /// A sink that only prints to stdout.
+    #[must_use]
+    pub fn stdout() -> Self {
+        OutputSink { dir: None, quiet: false, emitted: Vec::new() }
+    }
+
+    /// A silent sink (used by tests/benches).
+    #[must_use]
+    pub fn quiet() -> Self {
+        OutputSink { dir: None, quiet: true, emitted: Vec::new() }
+    }
+
+    /// A sink that prints and also writes `<name>.csv` files to `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_dir<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(OutputSink { dir: Some(dir), quiet: false, emitted: Vec::new() })
+    }
+
+    /// Emits one named table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSV write failures.
+    pub fn emit(&mut self, name: &str, table: &Table) -> io::Result<()> {
+        let name = name.replace(['/', '\\'], "_");
+        let name = name.as_str();
+        if !self.quiet {
+            println!("## {name}\n{}", table.render());
+        }
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
+        }
+        self.emitted.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Emits a free-form note line.
+    pub fn note(&mut self, text: &str) {
+        if !self.quiet {
+            println!("{text}");
+        }
+    }
+
+    /// Names emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> &[String] {
+        &self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_sink_records_names() {
+        let mut sink = OutputSink::quiet();
+        let mut t = Table::new(vec!["a"]);
+        t.row_display(&[1]);
+        sink.emit("x", &t).unwrap();
+        assert_eq!(sink.emitted(), &["x".to_owned()]);
+    }
+
+    #[test]
+    fn dir_sink_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("isol-bench-test-{}", std::process::id()));
+        let mut sink = OutputSink::with_dir(&dir).unwrap();
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row_display(&[1, 2]);
+        sink.emit("sample", &t).unwrap();
+        let csv = fs::read_to_string(dir.join("sample.csv")).unwrap();
+        assert_eq!(csv, "a,b\n1,2\n");
+        fs::remove_dir_all(dir).ok();
+    }
+}

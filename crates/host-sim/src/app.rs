@@ -1,0 +1,42 @@
+//! Per-app runtime state inside the engine.
+
+use blkio::{CoreId, DeviceId, GroupId, PrioClass};
+use iostats::{BandwidthSeries, LatencyHistogram};
+use simcore::TokenBucket;
+use workload::{AddressStream, JobSpec};
+
+/// Runtime state of one application.
+#[derive(Debug)]
+pub(crate) struct AppRuntime {
+    pub spec: JobSpec,
+    pub group: GroupId,
+    pub prio: PrioClass,
+    pub core: CoreId,
+    pub devices: Vec<DeviceId>,
+    pub next_dev: usize,
+    pub stream: AddressStream,
+    pub rate: Option<TokenBucket>,
+    pub inflight: u32,
+    pub issued: u64,
+    pub completed: u64,
+    pub ctx_switches: f64,
+    pub hist: LatencyHistogram,
+    pub bw: BandwidthSeries,
+    /// Per-stage latency sums in nanoseconds (measured completions only):
+    /// [submit-cpu, qos-wait, sched-wait, device, complete-cpu].
+    pub stage_sums_ns: [f64; 5],
+    /// Multiplier on scheduler-lock contention cost, fixed per app
+    /// (models NUMA/lock-position asymmetry under CPU saturation).
+    pub lock_luck: f64,
+    /// Guards against duplicate AppWake events at the same instant.
+    pub wake_scheduled_at: Option<simcore::SimTime>,
+}
+
+impl AppRuntime {
+    /// Picks the next target device (round-robin across the app's list).
+    pub(crate) fn pick_device(&mut self) -> DeviceId {
+        let dev = self.devices[self.next_dev % self.devices.len()];
+        self.next_dev = (self.next_dev + 1) % self.devices.len();
+        dev
+    }
+}

@@ -1,0 +1,34 @@
+//! Per-device host-side state: scheduler + QoS chain + the device.
+
+use blkio::IoRequest;
+use ioqos::QosChain;
+use iosched_sim::{IoScheduler, SchedKind};
+use nvme_sim::NvmeDevice;
+use simcore::SimTime;
+
+/// Everything the host keeps per device.
+#[derive(Debug)]
+pub(crate) struct DeviceHost {
+    pub device: NvmeDevice,
+    pub sched: Box<dyn IoScheduler>,
+    pub qos: QosChain,
+    /// A request currently traversing the serialized dispatch path.
+    pub dispatching: Option<IoRequest>,
+    /// Earliest scheduled QoS pump event (dedup guard).
+    pub qos_pump_at: Option<SimTime>,
+    /// Earliest scheduled scheduler timer (dedup guard).
+    pub sched_timer_at: Option<SimTime>,
+    /// Extra context switches per I/O attributed to the scheduler.
+    pub ctx_factor: f64,
+}
+
+impl DeviceHost {
+    pub(crate) fn ctx_factor_for(kind: SchedKind) -> f64 {
+        match kind {
+            SchedKind::None => 0.0,
+            SchedKind::MqDeadline => 0.058,
+            SchedKind::Bfq => 0.050,
+            SchedKind::Kyber => 0.020,
+        }
+    }
+}

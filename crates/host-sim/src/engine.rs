@@ -1,0 +1,866 @@
+//! The discrete-event engine driving the full request lifecycle.
+
+use blkio::{AppId, CoreId, DeviceId, IoRequest, ReqId};
+use cgroup_sim::{DevNode, Hierarchy};
+use ioqos::{IoCostConfig, IoCostController, IoLatencyController, IoMaxThrottler, QosChain};
+use iosched_sim::{Bfq, Kyber, MqDeadline, Noop, SchedKind};
+use iostats::{BandwidthSeries, LatencyHistogram};
+use nvme_sim::NvmeDevice;
+use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
+use workload::AddressStream;
+
+use crate::app::AppRuntime;
+use crate::cpu::{Core, Work};
+use crate::devhost::DeviceHost;
+use crate::report::{AppReport, CoreReport, DeviceReport, RunReport};
+use crate::setup::{AppSetup, DeviceSetup, HostConfig};
+
+/// Queue depth at or above which a submitter counts as a deep-queue
+/// batch app (ring batching amortizes engine costs; scheduler-lock
+/// contention applies).
+const DEEP_QD: u32 = 64;
+
+/// Fraction of the per-I/O engine cost that does *not* amortize away at
+/// infinite queue depth (calibrated: ~3.8 µs/IO at QD 256 with io_uring,
+/// ~7.6 µs at QD 1 — the paper's Fig. 3d / Fig. 4 CPU shapes).
+const AMORT_FLOOR: f64 = 0.5;
+
+#[derive(Debug)]
+enum Event {
+    AppWake(AppId),
+    CpuDone(CoreId),
+    SchedDispatchDone(DeviceId),
+    DeviceDone(DeviceId, ReqId),
+    QosPump(DeviceId),
+    SchedTimer(DeviceId),
+}
+
+/// The simulated host, ready to run.
+///
+/// Build with [`HostSim::build`], then call [`HostSim::run`]. See the
+/// crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct HostSim {
+    config: HostConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    apps: Vec<AppRuntime>,
+    cores: Vec<Core>,
+    devs: Vec<DeviceHost>,
+    next_req_id: ReqId,
+}
+
+impl HostSim {
+    /// Assembles the machine. The cgroup hierarchy is the configuration
+    /// source of truth: QoS stages and weights are derived from its knob
+    /// files exactly as the kernel controllers read cgroupfs. Apps are
+    /// identified by their index (`AppId(i)`) and must already be
+    /// attached to their groups in the hierarchy (unattached apps run in
+    /// the root group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` reference devices that do not exist, or if
+    /// `config.cores == 0`, or if a device profile is invalid.
+    #[must_use]
+    pub fn build(
+        config: HostConfig,
+        hierarchy: Hierarchy,
+        apps: Vec<AppSetup>,
+        devices: Vec<DeviceSetup>,
+    ) -> Self {
+        assert!(config.cores > 0, "need at least one core");
+        let mut rng = DetRng::new(config.seed);
+        let group_ids = hierarchy.group_ids();
+
+        let devs: Vec<DeviceHost> = devices
+            .iter()
+            .enumerate()
+            .map(|(d, setup)| {
+                let node = DevNode::nvme(d as u32);
+                // Scheduler.
+                let mut sched: Box<dyn iosched_sim::IoScheduler> = match setup.scheduler {
+                    SchedKind::None => Box::new(Noop::new()),
+                    SchedKind::MqDeadline => Box::new(MqDeadline::new(setup.mq_deadline)),
+                    SchedKind::Bfq => Box::new(Bfq::new(setup.bfq)),
+                    SchedKind::Kyber => Box::new(Kyber::new(setup.kyber)),
+                };
+                for &g in &group_ids {
+                    sched.set_group_weight(g, hierarchy.bfq_weight(g, node));
+                }
+                // QoS chain, kernel order: io.max → io.cost → io.latency.
+                let mut qos = QosChain::new();
+                let mut throttler = IoMaxThrottler::new();
+                let mut any_max = false;
+                for &g in &group_ids {
+                    let limits = hierarchy.io_max(g, node);
+                    if !limits.is_unlimited() {
+                        throttler.set_limits(g, limits);
+                        any_max = true;
+                    }
+                }
+                if any_max {
+                    qos.push_io_max(throttler);
+                }
+                if let Some(qcfg) = hierarchy.cost_qos(node) {
+                    if qcfg.enable {
+                        let model = hierarchy.cost_model(node).copied().unwrap_or_else(|| {
+                            // No explicit model: auto-generate from the
+                            // device profile, as iocost_coef_gen.py would.
+                            let c = setup.profile.iocost_coefficients();
+                            cgroup_sim::IoCostModel {
+                                ctrl: cgroup_sim::CostCtrl::Auto,
+                                rbps: c.rbps,
+                                rseqiops: c.rseqiops,
+                                rrandiops: c.rrandiops,
+                                wbps: c.wbps,
+                                wseqiops: c.wseqiops,
+                                wrandiops: c.wrandiops,
+                            }
+                        });
+                        let mut cost = IoCostController::new(IoCostConfig::new(model, *qcfg));
+                        for &g in &group_ids {
+                            cost.set_weight(g, hierarchy.io_weight(g, node));
+                        }
+                        qos.push_io_cost(cost);
+                    }
+                }
+                let mut latency = IoLatencyController::new(setup.profile.max_qd);
+                let mut any_latency = false;
+                for &g in &group_ids {
+                    if let Some(l) = hierarchy.io_latency(g, node) {
+                        latency.set_target(g, Some(l.target_us));
+                        any_latency = true;
+                    }
+                }
+                if any_latency {
+                    qos.push_io_latency(latency);
+                }
+                let mut device = NvmeDevice::new(setup.profile.clone(), rng.fork(d as u64));
+                device.precondition(setup.precondition);
+                DeviceHost {
+                    device,
+                    sched,
+                    qos,
+                    dispatching: None,
+                    qos_pump_at: None,
+                    sched_timer_at: None,
+                    ctx_factor: DeviceHost::ctx_factor_for(setup.scheduler),
+                }
+            })
+            .collect();
+
+        let cores = (0..config.cores).map(|_| Core::new()).collect();
+
+        let apps: Vec<AppRuntime> = apps
+            .into_iter()
+            .enumerate()
+            .map(|(i, setup)| {
+                for &d in &setup.devices {
+                    assert!(d.index() < devs.len(), "app {i} references missing {d}");
+                }
+                let group = hierarchy.group_of(AppId(i));
+                let prio = hierarchy.prio_class(group);
+                let capacity = setup
+                    .devices
+                    .iter()
+                    .map(|d| devs[d.index()].device.profile().capacity_bytes)
+                    .min()
+                    .expect("nonempty devices");
+                let stream = AddressStream::new(&setup.spec, capacity, rng.fork(1000 + i as u64));
+                let rate = setup.spec.rate_bytes_per_sec().map(|r| {
+                    TokenBucket::new(r, (r * 0.005).max(f64::from(setup.spec.block_size())))
+                });
+                // Lock-luck: lognormal with scheduler-dependent spread,
+                // normalized to mean 1 so aggregate calibration holds.
+                let sigma = setup
+                    .devices
+                    .iter()
+                    .map(|d| match devices[d.index()].scheduler {
+                        SchedKind::None => 0.0,
+                        SchedKind::MqDeadline => 0.9,
+                        SchedKind::Bfq => 0.35,
+                        SchedKind::Kyber => 0.2,
+                    })
+                    .fold(0.0, f64::max);
+                let mut luck_rng = rng.fork(5000 + i as u64);
+                let lock_luck = if sigma > 0.0 {
+                    (sigma * luck_rng.std_normal() - sigma * sigma / 2.0).exp()
+                } else {
+                    1.0
+                };
+                AppRuntime {
+                    group,
+                    prio,
+                    lock_luck,
+                    core: CoreId(i % config.cores),
+                    devices: setup.devices,
+                    next_dev: i, // stagger multi-device round-robins
+                    stream,
+                    rate,
+                    inflight: 0,
+                    issued: 0,
+                    completed: 0,
+                    ctx_switches: 0.0,
+                    hist: LatencyHistogram::new(),
+                    bw: BandwidthSeries::new(config.bw_window),
+                    stage_sums_ns: [0.0; 5],
+                    wake_scheduled_at: None,
+                    spec: setup.spec,
+                }
+            })
+            .collect();
+
+        HostSim {
+            config,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            apps,
+            cores,
+            devs,
+            next_req_id: 0,
+        }
+    }
+
+    /// Runs the simulation until `until`, consuming the engine and
+    /// returning the measurement report.
+    #[must_use]
+    pub fn run(mut self, until: SimTime) -> RunReport {
+        for (i, app) in self.apps.iter().enumerate() {
+            self.queue.schedule(app.spec.start_at(), Event::AppWake(AppId(i)));
+        }
+        for d in 0..self.devs.len() {
+            self.schedule_qos_pump(DeviceId(d));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > until {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Event::AppWake(a) => self.on_app_wake(a),
+                Event::CpuDone(c) => self.on_cpu_done(c),
+                Event::SchedDispatchDone(d) => self.on_sched_dispatch_done(d),
+                Event::DeviceDone(d, id) => self.on_device_done(d, id),
+                Event::QosPump(d) => self.on_qos_pump(d),
+                Event::SchedTimer(d) => self.on_sched_timer(d),
+            }
+        }
+        self.now = until;
+        self.finish(until)
+    }
+
+    fn measured(&self) -> bool {
+        self.now >= self.config.measure_from
+    }
+
+    fn schedule_wake(&mut self, a: AppId, at: SimTime) {
+        let app = &mut self.apps[a.index()];
+        if app.wake_scheduled_at.is_none_or(|e| at < e) {
+            app.wake_scheduled_at = Some(at);
+            self.queue.schedule(at, Event::AppWake(a));
+        }
+    }
+
+    fn deep_submitters_on(&self, dev: DeviceId) -> u32 {
+        let mut n = 0;
+        for app in &self.apps {
+            if app.spec.iodepth() >= DEEP_QD
+                && app.spec.is_active(self.now)
+                && app.devices.contains(&dev)
+            {
+                n += 1;
+            }
+        }
+        n.max(1)
+    }
+
+    fn amortization(qd: u32) -> f64 {
+        AMORT_FLOOR + (1.0 - AMORT_FLOOR) / f64::from(qd.max(1))
+    }
+
+    fn on_app_wake(&mut self, a: AppId) {
+        if self.apps[a.index()].wake_scheduled_at == Some(self.now) {
+            self.apps[a.index()].wake_scheduled_at = None;
+        }
+        let active = self.apps[a.index()].spec.is_active(self.now);
+        if let Some(t) = self.apps[a.index()].spec.next_transition(self.now) {
+            self.schedule_wake(a, t);
+        }
+        if !active {
+            return;
+        }
+        loop {
+            let app = &mut self.apps[a.index()];
+            if app.inflight >= app.spec.iodepth() {
+                break;
+            }
+            let len = app.spec.block_size();
+            if let Some(bucket) = &mut app.rate {
+                match bucket.try_take(f64::from(len), self.now) {
+                    Ok(()) => {}
+                    Err(at) => {
+                        // Clamp forward: sub-nanosecond waits would
+                        // otherwise re-fire at the same instant forever.
+                        let at = at.max(self.now + SimDuration::from_nanos(1));
+                        self.schedule_wake(a, at);
+                        break;
+                    }
+                }
+            }
+            let dev = app.pick_device();
+            let (op, pattern, offset) = app.stream.next_io();
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            let mut req = IoRequest::new(id, a, app.group, dev, op, pattern, len, offset, self.now);
+            req.prio = app.prio;
+            app.inflight += 1;
+            app.issued += 1;
+            let qd = app.spec.iodepth();
+            let engine = app.spec.engine();
+            let core = app.core;
+            let deep = qd >= DEEP_QD;
+            let dh = &self.devs[dev.index()];
+            let mut dur = engine.submit_cost().mul_f64(Self::amortization(qd))
+                + dh.sched.submit_cpu_overhead()
+                + dh.qos.submit_cpu_overhead(deep);
+            if deep && dh.sched.kind() != SchedKind::None {
+                // Deep-queue submitters contend on the scheduler lock
+                // while the serialized dispatch path drains everyone's
+                // requests (Fig. 4c: a full core per batch app). The
+                // per-app luck factor models NUMA/lock-position
+                // asymmetry, the source of the fairness collapse past
+                // CPU saturation (O3).
+                let contenders = f64::from(self.deep_submitters_on(dev));
+                let spread = contenders / (4.0 * self.apps[a.index()].devices.len() as f64);
+                let luck = self.apps[a.index()].lock_luck;
+                dur += dh.sched.dispatch_overhead().mul_f64(spread.max(1.0) * luck);
+            }
+            self.push_cpu_work(core, Work::Submit(req), dur);
+        }
+    }
+
+    fn push_cpu_work(&mut self, core: CoreId, work: Work, dur: SimDuration) {
+        if let Some(done_at) = self.cores[core.index()].push(work, dur, self.now) {
+            self.queue.schedule(done_at, Event::CpuDone(core));
+        }
+    }
+
+    fn on_cpu_done(&mut self, c: CoreId) {
+        let measured = self.measured();
+        let (work, next) = self.cores[c.index()].finish_current(self.now, measured);
+        if let Some(t) = next {
+            self.queue.schedule(t, Event::CpuDone(c));
+        }
+        match work {
+            Work::Submit(mut req) => {
+                req.submitted_at = self.now;
+                let dev = req.dev;
+                let dh = &mut self.devs[dev.index()];
+                if let Some(mut cleared) = dh.qos.submit(req, self.now) {
+                    cleared.scheduled_at = self.now;
+                    dh.sched.insert(cleared, self.now);
+                }
+                self.pump_device(dev);
+            }
+            Work::Complete(req) => {
+                let ctx_factor = self.devs[req.dev.index()].ctx_factor;
+                let app = &mut self.apps[req.app.index()];
+                app.inflight = app.inflight.saturating_sub(1);
+                if measured {
+                    app.ctx_switches += 1.0 + ctx_factor;
+                    app.completed += 1;
+                    app.hist.record(self.now.saturating_since(req.issued_at));
+                    app.bw.record(self.now, u64::from(req.len));
+                    let spans = [
+                        req.submitted_at.saturating_since(req.issued_at),
+                        req.scheduled_at.saturating_since(req.submitted_at),
+                        req.dispatched_at.saturating_since(req.scheduled_at),
+                        req.device_done_at.saturating_since(req.dispatched_at),
+                        self.now.saturating_since(req.device_done_at),
+                    ];
+                    for (sum, span) in app.stage_sums_ns.iter_mut().zip(spans) {
+                        *sum += span.as_nanos() as f64;
+                    }
+                } else {
+                    // Still record the series so time plots start at 0.
+                    app.bw.record(self.now, u64::from(req.len));
+                }
+                let a = req.app;
+                self.schedule_wake(a, self.now);
+            }
+        }
+    }
+
+    fn pump_device(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        // Pass requests released by QoS stages on to the scheduler.
+        for mut r in dh.qos.drain(now) {
+            r.scheduled_at = now;
+            dh.sched.insert(r, now);
+        }
+        // Serialized dispatch path: start the next dispatch if free.
+        if dh.dispatching.is_none() && dh.device.has_capacity(now) {
+            if let Some(req) = dh.sched.dispatch(now) {
+                let cost = dh.sched.dispatch_overhead();
+                dh.dispatching = Some(req);
+                self.queue.schedule(now + cost, Event::SchedDispatchDone(dev));
+            }
+        }
+        // Start service on free device units.
+        for (id, done_at) in dh.device.start_ready(now) {
+            self.queue.schedule(done_at, Event::DeviceDone(dev, id));
+        }
+        self.schedule_qos_pump(dev);
+        self.schedule_sched_timer(dev);
+    }
+
+    fn on_sched_dispatch_done(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        let mut req = dh.dispatching.take().expect("dispatch path was busy");
+        req.dispatched_at = now;
+        dh.device.accept(req, now);
+        self.pump_device(dev);
+    }
+
+    fn on_device_done(&mut self, dev: DeviceId, id: ReqId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        let mut req = dh.device.complete(id, now);
+        req.device_done_at = now;
+        dh.qos.on_device_complete(&req, now);
+        dh.sched.on_complete(&req, now);
+        let app = req.app;
+        let engine = self.apps[app.index()].spec.engine();
+        let qd = self.apps[app.index()].spec.iodepth();
+        let core = self.apps[app.index()].core;
+        let dur = engine.complete_cost().mul_f64(Self::amortization(qd));
+        self.push_cpu_work(core, Work::Complete(req), dur);
+        self.pump_device(dev);
+    }
+
+    fn on_qos_pump(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        if dh.qos_pump_at == Some(now) {
+            dh.qos_pump_at = None;
+        }
+        dh.qos.tick(now);
+        self.pump_device(dev);
+    }
+
+    fn on_sched_timer(&mut self, dev: DeviceId) {
+        let dh = &mut self.devs[dev.index()];
+        if dh.sched_timer_at == Some(self.now) {
+            dh.sched_timer_at = None;
+        }
+        self.pump_device(dev);
+    }
+
+    fn schedule_qos_pump(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        if let Some(t) = dh.qos.next_event(now) {
+            // Break same-instant ties to avoid live loops.
+            let t = t.max(now + SimDuration::from_nanos(1));
+            if dh.qos_pump_at.is_none_or(|e| t < e) {
+                dh.qos_pump_at = Some(t);
+                self.queue.schedule(t, Event::QosPump(dev));
+            }
+        }
+    }
+
+    fn schedule_sched_timer(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        if let Some(t) = dh.sched.next_timer(now) {
+            let t = t.max(now + SimDuration::from_nanos(1));
+            if dh.sched_timer_at.is_none_or(|e| t < e) {
+                dh.sched_timer_at = Some(t);
+                self.queue.schedule(t, Event::SchedTimer(dev));
+            }
+        }
+    }
+
+    fn finish(mut self, until: SimTime) -> RunReport {
+        let measure_from = self.config.measure_from;
+        let window = until.saturating_since(measure_from);
+        let apps = self
+            .apps
+            .drain(..)
+            .enumerate()
+            .map(|(i, app)| {
+                let from = measure_from.max(app.spec.start_at());
+                let to = app.spec.stop_at().unwrap_or(until).min(until);
+                let mean_mib_s = app.bw.mean_mib_s(from, to);
+                let bytes: u64 = app.hist.count() * u64::from(app.spec.block_size());
+                let n = app.hist.count().max(1) as f64;
+                let stages = crate::report::StageBreakdown {
+                    submit_cpu_us: app.stage_sums_ns[0] / n / 1_000.0,
+                    qos_wait_us: app.stage_sums_ns[1] / n / 1_000.0,
+                    sched_wait_us: app.stage_sums_ns[2] / n / 1_000.0,
+                    device_us: app.stage_sums_ns[3] / n / 1_000.0,
+                    complete_cpu_us: app.stage_sums_ns[4] / n / 1_000.0,
+                };
+                AppReport {
+                    app: AppId(i),
+                    name: app.spec.name().to_owned(),
+                    group: app.group,
+                    issued: app.issued,
+                    completed: app.completed,
+                    bytes,
+                    mean_mib_s,
+                    latency: app.hist.summary(),
+                    hist: app.hist,
+                    series: app.bw,
+                    ctx_per_io: if app.completed > 0 {
+                        app.ctx_switches / app.completed as f64
+                    } else {
+                        0.0
+                    },
+                    stages,
+                }
+            })
+            .collect();
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CoreReport {
+                core: CoreId(i),
+                utilization: if window.is_zero() {
+                    0.0
+                } else {
+                    (c.busy_measured.as_secs_f64() / window.as_secs_f64()).min(1.0)
+                },
+                busy: c.busy_measured,
+            })
+            .collect();
+        let devices = self
+            .devs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, dh)| {
+                let (served_ios, served_bytes) = dh.device.served();
+                DeviceReport {
+                    dev: DeviceId(i),
+                    served_ios,
+                    served_bytes,
+                    gc_level: dh.device.gc_level(until),
+                }
+            })
+            .collect();
+        RunReport {
+            duration: until.saturating_since(SimTime::ZERO),
+            measure_from,
+            apps,
+            cores,
+            devices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobSpecStopExt;
+    use workload::JobSpec;
+
+    fn simple_hierarchy(n_apps: usize) -> Hierarchy {
+        let mut h = Hierarchy::new();
+        let slice = h.create(Hierarchy::ROOT, "bench.slice").unwrap();
+        h.enable_io(slice).unwrap();
+        for i in 0..n_apps {
+            let g = h.create(slice, &format!("app-{i}")).unwrap();
+            h.attach_process(g, AppId(i)).unwrap();
+        }
+        h
+    }
+
+    fn run_lc(n_apps: usize, dur_ms: u64) -> RunReport {
+        let h = simple_hierarchy(n_apps);
+        let apps = (0..n_apps)
+            .map(|i| {
+                AppSetup::new(
+                    JobSpec::lc_app(&format!("lc-{i}")).stop_by(SimTime::from_millis(dur_ms)),
+                    vec![DeviceId(0)],
+                )
+            })
+            .collect();
+        let sim = HostSim::build(HostConfig::default(), h, apps, vec![DeviceSetup::flash()]);
+        sim.run(SimTime::from_millis(dur_ms))
+    }
+
+    #[test]
+    fn single_lc_app_latency_is_device_plus_cpu() {
+        let r = run_lc(1, 300);
+        let lat = &r.apps[0].latency;
+        assert!(r.apps[0].completed > 1_000, "completed {}", r.apps[0].completed);
+        // ~68 µs device + ~7.6 µs CPU ≈ 76 µs mean.
+        assert!(
+            (65.0..95.0).contains(&lat.mean_us),
+            "mean latency {} us",
+            lat.mean_us
+        );
+        assert!(lat.p99_us > lat.p50_us);
+        assert!(lat.p99_us < 160.0, "p99 {} us", lat.p99_us);
+    }
+
+    #[test]
+    fn cpu_utilization_grows_with_apps() {
+        let one = run_lc(1, 150).mean_cpu_utilization();
+        let eight = run_lc(8, 150).mean_cpu_utilization();
+        assert!(one < 0.25, "1 app util {one}");
+        assert!((0.55..0.98).contains(&eight), "8 app util {eight}");
+    }
+
+    #[test]
+    fn cpu_saturation_inflates_tail_latency() {
+        let few = run_lc(2, 200);
+        let many = run_lc(32, 200);
+        let p99_few = few.apps[0].latency.p99_us;
+        let p99_many = many.apps[0].latency.p99_us;
+        assert!(
+            p99_many > 1.5 * p99_few,
+            "saturation should inflate P99: {p99_few} -> {p99_many}"
+        );
+    }
+
+    #[test]
+    fn batch_app_saturates_device_bandwidth() {
+        let h = simple_hierarchy(4);
+        let apps = (0..4)
+            .map(|i| {
+                AppSetup::new(
+                    JobSpec::batch_app(&format!("b-{i}")).stop_by(SimTime::from_millis(300)),
+                    vec![DeviceId(0)],
+                )
+            })
+            .collect();
+        let sim =
+            HostSim::build(HostConfig::with_cores(10), h, apps, vec![DeviceSetup::flash()]);
+        let r = sim.run(SimTime::from_millis(300));
+        let gib_s = r.aggregate_gib_s();
+        assert!((2.4..3.2).contains(&gib_s), "batch saturation {gib_s} GiB/s");
+    }
+
+    #[test]
+    fn rate_limited_app_respects_cap() {
+        let h = simple_hierarchy(1);
+        let spec = JobSpec::builder("capped")
+            .iodepth(8)
+            .block_size(65536)
+            .rate_mib_s(100.0)
+            .stop_at(SimTime::from_millis(400))
+            .build();
+        let sim = HostSim::build(
+            HostConfig::default(),
+            h,
+            vec![AppSetup::new(spec, vec![DeviceId(0)])],
+            vec![DeviceSetup::flash()],
+        );
+        let r = sim.run(SimTime::from_millis(400));
+        let mib_s = r.apps[0].mean_mib_s;
+        assert!((85.0..115.0).contains(&mib_s), "rate-capped bandwidth {mib_s} MiB/s");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let a = run_lc(3, 100);
+        let b = run_lc(3, 100);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.apps[1].latency.p99_us, b.apps[1].latency.p99_us);
+    }
+
+    #[test]
+    fn staggered_jobs_start_and_stop() {
+        let h = simple_hierarchy(2);
+        let early = JobSpec::builder("early")
+            .iodepth(16)
+            .stop_at(SimTime::from_millis(50))
+            .build();
+        let late = JobSpec::builder("late")
+            .iodepth(16)
+            .start_at(SimTime::from_millis(100))
+            .stop_at(SimTime::from_millis(150))
+            .build();
+        let apps = vec![
+            AppSetup::new(early, vec![DeviceId(0)]),
+            AppSetup::new(late, vec![DeviceId(0)]),
+        ];
+        let sim = HostSim::build(HostConfig::default(), h, apps, vec![DeviceSetup::flash()]);
+        let r = sim.run(SimTime::from_millis(200));
+        assert!(r.apps[0].completed > 0);
+        assert!(r.apps[1].completed > 0);
+        // The late app produced nothing before 100 ms.
+        let pts = r.apps[1].series.points();
+        let before: f64 = pts.iter().take_while(|p| p.t_secs < 0.1).map(|p| p.mib_s).sum();
+        assert_eq!(before, 0.0);
+    }
+
+    #[test]
+    fn multi_device_round_robin_uses_all_devices() {
+        let h = simple_hierarchy(1);
+        let spec = JobSpec::batch_app("b").stop_by(SimTime::from_millis(100));
+        let sim = HostSim::build(
+            HostConfig::with_cores(4),
+            h,
+            vec![AppSetup::new(spec, vec![DeviceId(0), DeviceId(1)])],
+            vec![DeviceSetup::flash(), DeviceSetup::flash()],
+        );
+        let r = sim.run(SimTime::from_millis(100));
+        assert!(r.devices[0].served_ios > 0);
+        assert!(r.devices[1].served_ios > 0);
+        let ratio = r.devices[0].served_ios as f64 / r.devices[1].served_ios as f64;
+        assert!((0.8..1.25).contains(&ratio), "round-robin skew {ratio}");
+    }
+
+    #[test]
+    fn measurement_window_excludes_warmup() {
+        let h = simple_hierarchy(1);
+        let spec = JobSpec::lc_app("lc").stop_by(SimTime::from_millis(100));
+        let cfg = HostConfig {
+            measure_from: SimTime::from_millis(50),
+            ..HostConfig::default()
+        };
+        let sim = HostSim::build(
+            cfg,
+            h,
+            vec![AppSetup::new(spec, vec![DeviceId(0)])],
+            vec![DeviceSetup::flash()],
+        );
+        let r = sim.run(SimTime::from_millis(100));
+        // Roughly half of the run's completions are measured.
+        assert!(r.apps[0].completed < r.apps[0].issued);
+    }
+
+    #[test]
+    fn mq_deadline_prioritizes_rt_class() {
+        let mut h = simple_hierarchy(2);
+        let g0 = h.group_of(AppId(0));
+        let g1 = h.group_of(AppId(1));
+        h.write(g0, "io.prio.class", "rt").unwrap();
+        h.write(g1, "io.prio.class", "idle").unwrap();
+        let apps = (0..2)
+            .map(|i| {
+                // Device-saturating large reads (the Fig. 2 shape): the
+                // scheduler backlog is where class priority acts.
+                AppSetup::new(
+                    JobSpec::builder(&format!("b-{i}"))
+                        .block_size(64 * 1024)
+                        .iodepth(128)
+                        .stop_at(SimTime::from_millis(300))
+                        .build(),
+                    vec![DeviceId(0)],
+                )
+            })
+            .collect();
+        let sim = HostSim::build(
+            HostConfig::with_cores(4),
+            h,
+            apps,
+            vec![DeviceSetup::flash().with_scheduler(SchedKind::MqDeadline)],
+        );
+        let r = sim.run(SimTime::from_millis(300));
+        let rt = r.apps[0].mean_mib_s;
+        let idle = r.apps[1].mean_mib_s;
+        assert!(rt > 20.0 * idle.max(0.01), "rt {rt} vs idle {idle}");
+    }
+
+    #[test]
+    fn io_max_limits_group_bandwidth() {
+        let mut h = simple_hierarchy(2);
+        let g0 = h.group_of(AppId(0));
+        // 50 MiB/s cap on app 0.
+        h.write(g0, "io.max", &format!("259:0 rbps={}", 50 * 1024 * 1024)).unwrap();
+        let apps = (0..2)
+            .map(|i| {
+                AppSetup::new(
+                    JobSpec::batch_app(&format!("b-{i}")).stop_by(SimTime::from_millis(400)),
+                    vec![DeviceId(0)],
+                )
+            })
+            .collect();
+        let sim = HostSim::build(HostConfig::with_cores(4), h, apps, vec![DeviceSetup::flash()]);
+        let r = sim.run(SimTime::from_millis(400));
+        assert!(
+            (35.0..70.0).contains(&r.apps[0].mean_mib_s),
+            "capped app got {} MiB/s",
+            r.apps[0].mean_mib_s
+        );
+        assert!(r.apps[1].mean_mib_s > 700.0, "uncapped app {}", r.apps[1].mean_mib_s);
+    }
+
+    #[test]
+    fn stage_breakdown_sums_to_mean_latency() {
+        let r = run_lc(1, 200);
+        let app = &r.apps[0];
+        let total = app.stages.total_us();
+        assert!(
+            (total - app.latency.mean_us).abs() / app.latency.mean_us < 0.02,
+            "breakdown total {total} vs mean {}",
+            app.latency.mean_us
+        );
+        // A lone QD-1 app is device-dominated.
+        assert_eq!(app.stages.dominant_stage(), "device");
+        assert!(app.stages.qos_wait_us < 1.0, "no QoS configured");
+    }
+
+    #[test]
+    fn stage_breakdown_shows_cpu_queueing_under_saturation() {
+        let r = run_lc(32, 200);
+        let app = &r.apps[0];
+        // At 32 LC apps on one core, submit/complete CPU queueing is a
+        // visible share of the latency.
+        let cpu = app.stages.submit_cpu_us + app.stages.complete_cpu_us;
+        assert!(
+            cpu > 0.3 * app.stages.device_us,
+            "cpu share {cpu} vs device {}",
+            app.stages.device_us
+        );
+    }
+
+    #[test]
+    fn iocost_weights_prioritize_bandwidth() {
+        let mut h = simple_hierarchy(2);
+        let g0 = h.group_of(AppId(0));
+        let g1 = h.group_of(AppId(1));
+        // A model below the device's real speed, so iocost is the
+        // binding constraint and weights can act.
+        let c = nvme_sim::DeviceProfile::flash().iocost_coefficients();
+        h.write(
+            Hierarchy::ROOT,
+            "io.cost.model",
+            &format!(
+                "259:0 ctrl=user rbps={} rseqiops={} rrandiops={} wbps={} wseqiops={} wrandiops={}",
+                c.rbps / 4, c.rseqiops / 4, c.rrandiops / 4,
+                c.wbps / 4, c.wseqiops / 4, c.wrandiops / 4
+            ),
+        )
+        .unwrap();
+        h.write(
+            Hierarchy::ROOT,
+            "io.cost.qos",
+            "259:0 enable=1 ctrl=user rpct=0 rlat=0 wpct=0 wlat=0 min=100.00 max=100.00",
+        )
+        .unwrap();
+        h.write(g0, "io.weight", "default 800").unwrap();
+        h.write(g1, "io.weight", "default 100").unwrap();
+        let apps = (0..2)
+            .map(|i| {
+                AppSetup::new(
+                    JobSpec::batch_app(&format!("b-{i}")).stop_by(SimTime::from_millis(400)),
+                    vec![DeviceId(0)],
+                )
+            })
+            .collect();
+        let sim = HostSim::build(HostConfig::with_cores(4), h, apps, vec![DeviceSetup::flash()]);
+        let r = sim.run(SimTime::from_millis(400));
+        let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
+        // Both entitlements sit below the CPU caps, so the achieved
+        // ratio tracks the 8:1 nominal weights.
+        assert!((4.0..9.5).contains(&ratio), "weighted ratio {ratio}");
+    }
+}

@@ -1,0 +1,216 @@
+//! End-of-run reports.
+
+use blkio::{AppId, CoreId, DeviceId, GroupId};
+use iostats::{BandwidthSeries, LatencyHistogram, LatencySummary};
+use serde::Serialize;
+use simcore::{SimDuration, SimTime};
+
+/// Mean time one of an app's I/Os spends in each stage of the stack,
+/// microseconds. The sum approximates the mean end-to-end latency, so
+/// this is the "where did my P99 go" diagnostic view.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageBreakdown {
+    /// Issue → submission-CPU done (core queueing + submit work).
+    pub submit_cpu_us: f64,
+    /// Submission done → cleared the QoS chain (throttler holds).
+    pub qos_wait_us: f64,
+    /// QoS cleared → dispatched to the device (scheduler queueing).
+    pub sched_wait_us: f64,
+    /// Dispatch → device completion (device service + internal queueing).
+    pub device_us: f64,
+    /// Device completion → observed by the app (completion CPU).
+    pub complete_cpu_us: f64,
+}
+
+impl StageBreakdown {
+    /// Sum of all stages (≈ mean end-to-end latency), microseconds.
+    #[must_use]
+    pub fn total_us(&self) -> f64 {
+        self.submit_cpu_us
+            + self.qos_wait_us
+            + self.sched_wait_us
+            + self.device_us
+            + self.complete_cpu_us
+    }
+
+    /// The stage with the largest share, as a label (for reports).
+    #[must_use]
+    pub fn dominant_stage(&self) -> &'static str {
+        let stages = [
+            (self.submit_cpu_us, "submit-cpu"),
+            (self.qos_wait_us, "qos-wait"),
+            (self.sched_wait_us, "sched-wait"),
+            (self.device_us, "device"),
+            (self.complete_cpu_us, "complete-cpu"),
+        ];
+        stages
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map_or("device", |s| s.1)
+    }
+}
+
+/// Per-application results.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppReport {
+    /// The app.
+    pub app: AppId,
+    /// Job name (from the spec).
+    pub name: String,
+    /// The cgroup it ran in.
+    pub group: GroupId,
+    /// I/Os issued.
+    pub issued: u64,
+    /// I/Os completed (within the measurement window).
+    pub completed: u64,
+    /// Completed bytes (measurement window).
+    pub bytes: u64,
+    /// Mean bandwidth over the app's measured active window, MiB/s.
+    pub mean_mib_s: f64,
+    /// End-to-end latency digest (issue → completion observed).
+    pub latency: LatencySummary,
+    /// Full latency histogram (for CDFs).
+    #[serde(skip)]
+    pub hist: LatencyHistogram,
+    /// Bandwidth time series.
+    #[serde(skip)]
+    pub series: BandwidthSeries,
+    /// Context switches per completed I/O.
+    pub ctx_per_io: f64,
+    /// Mean per-stage latency attribution.
+    pub stages: StageBreakdown,
+}
+
+/// Per-core results.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CoreReport {
+    /// The core.
+    pub core: CoreId,
+    /// Fraction of the measurement window the core was busy, `[0, 1]`.
+    pub utilization: f64,
+    /// Total busy time within the measurement window.
+    pub busy: SimDuration,
+}
+
+/// Per-device results.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DeviceReport {
+    /// The device.
+    pub dev: DeviceId,
+    /// Requests it served over the whole run.
+    pub served_ios: u64,
+    /// Bytes it served over the whole run.
+    pub served_bytes: u64,
+    /// GC pressure at the end of the run.
+    pub gc_level: f64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Start of the measurement window.
+    pub measure_from: SimTime,
+    /// Per-app results, in app-id order.
+    pub apps: Vec<AppReport>,
+    /// Per-core results.
+    pub cores: Vec<CoreReport>,
+    /// Per-device results.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl RunReport {
+    /// Sum of all apps' measured bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.apps.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Aggregated mean bandwidth over the measurement window, MiB/s.
+    #[must_use]
+    pub fn aggregate_mib_s(&self) -> f64 {
+        let secs = self.duration.saturating_sub(
+            self.measure_from.saturating_since(SimTime::ZERO),
+        );
+        if secs.is_zero() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / (1024.0 * 1024.0) / secs.as_secs_f64()
+    }
+
+    /// Aggregated mean bandwidth in GiB/s.
+    #[must_use]
+    pub fn aggregate_gib_s(&self) -> f64 {
+        self.aggregate_mib_s() / 1024.0
+    }
+
+    /// Mean utilization across all cores, `[0, 1]`.
+    #[must_use]
+    pub fn mean_cpu_utilization(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Per-app mean bandwidths in MiB/s (app-id order) — the vector the
+    /// fairness metrics take.
+    #[must_use]
+    pub fn app_bandwidths(&self) -> Vec<f64> {
+        self.apps.iter().map(|a| a.mean_mib_s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_app(bytes: u64, mib_s: f64) -> AppReport {
+        AppReport {
+            app: AppId(0),
+            name: "a".into(),
+            group: GroupId(1),
+            issued: 10,
+            completed: 10,
+            bytes,
+            mean_mib_s: mib_s,
+            latency: LatencySummary::default(),
+            hist: LatencyHistogram::new(),
+            series: BandwidthSeries::new(SimDuration::from_millis(100)),
+            ctx_per_io: 1.0,
+            stages: StageBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_apps() {
+        let r = RunReport {
+            duration: SimDuration::from_secs(1),
+            measure_from: SimTime::ZERO,
+            apps: vec![dummy_app(1048576, 1.0), dummy_app(2097152, 2.0)],
+            cores: vec![
+                CoreReport { core: CoreId(0), utilization: 0.5, busy: SimDuration::from_millis(500) },
+                CoreReport { core: CoreId(1), utilization: 1.0, busy: SimDuration::from_secs(1) },
+            ],
+            devices: vec![],
+        };
+        assert_eq!(r.total_bytes(), 3 * 1048576);
+        assert!((r.aggregate_mib_s() - 3.0).abs() < 1e-9);
+        assert!((r.mean_cpu_utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(r.app_bandwidths(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn measurement_window_shrinks_denominator() {
+        let r = RunReport {
+            duration: SimDuration::from_secs(2),
+            measure_from: SimTime::from_secs(1),
+            apps: vec![dummy_app(1048576, 1.0)],
+            cores: vec![],
+            devices: vec![],
+        };
+        // 1 MiB over the 1-second measured window.
+        assert!((r.aggregate_mib_s() - 1.0).abs() < 1e-9);
+    }
+}

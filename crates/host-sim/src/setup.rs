@@ -1,0 +1,167 @@
+//! Build-time configuration of the simulated host.
+
+use blkio::DeviceId;
+use iosched_sim::{BfqConfig, KyberConfig, MqDeadlineConfig, SchedKind};
+use nvme_sim::DeviceProfile;
+use simcore::{SimDuration, SimTime};
+use workload::JobSpec;
+
+/// Machine-level parameters.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Number of CPU cores apps are pinned to (round-robin).
+    pub cores: usize,
+    /// Clock frequency used to convert CPU time to cycles in reports.
+    pub cpu_freq_ghz: f64,
+    /// RNG seed; same seed → identical run.
+    pub seed: u64,
+    /// Statistics are recorded from this instant on (warm-up exclusion).
+    pub measure_from: SimTime,
+    /// Window used for per-app bandwidth time series.
+    pub bw_window: SimDuration,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            cores: 1,
+            cpu_freq_ghz: 2.4, // the paper's Xeon Silver 4210R
+            seed: 0x1505_1955,
+            measure_from: SimTime::ZERO,
+            bw_window: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl HostConfig {
+    /// Convenience: the paper's 10-core configuration (§V, Fig. 4).
+    #[must_use]
+    pub fn with_cores(cores: usize) -> Self {
+        HostConfig { cores, ..HostConfig::default() }
+    }
+}
+
+/// One application to run: its job spec and the device list it issues to
+/// (round-robin per request when more than one — the Fig. 4 multi-SSD
+/// setup).
+#[derive(Debug, Clone)]
+pub struct AppSetup {
+    /// The fio-like job description.
+    pub spec: JobSpec,
+    /// Target devices.
+    pub devices: Vec<DeviceId>,
+}
+
+impl AppSetup {
+    /// Creates an app setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    #[must_use]
+    pub fn new(spec: JobSpec, devices: Vec<DeviceId>) -> Self {
+        assert!(!devices.is_empty(), "an app needs at least one device");
+        AppSetup { spec, devices }
+    }
+}
+
+/// One device to simulate: profile, attached scheduler, preconditioning,
+/// and scheduler tunables.
+#[derive(Debug, Clone)]
+pub struct DeviceSetup {
+    /// Performance profile.
+    pub profile: DeviceProfile,
+    /// Attached I/O scheduler.
+    pub scheduler: SchedKind,
+    /// Initial GC pressure in `[0, 1]` (the paper preconditions before
+    /// write experiments).
+    pub precondition: f64,
+    /// BFQ tunables (used when `scheduler == SchedKind::Bfq`).
+    pub bfq: BfqConfig,
+    /// MQ-Deadline tunables.
+    pub mq_deadline: MqDeadlineConfig,
+    /// Kyber tunables.
+    pub kyber: KyberConfig,
+}
+
+impl DeviceSetup {
+    /// A flash device with no scheduler (`none`) — the paper's baseline.
+    #[must_use]
+    pub fn flash() -> Self {
+        DeviceSetup {
+            profile: DeviceProfile::flash(),
+            scheduler: SchedKind::None,
+            precondition: 0.0,
+            bfq: BfqConfig::default(),
+            mq_deadline: MqDeadlineConfig::default(),
+            kyber: KyberConfig::default(),
+        }
+    }
+
+    /// An Optane device with no scheduler.
+    #[must_use]
+    pub fn optane() -> Self {
+        DeviceSetup { profile: DeviceProfile::optane(), ..DeviceSetup::flash() }
+    }
+
+    /// Sets the scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, kind: SchedKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets initial GC pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    #[must_use]
+    pub fn preconditioned(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "precondition fraction in [0, 1]");
+        self.precondition = frac;
+        self
+    }
+
+    /// Overrides BFQ tunables (e.g. disabling `slice_idle` for the
+    /// overhead experiments).
+    #[must_use]
+    pub fn with_bfq(mut self, bfq: BfqConfig) -> Self {
+        self.bfq = bfq;
+        self
+    }
+
+    /// Overrides MQ-Deadline tunables.
+    #[must_use]
+    pub fn with_mq_deadline(mut self, cfg: MqDeadlineConfig) -> Self {
+        self.mq_deadline = cfg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = HostConfig::default();
+        assert_eq!(c.cores, 1);
+        assert!((c.cpu_freq_ghz - 2.4).abs() < 1e-9);
+        assert_eq!(HostConfig::with_cores(10).cores, 10);
+    }
+
+    #[test]
+    fn device_setup_builders() {
+        let d = DeviceSetup::flash().with_scheduler(SchedKind::Bfq).preconditioned(0.5);
+        assert_eq!(d.scheduler, SchedKind::Bfq);
+        assert!((d.precondition - 0.5).abs() < 1e-12);
+        assert_eq!(DeviceSetup::optane().profile.name, "optane-900p-like");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn app_needs_devices() {
+        let _ = AppSetup::new(JobSpec::lc_app("x"), vec![]);
+    }
+}

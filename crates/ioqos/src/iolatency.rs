@@ -1,0 +1,390 @@
+//! `io.latency` (blk-iolatency): reactive tail-latency protection.
+//!
+//! Mechanism, as described in the paper (§IV-B) and the kernel:
+//! every 500 ms the controller compares each protected group's achieved
+//! P90 completion latency against its target. If violated, every group
+//! with a *higher* target (or no target — lower priority) has its
+//! effective queue depth halved, at most once per window, down to 1.
+//! While still violated at QD 1, a `use_delay` counter accrues on the
+//! victims. When the target is met again, victims first drain
+//! `use_delay` (one per window) and only then recover queue depth in
+//! steps of `max_qd / 4`. With `max_qd = 1024` a full throttle-down
+//! takes 10 windows ≈ 5 s — the paper's O10 burst finding.
+
+use std::collections::{HashMap, VecDeque};
+
+use blkio::{GroupId, IoRequest};
+use simcore::{SimDuration, SimTime};
+
+use crate::{QosController, SubmitOutcome};
+
+/// Evaluation window (kernel: 500 ms).
+const WINDOW: SimDuration = SimDuration::from_millis(500);
+/// The percentile compared against the target (static, kernel: P90).
+const PERCENTILE: f64 = 0.90;
+
+#[derive(Debug)]
+struct GroupState {
+    inflight: u32,
+    effective_qd: u32,
+    use_delay: u32,
+    held: VecDeque<IoRequest>,
+    window_lat_ns: Vec<u64>,
+}
+
+impl GroupState {
+    fn new(max_qd: u32) -> Self {
+        GroupState {
+            inflight: 0,
+            effective_qd: max_qd,
+            use_delay: 0,
+            held: VecDeque::new(),
+            window_lat_ns: Vec::new(),
+        }
+    }
+}
+
+/// The `io.latency` controller for one device.
+#[derive(Debug)]
+pub struct IoLatencyController {
+    max_qd: u32,
+    targets: HashMap<GroupId, u64>,
+    groups: HashMap<GroupId, GroupState>,
+    next_window_at: SimTime,
+}
+
+impl IoLatencyController {
+    /// Creates a controller for a device with queue limit `max_qd`
+    /// (1024 on the paper's SSDs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_qd` is zero.
+    #[must_use]
+    pub fn new(max_qd: u32) -> Self {
+        assert!(max_qd > 0, "max_qd must be positive");
+        IoLatencyController {
+            max_qd,
+            targets: HashMap::new(),
+            groups: HashMap::new(),
+            next_window_at: SimTime::ZERO + WINDOW,
+        }
+    }
+
+    /// Sets or clears a group's latency target in microseconds (a write
+    /// to `io.latency`).
+    pub fn set_target(&mut self, group: GroupId, target_us: Option<u64>) {
+        match target_us {
+            Some(t) => {
+                self.targets.insert(group, t);
+            }
+            None => {
+                self.targets.remove(&group);
+            }
+        }
+    }
+
+    /// `true` once any target is configured (otherwise the controller is
+    /// a no-op pass-through).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.targets.is_empty()
+    }
+
+    /// The current effective queue depth of a group (for reports/tests).
+    #[must_use]
+    pub fn effective_qd(&self, group: GroupId) -> u32 {
+        self.groups.get(&group).map_or(self.max_qd, |g| g.effective_qd)
+    }
+
+    /// The current `use_delay` counter of a group.
+    #[must_use]
+    pub fn use_delay(&self, group: GroupId) -> u32 {
+        self.groups.get(&group).map_or(0, |g| g.use_delay)
+    }
+
+    fn group_mut(&mut self, id: GroupId) -> &mut GroupState {
+        let max_qd = self.max_qd;
+        self.groups.entry(id).or_insert_with(|| GroupState::new(max_qd))
+    }
+
+    fn effective_target(&self, id: GroupId) -> u64 {
+        self.targets.get(&id).copied().unwrap_or(u64::MAX)
+    }
+
+    fn evaluate_window(&mut self) {
+        // Which protected groups are violated this window?
+        let mut violated_targets: Vec<u64> = Vec::new();
+        for (&g, &target_us) in &self.targets {
+            if let Some(state) = self.groups.get(&g) {
+                if state.window_lat_ns.is_empty() {
+                    continue;
+                }
+                let mut lats = state.window_lat_ns.clone();
+                lats.sort_unstable();
+                let idx = ((lats.len() as f64 * PERCENTILE).ceil() as usize)
+                    .clamp(1, lats.len())
+                    - 1;
+                let p90_us = lats[idx] / 1_000;
+                if p90_us > target_us {
+                    violated_targets.push(target_us);
+                }
+            }
+        }
+        let strictest_violated = violated_targets.iter().min().copied();
+        // Apply to every group with traffic or configuration.
+        let ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for id in ids {
+            let my_target = self.effective_target(id);
+            // A group is a victim if some *stricter* protected group is
+            // violated.
+            let victim_of_violation =
+                strictest_violated.map_or(false, |t| my_target > t);
+            let max_qd = self.max_qd;
+            let g = self.group_mut(id);
+            if victim_of_violation {
+                if g.effective_qd > 1 {
+                    g.effective_qd = (g.effective_qd / 2).max(1);
+                } else {
+                    g.use_delay += 1;
+                }
+            } else if g.use_delay > 0 {
+                g.use_delay -= 1;
+            } else {
+                g.effective_qd = (g.effective_qd + max_qd / 4).min(max_qd);
+            }
+            g.window_lat_ns.clear();
+        }
+    }
+}
+
+impl QosController for IoLatencyController {
+    fn on_submit(&mut self, req: IoRequest, _now: SimTime) -> SubmitOutcome {
+        if !self.is_enabled() {
+            return SubmitOutcome::Pass(req);
+        }
+        let g = self.group_mut(req.group);
+        if g.held.is_empty() && g.inflight < g.effective_qd {
+            g.inflight += 1;
+            SubmitOutcome::Pass(req)
+        } else {
+            g.held.push_back(req);
+            SubmitOutcome::Held
+        }
+    }
+
+    fn on_device_complete(&mut self, req: &IoRequest, now: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let lat = now.saturating_since(req.scheduled_at).as_nanos();
+        let g = self.group_mut(req.group);
+        g.inflight = g.inflight.saturating_sub(1);
+        g.window_lat_ns.push(lat);
+    }
+
+    fn drain_released(&mut self, _now: SimTime) -> Vec<IoRequest> {
+        let mut out = Vec::new();
+        for g in self.groups.values_mut() {
+            while !g.held.is_empty() && g.inflight < g.effective_qd {
+                let req = g.held.pop_front().expect("nonempty");
+                g.inflight += 1;
+                out.push(req);
+            }
+        }
+        out
+    }
+
+    fn next_event(&self, _now: SimTime) -> Option<SimTime> {
+        self.is_enabled().then_some(self.next_window_at)
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        while self.next_window_at <= now {
+            self.evaluate_window();
+            self.next_window_at = self.next_window_at + WINDOW;
+        }
+    }
+
+    fn submit_cpu_overhead(&self, _deep_queue: bool) -> SimDuration {
+        SimDuration::from_nanos(150)
+    }
+
+    fn name(&self) -> &'static str {
+        "io.latency"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::read4k;
+
+    fn complete(ctl: &mut IoLatencyController, mut req: IoRequest, sched_at: SimTime, lat_us: u64) {
+        req.scheduled_at = sched_at;
+        let done = sched_at + SimDuration::from_micros(lat_us);
+        ctl.on_device_complete(&req, done);
+    }
+
+    #[test]
+    fn disabled_controller_passes_everything() {
+        let mut c = IoLatencyController::new(1024);
+        assert!(!c.is_enabled());
+        for i in 0..2000 {
+            let r = read4k(i, 1, SimTime::ZERO);
+            assert!(matches!(c.on_submit(r, SimTime::ZERO), SubmitOutcome::Pass(_)));
+        }
+        assert_eq!(c.next_event(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn effective_qd_gates_inflight() {
+        let mut c = IoLatencyController::new(4);
+        c.set_target(GroupId(1), Some(100));
+        // Group 2 has no target; cap is max_qd = 4 until throttled.
+        let mut passed = 0;
+        for i in 0..6 {
+            if matches!(c.on_submit(read4k(i, 2, SimTime::ZERO), SimTime::ZERO), SubmitOutcome::Pass(_))
+            {
+                passed += 1;
+            }
+        }
+        assert_eq!(passed, 4);
+        // A completion frees one slot.
+        let r = read4k(99, 2, SimTime::ZERO);
+        complete(&mut c, r, SimTime::ZERO, 10);
+        assert_eq!(c.drain_released(SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn violation_halves_victims_once_per_window() {
+        let mut c = IoLatencyController::new(1024);
+        c.set_target(GroupId(1), Some(100));
+        // Protected group misses its target badly this window.
+        for i in 0..20 {
+            let r = read4k(i, 1, SimTime::ZERO);
+            c.on_submit(r.clone(), SimTime::ZERO);
+            complete(&mut c, r, SimTime::ZERO, 500); // 500 us >> 100 us
+        }
+        // Unprotected group has traffic too.
+        let r = read4k(100, 2, SimTime::ZERO);
+        c.on_submit(r, SimTime::ZERO);
+        let w1 = SimTime::ZERO + WINDOW;
+        c.tick(w1);
+        assert_eq!(c.effective_qd(GroupId(2)), 512, "halved once");
+        assert_eq!(c.effective_qd(GroupId(1)), 1024, "protected group untouched");
+    }
+
+    #[test]
+    fn ten_windows_throttle_to_one() {
+        let mut c = IoLatencyController::new(1024);
+        c.set_target(GroupId(1), Some(100));
+        // Group 2 must exist (has had traffic).
+        c.on_submit(read4k(0, 2, SimTime::ZERO), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for w in 0..10 {
+            // Keep violating.
+            for i in 0..10 {
+                let r = read4k(1000 + w * 100 + i, 1, now);
+                c.on_submit(r.clone(), now);
+                complete(&mut c, r, now, 900);
+            }
+            now = now + WINDOW;
+            c.tick(now);
+        }
+        assert_eq!(c.effective_qd(GroupId(2)), 1);
+        // Continued violation accrues use_delay.
+        for i in 0..10 {
+            let r = read4k(9000 + i, 1, now);
+            c.on_submit(r.clone(), now);
+            complete(&mut c, r, now, 900);
+        }
+        now = now + WINDOW;
+        c.tick(now);
+        assert_eq!(c.use_delay(GroupId(2)), 1);
+    }
+
+    #[test]
+    fn recovery_waits_for_use_delay_then_steps_up() {
+        let mut c = IoLatencyController::new(1024);
+        c.set_target(GroupId(1), Some(100));
+        c.on_submit(read4k(0, 2, SimTime::ZERO), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        // Throttle to QD 1 and accrue use_delay = 2.
+        for w in 0..12 {
+            for i in 0..10 {
+                let r = read4k(100 + w * 100 + i, 1, now);
+                c.on_submit(r.clone(), now);
+                complete(&mut c, r, now, 900);
+            }
+            now = now + WINDOW;
+            c.tick(now);
+        }
+        assert_eq!(c.effective_qd(GroupId(2)), 1);
+        assert_eq!(c.use_delay(GroupId(2)), 2);
+        // Now the target is met (fast IO). First two windows drain
+        // use_delay; the third adds max_qd/4.
+        for expect_qd in [1, 1, 257] {
+            for i in 0..10 {
+                let r = read4k(5000 + u64::from(expect_qd) * 100 + i, 1, now);
+                c.on_submit(r.clone(), now);
+                complete(&mut c, r, now, 10);
+            }
+            now = now + WINDOW;
+            c.tick(now);
+            assert_eq!(c.effective_qd(GroupId(2)), expect_qd);
+        }
+    }
+
+    #[test]
+    fn stricter_targets_throttle_looser_protected_groups() {
+        let mut c = IoLatencyController::new(64);
+        c.set_target(GroupId(1), Some(50)); // strict
+        c.set_target(GroupId(2), Some(5_000)); // loose
+        // Strict group violated.
+        for i in 0..10 {
+            let r = read4k(i, 1, SimTime::ZERO);
+            c.on_submit(r.clone(), SimTime::ZERO);
+            complete(&mut c, r, SimTime::ZERO, 400);
+        }
+        // Loose group active.
+        c.on_submit(read4k(50, 2, SimTime::ZERO), SimTime::ZERO);
+        c.tick(SimTime::ZERO + WINDOW);
+        assert_eq!(c.effective_qd(GroupId(2)), 32, "looser protected group is a victim");
+        assert_eq!(c.effective_qd(GroupId(1)), 64);
+    }
+
+    #[test]
+    fn no_violation_means_no_throttling() {
+        let mut c = IoLatencyController::new(1024);
+        c.set_target(GroupId(1), Some(1_000));
+        for i in 0..20 {
+            let r = read4k(i, 1, SimTime::ZERO);
+            c.on_submit(r.clone(), SimTime::ZERO);
+            complete(&mut c, r, SimTime::ZERO, 100); // well under target
+        }
+        c.on_submit(read4k(100, 2, SimTime::ZERO), SimTime::ZERO);
+        c.tick(SimTime::ZERO + WINDOW);
+        assert_eq!(c.effective_qd(GroupId(2)), 1024);
+    }
+
+    #[test]
+    fn held_requests_release_in_order_as_slots_free() {
+        let mut c = IoLatencyController::new(2);
+        c.set_target(GroupId(1), Some(100));
+        let mut reqs = Vec::new();
+        for i in 0..4 {
+            let r = read4k(i, 2, SimTime::ZERO);
+            reqs.push(r.clone());
+            c.on_submit(r, SimTime::ZERO);
+        }
+        // Two in flight, two held.
+        complete(&mut c, reqs[0].clone(), SimTime::ZERO, 10);
+        let rel = c.drain_released(SimTime::ZERO);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].id, 2);
+    }
+}

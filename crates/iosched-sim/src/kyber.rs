@@ -1,0 +1,219 @@
+//! A simplified Kyber model (extension beyond the paper's evaluated set).
+//!
+//! Kyber maintains per-domain (read / write) queues and adjusts the
+//! write-domain's in-flight allowance to keep read latency near a target.
+//! The paper's related work (§VIII) characterizes Kyber elsewhere; it is
+//! included here so isol-bench users can benchmark it with the same
+//! harness.
+
+use std::collections::VecDeque;
+
+use blkio::{IoRequest, ReqId};
+use serde::{Deserialize, Serialize};
+use simcore::{Ewma, SimDuration, SimTime};
+
+use crate::{IoScheduler, SchedKind};
+
+/// Tunables of [`Kyber`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KyberConfig {
+    /// Read latency target; when exceeded, the write window shrinks.
+    pub read_target: SimDuration,
+    /// Maximum write in-flight window.
+    pub max_write_inflight: u32,
+    /// Serialized dispatch cost (Kyber is lightweight).
+    pub dispatch_overhead: SimDuration,
+    /// Extra per-I/O CPU cost.
+    pub submit_cpu_overhead: SimDuration,
+}
+
+impl Default for KyberConfig {
+    fn default() -> Self {
+        KyberConfig {
+            read_target: SimDuration::from_micros(2_000),
+            max_write_inflight: 64,
+            dispatch_overhead: SimDuration::from_nanos(700),
+            submit_cpu_overhead: SimDuration::from_nanos(900),
+        }
+    }
+}
+
+/// The simplified Kyber scheduler.
+#[derive(Debug)]
+pub struct Kyber {
+    config: KyberConfig,
+    reads: VecDeque<IoRequest>,
+    writes: VecDeque<IoRequest>,
+    dispatch_times: std::collections::HashMap<ReqId, SimTime>,
+    read_latency: Ewma,
+    write_window: u32,
+    writes_inflight: u32,
+}
+
+impl Kyber {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new(config: KyberConfig) -> Self {
+        Kyber {
+            write_window: config.max_write_inflight,
+            config,
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            dispatch_times: std::collections::HashMap::new(),
+            read_latency: Ewma::new(0.2),
+            writes_inflight: 0,
+        }
+    }
+
+    /// Current write in-flight window (shrinks under read-latency
+    /// pressure).
+    #[must_use]
+    pub fn write_window(&self) -> u32 {
+        self.write_window
+    }
+}
+
+impl IoScheduler for Kyber {
+    fn insert(&mut self, req: IoRequest, _now: SimTime) {
+        if req.op.is_read() {
+            self.reads.push_back(req);
+        } else {
+            self.writes.push_back(req);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
+        // Reads first; writes only within their window.
+        let req = if let Some(r) = self.reads.pop_front() {
+            r
+        } else if self.writes_inflight < self.write_window {
+            let r = self.writes.pop_front()?;
+            self.writes_inflight += 1;
+            r
+        } else {
+            return None;
+        };
+        self.dispatch_times.insert(req.id, now);
+        Some(req)
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.reads.is_empty() || !self.writes.is_empty()
+    }
+
+    fn next_timer(&self, _now: SimTime) -> Option<SimTime> {
+        // The write window reopens on completions, which re-trigger
+        // dispatch anyway.
+        None
+    }
+
+    fn on_complete(&mut self, req: &IoRequest, now: SimTime) {
+        let Some(at) = self.dispatch_times.remove(&req.id) else { return };
+        if req.op.is_read() {
+            let lat = now.saturating_since(at);
+            self.read_latency.update(lat.as_nanos() as f64);
+            let target = self.config.read_target.as_nanos() as f64;
+            if self.read_latency.value() > target {
+                self.write_window = (self.write_window / 2).max(1);
+            } else if self.read_latency.value() < target / 2.0 {
+                self.write_window = (self.write_window + 4).min(self.config.max_write_inflight);
+            }
+        } else {
+            self.writes_inflight = self.writes_inflight.saturating_sub(1);
+        }
+    }
+
+    fn dispatch_overhead(&self) -> SimDuration {
+        self.config.dispatch_overhead
+    }
+
+    fn submit_cpu_overhead(&self) -> SimDuration {
+        self.config.submit_cpu_overhead
+    }
+
+    fn kind(&self) -> SchedKind {
+        SchedKind::Kyber
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::req;
+    use blkio::IoOp;
+
+    fn write_req(id: ReqId, at: SimTime) -> IoRequest {
+        let mut r = req(id, 0, 4096, at);
+        r.op = IoOp::Write;
+        r
+    }
+
+    #[test]
+    fn reads_dispatch_before_writes() {
+        let mut s = Kyber::new(KyberConfig::default());
+        s.insert(write_req(0, SimTime::ZERO), SimTime::ZERO);
+        s.insert(req(1, 0, 4096, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(s.dispatch(SimTime::ZERO).unwrap().id, 1);
+        assert_eq!(s.dispatch(SimTime::ZERO).unwrap().id, 0);
+    }
+
+    #[test]
+    fn write_window_limits_inflight_writes() {
+        let cfg = KyberConfig { max_write_inflight: 2, ..Default::default() };
+        let mut s = Kyber::new(cfg);
+        for i in 0..4 {
+            s.insert(write_req(i, SimTime::ZERO), SimTime::ZERO);
+        }
+        assert!(s.dispatch(SimTime::ZERO).is_some());
+        assert!(s.dispatch(SimTime::ZERO).is_some());
+        assert!(s.dispatch(SimTime::ZERO).is_none(), "window exhausted");
+        assert!(s.has_pending());
+    }
+
+    #[test]
+    fn slow_reads_shrink_write_window() {
+        let mut s = Kyber::new(KyberConfig::default());
+        let before = s.write_window();
+        for i in 0..8 {
+            let t0 = SimTime::from_millis(i * 10);
+            s.insert(req(i, 0, 4096, t0), t0);
+            let r = s.dispatch(t0).unwrap();
+            // Completion far beyond the read target.
+            s.on_complete(&r, t0 + SimDuration::from_millis(8));
+        }
+        assert!(s.write_window() < before, "window should shrink");
+    }
+
+    #[test]
+    fn fast_reads_reopen_window() {
+        let mut s = Kyber::new(KyberConfig::default());
+        // Shrink first.
+        for i in 0..4 {
+            let t0 = SimTime::from_millis(i * 10);
+            s.insert(req(i, 0, 4096, t0), t0);
+            let r = s.dispatch(t0).unwrap();
+            s.on_complete(&r, t0 + SimDuration::from_millis(8));
+        }
+        let shrunk = s.write_window();
+        // Then recover with fast reads.
+        for i in 10..60 {
+            let t0 = SimTime::from_millis(i * 10);
+            s.insert(req(i, 0, 4096, t0), t0);
+            let r = s.dispatch(t0).unwrap();
+            s.on_complete(&r, t0 + SimDuration::from_micros(80));
+        }
+        assert!(s.write_window() > shrunk, "window should reopen");
+    }
+
+    #[test]
+    fn write_completions_release_window_slots() {
+        let cfg = KyberConfig { max_write_inflight: 1, ..Default::default() };
+        let mut s = Kyber::new(cfg);
+        s.insert(write_req(0, SimTime::ZERO), SimTime::ZERO);
+        s.insert(write_req(1, SimTime::ZERO), SimTime::ZERO);
+        let r = s.dispatch(SimTime::ZERO).unwrap();
+        assert!(s.dispatch(SimTime::ZERO).is_none());
+        s.on_complete(&r, SimTime::from_micros(100));
+        assert!(s.dispatch(SimTime::from_micros(100)).is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! The runtime device: command units + shared pipe + GC interaction.
+
+use std::collections::{HashMap, VecDeque};
+
+use blkio::{IoRequest, ReqId};
+use simcore::{DetRng, SimDuration, SimTime};
+
+use crate::{DeviceProfile, GcState};
+
+/// A simulated NVMe SSD.
+///
+/// The host engine drives it with three calls:
+///
+/// 1. [`NvmeDevice::accept`] — enqueue a dispatched request (the caller
+///    must respect [`NvmeDevice::has_capacity`], which models
+///    `nr_requests`),
+/// 2. [`NvmeDevice::start_ready`] — begin service on free command units;
+///    returns `(request id, completion instant)` pairs for the caller to
+///    schedule,
+/// 3. [`NvmeDevice::complete`] — retire a finished request, freeing its
+///    unit.
+///
+/// See the crate docs for the performance model.
+#[derive(Debug)]
+pub struct NvmeDevice {
+    profile: DeviceProfile,
+    gc: GcState,
+    rng: DetRng,
+    waiting: VecDeque<IoRequest>,
+    in_service: HashMap<ReqId, IoRequest>,
+    busy_units: u32,
+    pipe_cursor: SimTime,
+    served_ios: u64,
+    served_bytes: u64,
+}
+
+impl NvmeDevice {
+    /// Creates a device from a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`DeviceProfile::validate`].
+    #[must_use]
+    pub fn new(profile: DeviceProfile, rng: DetRng) -> Self {
+        if let Err(e) = profile.validate() {
+            panic!("invalid device profile `{}`: {e}", profile.name);
+        }
+        let gc = GcState::new(profile.gc_threshold_bytes, profile.gc_drain_bps, profile.waf);
+        NvmeDevice {
+            profile,
+            gc,
+            rng,
+            waiting: VecDeque::new(),
+            in_service: HashMap::new(),
+            busy_units: 0,
+            pipe_cursor: SimTime::ZERO,
+            served_ios: 0,
+            served_bytes: 0,
+        }
+    }
+
+    /// The device profile.
+    #[must_use]
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Preconditions the flash (paper §III: sequential fill + random
+    /// overwrite before write experiments).
+    pub fn precondition(&mut self, fraction: f64) {
+        self.gc.precondition(fraction);
+    }
+
+    /// Total requests inside the device (queued + in service).
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.waiting.len() + self.in_service.len()
+    }
+
+    /// `true` while the device queue (`nr_requests`) has room *and* the
+    /// data pipe's backlog is within the device's flow-control window.
+    /// Under saturation this pushes queueing back into the I/O
+    /// scheduler, where ordering policies can act.
+    #[must_use]
+    pub fn has_capacity(&self, now: SimTime) -> bool {
+        self.inflight() < self.profile.max_qd as usize
+            && self.pipe_cursor.saturating_since(now) < self.profile.pipe_backlog_limit
+    }
+
+    /// Accepts a dispatched request at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request-count queue limit is exceeded (callers must
+    /// gate on [`NvmeDevice::has_capacity`] — the block layer never
+    /// over-queues a device).
+    pub fn accept(&mut self, req: IoRequest, _now: SimTime) {
+        assert!(
+            self.inflight() < self.profile.max_qd as usize,
+            "device queue overflow (nr_requests exceeded)"
+        );
+        self.waiting.push_back(req);
+    }
+
+    /// Starts service on as many waiting requests as free units allow;
+    /// returns `(id, completion instant)` for each started request.
+    pub fn start_ready(&mut self, now: SimTime) -> Vec<(ReqId, SimTime)> {
+        let mut started = Vec::new();
+        while self.busy_units < self.profile.units {
+            let Some(req) = self.waiting.pop_front() else { break };
+            let done_at = self.service(&req, now);
+            self.busy_units += 1;
+            started.push((req.id, done_at));
+            self.in_service.insert(req.id, req);
+        }
+        started
+    }
+
+    fn service(&mut self, req: &IoRequest, now: SimTime) -> SimTime {
+        let gc_level = self.gc.level(now);
+        // Command path.
+        let median = self.profile.cmd_latency_ns(req.op, req.pattern) as f64;
+        let mut cmd_ns = self.rng.lognormal_median(median, self.profile.latency_sigma);
+        if self.rng.chance(self.profile.tail_prob) {
+            cmd_ns *= self.rng.bounded_pareto(1.5, self.profile.tail_mult_max, 1.2);
+        }
+        let cmd_done = now + SimDuration::from_nanos(cmd_ns as u64);
+        // Shared data pipe, derated by GC pressure.
+        let penalty = if req.op.is_write() {
+            self.profile.gc_write_penalty
+        } else {
+            self.profile.gc_read_penalty
+        };
+        let rate = self.profile.pipe_bps(req.op, req.pattern) * (1.0 - penalty * gc_level);
+        let pipe_ns = f64::from(req.len) / rate * 1e9;
+        let slot_start = self.pipe_cursor.max(now);
+        let data_done = slot_start + SimDuration::from_nanos(pipe_ns as u64);
+        self.pipe_cursor = data_done;
+        if req.op.is_write() {
+            self.gc.on_write(u64::from(req.len), now);
+        }
+        cmd_done.max(data_done)
+    }
+
+    /// Retires a completed request, freeing its command unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in service (an engine bug).
+    pub fn complete(&mut self, id: ReqId, _now: SimTime) -> IoRequest {
+        let req = self.in_service.remove(&id).expect("completing unknown request");
+        self.busy_units -= 1;
+        self.served_ios += 1;
+        self.served_bytes += u64::from(req.len);
+        req
+    }
+
+    /// Current GC pressure level in `[0, 1]`.
+    pub fn gc_level(&mut self, now: SimTime) -> f64 {
+        self.gc.level(now)
+    }
+
+    /// Lifetime counters: `(requests served, bytes served)`.
+    #[must_use]
+    pub fn served(&self) -> (u64, u64) {
+        (self.served_ios, self.served_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkio::{AccessPattern, AppId, DeviceId, GroupId, IoOp};
+    use std::collections::BinaryHeap;
+
+    fn req(id: ReqId, op: IoOp, pattern: AccessPattern, len: u32, at: SimTime) -> IoRequest {
+        IoRequest::new(id, AppId(0), GroupId(0), DeviceId(0), op, pattern, len, 0, at)
+    }
+
+    /// Closed-loop mini-driver: keep `qd` requests in flight for
+    /// `duration`; returns (bytes completed, mean latency ns).
+    fn drive(
+        dev: &mut NvmeDevice,
+        op: IoOp,
+        pattern: AccessPattern,
+        len: u32,
+        qd: usize,
+        duration: SimDuration,
+    ) -> (u64, f64) {
+        let mut now = SimTime::ZERO;
+        let mut next_id: ReqId = 0;
+        let mut completions: BinaryHeap<std::cmp::Reverse<(SimTime, ReqId)>> = BinaryHeap::new();
+        let mut issued_at: HashMap<ReqId, SimTime> = HashMap::new();
+        let mut bytes = 0u64;
+        let mut lat_sum = 0f64;
+        let mut lat_n = 0u64;
+        let end = SimTime::ZERO + duration;
+        for _ in 0..qd {
+            let r = req(next_id, op, pattern, len, now);
+            issued_at.insert(next_id, now);
+            dev.accept(r, now);
+            next_id += 1;
+        }
+        for (id, done) in dev.start_ready(now) {
+            completions.push(std::cmp::Reverse((done, id)));
+        }
+        while let Some(std::cmp::Reverse((t, id))) = completions.pop() {
+            if t > end {
+                break;
+            }
+            now = t;
+            dev.complete(id, now);
+            bytes += u64::from(len);
+            lat_sum += (now - issued_at[&id]).as_nanos() as f64;
+            lat_n += 1;
+            let r = req(next_id, op, pattern, len, now);
+            issued_at.insert(next_id, now);
+            dev.accept(r, now);
+            next_id += 1;
+            for (id2, done2) in dev.start_ready(now) {
+                completions.push(std::cmp::Reverse((done2, id2)));
+            }
+        }
+        (bytes, if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 })
+    }
+
+    #[test]
+    fn qd1_read_latency_is_near_command_median() {
+        let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(1));
+        let (_, mean_ns) = drive(
+            &mut dev,
+            IoOp::Read,
+            AccessPattern::Random,
+            4096,
+            1,
+            SimDuration::from_millis(200),
+        );
+        let median = DeviceProfile::flash().rand_read_cmd_ns as f64;
+        assert!(
+            (mean_ns - median).abs() / median < 0.10,
+            "mean {mean_ns} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn random_read_saturation_near_three_gib_s() {
+        let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(2));
+        let dur = SimDuration::from_millis(300);
+        let (bytes, _) = drive(&mut dev, IoOp::Read, AccessPattern::Random, 4096, 256, dur);
+        let gib_s = bytes as f64 / dur.as_secs_f64() / (1u64 << 30) as f64;
+        assert!((2.5..3.2).contains(&gib_s), "saturation {gib_s} GiB/s");
+    }
+
+    #[test]
+    fn sequential_large_reads_are_faster() {
+        let dur = SimDuration::from_millis(200);
+        let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(3));
+        let (seq_bytes, _) =
+            drive(&mut dev, IoOp::Read, AccessPattern::Sequential, 256 * 1024, 32, dur);
+        let mut dev2 = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(3));
+        let (rand4k_bytes, _) = drive(&mut dev2, IoOp::Read, AccessPattern::Random, 4096, 32, dur);
+        assert!(
+            seq_bytes as f64 > 1.5 * rand4k_bytes as f64,
+            "seq {seq_bytes} rand {rand4k_bytes}"
+        );
+    }
+
+    #[test]
+    fn preconditioned_random_writes_collapse() {
+        let dur = SimDuration::from_millis(300);
+        // Fresh device: fast burst writes.
+        let mut fresh = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(4));
+        let (burst, _) = drive(&mut fresh, IoOp::Write, AccessPattern::Random, 4096, 128, dur);
+        // Preconditioned device: sustained GC-bound writes.
+        let mut worn = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(4));
+        worn.precondition(1.0);
+        let (sustained, _) = drive(&mut worn, IoOp::Write, AccessPattern::Random, 4096, 128, dur);
+        assert!(
+            (sustained as f64) < 0.4 * burst as f64,
+            "burst {burst} sustained {sustained}"
+        );
+        let gib_s = sustained as f64 / dur.as_secs_f64() / (1u64 << 30) as f64;
+        assert!(gib_s < 0.8, "sustained writes {gib_s} GiB/s should be well under 1");
+    }
+
+    #[test]
+    fn optane_has_no_gc_effect() {
+        let dur = SimDuration::from_millis(200);
+        let mut a = NvmeDevice::new(DeviceProfile::optane(), DetRng::new(5));
+        let (fresh, _) = drive(&mut a, IoOp::Write, AccessPattern::Random, 4096, 64, dur);
+        let mut b = NvmeDevice::new(DeviceProfile::optane(), DetRng::new(5));
+        b.precondition(1.0);
+        let (worn, _) = drive(&mut b, IoOp::Write, AccessPattern::Random, 4096, 64, dur);
+        let ratio = worn as f64 / fresh as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut profile = DeviceProfile::flash();
+        profile.max_qd = 4;
+        let mut dev = NvmeDevice::new(profile, DetRng::new(6));
+        for i in 0..4 {
+            assert!(dev.has_capacity(SimTime::ZERO));
+            dev.accept(req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+        }
+        assert!(!dev.has_capacity(SimTime::ZERO));
+        assert_eq!(dev.inflight(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "device queue overflow")]
+    fn overflow_panics() {
+        let mut profile = DeviceProfile::flash();
+        profile.max_qd = 1;
+        let mut dev = NvmeDevice::new(profile, DetRng::new(7));
+        dev.accept(req(0, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+        dev.accept(req(1, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn units_bound_concurrency() {
+        let mut profile = DeviceProfile::flash();
+        profile.units = 2;
+        let mut dev = NvmeDevice::new(profile, DetRng::new(8));
+        for i in 0..5 {
+            dev.accept(req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+        }
+        let started = dev.start_ready(SimTime::ZERO);
+        assert_eq!(started.len(), 2);
+        let (id, t) = started[0];
+        dev.complete(id, t);
+        assert_eq!(dev.start_ready(t).len(), 1);
+    }
+
+    #[test]
+    fn served_counters_accumulate() {
+        let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(9));
+        dev.accept(req(0, IoOp::Read, AccessPattern::Random, 8192, SimTime::ZERO), SimTime::ZERO);
+        let started = dev.start_ready(SimTime::ZERO);
+        dev.complete(started[0].0, started[0].1);
+        assert_eq!(dev.served(), (1, 8192));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid device profile")]
+    fn invalid_profile_panics() {
+        let mut p = DeviceProfile::flash();
+        p.units = 0;
+        let _ = NvmeDevice::new(p, DetRng::new(1));
+    }
+}

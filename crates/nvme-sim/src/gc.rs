@@ -1,0 +1,133 @@
+//! Garbage-collection pressure tracking.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Tracks flash garbage-collection debt over simulated time.
+///
+/// Writes accrue `len × (waf − 1)` bytes of debt; debt drains continuously
+/// at the profile's reclaim rate. [`GcState::level`] maps debt to a
+/// pressure level in `[0, 1]` that the device uses to derate pipe
+/// bandwidth — this is what makes sustained random writes collapse and
+/// what makes reads suffer next to writers (Fig. 6b, Q7's GC discussion).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcState {
+    debt_bytes: f64,
+    threshold: f64,
+    drain_bps: f64,
+    waf: f64,
+    last: SimTime,
+}
+
+impl GcState {
+    /// Creates a GC tracker.
+    ///
+    /// `threshold` may be `f64::INFINITY` for GC-free devices (Optane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drain_bps <= 0` or `waf < 1`.
+    #[must_use]
+    pub fn new(threshold: f64, drain_bps: f64, waf: f64) -> Self {
+        assert!(drain_bps > 0.0, "drain rate must be positive");
+        assert!(waf >= 1.0, "waf must be >= 1");
+        GcState { debt_bytes: 0.0, threshold, drain_bps, waf, last: SimTime::ZERO }
+    }
+
+    fn settle(&mut self, now: SimTime) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.debt_bytes = (self.debt_bytes - dt * self.drain_bps).max(0.0);
+            self.last = now;
+        }
+    }
+
+    /// Records a write of `len` bytes at `now`.
+    pub fn on_write(&mut self, len: u64, now: SimTime) {
+        self.settle(now);
+        self.debt_bytes += len as f64 * (self.waf - 1.0);
+    }
+
+    /// Current GC pressure in `[0, 1]` (0 = idle, 1 = full-intensity GC).
+    pub fn level(&mut self, now: SimTime) -> f64 {
+        self.settle(now);
+        if self.threshold.is_infinite() {
+            0.0
+        } else {
+            (self.debt_bytes / self.threshold).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Preconditions the device as the paper does before write
+    /// experiments (sequential fill + random overwrite): starts at the
+    /// given pressure fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn precondition(&mut self, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        if self.threshold.is_finite() {
+            self.debt_bytes = self.threshold * fraction;
+        }
+    }
+
+    /// Raw outstanding debt in bytes.
+    #[must_use]
+    pub fn debt_bytes(&self) -> f64 {
+        self.debt_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_accrue_debt_scaled_by_waf() {
+        let mut gc = GcState::new(1e9, 1e6, 3.0);
+        gc.on_write(1_000_000, SimTime::ZERO);
+        assert!((gc.debt_bytes() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn debt_drains_over_time() {
+        let mut gc = GcState::new(1e9, 1e6, 2.0);
+        gc.on_write(2_000_000, SimTime::ZERO); // debt = 2e6
+        let lvl = gc.level(SimTime::from_secs(1)); // drains 1e6
+        assert!((gc.debt_bytes() - 1_000_000.0).abs() < 1.0, "debt {}", gc.debt_bytes());
+        assert!(lvl > 0.0);
+        let lvl = gc.level(SimTime::from_secs(10));
+        assert_eq!(lvl, 0.0);
+    }
+
+    #[test]
+    fn level_saturates_at_one() {
+        let mut gc = GcState::new(1_000.0, 1.0, 2.0);
+        gc.on_write(1_000_000, SimTime::ZERO);
+        assert_eq!(gc.level(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn infinite_threshold_never_pressures() {
+        let mut gc = GcState::new(f64::INFINITY, 1.0, 1.0);
+        gc.on_write(u64::MAX / 2, SimTime::ZERO);
+        assert_eq!(gc.level(SimTime::from_secs(1)), 0.0);
+        gc.precondition(1.0);
+        assert_eq!(gc.level(SimTime::from_secs(2)), 0.0);
+    }
+
+    #[test]
+    fn waf_one_accrues_nothing() {
+        let mut gc = GcState::new(1e9, 1.0, 1.0);
+        gc.on_write(1 << 30, SimTime::ZERO);
+        assert_eq!(gc.debt_bytes(), 0.0);
+    }
+
+    #[test]
+    fn precondition_sets_fractional_pressure() {
+        let mut gc = GcState::new(1e9, 1e3, 2.0);
+        gc.precondition(0.75);
+        assert!((gc.level(SimTime::ZERO) - 0.75).abs() < 1e-9);
+    }
+}

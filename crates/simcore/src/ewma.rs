@@ -1,0 +1,108 @@
+//! Exponentially weighted moving averages for feedback controllers.
+
+/// An exponentially weighted moving average.
+///
+/// Used by the `io.cost` QoS controller to smooth latency and utilization
+/// signals before adjusting the global virtual-time rate.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.update(10.0);
+/// e.update(20.0);
+/// assert!((e.value() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha weighs new samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds a new sample. The first sample initializes the average.
+    pub fn update(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current average; `0.0` before any sample.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// `true` once at least one sample has been observed.
+    #[must_use]
+    pub fn is_primed(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.1);
+        assert!(!e.is_primed());
+        e.update(42.0);
+        assert!(e.is_primed());
+        assert_eq!(e.value(), 42.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(7.0);
+        }
+        assert!((e.value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_step_change() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        for _ in 0..20 {
+            e.update(100.0);
+        }
+        assert!((e.value() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.update(5.0);
+        e.reset();
+        assert!(!e.is_primed());
+        assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn invalid_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic random numbers and the distribution samplers used by the
+//! device and host models.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, deterministic RNG.
+///
+/// Wraps [`rand::rngs::SmallRng`] and adds the handful of samplers the
+/// simulator needs (uniform, exponential, normal, lognormal, bounded
+/// Pareto for latency tails). Two `DetRng`s created from the same seed
+/// produce identical streams.
+///
+/// # Example
+///
+/// ```
+/// use simcore::DetRng;
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates an RNG from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DetRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child RNG; useful to give each simulated
+    /// component its own stream so adding components does not perturb
+    /// others' draws.
+    #[must_use]
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.f64();
+        let u2: f64 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.std_normal()
+    }
+
+    /// Lognormal such that the *median* of the distribution is `median`
+    /// and the shape parameter is `sigma` (σ of the underlying normal).
+    ///
+    /// Device service times use this: a tight body with a multiplicative
+    /// tail, which is what NVMe latency distributions look like.
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.std_normal()).exp()
+    }
+
+    /// Bounded Pareto on `[lo, hi]` with tail exponent `alpha`; heavy
+    /// tails for rare slow events (e.g. GC pauses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `alpha <= 0`.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid pareto parameters");
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_and_range_respect_bounds() {
+        let mut r = DetRng::new(6);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let x = r.range(3, 9);
+            assert!((3..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = DetRng::new(12);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut r = DetRng::new(13);
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.lognormal_median(50.0, 0.3)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut r = DetRng::new(14);
+        for _ in 0..5000 {
+            let x = r.bounded_pareto(1.0, 100.0, 1.3);
+            assert!((1.0..=100.0 + 1e-9).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(15);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Token-bucket rate limiting, the primitive behind `io.max` and fio-style
+//! per-job rate caps.
+
+use crate::{SimDuration, SimTime};
+
+/// A token bucket replenished continuously at a fixed rate.
+///
+/// The bucket starts full. [`TokenBucket::try_take`] either consumes the
+/// requested tokens or reports the earliest instant at which they will be
+/// available, which is exactly the shape a discrete-event simulator wants
+/// (schedule a retry at that instant).
+///
+/// # Example
+///
+/// ```
+/// use simcore::{TokenBucket, SimTime};
+///
+/// // 1000 tokens/second, burst capacity 10.
+/// let mut tb = TokenBucket::new(1000.0, 10.0);
+/// let now = SimTime::ZERO;
+/// assert!(tb.try_take(10.0, now).is_ok());       // burst drains the bucket
+/// let when = tb.try_take(1.0, now).unwrap_err(); // next token in 1 ms
+/// assert_eq!(when.as_nanos(), 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Tokens per second.
+    rate: f64,
+    /// Maximum stored tokens (burst size).
+    capacity: f64,
+    level: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that refills at `rate` tokens per second with burst
+    /// capacity `capacity`, starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0` or `capacity <= 0` or either is not finite.
+    #[must_use]
+    pub fn new(rate: f64, capacity: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        TokenBucket { rate, capacity, level: capacity, last: SimTime::ZERO }
+    }
+
+    /// The refill rate, in tokens per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Changes the refill rate (used when knob values are rewritten at
+    /// runtime). Accrued tokens are settled at the old rate first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn set_rate(&mut self, rate: f64, now: SimTime) {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        self.refill(now);
+        self.rate = rate;
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.level = (self.level + dt * self.rate).min(self.capacity);
+            self.last = now;
+        }
+    }
+
+    /// Current token level after settling refill up to `now`.
+    pub fn level(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.level
+    }
+
+    /// Attempts to take `n` tokens at instant `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(t)` with the earliest instant `t` at which `n` tokens
+    /// will be available (tokens are *not* consumed in that case).
+    pub fn try_take(&mut self, n: f64, now: SimTime) -> Result<(), SimTime> {
+        self.refill(now);
+        if self.level + 1e-9 >= n {
+            self.level -= n;
+            Ok(())
+        } else {
+            let deficit = n - self.level;
+            let wait_s = deficit / self.rate;
+            Err(now + SimDuration::from_secs_f64(wait_s))
+        }
+    }
+
+    /// Unconditionally consumes `n` tokens, allowing the level to go
+    /// negative (debt). Used for the kernel-style "charge then wait"
+    /// accounting of blk-throttle with oversized requests.
+    pub fn take_debt(&mut self, n: f64, now: SimTime) {
+        self.refill(now);
+        self.level -= n;
+    }
+
+    /// Earliest instant at which the bucket will hold `n` tokens.
+    /// Read-only: does not settle the refill state.
+    #[must_use]
+    pub fn available_at(&self, n: f64, now: SimTime) -> SimTime {
+        let level = if now > self.last {
+            (self.level + (now - self.last).as_secs_f64() * self.rate).min(self.capacity)
+        } else {
+            self.level
+        };
+        if level + 1e-9 >= n {
+            now
+        } else {
+            now + SimDuration::from_secs_f64((n - level) / self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_allows_burst() {
+        let mut tb = TokenBucket::new(100.0, 50.0);
+        assert!(tb.try_take(50.0, SimTime::ZERO).is_ok());
+        assert!(tb.try_take(0.0, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        assert!(tb.try_take(10.0, SimTime::ZERO).is_ok());
+        // After 5 ms, 5 tokens have accrued.
+        let t = SimTime::from_millis(5);
+        assert!(tb.try_take(5.0, t).is_ok());
+        assert!(tb.try_take(1.0, t).is_err());
+    }
+
+    #[test]
+    fn wait_time_is_exact() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        tb.try_take(10.0, SimTime::ZERO).unwrap();
+        let err = tb.try_take(2.0, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.as_nanos(), 2_000_000); // 2 tokens at 1000/s = 2 ms
+    }
+
+    #[test]
+    fn capacity_caps_accrual() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        tb.try_take(10.0, SimTime::ZERO).unwrap();
+        let much_later = SimTime::from_secs(100);
+        assert!((tb.level(much_later) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debt_goes_negative_and_recovers() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        tb.take_debt(20.0, SimTime::ZERO); // level = -10
+        let avail = tb.available_at(1.0, SimTime::ZERO);
+        // Needs 11 tokens at 1000/s = 11 ms.
+        assert_eq!(avail.as_nanos(), 11_000_000);
+    }
+
+    #[test]
+    fn set_rate_settles_first() {
+        let mut tb = TokenBucket::new(1000.0, 100.0);
+        tb.try_take(100.0, SimTime::ZERO).unwrap();
+        let t = SimTime::from_millis(10); // 10 tokens accrued at old rate
+        tb.set_rate(1.0, t);
+        assert!(tb.try_take(10.0, t).is_ok());
+        assert!(tb.try_take(1.0, t).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = TokenBucket::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Jain's fairness index, plain and weighted.
+//!
+//! The paper (§II-B, D2) adopts Jain's index [Jain et al. 1984] to reduce
+//! fairness to a single number in `[1/n, 1]`, multiplying each app's
+//! bandwidth by its *relative* weight first so that weighted sharing can be
+//! scored with the same metric.
+
+/// Jain's fairness index of the allocations `xs`.
+///
+/// `J = (Σx)² / (n · Σx²)`; `1.0` means perfectly equal, `1/n` means one
+/// allocation holds everything. Returns `1.0` for empty or all-zero input
+/// (nothing is being shared, so nothing is unfair).
+///
+/// # Example
+///
+/// ```
+/// use iostats::jain_index;
+/// assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq_sum)
+}
+
+/// Weighted Jain index: each achieved allocation is first normalized by its
+/// weight (`x_i / w_i`), so an app with twice the weight is "fair" when it
+/// receives twice the bandwidth. This is the Fig. 5c/d metric.
+///
+/// # Panics
+///
+/// Panics if any weight is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use iostats::weighted_jain_index;
+/// // App 1 has weight 2 and receives 2x bandwidth: perfectly fair.
+/// let j = weighted_jain_index(&[(100.0, 1.0), (200.0, 2.0)]);
+/// assert!((j - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn weighted_jain_index(pairs: &[(f64, f64)]) -> f64 {
+    let normalized: Vec<f64> = pairs
+        .iter()
+        .map(|&(x, w)| {
+            assert!(w > 0.0, "weights must be positive");
+            x / w
+        })
+        .collect();
+    jain_index(&normalized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        assert!((jain_index(&[3.0; 7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let cases: [&[f64]; 4] =
+            [&[1.0, 2.0, 3.0], &[0.1, 100.0], &[5.0], &[2.0, 2.0, 0.0, 9.0]];
+        for xs in cases {
+            let j = jain_index(xs);
+            let lo = 1.0 / xs.len() as f64;
+            assert!(j >= lo - 1e-12 && j <= 1.0 + 1e-12, "J({xs:?}) = {j}");
+        }
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_matches_proportional_shares() {
+        // Weights 1..4, bandwidth exactly proportional.
+        let pairs: Vec<(f64, f64)> = (1..=4).map(|w| (w as f64 * 50.0, w as f64)).collect();
+        assert!((weighted_jain_index(&pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_penalizes_uniform_split_under_skewed_weights() {
+        // Everyone gets the same bandwidth but weights differ: unfair.
+        let pairs = [(100.0, 1.0), (100.0, 10.0)];
+        assert!(weighted_jain_index(&pairs) < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_panics() {
+        let _ = weighted_jain_index(&[(1.0, 0.0)]);
+    }
+}

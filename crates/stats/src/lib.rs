@@ -1,0 +1,38 @@
+//! # iostats — measurement toolkit for isol-bench
+//!
+//! The paper quantifies isolation with a small set of statistics; this crate
+//! implements all of them:
+//!
+//! * [`LatencyHistogram`] — log-bucketed (HDR-style) latency recording with
+//!   percentile queries and CDF extraction (Fig. 3 CDFs, P99 annotations),
+//! * [`BandwidthSeries`] — windowed byte accounting for bandwidth-over-time
+//!   plots (Fig. 2) and mean-bandwidth summaries,
+//! * [`jain_index`] / [`weighted_jain_index`] — Jain's fairness index,
+//!   plain and weight-normalized (Fig. 5, Fig. 6),
+//! * [`LatencySummary`] — the per-app latency digest the reports print,
+//! * [`Table`] — aligned text tables plus CSV export for every figure's
+//!   data series.
+//!
+//! ```
+//! use iostats::{LatencyHistogram, jain_index};
+//!
+//! let mut h = LatencyHistogram::new();
+//! for us in [80u64, 90, 100, 450] {
+//!     h.record_ns(us * 1_000);
+//! }
+//! assert!(h.percentile_ns(0.50) >= 89_000);
+//! assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fairness;
+mod hist;
+mod series;
+mod table;
+
+pub use fairness::{jain_index, weighted_jain_index};
+pub use hist::{CdfPoint, LatencyHistogram, LatencySummary};
+pub use series::{BandwidthPoint, BandwidthSeries};
+pub use table::Table;

@@ -1,0 +1,230 @@
+//! Windowed bandwidth accounting for time-series plots and mean bandwidth.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// One point of a bandwidth-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthPoint {
+    /// Start of the aggregation window, seconds.
+    pub t_secs: f64,
+    /// Mean bandwidth inside the window, MiB/s.
+    pub mib_s: f64,
+}
+
+/// Accumulates completed-I/O byte counts into fixed windows.
+///
+/// Used for the Fig. 2 bandwidth-over-time plots (1 s windows) and burst
+/// response-time measurement (millisecond windows), as well as overall mean
+/// bandwidth between two instants.
+///
+/// # Example
+///
+/// ```
+/// use iostats::BandwidthSeries;
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut s = BandwidthSeries::new(SimDuration::from_secs(1));
+/// s.record(SimTime::from_millis(100), 1024 * 1024);
+/// s.record(SimTime::from_millis(1_500), 2 * 1024 * 1024);
+/// let pts = s.points();
+/// assert_eq!(pts.len(), 2);
+/// assert!((pts[0].mib_s - 1.0).abs() < 1e-9);
+/// assert!((pts[1].mib_s - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthSeries {
+    window: SimDuration,
+    /// Bytes per window index.
+    windows: Vec<u64>,
+    total_bytes: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl BandwidthSeries {
+    /// Creates a series with the given aggregation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        BandwidthSeries { window, windows: Vec::new(), total_bytes: 0, first: None, last: None }
+    }
+
+    /// Records `bytes` completed at instant `now`.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        let idx = (now.as_nanos() / self.window.as_nanos()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, 0);
+        }
+        self.windows[idx] += bytes;
+        self.total_bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+    }
+
+    /// Total bytes recorded.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The aggregation window.
+    #[must_use]
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Mean bandwidth in MiB/s over the interval `[from, to)`. Windows
+    /// that only partially overlap the interval contribute pro rata, so
+    /// unaligned bounds do not over-count. Returns 0 for an empty or
+    /// inverted interval.
+    #[must_use]
+    pub fn mean_mib_s(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let w = self.window.as_nanos();
+        let lo = (from.as_nanos() / w) as usize;
+        let hi = ((to.as_nanos() + w - 1) / w) as usize;
+        let mut bytes = 0.0f64;
+        for (i, &b) in self.windows.iter().enumerate().skip(lo).take(hi.saturating_sub(lo)) {
+            let w_start = i as u64 * w;
+            let w_end = w_start + w;
+            let overlap_start = w_start.max(from.as_nanos());
+            let overlap_end = w_end.min(to.as_nanos());
+            let frac = overlap_end.saturating_sub(overlap_start) as f64 / w as f64;
+            bytes += b as f64 * frac;
+        }
+        let secs = (to - from).as_secs_f64();
+        bytes / (1024.0 * 1024.0) / secs
+    }
+
+    /// Mean bandwidth in MiB/s over everything recorded so far, measured
+    /// against the span from the first to the last sample (inclusive of one
+    /// trailing window so single-sample series are well-defined).
+    #[must_use]
+    pub fn overall_mib_s(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) => {
+                let span = (l - f) + self.window;
+                self.total_bytes as f64 / (1024.0 * 1024.0) / span.as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The full series as `(window start, MiB/s)` points; trailing windows
+    /// with zero bytes are preserved so gaps show up in plots.
+    #[must_use]
+    pub fn points(&self) -> Vec<BandwidthPoint> {
+        let w_secs = self.window.as_secs_f64();
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| BandwidthPoint {
+                t_secs: i as f64 * w_secs,
+                mib_s: bytes as f64 / (1024.0 * 1024.0) / w_secs,
+            })
+            .collect()
+    }
+
+    /// First window index (at or after `from`) whose bandwidth reaches
+    /// `threshold_mib_s`, as an instant. `None` if never reached.
+    ///
+    /// This implements the D4 burst response-time measurement: the time for
+    /// a bursting priority app to reach its entitled bandwidth.
+    #[must_use]
+    pub fn first_window_reaching(&self, threshold_mib_s: f64, from: SimTime) -> Option<SimTime> {
+        let w_secs = self.window.as_secs_f64();
+        let lo = (from.as_nanos() / self.window.as_nanos()) as usize;
+        self.windows.iter().enumerate().skip(lo).find_map(|(i, &bytes)| {
+            let mib_s = bytes as f64 / (1024.0 * 1024.0) / w_secs;
+            (mib_s >= threshold_mib_s)
+                .then(|| SimTime::from_nanos(i as u64 * self.window.as_nanos()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn windows_aggregate_bytes() {
+        let mut s = BandwidthSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(10), 3 * MIB);
+        s.record(SimTime::from_millis(900), 2 * MIB);
+        s.record(SimTime::from_millis(1_100), 7 * MIB);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].mib_s - 5.0).abs() < 1e-9);
+        assert!((pts[1].mib_s - 7.0).abs() < 1e-9);
+        assert_eq!(s.total_bytes(), 12 * MIB);
+    }
+
+    #[test]
+    fn mean_over_interval() {
+        let mut s = BandwidthSeries::new(SimDuration::from_millis(100));
+        for i in 0..10 {
+            s.record(SimTime::from_millis(i * 100 + 50), MIB);
+        }
+        // 10 MiB over 1 second.
+        let mean = s.mean_mib_s(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((mean - 10.0).abs() < 1e-9, "{mean}");
+        // Half the interval has half the bytes.
+        let mean = s.mean_mib_s(SimTime::ZERO, SimTime::from_millis(500));
+        assert!((mean - 10.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn mean_of_empty_or_inverted_interval_is_zero() {
+        let s = BandwidthSeries::new(SimDuration::from_secs(1));
+        assert_eq!(s.mean_mib_s(SimTime::ZERO, SimTime::from_secs(1)), 0.0);
+        let mut s2 = BandwidthSeries::new(SimDuration::from_secs(1));
+        s2.record(SimTime::from_millis(1), MIB);
+        assert_eq!(s2.mean_mib_s(SimTime::from_secs(2), SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn overall_handles_single_sample() {
+        let mut s = BandwidthSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(10), 4 * MIB);
+        assert!((s.overall_mib_s() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_window_reaching_finds_burst() {
+        let mut s = BandwidthSeries::new(SimDuration::from_millis(10));
+        // Quiet until t = 50 ms, then 100 MiB/s.
+        for i in 5..10 {
+            s.record(SimTime::from_millis(i * 10 + 1), MIB);
+        }
+        let hit = s.first_window_reaching(50.0, SimTime::ZERO).unwrap();
+        assert_eq!(hit, SimTime::from_millis(50));
+        assert!(s.first_window_reaching(1e9, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn gap_windows_are_zero() {
+        let mut s = BandwidthSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(500), MIB);
+        s.record(SimTime::from_millis(2_500), MIB);
+        let pts = s.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].mib_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = BandwidthSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,43 @@
+//! # workload — a fio-like workload generator
+//!
+//! Generates the I/O streams the paper drives its benchmarks with (§III):
+//!
+//! * [`JobSpec`] — a fio-style job description (rw kind, block size, queue
+//!   depth, optional rate cap, start/stop times, burst duty cycles, I/O
+//!   engine), built with [`JobSpec::builder`],
+//! * [`AddressStream`] — turns a spec into a deterministic stream of
+//!   `(op, pattern, offset)` tuples over a device's address space,
+//! * app-class presets matching the paper: [`JobSpec::lc_app`] (4 KiB
+//!   random reads at QD 1), [`JobSpec::batch_app`] and [`JobSpec::be_app`]
+//!   (4 KiB random reads at QD 256),
+//! * [`IoEngine`] — io_uring vs libaio submission-cost profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use workload::{JobSpec, RwKind};
+//! use simcore::SimTime;
+//!
+//! let job = JobSpec::builder("tenant-a")
+//!     .rw(RwKind::RandRead)
+//!     .block_size(64 * 1024)
+//!     .iodepth(8)
+//!     .rate_mib_s(1536.0) // 1.5 GiB/s cap, as in Fig. 2
+//!     .start_at(SimTime::from_secs(10))
+//!     .stop_at(SimTime::from_secs(70))
+//!     .build();
+//! assert!(job.is_active(SimTime::from_secs(30)));
+//! assert!(!job.is_active(SimTime::from_secs(5)));
+//! assert_eq!(job.block_size(), 65536);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod spec;
+mod stream;
+
+pub use engine::IoEngine;
+pub use spec::{BurstPattern, JobSpec, JobSpecBuilder, RwKind};
+pub use stream::AddressStream;

@@ -1,0 +1,59 @@
+//! Capacity planning: how many LC tenants fit on one core and one SSD?
+//!
+//! A practitioner's use of isol-bench beyond the paper's figures:
+//! sweep the number of latency-critical tenants under the two
+//! production-grade knobs (`none` as baseline, `io.cost` as the paper's
+//! recommendation) and find the co-location level where the P99 SLO
+//! (300 µs) breaks.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use isol_bench_repro::bench_suite::{Knob, Scenario};
+use isol_bench_repro::simcore::SimTime;
+use isol_bench_repro::stats::Table;
+use isol_bench_repro::workload::JobSpec;
+
+const SLO_P99_US: f64 = 300.0;
+
+fn p99_at(knob: Knob, tenants: usize) -> f64 {
+    let mut s = Scenario::new("capacity", 1, vec![knob.device_setup(true)]);
+    let groups: Vec<_> = (0..tenants).map(|i| s.add_cgroup(&format!("t-{i}"))).collect();
+    for (i, &g) in groups.iter().enumerate() {
+        s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
+    }
+    knob.configure_overhead_mode(&mut s, &groups);
+    let report = s.run(SimTime::from_millis(800));
+    // Worst tenant's P99 (an SLO is per-tenant, not on the average).
+    report
+        .apps
+        .iter()
+        .map(|a| a.latency.p99_us)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let counts = [1usize, 2, 4, 8, 12, 16, 24, 32];
+    let mut t = Table::new(vec!["tenants", "none P99 (us)", "io.cost P99 (us)"]);
+    let mut fit = [None::<usize>; 2];
+    for &n in &counts {
+        let none = p99_at(Knob::None, n);
+        let cost = p99_at(Knob::IoCost, n);
+        for (slot, p99) in fit.iter_mut().zip([none, cost]) {
+            if p99 <= SLO_P99_US {
+                *slot = Some(n);
+            }
+        }
+        t.row(vec![n.to_string(), format!("{none:.0}"), format!("{cost:.0}")]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Largest co-location meeting a {SLO_P99_US:.0} us P99 SLO on one core: \
+         none = {} tenants, io.cost = {} tenants.",
+        fit[0].map_or("0".into(), |n| n.to_string()),
+        fit[1].map_or("0".into(), |n| n.to_string()),
+    );
+    println!(
+        "(io.cost's per-I/O accounting costs CPU, so it fits fewer QD-1 tenants \
+         per core once the CPU is the bottleneck — the paper's O1.)"
+    );
+}

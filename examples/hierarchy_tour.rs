@@ -1,0 +1,81 @@
+//! A tour of the cgroup-v2 hierarchy semantics (the paper's Fig. 1).
+//!
+//! Builds the figure's tree, demonstrates the management/process-group
+//! rule, the root-only `io.cost` files, the non-inheritable
+//! `io.prio.class`, and the kernel knob-file grammars — including the
+//! errors cgroupfs would return.
+//!
+//! Run with: `cargo run --example hierarchy_tour`
+
+use isol_bench_repro::blkio::AppId;
+use isol_bench_repro::cgroup::{CgroupError, DevNode, Hierarchy};
+
+fn main() -> Result<(), CgroupError> {
+    let mut h = Hierarchy::new();
+
+    // Fig. 1: root -> controller.slice (+io) -> three services.
+    let slice = h.create(Hierarchy::ROOT, "controller.slice")?;
+    h.enable_io(slice)?; // "+io" in cgroup.subtree_control
+    let a = h.create(slice, "container-a.service")?;
+    let b = h.create(slice, "container-b.service")?;
+    let no_io = h.create(Hierarchy::ROOT, "no-io.slice")?; // no +io
+    let broken = h.create(no_io, "broken.service")?;
+
+    println!("tree:");
+    for g in [slice, a, b, no_io, broken] {
+        println!("  {}", h.path(g)?);
+    }
+
+    // Management groups cannot hold processes...
+    let err = h.attach_process(slice, AppId(0)).unwrap_err();
+    println!("\nattach process to controller.slice -> {err}");
+    // ...process groups can.
+    h.attach_process(a, AppId(0))?;
+    println!("attach process to container-a.service -> ok");
+    // ...and a group with processes cannot become a management group.
+    let err = h.enable_io(a).unwrap_err();
+    println!("enable +io on container-a.service -> {err}");
+
+    // Knobs need the parent's +io: broken.service has none.
+    let err = h.write(broken, "io.max", "259:0 rbps=1048576").unwrap_err();
+    println!("write io.max in broken.service -> {err}");
+
+    // io.cost.* is root-only.
+    let err = h
+        .write(a, "io.cost.qos", "259:0 enable=1 min=50 max=100")
+        .unwrap_err();
+    println!("write io.cost.qos in a child -> {err}");
+    h.write(
+        Hierarchy::ROOT,
+        "io.cost.model",
+        "259:0 ctrl=user rbps=2464424576 rseqiops=97620 rrandiops=93364 \
+         wbps=1186341888 wseqiops=25184 wrandiops=25184",
+    )?;
+    println!("write io.cost.model in root -> ok");
+
+    // Kernel value grammars parse and render back.
+    h.write(a, "io.max", "259:0 rbps=1572864000 wbps=max riops=max wiops=max")?;
+    println!("\ncontainer-a io.max  = {}", h.read(a, "io.max")?);
+    h.write(a, "io.weight", "default 250")?;
+    println!("container-a io.weight = {}", h.read(a, "io.weight")?);
+    h.write(a, "io.prio.class", "rt")?;
+    println!("container-a io.prio.class = {}", h.read(a, "io.prio.class")?);
+
+    // io.prio.class is NOT inheritable: a child reads the default.
+    h.write(b, "io.prio.class", "idle")?;
+    let b_child = h.create(b, "worker")?;
+    println!(
+        "b io.prio.class = {}, b/worker effective = {} (not inherited)",
+        h.prio_class(b),
+        h.prio_class(b_child)
+    );
+
+    // Effective (hierarchical) io.max: parent limits bind children.
+    h.write(slice, "io.max", "259:0 rbps=1048576")?;
+    let eff = h.io_max(a, DevNode::nvme(0));
+    println!(
+        "\neffective rbps for container-a: {} (parent 1 MiB/s cap wins over its own 1.5 GB/s)",
+        eff.rbps.unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! Failure-injection and robustness tests: hostile configurations,
+//! GC storms, degenerate scales, and misuse of the cgroup API must
+//! either behave gracefully or fail loudly — never corrupt results.
+
+use isol_bench_repro::bench_suite::Scenario;
+use isol_bench_repro::blkio::AppId;
+use isol_bench_repro::cgroup::{CgroupError, Hierarchy};
+use isol_bench_repro::host::DeviceSetup;
+use isol_bench_repro::nvme::DeviceProfile;
+use isol_bench_repro::simcore::SimTime;
+use isol_bench_repro::workload::{JobSpec, RwKind};
+
+#[test]
+fn gc_storm_mid_run_degrades_then_recovers() {
+    // Writers run only in the middle third; readers run throughout.
+    let mut s = Scenario::new("gc-storm", 6, vec![DeviceSetup::flash()]);
+    let readers = s.add_cgroup("readers");
+    let writers = s.add_cgroup("writers");
+    for i in 0..2 {
+        s.add_app(readers, JobSpec::batch_app(&format!("r{i}")));
+    }
+    for i in 0..4 {
+        s.add_app(
+            writers,
+            JobSpec::builder(&format!("w{i}"))
+                .rw(RwKind::RandWrite)
+                .iodepth(256)
+                .start_at(SimTime::from_millis(400))
+                .stop_at(SimTime::from_millis(800))
+                .build(),
+        );
+    }
+    let r = s.run(SimTime::from_millis(1_600));
+    let series = &r.apps[0].series;
+    let before = series.mean_mib_s(SimTime::from_millis(100), SimTime::from_millis(400));
+    let during = series.mean_mib_s(SimTime::from_millis(500), SimTime::from_millis(800));
+    let after = series.mean_mib_s(SimTime::from_millis(1_300), SimTime::from_millis(1_600));
+    assert!(during < 0.7 * before, "GC should dent reads: before {before} during {during}");
+    assert!(after > 1.5 * during, "reads should recover after GC drains: {during} -> {after}");
+}
+
+#[test]
+fn misconfigured_hierarchy_fails_loudly_not_silently() {
+    let mut h = Hierarchy::new();
+    let slice = h.create(Hierarchy::ROOT, "s").unwrap();
+    // No +io on the slice.
+    let g = h.create(slice, "g").unwrap();
+    assert_eq!(
+        h.write(g, "io.max", "259:0 rbps=1"),
+        Err(CgroupError::IoControllerNotEnabled)
+    );
+    // Garbage values never partially apply.
+    h.enable_io(slice).unwrap();
+    assert!(h.write(g, "io.max", "259:0 rbps=fast").is_err());
+    assert_eq!(h.read(g, "io.max").unwrap(), "");
+    // A bogus device key is rejected before any state change.
+    assert!(h.write(g, "io.latency", "nvme0n1 target=75").is_err());
+}
+
+#[test]
+fn zero_weight_and_overflow_weights_rejected() {
+    let mut h = Hierarchy::new();
+    let slice = h.create(Hierarchy::ROOT, "s").unwrap();
+    h.enable_io(slice).unwrap();
+    let g = h.create(slice, "g").unwrap();
+    assert!(h.write(g, "io.weight", "default 0").is_err());
+    assert!(h.write(g, "io.weight", "default 10001").is_err());
+    assert!(h.write(g, "io.weight", &format!("default {}", u64::from(u32::MAX) + 1)).is_err());
+}
+
+#[test]
+fn stale_group_ids_error_after_removal() {
+    let mut h = Hierarchy::new();
+    let slice = h.create(Hierarchy::ROOT, "s").unwrap();
+    h.enable_io(slice).unwrap();
+    let g = h.create(slice, "g").unwrap();
+    h.remove(g).unwrap();
+    // The tombstoned group reads as parentless; re-creating the name works.
+    assert_eq!(h.group(g).unwrap().parent(), None);
+    let g2 = h.create(slice, "g").unwrap();
+    assert_ne!(g, g2, "ids are never reused");
+}
+
+#[test]
+fn tiny_device_still_simulates() {
+    let mut profile = DeviceProfile::flash();
+    profile.capacity_bytes = 8 << 20; // 8 MiB
+    profile.units = 1;
+    profile.max_qd = 2;
+    let setup = DeviceSetup { profile, ..DeviceSetup::flash() };
+    let mut s = Scenario::new("tiny", 1, vec![setup]);
+    let g = s.add_cgroup("g");
+    s.add_app(g, JobSpec::lc_app("lc"));
+    let r = s.run(SimTime::from_millis(100));
+    assert!(r.apps[0].completed > 100, "tiny device still makes progress");
+}
+
+#[test]
+fn many_groups_scale_without_blowup() {
+    // 128 cgroups with one LC app each on one core: CPU-saturated but
+    // the simulation must stay consistent.
+    let mut s = Scenario::new("many", 1, vec![DeviceSetup::flash()]);
+    for i in 0..128 {
+        let g = s.add_cgroup(&format!("g{i}"));
+        s.add_app(g, JobSpec::lc_app(&format!("lc{i}")));
+    }
+    let r = s.run(SimTime::from_millis(150));
+    let total: u64 = r.apps.iter().map(|a| a.completed).sum();
+    assert!(total > 1_000, "aggregate progress under extreme co-location: {total}");
+    // Every app made at least some progress (no total starvation).
+    let starved = r.apps.iter().filter(|a| a.completed == 0).count();
+    assert!(starved < 8, "{starved}/128 apps fully starved");
+}
+
+#[test]
+fn app_stopping_with_inflight_requests_completes_cleanly() {
+    let mut s = Scenario::new("stop", 2, vec![DeviceSetup::flash()]);
+    let g = s.add_cgroup("g");
+    s.add_app(
+        g,
+        JobSpec::builder("short").iodepth(256).stop_at(SimTime::from_millis(5)).build(),
+    );
+    let r = s.run(SimTime::from_millis(100));
+    // All issued requests eventually completed (none lost in the stack).
+    assert_eq!(r.apps[0].issued, r.apps[0].completed, "requests lost in flight");
+}
+
+#[test]
+fn rate_cap_far_above_capacity_is_harmless() {
+    let mut s = Scenario::new("cap", 4, vec![DeviceSetup::flash()]);
+    let g = s.add_cgroup("g");
+    s.add_app(g, JobSpec::builder("j").iodepth(128).rate_mib_s(1e6).build());
+    let r = s.run(SimTime::from_millis(200));
+    let gib_s = r.aggregate_gib_s();
+    // One submitter at QD 128 is CPU-bound near 1 GiB/s on this host.
+    assert!((0.8..3.3).contains(&gib_s), "sane throughput despite silly cap: {gib_s}");
+}
+
+#[test]
+fn processes_cannot_be_attached_twice_inconsistently() {
+    let mut h = Hierarchy::new();
+    let slice = h.create(Hierarchy::ROOT, "s").unwrap();
+    h.enable_io(slice).unwrap();
+    let a = h.create(slice, "a").unwrap();
+    let b = h.create(slice, "b").unwrap();
+    h.attach_process(a, AppId(0)).unwrap();
+    h.attach_process(b, AppId(0)).unwrap();
+    assert_eq!(h.group_of(AppId(0)), b);
+    assert!(h.group(a).unwrap().procs().is_empty());
+}
+
+#[test]
+fn preconditioned_optane_ignores_gc_pressure() {
+    let mut s = Scenario::new("optane", 4, vec![DeviceSetup::optane().preconditioned(1.0)]);
+    let g = s.add_cgroup("g");
+    s.add_app(
+        g,
+        JobSpec::builder("w").rw(RwKind::RandWrite).iodepth(128).build(),
+    );
+    let r = s.run(SimTime::from_millis(200));
+    let gib_s = r.aggregate_gib_s();
+    assert!(gib_s > 0.8, "optane sustains writes regardless of preconditioning: {gib_s}");
+    assert_eq!(r.devices[0].gc_level, 0.0);
+}

@@ -1,0 +1,153 @@
+//! End-to-end assertions of the paper's ten observations (O1–O10) and
+//! the Table I verdicts, at smoke fidelity. These are the "shape"
+//! checks: who wins, in which direction, and by roughly what kind of
+//! margin — not absolute numbers.
+
+use isol_bench_repro::bench_suite::experiments::{
+    fig2, fig3, fig4, fig5, fig6, fig7, q10, table1,
+};
+use isol_bench_repro::bench_suite::{Fidelity, Knob, OutputSink};
+
+const F: Fidelity = Fidelity::Smoke;
+
+fn sink() -> OutputSink {
+    OutputSink::quiet()
+}
+
+#[test]
+fn o1_scheduler_latency_overhead_and_iocost_past_saturation() {
+    let r = fig3::run(F, &mut sink()).unwrap();
+    let none1 = r.row(Knob::None, 1).unwrap().p99_us;
+    // MQ-DL and BFQ add tail latency already at one LC-app.
+    assert!(r.row(Knob::MqDlPrio, 1).unwrap().p99_us > 1.02 * none1);
+    assert!(r.row(Knob::BfqWeight, 1).unwrap().p99_us > 1.05 * none1);
+    // io.max / io.latency are near-free; io.cost pays past saturation.
+    assert!(r.row(Knob::IoMax, 1).unwrap().p99_us < 1.05 * none1);
+    assert!(r.row(Knob::IoLatency, 1).unwrap().p99_us < 1.05 * none1);
+    let none16 = r.row(Knob::None, 16).unwrap().p99_us;
+    assert!(r.row(Knob::IoCost, 16).unwrap().p99_us > 1.15 * none16);
+}
+
+#[test]
+fn o2_schedulers_cannot_saturate_nvme() {
+    let r = fig4::run(F, &mut sink()).unwrap();
+    let none = r.peak_gib_s(Knob::None, 1);
+    assert!(r.peak_gib_s(Knob::MqDlPrio, 1) < 0.75 * none);
+    assert!(r.peak_gib_s(Knob::BfqWeight, 1) < 0.5 * none);
+    // QoS knobs lose at most a sliver.
+    assert!(r.peak_gib_s(Knob::IoCost, 1) > 0.85 * none);
+    assert!(r.peak_gib_s(Knob::IoMax, 1) > 0.85 * none);
+}
+
+#[test]
+fn o3_o4_fairness_and_weights() {
+    let r = fig5::run(F, &mut sink()).unwrap();
+    // Uniform fairness at small scale for every knob (Fig. 5a).
+    for knob in Knob::ALL {
+        assert!(r.row(knob, 2, false).unwrap().jain > 0.85, "{knob}");
+    }
+    // io.cost's model/min-window costs utilization (O3).
+    let none_agg = r.row(Knob::None, 2, false).unwrap().agg_gib_s;
+    let cost_agg = r.row(Knob::IoCost, 2, false).unwrap().agg_gib_s;
+    assert!(cost_agg < 0.75 * none_agg);
+    // Weighted fairness works for weight-capable knobs (O4).
+    for knob in [Knob::IoCost, Knob::IoMax] {
+        assert!(r.row(knob, 2, true).unwrap().jain > 0.85, "{knob}");
+    }
+}
+
+#[test]
+fn o5_mixed_workload_fairness() {
+    let r = fig6::run(F, &mut sink()).unwrap();
+    // Request sizes break fairness without byte-aware control.
+    assert!(r.row(Knob::None, fig6::MixCase::Sizes).unwrap().jain < 0.7);
+    assert!(r.row(Knob::IoMax, fig6::MixCase::Sizes).unwrap().jain > 0.8);
+    assert!(r.row(Knob::IoCost, fig6::MixCase::Sizes).unwrap().jain > 0.8);
+    // io.cost's asymmetric write costing shows in read-write mixes.
+    let cost_rw = r.row(Knob::IoCost, fig6::MixCase::ReadWrite).unwrap();
+    assert!(cost_rw.cg0_mib_s > cost_rw.cg1_mib_s);
+}
+
+#[test]
+fn o6_to_o9_tradeoff_fronts() {
+    let r = fig7::run(F, &mut sink()).unwrap();
+    use fig7::{BeVariant, PrioScenario};
+    // O8: io.max sweeps trade BE bandwidth for priority bandwidth.
+    let iomax = r.front(Knob::IoMax, PrioScenario::Batch, BeVariant::Rand4k);
+    assert!(iomax[0].prio_mib_s > iomax.last().unwrap().prio_mib_s);
+    // O9: io.cost protects LC latency against the same BE side.
+    let cost = r.front(Knob::IoCost, PrioScenario::Lc, BeVariant::Rand4k);
+    let none = r.front(Knob::None, PrioScenario::Lc, BeVariant::Rand4k);
+    assert!(cost[0].prio_p99_us < none[0].prio_p99_us);
+    // O6: BFQ cannot spread a single app's bandwidth like io.max can.
+    let bfq = r.front(Knob::BfqWeight, PrioScenario::Batch, BeVariant::Rand4k);
+    let bfq_spread = bfq.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max)
+        - bfq.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+    let iomax_spread = iomax.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max)
+        - iomax.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+    assert!(bfq_spread < 0.7 * iomax_spread);
+}
+
+#[test]
+fn o10_burst_response_times() {
+    let r = q10::run(F, &mut sink()).unwrap();
+    let cost = r.row(Knob::IoCost, q10::BurstApp::Batch).unwrap();
+    let iolat = r.row(Knob::IoLatency, q10::BurstApp::Batch).unwrap();
+    assert!(cost.response_ms < 150.0, "io.cost {}", cost.response_ms);
+    assert!(
+        iolat.response_ms > 400.0 || iolat.response_ms.is_infinite(),
+        "io.latency {}",
+        iolat.response_ms
+    );
+}
+
+#[test]
+fn fig2_signatures() {
+    let r = fig2::run(F, &mut sink()).unwrap();
+    // MQ-DL (panel b) starves the idle app while rt runs.
+    let b = &r.panels[1];
+    assert!(b.mean_in_phase(2, 2.5, 5.0) < 0.2 * b.mean_in_phase(0, 2.5, 5.0));
+    // io.cost weights (panel h) order the three tenants.
+    let hh = &r.panels[7];
+    let (a, bm, c) = (
+        hh.mean_in_phase(0, 2.5, 5.0),
+        hh.mean_in_phase(1, 2.5, 5.0),
+        hh.mean_in_phase(2, 2.5, 5.0),
+    );
+    assert!(a > bm && bm > c, "io.cost weight ordering {a} {bm} {c}");
+}
+
+#[test]
+fn table1_headline_verdicts_match_paper() {
+    let mut s = sink();
+    let f3 = fig3::run(F, &mut s).unwrap();
+    let f4 = fig4::run(F, &mut s).unwrap();
+    let f5 = fig5::run(F, &mut s).unwrap();
+    let f6 = fig6::run(F, &mut s).unwrap();
+    let f7 = fig7::run(F, &mut s).unwrap();
+    let q = q10::run(F, &mut s).unwrap();
+    let t = table1::derive(&f3, &f4, &f5, &f6, &f7, &q, F);
+
+    use table1::Verdict;
+    // The paper's headline: io.cost achieves the most desiderata.
+    let cost = t.row(Knob::IoCost).unwrap();
+    assert_eq!(cost.fairness, Verdict::Yes, "io.cost fairness");
+    assert_eq!(cost.bursts, Verdict::Yes, "io.cost bursts");
+    assert_ne!(cost.overhead, Verdict::No, "io.cost overhead is - not X");
+    // io.max: low overhead but static semantics elsewhere.
+    let iomax = t.row(Knob::IoMax).unwrap();
+    assert_eq!(iomax.overhead, Verdict::Yes, "io.max overhead");
+    assert_eq!(iomax.fairness, Verdict::Partial, "io.max fairness");
+    // io.latency: low overhead, no weighted fairness, slow bursts.
+    let iolat = t.row(Knob::IoLatency).unwrap();
+    assert_eq!(iolat.overhead, Verdict::Yes, "io.latency overhead");
+    assert_eq!(iolat.fairness, Verdict::No, "io.latency fairness");
+    assert_eq!(iolat.bursts, Verdict::No, "io.latency bursts");
+    // The schedulers fail across the board.
+    for knob in [Knob::MqDlPrio, Knob::BfqWeight] {
+        let row = t.row(knob).unwrap();
+        assert_eq!(row.overhead, Verdict::No, "{knob} overhead");
+        assert_eq!(row.tradeoffs, Verdict::No, "{knob} tradeoffs");
+        assert_eq!(row.bursts, Verdict::No, "{knob} bursts");
+    }
+}

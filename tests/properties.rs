@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction: knob grammar round-trips, fairness-index bounds,
+//! histogram/quantile consistency, token-bucket conservation, and
+//! simulation determinism under arbitrary job mixes.
+
+use proptest::prelude::*;
+
+use isol_bench_repro::cgroup::{BfqWeight, DevNode, IoCostQos, IoMax, IoWeight};
+use isol_bench_repro::host::DeviceSetup;
+use isol_bench_repro::simcore::{SimDuration, SimTime, TokenBucket};
+use isol_bench_repro::stats::{jain_index, weighted_jain_index, LatencyHistogram};
+use isol_bench_repro::bench_suite::Scenario;
+use isol_bench_repro::workload::{JobSpec, RwKind};
+
+fn limit() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (1u64..=1 << 40).prop_map(Some)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn io_max_grammar_roundtrips(rbps in limit(), wbps in limit(), riops in limit(), wiops in limit()) {
+        let m = IoMax { rbps, wbps, riops, wiops };
+        let rendered = m.to_string();
+        let parsed = IoMax::parse_fields(&rendered).expect("own rendering parses");
+        prop_assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn io_weight_grammar_roundtrips(default in 1u32..=10_000, devs in proptest::collection::btree_map(0u32..8, 1u32..=10_000, 0..4)) {
+        let mut w = IoWeight::default();
+        w.default = default;
+        for (minor, weight) in devs {
+            w.per_dev.insert(DevNode::nvme(minor), weight);
+        }
+        let rendered = w.to_string();
+        let parsed = IoWeight::parse(&rendered, IoWeight::MAX).expect("parses");
+        prop_assert_eq!(w, parsed);
+    }
+
+    #[test]
+    fn bfq_weight_range_is_enforced(v in 1001u32..100_000) {
+        let line = format!("default {v}");
+        prop_assert!(BfqWeight::parse(&line).is_err());
+    }
+
+    #[test]
+    fn cost_qos_roundtrips(enable in proptest::bool::ANY,
+                           rpct in 0u32..=100, rlat in 0u64..10_000_000,
+                           min in 1u32..=100, extra in 0u32..=900) {
+        let q = IoCostQos {
+            enable,
+            ctrl: isol_bench_repro::cgroup::CostCtrl::User,
+            rpct: f64::from(rpct),
+            rlat_us: rlat,
+            wpct: 0.0,
+            wlat_us: 0,
+            min_pct: f64::from(min),
+            max_pct: f64::from(min + extra),
+        };
+        let parsed = IoCostQos::parse_fields(&q.to_string()).expect("parses");
+        prop_assert_eq!(q, parsed);
+    }
+
+    #[test]
+    fn jain_index_bounds(xs in proptest::collection::vec(0.0f64..1e9, 1..32)) {
+        let j = jain_index(&xs);
+        let lo = 1.0 / xs.len() as f64;
+        prop_assert!(j >= lo - 1e-9, "J = {} below 1/n", j);
+        prop_assert!(j <= 1.0 + 1e-9, "J = {} above 1", j);
+    }
+
+    #[test]
+    fn weighted_jain_with_proportional_bandwidth_is_one(ws in proptest::collection::vec(1u32..1000, 2..16), scale in 0.001f64..1e6) {
+        let pairs: Vec<(f64, f64)> = ws.iter().map(|&w| (f64::from(w) * scale, f64::from(w))).collect();
+        let j = weighted_jain_index(&pairs);
+        prop_assert!((j - 1.0).abs() < 1e-9, "J = {}", j);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bounded(samples in proptest::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile_ns(q);
+            prop_assert!(p >= last);
+            last = p;
+        }
+        // The quantile estimate sits within the histogram's relative
+        // error of the true value.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        let est = h.percentile_ns(0.5);
+        let err = (est as f64 - true_median as f64).abs() / true_median as f64;
+        prop_assert!(err < 0.05, "median {est} vs true {true_median}");
+    }
+
+    #[test]
+    fn token_bucket_never_overdelivers(rate in 1.0f64..1e9, takes in proptest::collection::vec(1u32..100_000, 1..100)) {
+        let capacity = rate * 0.05 + 1.0;
+        let mut tb = TokenBucket::new(rate, capacity);
+        let mut granted = 0.0f64;
+        let mut now = SimTime::ZERO;
+        for (i, t) in takes.iter().enumerate() {
+            now = SimTime::from_micros((i as u64 + 1) * 100);
+            let need = f64::from(*t);
+            if tb.try_take(need, now).is_ok() {
+                granted += need;
+            }
+        }
+        // Conservation: cannot exceed initial burst + accrual.
+        let max_possible = capacity + now.as_secs_f64() * rate + 1.0;
+        prop_assert!(granted <= max_possible, "granted {granted} > {max_possible}");
+    }
+
+    #[test]
+    fn burst_pattern_is_periodic(on_ms in 1u64..100, off_ms in 1u64..100, t_ms in 0u64..10_000) {
+        let spec = JobSpec::builder("b")
+            .burst(SimDuration::from_millis(on_ms), SimDuration::from_millis(off_ms))
+            .build();
+        let period = on_ms + off_ms;
+        let a = spec.is_active(SimTime::from_millis(t_ms));
+        let b = spec.is_active(SimTime::from_millis(t_ms + period));
+        prop_assert_eq!(a, b, "activity must be periodic");
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulation_is_deterministic_for_arbitrary_jobs(
+        seed in 0u64..1000,
+        qd in 1u32..64,
+        bs_shift in 12u32..18,
+        read_frac in 0.0f64..=1.0,
+    ) {
+        let build = || {
+            let mut s = Scenario::new("prop", 2, vec![DeviceSetup::flash().preconditioned(0.5)]);
+            s.set_seed(seed);
+            let g = s.add_cgroup("g");
+            s.add_app(
+                g,
+                JobSpec::builder("j")
+                    .rw(RwKind::RandRw { read_frac })
+                    .block_size(1 << bs_shift)
+                    .iodepth(qd)
+                    .build(),
+            );
+            s.run(SimTime::from_millis(60))
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.total_bytes(), b.total_bytes());
+        prop_assert_eq!(a.apps[0].issued, b.apps[0].issued);
+    }
+
+    #[test]
+    fn completed_never_exceeds_issued_and_bytes_match(
+        qd in 1u32..128,
+        bs_shift in 12u32..17,
+    ) {
+        let mut s = Scenario::new("prop", 2, vec![DeviceSetup::flash()]);
+        let g = s.add_cgroup("g");
+        s.add_app(g, JobSpec::builder("j").block_size(1 << bs_shift).iodepth(qd).build());
+        let r = s.run(SimTime::from_millis(80));
+        prop_assert!(r.apps[0].completed <= r.apps[0].issued);
+        prop_assert_eq!(r.apps[0].bytes, r.apps[0].completed * u64::from(1u32 << bs_shift));
+        // The device never reports more service than what apps issued.
+        prop_assert!(r.devices[0].served_ios <= r.apps[0].issued);
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: cgroup knob files written through
+//! `cgroup-sim` must produce the corresponding control behaviour end to
+//! end through `ioqos`/`iosched-sim`/`nvme-sim`/`host-sim`.
+
+use isol_bench_repro::bench_suite::{Knob, Scenario};
+use isol_bench_repro::blkio::DeviceId;
+use isol_bench_repro::host::DeviceSetup;
+use isol_bench_repro::simcore::SimTime;
+use isol_bench_repro::workload::{JobSpec, RwKind};
+
+const RUN: SimTime = SimTime::from_millis(400);
+
+#[test]
+fn io_max_written_through_sysfs_grammar_limits_bandwidth() {
+    let mut s = Scenario::new("t", 4, vec![DeviceSetup::flash()]);
+    let g0 = s.add_cgroup("capped");
+    let g1 = s.add_cgroup("free");
+    s.add_app(g0, JobSpec::batch_app("capped"));
+    s.add_app(g1, JobSpec::batch_app("free"));
+    // The exact string a container runtime would write.
+    s.hierarchy_mut().write(g0, "io.max", "259:0 rbps=104857600").unwrap();
+    let r = s.run(RUN);
+    let capped = r.apps[0].mean_mib_s;
+    let free = r.apps[1].mean_mib_s;
+    assert!((80.0..130.0).contains(&capped), "capped {capped} MiB/s");
+    assert!(free > 5.0 * capped, "free {free} vs capped {capped}");
+}
+
+#[test]
+fn iops_limits_are_request_size_agnostic() {
+    let mut s = Scenario::new("t", 4, vec![DeviceSetup::flash()]);
+    let g0 = s.add_cgroup("iops-capped");
+    s.add_app(
+        g0,
+        JobSpec::builder("big").block_size(256 * 1024).iodepth(64).build(),
+    );
+    s.hierarchy_mut().write(g0, "io.max", "259:0 riops=1000").unwrap();
+    let r = s.run(RUN);
+    let iops = r.apps[0].completed as f64 / RUN.as_secs_f64();
+    assert!((700.0..1_300.0).contains(&iops), "iops {iops}");
+}
+
+#[test]
+fn prio_class_hierarchy_to_scheduler_pipeline() {
+    // Three classes, device-saturating large reads; bandwidth must be
+    // ordered rt > be > idle with MQ-DL attached.
+    let mut s = Scenario::new(
+        "t",
+        6,
+        vec![DeviceSetup::flash().with_scheduler(isol_bench_repro::sched::SchedKind::MqDeadline)],
+    );
+    let names = ["rt", "be", "idle"];
+    let mut groups = Vec::new();
+    for n in names {
+        let g = s.add_cgroup(n);
+        s.add_app(g, JobSpec::builder(n).block_size(65536).iodepth(64).build());
+        groups.push(g);
+    }
+    for (g, class) in groups.iter().zip(["rt", "best-effort", "idle"]) {
+        s.hierarchy_mut().write(*g, "io.prio.class", class).unwrap();
+    }
+    let r = s.run(RUN);
+    let bw: Vec<f64> = r.apps.iter().map(|a| a.mean_mib_s).collect();
+    assert!(bw[0] > bw[1], "rt {} vs be {}", bw[0], bw[1]);
+    assert!(bw[1] > bw[2], "be {} vs idle {}", bw[1], bw[2]);
+    assert!(bw[2] < 0.2 * bw[0], "idle should be near-starved: {bw:?}");
+}
+
+#[test]
+fn bfq_weights_written_as_strings_control_shares() {
+    let mut s = Scenario::new(
+        "t",
+        6,
+        vec![DeviceSetup::flash().with_scheduler(isol_bench_repro::sched::SchedKind::Bfq)],
+    );
+    let g0 = s.add_cgroup("heavy");
+    let g1 = s.add_cgroup("light");
+    // Sequential streams so BFQ's anticipatory machinery applies.
+    for (g, n) in [(g0, "heavy"), (g1, "light")] {
+        s.add_app(
+            g,
+            JobSpec::builder(n).rw(RwKind::SeqRead).block_size(65536).iodepth(32).build(),
+        );
+    }
+    s.hierarchy_mut().write(g0, "io.bfq.weight", "default 800").unwrap();
+    s.hierarchy_mut().write(g1, "io.bfq.weight", "default 100").unwrap();
+    let r = s.run(RUN);
+    let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
+    assert!(ratio > 2.0, "heavy/light ratio {ratio}");
+}
+
+#[test]
+fn io_latency_protects_after_windows_converge() {
+    let mut s = Scenario::new("t", 6, vec![DeviceSetup::flash()]);
+    let prio = s.add_cgroup("prio");
+    let be = s.add_cgroup("be");
+    s.add_app(prio, JobSpec::lc_app("prio"));
+    for i in 0..4 {
+        s.add_app(be, JobSpec::be_app(&format!("be-{i}")));
+    }
+    s.hierarchy_mut().write(prio, "io.latency", "259:0 target=150").unwrap();
+    // Long enough for ~10 windows of 500 ms.
+    s.set_warmup(SimTime::from_secs(5));
+    let r = s.run(SimTime::from_secs(6));
+    let p99 = r.apps[0].latency.p99_us;
+    assert!(p99 < 600.0, "protected LC P99 after convergence: {p99} us");
+}
+
+#[test]
+fn iocost_full_config_through_root_files() {
+    let mut s = Scenario::new("t", 6, vec![DeviceSetup::flash()]);
+    let a = s.add_cgroup("a");
+    let b = s.add_cgroup("b");
+    s.add_app(a, JobSpec::batch_app("a"));
+    s.add_app(b, JobSpec::batch_app("b"));
+    let root = isol_bench_repro::cgroup::Hierarchy::ROOT;
+    s.hierarchy_mut()
+        .write(
+            root,
+            "io.cost.model",
+            "259:0 ctrl=user rbps=2500000000 rseqiops=300000 rrandiops=300000 \
+             wbps=1000000000 wseqiops=60000 wrandiops=60000",
+        )
+        .unwrap();
+    s.hierarchy_mut()
+        .write(
+            root,
+            "io.cost.qos",
+            "259:0 enable=1 ctrl=user rpct=0.00 rlat=0 wpct=0.00 wlat=0 min=100.00 max=100.00",
+        )
+        .unwrap();
+    s.hierarchy_mut().write(a, "io.weight", "default 600").unwrap();
+    s.hierarchy_mut().write(b, "io.weight", "default 100").unwrap();
+    let r = s.run(RUN);
+    let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
+    assert!(ratio > 2.0, "io.weight 600:100 ratio {ratio}");
+    // The model caps aggregate around 300k IOPS ≈ 1.14 GiB/s.
+    let agg = r.aggregate_gib_s();
+    assert!((0.7..1.5).contains(&agg), "model-capped aggregate {agg} GiB/s");
+}
+
+#[test]
+fn optane_profile_generalizes_iocost_weights() {
+    let mut s = Scenario::new("t", 6, vec![Knob::IoCost.device_setup_optane()]);
+    let a = s.add_cgroup("a");
+    let b = s.add_cgroup("b");
+    s.add_app(a, JobSpec::batch_app("a"));
+    s.add_app(b, JobSpec::batch_app("b"));
+    Knob::IoCost.configure_weights(&mut s, &[a, b], &[400, 100]);
+    let r = s.run(RUN);
+    assert!(
+        r.apps[0].mean_mib_s > 1.5 * r.apps[1].mean_mib_s,
+        "weights should hold on optane too: {} vs {}",
+        r.apps[0].mean_mib_s,
+        r.apps[1].mean_mib_s
+    );
+}
+
+#[test]
+fn multi_device_knob_lines_are_per_device() {
+    let mut s = Scenario::new("t", 6, vec![DeviceSetup::flash(), DeviceSetup::flash()]);
+    let g = s.add_cgroup("spread");
+    // One app per device, same cgroup: the io.max line for 259:0 must
+    // cap only the first app's device.
+    s.add_app_on(g, JobSpec::batch_app("on-dev0"), vec![DeviceId(0)]);
+    s.add_app_on(g, JobSpec::batch_app("on-dev1"), vec![DeviceId(1)]);
+    s.hierarchy_mut().write(g, "io.max", "259:0 rbps=52428800").unwrap();
+    let r = s.run(RUN);
+    assert!(
+        r.devices[1].served_bytes > 3 * r.devices[0].served_bytes,
+        "only device 0 is capped: {:?}",
+        r.devices.iter().map(|d| d.served_bytes).collect::<Vec<_>>()
+    );
+    // A single round-robin submitter, in contrast, head-of-line blocks
+    // on its throttled device — both devices slow down together, as a
+    // real QD-bound submitter would.
+}
+
+#[test]
+fn bursty_job_windows_show_in_series() {
+    let mut s = Scenario::new("t", 2, vec![DeviceSetup::flash()]);
+    s.set_bw_window(isol_bench_repro::simcore::SimDuration::from_millis(10));
+    let g = s.add_cgroup("bursty");
+    s.add_app(
+        g,
+        JobSpec::builder("bursty")
+            .iodepth(16)
+            .burst(
+                isol_bench_repro::simcore::SimDuration::from_millis(50),
+                isol_bench_repro::simcore::SimDuration::from_millis(50),
+            )
+            .build(),
+    );
+    let r = s.run(RUN);
+    let pts = r.apps[0].series.points();
+    let active = pts.iter().filter(|p| p.mib_s > 1.0).count();
+    let silent = pts.iter().filter(|p| p.mib_s <= 1.0).count();
+    assert!(active > 0 && silent > 0, "duty cycle visible: {active} on / {silent} off");
+}
+
+#[test]
+fn reports_are_deterministic_across_identical_runs() {
+    let build = || {
+        let mut s = Scenario::new("t", 4, vec![DeviceSetup::flash()]);
+        let g0 = s.add_cgroup("a");
+        let g1 = s.add_cgroup("b");
+        s.add_app(g0, JobSpec::batch_app("a"));
+        s.add_app(g1, JobSpec::lc_app("b"));
+        s.hierarchy_mut().write(g0, "io.max", "259:0 rbps=524288000").unwrap();
+        s.run(SimTime::from_millis(200))
+    };
+    let r1 = build();
+    let r2 = build();
+    assert_eq!(r1.total_bytes(), r2.total_bytes());
+    assert_eq!(r1.apps[1].latency.p99_us, r2.apps[1].latency.p99_us);
+    assert_eq!(r1.apps[0].completed, r2.apps[0].completed);
+}
