@@ -27,42 +27,46 @@ fn bfq_slice_idle_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_bfq_slice_idle");
     g.sample_size(10);
     for (label, idle_ms) in [("idle_8ms", 8u64), ("idle_off", 0)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &idle_ms, |b, &idle_ms| {
-            b.iter(|| {
-                let cfg = BfqConfig {
-                    slice_idle: SimDuration::from_millis(idle_ms),
-                    ..BfqConfig::default()
-                };
-                let mut s = Scenario::new(
-                    "ablate-bfq",
-                    8,
-                    vec![Knob::BfqWeight.device_setup(false).with_bfq(cfg)],
-                );
-                let g0 = s.add_cgroup("a");
-                let g1 = s.add_cgroup("b");
-                // Sequential tenants: the case where idling fires.
-                s.add_app(
-                    g0,
-                    JobSpec::builder("a")
-                        .rw(workload::RwKind::SeqRead)
-                        .block_size(65536)
-                        .iodepth(4)
-                        .rate_mib_s(800.0)
-                        .build(),
-                );
-                s.add_app(
-                    g1,
-                    JobSpec::builder("b")
-                        .rw(workload::RwKind::SeqRead)
-                        .block_size(65536)
-                        .iodepth(4)
-                        .rate_mib_s(800.0)
-                        .build(),
-                );
-                let r = s.run(SimTime::from_millis(300));
-                black_box(r.aggregate_gib_s())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &idle_ms,
+            |b, &idle_ms| {
+                b.iter(|| {
+                    let cfg = BfqConfig {
+                        slice_idle: SimDuration::from_millis(idle_ms),
+                        ..BfqConfig::default()
+                    };
+                    let mut s = Scenario::new(
+                        "ablate-bfq",
+                        8,
+                        vec![Knob::BfqWeight.device_setup(false).with_bfq(cfg)],
+                    );
+                    let g0 = s.add_cgroup("a");
+                    let g1 = s.add_cgroup("b");
+                    // Sequential tenants: the case where idling fires.
+                    s.add_app(
+                        g0,
+                        JobSpec::builder("a")
+                            .rw(workload::RwKind::SeqRead)
+                            .block_size(65536)
+                            .iodepth(4)
+                            .rate_mib_s(800.0)
+                            .build(),
+                    );
+                    s.add_app(
+                        g1,
+                        JobSpec::builder("b")
+                            .rw(workload::RwKind::SeqRead)
+                            .block_size(65536)
+                            .iodepth(4)
+                            .rate_mib_s(800.0)
+                            .build(),
+                    );
+                    let r = s.run(SimTime::from_millis(300));
+                    black_box(r.aggregate_gib_s())
+                });
+            },
+        );
     }
     g.finish();
     PRINTED.call_once(|| {
@@ -76,7 +80,8 @@ fn iocost_qos_ablation(c: &mut Criterion) {
     for (label, enable) in [("qos_on", true), ("qos_off_model_only", false)] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &enable, |b, &enable| {
             b.iter(|| {
-                let mut s = Scenario::new("ablate-iocost", 8, vec![Knob::IoCost.device_setup(false)]);
+                let mut s =
+                    Scenario::new("ablate-iocost", 8, vec![Knob::IoCost.device_setup(false)]);
                 let g0 = s.add_cgroup("a");
                 let g1 = s.add_cgroup("b");
                 for i in 0..4 {
@@ -111,27 +116,34 @@ fn iolatency_step_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_iolatency_max_qd");
     g.sample_size(10);
     for max_qd in [64u32, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(max_qd), &max_qd, |b, &max_qd| {
-            b.iter(|| {
-                let mut setup = Knob::IoLatency.device_setup(false);
-                setup.profile.max_qd = max_qd;
-                let mut s = Scenario::new("ablate-iolat", 8, vec![setup]);
-                let prio = s.add_cgroup("prio");
-                let be = s.add_cgroup("be");
-                s.add_app(prio, JobSpec::lc_app("prio"));
-                for i in 0..4 {
-                    s.add_app(be, JobSpec::be_app(&format!("be{i}")));
-                }
-                s.hierarchy_mut()
-                    .apply(
-                        prio,
-                        KnobWrite::Latency(cgroup_sim::DevNode::nvme(0), IoLatency { target_us: 150 }),
-                    )
-                    .expect("target");
-                let r = s.run(SimTime::from_millis(1_200));
-                black_box(r.apps[0].latency.p99_us)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(max_qd),
+            &max_qd,
+            |b, &max_qd| {
+                b.iter(|| {
+                    let mut setup = Knob::IoLatency.device_setup(false);
+                    setup.profile.max_qd = max_qd;
+                    let mut s = Scenario::new("ablate-iolat", 8, vec![setup]);
+                    let prio = s.add_cgroup("prio");
+                    let be = s.add_cgroup("be");
+                    s.add_app(prio, JobSpec::lc_app("prio"));
+                    for i in 0..4 {
+                        s.add_app(be, JobSpec::be_app(&format!("be{i}")));
+                    }
+                    s.hierarchy_mut()
+                        .apply(
+                            prio,
+                            KnobWrite::Latency(
+                                cgroup_sim::DevNode::nvme(0),
+                                IoLatency { target_us: 150 },
+                            ),
+                        )
+                        .expect("target");
+                    let r = s.run(SimTime::from_millis(1_200));
+                    black_box(r.apps[0].latency.p99_us)
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -140,34 +152,48 @@ fn mqdl_aging_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_mqdl_aging");
     g.sample_size(10);
     for aging_ms in [100u64, 1_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(aging_ms), &aging_ms, |b, &aging_ms| {
-            b.iter(|| {
-                let cfg = MqDeadlineConfig {
-                    prio_aging_expire: SimDuration::from_millis(aging_ms),
-                    ..MqDeadlineConfig::default()
-                };
-                let mut s = Scenario::new(
-                    "ablate-mqdl",
-                    8,
-                    vec![Knob::MqDlPrio.device_setup(false).with_mq_deadline(cfg)],
-                );
-                let rt = s.add_cgroup("rt");
-                let idle = s.add_cgroup("idle");
-                s.add_app(
-                    rt,
-                    JobSpec::builder("rt").block_size(65536).iodepth(128).build(),
-                );
-                s.add_app(
-                    idle,
-                    JobSpec::builder("idle").block_size(65536).iodepth(128).build(),
-                );
-                s.hierarchy_mut().apply(rt, KnobWrite::PrioClass(PrioClass::Realtime)).unwrap();
-                s.hierarchy_mut().apply(idle, KnobWrite::PrioClass(PrioClass::Idle)).unwrap();
-                let r = s.run(SimTime::from_millis(400));
-                // Starved tenant's bandwidth scales with aging frequency.
-                black_box(r.apps[1].mean_mib_s)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(aging_ms),
+            &aging_ms,
+            |b, &aging_ms| {
+                b.iter(|| {
+                    let cfg = MqDeadlineConfig {
+                        prio_aging_expire: SimDuration::from_millis(aging_ms),
+                        ..MqDeadlineConfig::default()
+                    };
+                    let mut s = Scenario::new(
+                        "ablate-mqdl",
+                        8,
+                        vec![Knob::MqDlPrio.device_setup(false).with_mq_deadline(cfg)],
+                    );
+                    let rt = s.add_cgroup("rt");
+                    let idle = s.add_cgroup("idle");
+                    s.add_app(
+                        rt,
+                        JobSpec::builder("rt")
+                            .block_size(65536)
+                            .iodepth(128)
+                            .build(),
+                    );
+                    s.add_app(
+                        idle,
+                        JobSpec::builder("idle")
+                            .block_size(65536)
+                            .iodepth(128)
+                            .build(),
+                    );
+                    s.hierarchy_mut()
+                        .apply(rt, KnobWrite::PrioClass(PrioClass::Realtime))
+                        .unwrap();
+                    s.hierarchy_mut()
+                        .apply(idle, KnobWrite::PrioClass(PrioClass::Idle))
+                        .unwrap();
+                    let r = s.run(SimTime::from_millis(400));
+                    // Starved tenant's bandwidth scales with aging frequency.
+                    black_box(r.apps[1].mean_mib_s)
+                });
+            },
+        );
     }
     g.finish();
 }

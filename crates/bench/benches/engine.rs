@@ -34,7 +34,9 @@ fn bench_histogram(c: &mut Criterion) {
             let mut h = iostats::LatencyHistogram::new();
             let mut x = 12345u64;
             for _ in 0..100_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 h.record_ns(x % 10_000_000);
             }
             black_box(h.percentile_ns(0.99))

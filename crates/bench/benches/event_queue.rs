@@ -1,0 +1,66 @@
+//! Event-queue throughput: schedule/pop cycles with and without heap
+//! pre-sizing (`EventQueue::with_capacity`). The host engine pre-sizes
+//! its queue to the pending-event bound at build time; this bench
+//! quantifies what that saves over growing from empty.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use simcore::{EventQueue, SimTime};
+
+const EVENTS: u64 = 10_000;
+
+/// Fill-then-drain: schedule everything, then pop everything. Growth
+/// cost shows up in the fill phase of the unsized variant.
+fn fill_drain(mut q: EventQueue<u64>) -> u64 {
+    for i in 0..EVENTS {
+        q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, v)) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+/// Steady-state churn as the engine sees it: a bounded pending set
+/// (one completion re-arms the next event), far more pops than the
+/// peak queue length.
+fn churn(mut q: EventQueue<u64>, pending: u64) -> u64 {
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(i * 997), i);
+    }
+    let mut sum = 0u64;
+    let mut next = pending;
+    while next < EVENTS {
+        let (t, v) = q.pop().expect("pending set never empties");
+        sum = sum.wrapping_add(v);
+        q.schedule(t + simcore::SimDuration::from_nanos(997 + v % 131), next);
+        next += 1;
+    }
+    while let Some((_, v)) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+fn bench_event_queue_sizing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_sizing");
+    g.bench_function(BenchmarkId::new("fill_drain_10k", "unsized"), |b| {
+        b.iter(|| black_box(fill_drain(EventQueue::new())));
+    });
+    g.bench_function(BenchmarkId::new("fill_drain_10k", "presized"), |b| {
+        b.iter(|| black_box(fill_drain(EventQueue::with_capacity(EVENTS as usize))));
+    });
+    let pending = 256u64; // ~ one device's max_qd worth of in-flight events
+    g.bench_function(BenchmarkId::new("churn_10k_qd256", "unsized"), |b| {
+        b.iter(|| black_box(churn(EventQueue::new(), pending)));
+    });
+    g.bench_function(BenchmarkId::new("churn_10k_qd256", "presized"), |b| {
+        b.iter(|| black_box(churn(EventQueue::with_capacity(pending as usize), pending)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue_sizing);
+criterion_main!(benches);

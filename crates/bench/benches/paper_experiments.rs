@@ -25,7 +25,10 @@ fn time<T>(name: &str, f: impl FnOnce(&mut OutputSink) -> std::io::Result<T>) ->
 
 fn main() {
     // Honor `cargo bench -- <filter>` by substring, like libtest.
-    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let selected = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f));
 
     println!("paper-experiment regeneration benches (smoke fidelity):");
@@ -44,9 +47,14 @@ fn main() {
     if selected("writeback") {
         time("writeback_attribution", |s| writeback::run(F, s));
     }
-    if let (Some(f3), Some(f4), Some(f5), Some(f6), Some(f7), Some(q)) =
-        (f3.as_ref(), f4.as_ref(), f5.as_ref(), f6.as_ref(), f7.as_ref(), q.as_ref())
-    {
+    if let (Some(f3), Some(f4), Some(f5), Some(f6), Some(f7), Some(q)) = (
+        f3.as_ref(),
+        f4.as_ref(),
+        f5.as_ref(),
+        f6.as_ref(),
+        f7.as_ref(),
+        q.as_ref(),
+    ) {
         let t0 = Instant::now();
         let t = table1::derive(f3, f4, f5, f6, f7, q, F);
         println!("table1_verdict_derivation        {:>10.2?}", t0.elapsed());

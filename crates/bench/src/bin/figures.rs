@@ -1,20 +1,26 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--fidelity smoke|standard|full] [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane | all]
+//! figures [--fidelity smoke|standard|full] [--jobs N|auto]
+//!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane | all]
 //! ```
 //!
 //! Prints the paper-style tables and writes CSVs under
 //! `target/isol-bench/`. `table1` needs the results of figs 3–7 and
 //! Q10; when selected it runs whatever of those were not already
 //! selected.
+//!
+//! `--jobs` sets how many scenarios run concurrently (default: all
+//! available cores). Output is byte-identical for every jobs value;
+//! only wall-clock time changes. Per-experiment timings land in
+//! `target/isol-bench/timings.json`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use isol_bench::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, table1, writeback};
-use isol_bench::{Fidelity, OutputSink};
-use isol_bench_harness::{parse_selection, OUTPUT_DIR};
+use isol_bench::{runner, Fidelity, OutputSink};
+use isol_bench_harness::{parse_jobs, parse_selection, Timings, OUTPUT_DIR};
 
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Standard;
@@ -31,6 +37,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--jobs" {
+            match args.next().as_deref().map(parse_jobs) {
+                Some(Ok(n)) => runner::set_jobs(n),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--jobs needs a value (a worker count or `auto`)");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             rest.push(a);
         }
@@ -38,9 +56,7 @@ fn main() -> ExitCode {
     let selection = match parse_selection(rest) {
         Ok(s) => s,
         Err(bad) => {
-            eprintln!(
-                "unknown experiment `{bad}`; known: fig2..fig7, q10, table1, optane, all"
-            );
+            eprintln!("unknown experiment `{bad}`; known: fig2..fig7, q10, table1, optane, all");
             return ExitCode::FAILURE;
         }
     };
@@ -52,34 +68,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let jobs = runner::jobs();
     sink.note(&format!(
-        "# isol-bench figure regeneration ({fidelity:?} fidelity), CSVs in {OUTPUT_DIR}/"
+        "# isol-bench figure regeneration ({fidelity:?} fidelity, {jobs} jobs), CSVs in {OUTPUT_DIR}/"
     ));
 
     let wants = |name: &str| selection.iter().any(|s| s == name);
     let needs_table1 = wants("table1");
     let t0 = Instant::now();
+    let mut timings = Timings::new(&format!("{fidelity:?}").to_lowercase(), jobs);
 
     // fig2 is standalone; the rest feed Table I.
     let result: std::io::Result<()> = (|| {
-        if wants("fig2") {
-            let started = Instant::now();
-            sink.note("\n=== fig2 ===");
-            fig2::run(fidelity, &mut sink)?;
-            sink.note(&format!("(fig2 took {:.1?})", started.elapsed()));
+        macro_rules! standalone {
+            ($name:literal, $module:ident) => {
+                if wants($name) {
+                    let started = Instant::now();
+                    sink.note(&format!("\n=== {} ===", $name));
+                    $module::run(fidelity, &mut sink)?;
+                    let elapsed = started.elapsed();
+                    timings.record($name, elapsed);
+                    sink.note(&format!("({} took {:.1?})", $name, elapsed));
+                }
+            };
         }
-        if wants("optane") {
-            let started = Instant::now();
-            sink.note("\n=== optane ===");
-            optane::run(fidelity, &mut sink)?;
-            sink.note(&format!("(optane took {:.1?})", started.elapsed()));
-        }
-        if wants("writeback") {
-            let started = Instant::now();
-            sink.note("\n=== writeback ===");
-            writeback::run(fidelity, &mut sink)?;
-            sink.note(&format!("(writeback took {:.1?})", started.elapsed()));
-        }
+        standalone!("fig2", fig2);
+        standalone!("optane", optane);
+        standalone!("writeback", writeback);
         let mut f3 = None;
         let mut f4 = None;
         let mut f5 = None;
@@ -92,7 +107,9 @@ fn main() -> ExitCode {
                     let started = Instant::now();
                     sink.note(&format!("\n=== {} ===", $name));
                     $slot = Some($module::run(fidelity, &mut sink)?);
-                    sink.note(&format!("({} took {:.1?})", $name, started.elapsed()));
+                    let elapsed = started.elapsed();
+                    timings.record($name, elapsed);
+                    sink.note(&format!("({} took {:.1?})", $name, elapsed));
                 }
             };
         }
@@ -103,6 +120,7 @@ fn main() -> ExitCode {
         stage!("fig7", f7, fig7);
         stage!("q10", q, q10);
         if needs_table1 {
+            let started = Instant::now();
             sink.note("\n=== table1 ===");
             let result = table1::derive(
                 f3.as_ref().expect("fig3 ran"),
@@ -118,15 +136,15 @@ fn main() -> ExitCode {
                 .rows
                 .iter()
                 .filter(|r| {
-                    table1::paper_verdicts(r.knob).is_some_and(|p| {
-                        p == [r.overhead, r.fairness, r.tradeoffs, r.bursts]
-                    })
+                    table1::paper_verdicts(r.knob)
+                        .is_some_and(|p| p == [r.overhead, r.fairness, r.tradeoffs, r.bursts])
                 })
                 .count();
             sink.note(&format!(
                 "verdict rows matching the paper's Table I: {matches}/{}",
                 result.rows.len()
             ));
+            timings.record("table1", started.elapsed());
         }
         Ok(())
     })();
@@ -135,8 +153,13 @@ fn main() -> ExitCode {
         eprintln!("figure regeneration failed: {e}");
         return ExitCode::FAILURE;
     }
+    let timings_path = format!("{OUTPUT_DIR}/timings.json");
+    if let Err(e) = timings.write_json(&timings_path, t0.elapsed()) {
+        eprintln!("cannot write {timings_path}: {e}");
+        return ExitCode::FAILURE;
+    }
     sink.note(&format!(
-        "\nDone in {:.1?}; {} tables emitted.",
+        "\nDone in {:.1?}; {} tables emitted; timings in {timings_path}.",
         t0.elapsed(),
         sink.emitted().len()
     ));

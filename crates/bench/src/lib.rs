@@ -14,8 +14,107 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
+use std::time::Duration;
+
 /// The directory experiment CSVs are written into.
 pub const OUTPUT_DIR: &str = "target/isol-bench";
+
+/// Parses the value of a `--jobs` flag: a positive worker count, or
+/// `auto`/`0` for "use all available cores".
+///
+/// Returns the value to pass to `isol_bench::runner::set_jobs` (where 0
+/// means auto-detect).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the value is not a count.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    if value.eq_ignore_ascii_case("auto") {
+        return Ok(0);
+    }
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("invalid --jobs value `{value}` (expected a number or `auto`)"))
+}
+
+/// Per-experiment wall-clock timings, serialized as machine-readable
+/// JSON (hand-rolled: the workspace is offline and carries no JSON
+/// dependency).
+#[derive(Debug)]
+pub struct Timings {
+    fidelity: String,
+    jobs: usize,
+    entries: Vec<(String, Duration)>,
+}
+
+impl Timings {
+    /// Starts an empty collection for a run at the given fidelity with
+    /// the given (resolved) worker count.
+    #[must_use]
+    pub fn new(fidelity: &str, jobs: usize) -> Self {
+        Timings {
+            fidelity: fidelity.to_owned(),
+            jobs,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one experiment's wall-clock duration.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.entries.push((name.to_owned(), elapsed));
+    }
+
+    /// Renders the JSON document.
+    #[must_use]
+    pub fn to_json(&self, total: Duration) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"fidelity\": \"{}\",\n",
+            json_escape(&self.fidelity)
+        ));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!(
+            "  \"total_seconds\": {:.3},\n",
+            total.as_secs_f64()
+        ));
+        s.push_str("  \"experiments\": [\n");
+        for (i, (name, d)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.3}}}{comma}\n",
+                json_escape(name),
+                d.as_secs_f64()
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_json(&self, path: &str, total: Duration) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json(total).as_bytes())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Parses the figure-selection arguments of the `figures` binary.
 /// Returns the normalized list of experiment names to run.
@@ -24,8 +123,18 @@ pub const OUTPUT_DIR: &str = "target/isol-bench";
 ///
 /// Returns the offending token when it is not a known experiment.
 pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<String>, String> {
-    const KNOWN: [&str; 10] =
-        ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "q10", "table1", "optane", "writeback"];
+    const KNOWN: [&str; 10] = [
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "q10",
+        "table1",
+        "optane",
+        "writeback",
+    ];
     let mut out = Vec::new();
     for a in args {
         let a = a.to_lowercase();
@@ -71,5 +180,38 @@ mod tests {
     #[test]
     fn unknown_is_an_error() {
         assert_eq!(parse_selection(vec!["fig9".into()]), Err("fig9".to_owned()));
+    }
+
+    #[test]
+    fn jobs_values_parse() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("auto"), Ok(0));
+        assert_eq!(parse_jobs("0"), Ok(0));
+        assert!(parse_jobs("four").is_err());
+        assert!(parse_jobs("-1").is_err());
+    }
+
+    #[test]
+    fn timings_json_is_well_formed() {
+        let mut t = Timings::new("standard", 8);
+        t.record("fig3", Duration::from_millis(1500));
+        t.record("fig4", Duration::from_millis(250));
+        let json = t.to_json(Duration::from_millis(1750));
+        assert!(json.contains("\"fidelity\": \"standard\""));
+        assert!(json.contains("\"jobs\": 8"));
+        assert!(json.contains("{\"name\": \"fig3\", \"seconds\": 1.500},"));
+        assert!(json.contains("{\"name\": \"fig4\", \"seconds\": 0.250}\n"));
+        assert!(json.contains("\"total_seconds\": 1.750"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn timings_json_escapes_strings() {
+        let t = Timings::new("we\"ird\\name", 1);
+        let json = t.to_json(Duration::ZERO);
+        assert!(json.contains("we\\\"ird\\\\name"));
     }
 }

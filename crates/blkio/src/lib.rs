@@ -103,20 +103,17 @@ impl fmt::Display for AccessPattern {
 ///
 /// Ordering: `Idle < BestEffort < Realtime` (higher = more urgent), so
 /// `PrioClass` can be compared directly when picking a dispatch class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum PrioClass {
     /// Only serviced when nothing else is pending (plus anti-starvation aging).
     Idle,
     /// The default class.
+    #[default]
     BestEffort,
     /// Strictly preferred over best-effort and idle.
     Realtime,
-}
-
-impl Default for PrioClass {
-    fn default() -> Self {
-        PrioClass::BestEffort
-    }
 }
 
 impl PrioClass {
@@ -186,11 +183,17 @@ mod tests {
     #[test]
     fn prio_parse_accepts_kernel_grammar() {
         assert_eq!(PrioClass::parse("idle").unwrap(), PrioClass::Idle);
-        assert_eq!(PrioClass::parse("best-effort").unwrap(), PrioClass::BestEffort);
+        assert_eq!(
+            PrioClass::parse("best-effort").unwrap(),
+            PrioClass::BestEffort
+        );
         assert_eq!(PrioClass::parse("be").unwrap(), PrioClass::BestEffort);
         assert_eq!(PrioClass::parse("none").unwrap(), PrioClass::BestEffort);
         assert_eq!(PrioClass::parse("rt").unwrap(), PrioClass::Realtime);
-        assert_eq!(PrioClass::parse("promote-to-rt").unwrap(), PrioClass::Realtime);
+        assert_eq!(
+            PrioClass::parse("promote-to-rt").unwrap(),
+            PrioClass::Realtime
+        );
         assert_eq!(PrioClass::parse(" idle ").unwrap(), PrioClass::Idle);
         assert!(PrioClass::parse("bogus").is_err());
     }

@@ -6,9 +6,7 @@ use std::collections::{BTreeMap, HashSet};
 use blkio::{AppId, GroupId, PrioClass};
 use serde::{Deserialize, Serialize};
 
-use crate::knobs::{
-    BfqWeight, DevNode, IoCostModel, IoCostQos, IoLatency, IoMax, IoWeight, Knob,
-};
+use crate::knobs::{BfqWeight, DevNode, IoCostModel, IoCostQos, IoLatency, IoMax, IoWeight, Knob};
 use crate::CgroupError;
 
 /// Per-group knob state (what the group's cgroupfs files contain).
@@ -111,7 +109,9 @@ impl Hierarchy {
     }
 
     fn get_mut(&mut self, id: GroupId) -> Result<&mut Group, CgroupError> {
-        self.groups.get_mut(id.index()).ok_or(CgroupError::NoSuchGroup)
+        self.groups
+            .get_mut(id.index())
+            .ok_or(CgroupError::NoSuchGroup)
     }
 
     /// Borrow a group.
@@ -355,9 +355,7 @@ impl Hierarchy {
                 .join("\n"),
             KnobKind::Weight => g.knobs.weight.to_string(),
             KnobKind::BfqWeight => g.knobs.bfq_weight.to_string(),
-            KnobKind::PrioClass => {
-                g.knobs.prio.unwrap_or_default().as_str().to_owned()
-            }
+            KnobKind::PrioClass => g.knobs.prio.unwrap_or_default().as_str().to_owned(),
             KnobKind::CostModel => self
                 .cost_model
                 .iter()
@@ -414,13 +412,15 @@ impl Hierarchy {
     /// The group's own `io.weight` for a device (default 100).
     #[must_use]
     pub fn io_weight(&self, id: GroupId, dev: DevNode) -> u32 {
-        self.get(id).map_or(IoWeight::DEFAULT, |g| g.knobs.weight.for_dev(dev))
+        self.get(id)
+            .map_or(IoWeight::DEFAULT, |g| g.knobs.weight.for_dev(dev))
     }
 
     /// The group's own `io.bfq.weight` for a device (default 100).
     #[must_use]
     pub fn bfq_weight(&self, id: GroupId, dev: DevNode) -> u32 {
-        self.get(id).map_or(IoWeight::DEFAULT, |g| g.knobs.bfq_weight.for_dev(dev))
+        self.get(id)
+            .map_or(IoWeight::DEFAULT, |g| g.knobs.bfq_weight.for_dev(dev))
     }
 
     /// The I/O priority class effective for processes directly in this
@@ -428,7 +428,10 @@ impl Hierarchy {
     /// group's own setting counts.
     #[must_use]
     pub fn prio_class(&self, id: GroupId) -> PrioClass {
-        self.get(id).ok().and_then(|g| g.knobs.prio).unwrap_or_default()
+        self.get(id)
+            .ok()
+            .and_then(|g| g.knobs.prio)
+            .unwrap_or_default()
     }
 
     /// The root `io.cost.model` for a device, if configured.
@@ -533,7 +536,10 @@ mod tests {
         let (h, slice, a, ..) = fig1_hierarchy();
         assert_eq!(h.path(Hierarchy::ROOT).unwrap(), "root");
         assert_eq!(h.path(slice).unwrap(), "root/controller.slice");
-        assert_eq!(h.path(a).unwrap(), "root/controller.slice/container-a.service");
+        assert_eq!(
+            h.path(a).unwrap(),
+            "root/controller.slice/container-a.service"
+        );
     }
 
     #[test]
@@ -548,7 +554,10 @@ mod tests {
             h.create(Hierarchy::ROOT, "a/b"),
             Err(CgroupError::InvalidName(_))
         ));
-        assert!(matches!(h.create(Hierarchy::ROOT, ""), Err(CgroupError::InvalidName(_))));
+        assert!(matches!(
+            h.create(Hierarchy::ROOT, ""),
+            Err(CgroupError::InvalidName(_))
+        ));
     }
 
     #[test]
@@ -665,13 +674,19 @@ mod tests {
         assert_eq!(shown, "259:0 rbps=1000 wbps=max riops=max wiops=max");
         assert_eq!(h.read(a, "io.weight").unwrap(), "default 100");
         assert_eq!(h.read(a, "io.prio.class").unwrap(), "best-effort");
-        assert!(matches!(h.read(a, "cpu.max"), Err(CgroupError::NoSuchKnob(_))));
+        assert!(matches!(
+            h.read(a, "cpu.max"),
+            Err(CgroupError::NoSuchKnob(_))
+        ));
     }
 
     #[test]
     fn remove_rules() {
         let (mut h, slice, a, b, broken) = fig1_hierarchy();
-        assert_eq!(h.remove(Hierarchy::ROOT), Err(CgroupError::CannotRemoveRoot));
+        assert_eq!(
+            h.remove(Hierarchy::ROOT),
+            Err(CgroupError::CannotRemoveRoot)
+        );
         assert_eq!(h.remove(slice), Err(CgroupError::Busy));
         h.attach_process(a, AppId(1)).unwrap();
         assert_eq!(h.remove(a), Err(CgroupError::Busy));

@@ -21,9 +21,7 @@ use crate::CgroupError;
 /// assert_eq!(d.to_string(), "259:2");
 /// assert_eq!("259:2".parse::<DevNode>().unwrap(), d);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DevNode {
     /// Device major number.
     pub major: u32,
@@ -36,7 +34,10 @@ impl DevNode {
     /// major 259 (`blkext`), minor = device index.
     #[must_use]
     pub const fn nvme(index: u32) -> Self {
-        DevNode { major: 259, minor: index }
+        DevNode {
+            major: 259,
+            minor: index,
+        }
     }
 
     /// The simulator device index, assuming the [`DevNode::nvme`]
@@ -115,16 +116,18 @@ impl IoMax {
     pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
         let mut out = IoMax::default();
         for field in s.split_whitespace() {
-            let (k, v) = field.split_once('=').ok_or_else(|| {
-                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
-            })?;
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| CgroupError::InvalidValue(format!("`{field}` is not key=value")))?;
             match k {
                 "rbps" => out.rbps = parse_limit(v)?,
                 "wbps" => out.wbps = parse_limit(v)?,
                 "riops" => out.riops = parse_limit(v)?,
                 "wiops" => out.wiops = parse_limit(v)?,
                 other => {
-                    return Err(CgroupError::InvalidValue(format!("unknown io.max key `{other}`")))
+                    return Err(CgroupError::InvalidValue(format!(
+                        "unknown io.max key `{other}`"
+                    )))
                 }
             }
         }
@@ -200,7 +203,10 @@ pub struct IoWeight {
 
 impl Default for IoWeight {
     fn default() -> Self {
-        IoWeight { default: Self::DEFAULT, per_dev: BTreeMap::new() }
+        IoWeight {
+            default: Self::DEFAULT,
+            per_dev: BTreeMap::new(),
+        }
     }
 }
 
@@ -261,14 +267,8 @@ impl fmt::Display for IoWeight {
 
 /// `io.bfq.weight` — BFQ's absolute weight, 1..=1000 (default 100); same
 /// file grammar as [`IoWeight`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BfqWeight(pub IoWeight);
-
-impl Default for BfqWeight {
-    fn default() -> Self {
-        BfqWeight(IoWeight::default())
-    }
-}
 
 impl BfqWeight {
     /// Maximum settable BFQ weight.
@@ -347,17 +347,15 @@ impl IoCostModel {
         let mut ctrl = CostCtrl::User;
         let mut vals: BTreeMap<&str, u64> = BTreeMap::new();
         for field in s.split_whitespace() {
-            let (k, v) = field.split_once('=').ok_or_else(|| {
-                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
-            })?;
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| CgroupError::InvalidValue(format!("`{field}` is not key=value")))?;
             match k {
                 "ctrl" => {
                     ctrl = match v {
                         "auto" => CostCtrl::Auto,
                         "user" => CostCtrl::User,
-                        _ => {
-                            return Err(CgroupError::InvalidValue(format!("bad ctrl `{v}`")))
-                        }
+                        _ => return Err(CgroupError::InvalidValue(format!("bad ctrl `{v}`"))),
                     };
                 }
                 "model" => {
@@ -368,9 +366,9 @@ impl IoCostModel {
                     }
                 }
                 "rbps" | "rseqiops" | "rrandiops" | "wbps" | "wseqiops" | "wrandiops" => {
-                    let n: u64 = v.parse().map_err(|_| {
-                        CgroupError::InvalidValue(format!("bad {k} value `{v}`"))
-                    })?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| CgroupError::InvalidValue(format!("bad {k} value `{v}`")))?;
                     if n == 0 {
                         return Err(CgroupError::InvalidValue(format!("{k} must be nonzero")));
                     }
@@ -463,9 +461,9 @@ impl IoCostQos {
     pub fn parse_fields(s: &str) -> Result<Self, CgroupError> {
         let mut q = IoCostQos::default();
         for field in s.split_whitespace() {
-            let (k, v) = field.split_once('=').ok_or_else(|| {
-                CgroupError::InvalidValue(format!("`{field}` is not key=value"))
-            })?;
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| CgroupError::InvalidValue(format!("`{field}` is not key=value")))?;
             let parse_f = |v: &str, k: &str| -> Result<f64, CgroupError> {
                 v.parse()
                     .map_err(|_| CgroupError::InvalidValue(format!("bad {k} value `{v}`")))
@@ -482,14 +480,14 @@ impl IoCostQos {
                 "rpct" => q.rpct = parse_f(v, k)?,
                 "wpct" => q.wpct = parse_f(v, k)?,
                 "rlat" => {
-                    q.rlat_us = v.parse().map_err(|_| {
-                        CgroupError::InvalidValue(format!("bad rlat value `{v}`"))
-                    })?;
+                    q.rlat_us = v
+                        .parse()
+                        .map_err(|_| CgroupError::InvalidValue(format!("bad rlat value `{v}`")))?;
                 }
                 "wlat" => {
-                    q.wlat_us = v.parse().map_err(|_| {
-                        CgroupError::InvalidValue(format!("bad wlat value `{v}`"))
-                    })?;
+                    q.wlat_us = v
+                        .parse()
+                        .map_err(|_| CgroupError::InvalidValue(format!("bad wlat value `{v}`")))?;
                 }
                 "min" => q.min_pct = parse_f(v, k)?,
                 "max" => q.max_pct = parse_f(v, k)?,
@@ -502,7 +500,9 @@ impl IoCostQos {
         }
         for (name, pct) in [("rpct", q.rpct), ("wpct", q.wpct)] {
             if !(0.0..=100.0).contains(&pct) {
-                return Err(CgroupError::InvalidValue(format!("{name} out of range: {pct}")));
+                return Err(CgroupError::InvalidValue(format!(
+                    "{name} out of range: {pct}"
+                )));
             }
         }
         if q.min_pct > q.max_pct {
@@ -512,7 +512,9 @@ impl IoCostQos {
             )));
         }
         if !(1.0..=10_000.0).contains(&q.min_pct) || !(1.0..=10_000.0).contains(&q.max_pct) {
-            return Err(CgroupError::InvalidValue("min/max must be in 1..=10000 pct".into()));
+            return Err(CgroupError::InvalidValue(
+                "min/max must be in 1..=10000 pct".into(),
+            ));
         }
         Ok(q)
     }
@@ -698,7 +700,12 @@ mod tests {
 
     #[test]
     fn io_max_display_roundtrips() {
-        let m = IoMax { rbps: Some(5), wbps: None, riops: None, wiops: Some(9) };
+        let m = IoMax {
+            rbps: Some(5),
+            wbps: None,
+            riops: None,
+            wiops: Some(9),
+        };
         let again = IoMax::parse_fields(&m.to_string()).unwrap();
         assert_eq!(m, again);
     }
@@ -796,7 +803,10 @@ mod tests {
             Knob::parse("io.nonsense", "1"),
             Err(CgroupError::NoSuchKnob(_))
         ));
-        assert_eq!(Knob::parse("io.latency", "259:0 target=75").unwrap().kind(), KnobKind::Latency);
+        assert_eq!(
+            Knob::parse("io.latency", "259:0 target=75").unwrap().kind(),
+            KnobKind::Latency
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use iostats::Table;
 use simcore::{SimDuration, SimTime};
 use workload::JobSpec;
 
-use crate::{Fidelity, Knob, OutputSink, Scenario};
+use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// One bandwidth-over-time sample row: window start plus the three apps'
 /// bandwidth in MiB/s.
@@ -114,7 +114,11 @@ fn collect(s: Scenario, tag: char, label: &str, unit: SimDuration) -> Panel {
             c_mib_s: m(2),
         });
     }
-    Panel { tag, label: label.to_owned(), rows }
+    Panel {
+        tag,
+        label: label.to_owned(),
+        rows,
+    }
 }
 
 /// Runs all eight panels.
@@ -125,55 +129,85 @@ fn collect(s: Scenario, tag: char, label: &str, unit: SimDuration) -> Panel {
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> {
     let unit = fidelity.fig2_phase_unit();
     let dev = DevNode::nvme(0);
-    let mut panels = Vec::new();
+    // Each panel is an independent scenario; box the eight heterogeneous
+    // setups as tasks and fan them across the worker pool. Panel order
+    // (a–h) equals submission order.
+    type PanelTask = Box<dyn FnOnce() -> Panel + Send>;
+    let mut tasks: Vec<PanelTask> = Vec::new();
 
     // (a) none.
-    let (s, _) = base_scenario('a', Knob::None, unit);
-    panels.push(collect(s, 'a', "none", unit));
+    tasks.push(Box::new(move || {
+        let (s, _) = base_scenario('a', Knob::None, unit);
+        collect(s, 'a', "none", unit)
+    }));
 
     // (b) MQ-DL + io.prio.class: A=rt, B=be, C=idle.
-    let (mut s, [a, b, c]) = base_scenario('b', Knob::MqDlPrio, unit);
-    let h = s.hierarchy_mut();
-    h.apply(a, KnobWrite::PrioClass(PrioClass::Realtime)).expect("prio");
-    h.apply(b, KnobWrite::PrioClass(PrioClass::BestEffort)).expect("prio");
-    h.apply(c, KnobWrite::PrioClass(PrioClass::Idle)).expect("prio");
-    panels.push(collect(s, 'b', "MQ-DL prio classes", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, b, c]) = base_scenario('b', Knob::MqDlPrio, unit);
+        let h = s.hierarchy_mut();
+        h.apply(a, KnobWrite::PrioClass(PrioClass::Realtime))
+            .expect("prio");
+        h.apply(b, KnobWrite::PrioClass(PrioClass::BestEffort))
+            .expect("prio");
+        h.apply(c, KnobWrite::PrioClass(PrioClass::Idle))
+            .expect("prio");
+        collect(s, 'b', "MQ-DL prio classes", unit)
+    }));
 
     // (c) BFQ, uniform weights.
-    let (mut s, [a, b, c]) = base_scenario('c', Knob::BfqWeight, unit);
-    Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
-    panels.push(collect(s, 'c', "BFQ uniform weights", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, b, c]) = base_scenario('c', Knob::BfqWeight, unit);
+        Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
+        collect(s, 'c', "BFQ uniform weights", unit)
+    }));
 
     // (d) BFQ, differing weights 4:2:1.
-    let (mut s, [a, b, c]) = base_scenario('d', Knob::BfqWeight, unit);
-    Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[400, 200, 100]);
-    panels.push(collect(s, 'd', "BFQ weights 4:2:1", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, b, c]) = base_scenario('d', Knob::BfqWeight, unit);
+        Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[400, 200, 100]);
+        collect(s, 'd', "BFQ weights 4:2:1", unit)
+    }));
 
     // (e) io.max: 1 GiB/s read cap per app.
-    let (mut s, groups) = base_scenario('e', Knob::IoMax, unit);
-    for g in groups {
-        let m = IoMax { rbps: Some(1 << 30), ..IoMax::default() };
-        s.hierarchy_mut().apply(g, KnobWrite::Max(dev, m)).expect("io.max");
-    }
-    panels.push(collect(s, 'e', "io.max 1 GiB/s caps", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, groups) = base_scenario('e', Knob::IoMax, unit);
+        for g in groups {
+            let m = IoMax {
+                rbps: Some(1 << 30),
+                ..IoMax::default()
+            };
+            s.hierarchy_mut()
+                .apply(g, KnobWrite::Max(dev, m))
+                .expect("io.max");
+        }
+        collect(s, 'e', "io.max 1 GiB/s caps", unit)
+    }));
 
     // (f) io.latency: protect A with a tight target (one achievable
     // alone but violated under 3-way contention, as in the paper).
-    let (mut s, [a, _, _]) = base_scenario('f', Knob::IoLatency, unit);
-    s.hierarchy_mut()
-        .apply(a, KnobWrite::Latency(dev, IoLatency { target_us: 130 }))
-        .expect("io.latency");
-    panels.push(collect(s, 'f', "io.latency protects A", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, _, _]) = base_scenario('f', Knob::IoLatency, unit);
+        s.hierarchy_mut()
+            .apply(a, KnobWrite::Latency(dev, IoLatency { target_us: 130 }))
+            .expect("io.latency");
+        collect(s, 'f', "io.latency protects A", unit)
+    }));
 
     // (g) io.cost, uniform weights (generated model + P95 100 us QoS).
-    let (mut s, [a, b, c]) = base_scenario('g', Knob::IoCost, unit);
-    Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
-    panels.push(collect(s, 'g', "io.cost uniform", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, b, c]) = base_scenario('g', Knob::IoCost, unit);
+        Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
+        collect(s, 'g', "io.cost uniform", unit)
+    }));
 
     // (h) io.cost, weights 16:4:1.
-    let (mut s, [a, b, c]) = base_scenario('h', Knob::IoCost, unit);
-    Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[800, 200, 50]);
-    panels.push(collect(s, 'h', "io.cost weights 16:4:1", unit));
+    tasks.push(Box::new(move || {
+        let (mut s, [a, b, c]) = base_scenario('h', Knob::IoCost, unit);
+        Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[800, 200, 50]);
+        collect(s, 'h', "io.cost weights 16:4:1", unit)
+    }));
+
+    let panels = runner::run_batch(tasks);
 
     for p in &panels {
         let mut t = Table::new(vec!["t (x phase/10)", "A MiB/s", "B MiB/s", "C MiB/s"]);
@@ -185,7 +219,14 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> 
                 format!("{:.0}", r.c_mib_s),
             ]);
         }
-        sink.emit(&format!("fig2{}_{}", p.tag, p.label.replace([' ', ':', '.', '/'], "_")), &t)?;
+        sink.emit(
+            &format!(
+                "fig2{}_{}",
+                p.tag,
+                p.label.replace([' ', ':', '.', '/'], "_")
+            ),
+            &t,
+        )?;
     }
     Ok(Fig2Result { panels })
 }

@@ -12,7 +12,7 @@ use std::io;
 use iostats::{CdfPoint, LatencyHistogram, Table};
 use workload::JobSpec;
 
-use crate::{Fidelity, Knob, OutputSink, Scenario};
+use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// One (knob, app-count) measurement.
 #[derive(Debug, Clone)]
@@ -58,52 +58,62 @@ impl Fig3Result {
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig3Result> {
     let counts = fidelity.fig3_app_counts();
     let highlight = [1usize, 16, 256];
-    let mut rows = Vec::new();
-    let mut cdfs = Vec::new();
+    // Independent (knob, apps) cells; fan across the worker pool. Each
+    // cell yields its row plus (for highlighted counts) a merged CDF;
+    // both come back in cell order.
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for &n in &counts {
-            let mut s = Scenario::new(
-                &format!("fig3-{}-{}", knob.label(), n),
-                1,
-                vec![knob.device_setup(true)],
-            );
-            s.set_warmup(fidelity.warmup());
-            let groups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("lc-{i}"))).collect();
-            for (i, &g) in groups.iter().enumerate() {
-                s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
-            }
-            knob.configure_overhead_mode(&mut s, &groups);
-            let report = s.run(fidelity.run_duration());
-            let mut merged = LatencyHistogram::new();
-            for a in &report.apps {
-                merged.merge(&a.hist);
-            }
-            let sum = merged.summary();
-            let completed: u64 = report.apps.iter().map(|a| a.completed).sum();
-            let busy_ns: u64 = report.cores.iter().map(|c| c.busy.as_nanos()).sum();
-            let kcycles = if completed == 0 {
-                0.0
-            } else {
-                busy_ns as f64 * 2.4 / completed as f64 / 1_000.0
-            };
-            let ctx = if report.apps.is_empty() {
-                0.0
-            } else {
-                report.apps.iter().map(|a| a.ctx_per_io).sum::<f64>() / report.apps.len() as f64
-            };
-            rows.push(Fig3Row {
-                knob,
-                apps: n,
-                p50_us: sum.p50_us,
-                p99_us: sum.p99_us,
-                cpu_util: report.cores[0].utilization,
-                ctx_per_io: ctx,
-                kcycles_per_io: kcycles,
-            });
-            if highlight.contains(&n) {
-                cdfs.push((knob, n, merged.cdf(40)));
-            }
+            cells.push((knob, n));
         }
+    }
+    let measured = runner::map_batch(cells, |(knob, n)| {
+        let mut s = Scenario::new(
+            &format!("fig3-{}-{}", knob.label(), n),
+            1,
+            vec![knob.device_setup(true)],
+        );
+        s.set_warmup(fidelity.warmup());
+        let groups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("lc-{i}"))).collect();
+        for (i, &g) in groups.iter().enumerate() {
+            s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
+        }
+        knob.configure_overhead_mode(&mut s, &groups);
+        let report = s.run(fidelity.run_duration());
+        let mut merged = LatencyHistogram::new();
+        for a in &report.apps {
+            merged.merge(&a.hist);
+        }
+        let sum = merged.summary();
+        let completed: u64 = report.apps.iter().map(|a| a.completed).sum();
+        let busy_ns: u64 = report.cores.iter().map(|c| c.busy.as_nanos()).sum();
+        let kcycles = if completed == 0 {
+            0.0
+        } else {
+            busy_ns as f64 * 2.4 / completed as f64 / 1_000.0
+        };
+        let ctx = if report.apps.is_empty() {
+            0.0
+        } else {
+            report.apps.iter().map(|a| a.ctx_per_io).sum::<f64>() / report.apps.len() as f64
+        };
+        let row = Fig3Row {
+            knob,
+            apps: n,
+            p50_us: sum.p50_us,
+            p99_us: sum.p99_us,
+            cpu_util: report.cores[0].utilization,
+            ctx_per_io: ctx,
+            kcycles_per_io: kcycles,
+        };
+        let cdf = highlight.contains(&n).then(|| (knob, n, merged.cdf(40)));
+        (row, cdf)
+    });
+    let mut rows = Vec::with_capacity(measured.len());
+    let mut cdfs = Vec::new();
+    for (row, cdf) in measured {
+        rows.push(row);
+        cdfs.extend(cdf);
     }
 
     let mut p99 = Table::new(vec!["knob", "apps", "P50 (us)", "P99 (us)", "CPU util"]);
@@ -133,9 +143,15 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig3Result> 
     for (knob, n, cdf) in &cdfs {
         let mut t = Table::new(vec!["latency_us", "cum_prob"]);
         for p in cdf {
-            t.row(vec![format!("{:.2}", p.latency_us), format!("{:.4}", p.cum_prob)]);
+            t.row(vec![
+                format!("{:.2}", p.latency_us),
+                format!("{:.4}", p.cum_prob),
+            ]);
         }
-        sink.emit(&format!("fig3_cdf_{}_{}apps", knob.label().replace('.', "_"), n), &t)?;
+        sink.emit(
+            &format!("fig3_cdf_{}_{}apps", knob.label().replace('.', "_"), n),
+            &t,
+        )?;
     }
     Ok(Fig3Result { rows, cdfs })
 }
@@ -191,7 +207,9 @@ mod tests {
         assert_eq!(r.cdfs.len(), 12);
         for (_, _, cdf) in &r.cdfs {
             assert!(!cdf.is_empty());
-            assert!(cdf.windows(2).all(|w| w[0].latency_us <= w[1].latency_us + 1e-9));
+            assert!(cdf
+                .windows(2)
+                .all(|w| w[0].latency_us <= w[1].latency_us + 1e-9));
         }
     }
 

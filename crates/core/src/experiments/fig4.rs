@@ -11,7 +11,7 @@ use std::io;
 use iostats::Table;
 use workload::JobSpec;
 
-use crate::{Fidelity, Knob, OutputSink, Scenario};
+use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// One (knob, ssds, apps) measurement.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +39,9 @@ impl Fig4Result {
     /// The row for `(knob, ssds, apps)`, if measured.
     #[must_use]
     pub fn row(&self, knob: Knob, ssds: usize, apps: usize) -> Option<&Fig4Row> {
-        self.rows.iter().find(|r| r.knob == knob && r.ssds == ssds && r.apps == apps)
+        self.rows
+            .iter()
+            .find(|r| r.knob == knob && r.ssds == ssds && r.apps == apps)
     }
 
     /// Peak aggregated bandwidth for a knob on `ssds` SSDs.
@@ -60,35 +62,41 @@ impl Fig4Result {
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig4Result> {
     let counts = fidelity.fig4_app_counts();
-    let mut rows = Vec::new();
+    // Every (knob, ssds, apps) cell is an independent scenario; fan the
+    // grid across the worker pool. Row order equals cell order.
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for &ssds in &[1usize, 7] {
             for &n in &counts {
-                let devices = (0..ssds).map(|_| knob.device_setup(true)).collect();
-                let mut s = Scenario::new(
-                    &format!("fig4-{}-{}ssd-{}", knob.label(), ssds, n),
-                    10,
-                    devices,
-                );
-                s.set_warmup(fidelity.warmup());
-                let groups: Vec<_> =
-                    (0..n).map(|i| s.add_cgroup(&format!("batch-{i}"))).collect();
-                for (i, &g) in groups.iter().enumerate() {
-                    // Apps issue round-robin to every SSD (§V, Q2).
-                    s.add_app(g, JobSpec::batch_app(&format!("b-{i}")));
-                }
-                knob.configure_overhead_mode(&mut s, &groups);
-                let report = s.run(fidelity.run_duration());
-                rows.push(Fig4Row {
-                    knob,
-                    ssds,
-                    apps: n,
-                    agg_gib_s: report.aggregate_gib_s(),
-                    cpu_util: report.mean_cpu_utilization(),
-                });
+                cells.push((knob, ssds, n));
             }
         }
     }
+    let rows = runner::map_batch(cells, |(knob, ssds, n)| {
+        let devices = (0..ssds).map(|_| knob.device_setup(true)).collect();
+        let mut s = Scenario::new(
+            &format!("fig4-{}-{}ssd-{}", knob.label(), ssds, n),
+            10,
+            devices,
+        );
+        s.set_warmup(fidelity.warmup());
+        let groups: Vec<_> = (0..n)
+            .map(|i| s.add_cgroup(&format!("batch-{i}")))
+            .collect();
+        for (i, &g) in groups.iter().enumerate() {
+            // Apps issue round-robin to every SSD (§V, Q2).
+            s.add_app(g, JobSpec::batch_app(&format!("b-{i}")));
+        }
+        knob.configure_overhead_mode(&mut s, &groups);
+        let report = s.run(fidelity.run_duration());
+        Fig4Row {
+            knob,
+            ssds,
+            apps: n,
+            agg_gib_s: report.aggregate_gib_s(),
+            cpu_util: report.mean_cpu_utilization(),
+        }
+    });
 
     for ssds in [1usize, 7] {
         let mut t = Table::new(vec!["knob", "apps", "agg GiB/s", "CPU util (10 cores)"]);

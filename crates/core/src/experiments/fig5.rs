@@ -13,7 +13,7 @@ use std::io;
 use iostats::{jain_index, weighted_jain_index, Table};
 use workload::JobSpec;
 
-use crate::{cgroup_bandwidths, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// Apps per cgroup (paper: four batch apps saturate the device).
 const APPS_PER_CGROUP: usize = 4;
@@ -55,49 +55,58 @@ impl Fig5Result {
     }
 }
 
-/// Runs one (knob, n, weighted) cell, repeated `reps` times.
-fn measure(knob: Knob, n: usize, weighted: bool, fidelity: Fidelity, reps: usize) -> Fig5Row {
-    let mut jains = Vec::with_capacity(reps);
-    let mut aggs = Vec::with_capacity(reps);
-    for rep in 0..reps {
-        let mut s = Scenario::new(
-            &format!("fig5-{}-{}-{}", knob.label(), n, weighted),
-            CORES,
-            vec![knob.device_setup(false)],
-        );
-        s.set_warmup(fidelity.warmup());
-        s.set_seed(0xF165 + rep as u64 * 7919);
-        let cgroups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("cg-{i}"))).collect();
-        let weights: Vec<u32> =
-            (0..n).map(|i| if weighted { 100 * (i as u32 + 1) } else { 100 }).collect();
-        for (i, &cg) in cgroups.iter().enumerate() {
-            for j in 0..APPS_PER_CGROUP {
-                s.add_app(cg, JobSpec::batch_app(&format!("b-{i}-{j}")));
-            }
+/// Runs one repetition of a (knob, n, weighted) cell; returns
+/// `(jain, agg_gib_s)`.
+fn measure_rep(knob: Knob, n: usize, weighted: bool, rep: usize, fidelity: Fidelity) -> (f64, f64) {
+    let mut s = Scenario::new(
+        &format!("fig5-{}-{}-{}", knob.label(), n, weighted),
+        CORES,
+        vec![knob.device_setup(false)],
+    );
+    s.set_warmup(fidelity.warmup());
+    s.set_seed(0xF165 + rep as u64 * 7919);
+    let cgroups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("cg-{i}"))).collect();
+    let weights: Vec<u32> = (0..n)
+        .map(|i| if weighted { 100 * (i as u32 + 1) } else { 100 })
+        .collect();
+    for (i, &cg) in cgroups.iter().enumerate() {
+        for j in 0..APPS_PER_CGROUP {
+            s.add_app(cg, JobSpec::batch_app(&format!("b-{i}-{j}")));
         }
-        knob.configure_weights(&mut s, &cgroups, &weights);
-        let app_groups = s.app_groups().to_vec();
-        let report = s.run(fidelity.run_duration());
-        let bws = cgroup_bandwidths(&report, &app_groups, &cgroups);
-        let jain = if weighted {
-            let pairs: Vec<(f64, f64)> =
-                bws.iter().zip(&weights).map(|(&b, &w)| (b, f64::from(w))).collect();
-            weighted_jain_index(&pairs)
-        } else {
-            jain_index(&bws)
-        };
-        jains.push(jain);
-        aggs.push(report.aggregate_gib_s());
     }
-    let mean = jains.iter().sum::<f64>() / jains.len() as f64;
-    let var = jains.iter().map(|j| (j - mean) * (j - mean)).sum::<f64>() / jains.len() as f64;
+    knob.configure_weights(&mut s, &cgroups, &weights);
+    let app_groups = s.app_groups().to_vec();
+    let report = s.run(fidelity.run_duration());
+    let bws = cgroup_bandwidths(&report, &app_groups, &cgroups);
+    let jain = if weighted {
+        let pairs: Vec<(f64, f64)> = bws
+            .iter()
+            .zip(&weights)
+            .map(|(&b, &w)| (b, f64::from(w)))
+            .collect();
+        weighted_jain_index(&pairs)
+    } else {
+        jain_index(&bws)
+    };
+    (jain, report.aggregate_gib_s())
+}
+
+/// Folds the `reps` per-repetition samples of one cell into its row.
+fn fold_reps(knob: Knob, n: usize, weighted: bool, samples: &[(f64, f64)]) -> Fig5Row {
+    let len = samples.len() as f64;
+    let mean = samples.iter().map(|&(j, _)| j).sum::<f64>() / len;
+    let var = samples
+        .iter()
+        .map(|&(j, _)| (j - mean) * (j - mean))
+        .sum::<f64>()
+        / len;
     Fig5Row {
         knob,
         cgroups: n,
         weighted,
         jain: mean,
         jain_std: var.sqrt(),
-        agg_gib_s: aggs.iter().sum::<f64>() / aggs.len() as f64,
+        agg_gib_s: samples.iter().map(|&(_, a)| a).sum::<f64>() / len,
     }
 }
 
@@ -109,14 +118,29 @@ fn measure(knob: Knob, n: usize, weighted: bool, fidelity: Fidelity, reps: usize
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig5Result> {
     let counts = fidelity.fig5_cgroup_counts();
     let reps = fidelity.fairness_reps();
-    let mut rows = Vec::new();
+    // Fan every repetition of every (knob, n, weighted) cell across the
+    // worker pool, then fold contiguous `reps`-sized chunks back into
+    // rows — same order and same statistics as the sequential loops.
+    let mut keys = Vec::new();
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for &n in &counts {
             for weighted in [false, true] {
-                rows.push(measure(knob, n, weighted, fidelity, reps));
+                keys.push((knob, n, weighted));
+                for rep in 0..reps {
+                    cells.push((knob, n, weighted, rep));
+                }
             }
         }
     }
+    let samples = runner::map_batch(cells, |(knob, n, weighted, rep)| {
+        measure_rep(knob, n, weighted, rep, fidelity)
+    });
+    let rows: Vec<Fig5Row> = keys
+        .iter()
+        .zip(samples.chunks(reps))
+        .map(|(&(knob, n, weighted), chunk)| fold_reps(knob, n, weighted, chunk))
+        .collect();
     for weighted in [false, true] {
         let tag = if weighted { "weighted" } else { "uniform" };
         let mut t = Table::new(vec!["knob", "cgroups", "jain", "jain std", "agg GiB/s"]);
@@ -179,9 +203,18 @@ mod tests {
         // O4: io.prio.class / io.latency "weights" land far from
         // proportional shares (the gap widens with cgroup count; Smoke
         // only runs n = 2).
-        assert!(mqdl < iocost - 0.03, "MQ-DL weighted jain {mqdl} vs io.cost {iocost}");
-        assert!(iolat < iocost - 0.03, "io.latency weighted jain {iolat} vs io.cost {iocost}");
+        assert!(
+            mqdl < iocost - 0.03,
+            "MQ-DL weighted jain {mqdl} vs io.cost {iocost}"
+        );
+        assert!(
+            iolat < iocost - 0.03,
+            "io.latency weighted jain {iolat} vs io.cost {iocost}"
+        );
         let mqdl_uniform = r.row(Knob::MqDlPrio, 2, false).unwrap().jain;
-        assert!(mqdl < mqdl_uniform, "weights should not help MQ-DL: {mqdl} vs {mqdl_uniform}");
+        assert!(
+            mqdl < mqdl_uniform,
+            "weights should not help MQ-DL: {mqdl} vs {mqdl_uniform}"
+        );
     }
 }

@@ -15,7 +15,7 @@ use std::io;
 use iostats::{jain_index, Table};
 use workload::{JobSpec, RwKind};
 
-use crate::{cgroup_bandwidths, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// Apps per cgroup.
 const APPS_PER_CGROUP: usize = 4;
@@ -100,40 +100,44 @@ fn job_for(case: MixCase, cgroup: usize, name: &str) -> JobSpec {
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig6Result> {
-    let mut rows = Vec::new();
+    // Independent (knob, case) cells; fan across the worker pool.
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for case in MixCase::ALL {
-            let mut device = knob.device_setup(false);
-            if case == MixCase::ReadWrite {
-                // §III: precondition before write experiments.
-                device = device.preconditioned(1.0);
-            }
-            let mut s = Scenario::new(
-                &format!("fig6-{}-{}", knob.label(), case.label()),
-                CORES,
-                vec![device],
-            );
-            s.set_warmup(fidelity.warmup());
-            let cg0 = s.add_cgroup("cg-0");
-            let cg1 = s.add_cgroup("cg-1");
-            for j in 0..APPS_PER_CGROUP {
-                s.add_app(cg0, job_for(case, 0, &format!("a-{j}")));
-                s.add_app(cg1, job_for(case, 1, &format!("b-{j}")));
-            }
-            knob.configure_weights(&mut s, &[cg0, cg1], &[100, 100]);
-            let app_groups = s.app_groups().to_vec();
-            let report = s.run(fidelity.run_duration());
-            let bws = cgroup_bandwidths(&report, &app_groups, &[cg0, cg1]);
-            rows.push(Fig6Row {
-                knob,
-                case,
-                jain: jain_index(&bws),
-                agg_gib_s: report.aggregate_gib_s(),
-                cg0_mib_s: bws[0],
-                cg1_mib_s: bws[1],
-            });
+            cells.push((knob, case));
         }
     }
+    let rows = runner::map_batch(cells, |(knob, case)| {
+        let mut device = knob.device_setup(false);
+        if case == MixCase::ReadWrite {
+            // §III: precondition before write experiments.
+            device = device.preconditioned(1.0);
+        }
+        let mut s = Scenario::new(
+            &format!("fig6-{}-{}", knob.label(), case.label()),
+            CORES,
+            vec![device],
+        );
+        s.set_warmup(fidelity.warmup());
+        let cg0 = s.add_cgroup("cg-0");
+        let cg1 = s.add_cgroup("cg-1");
+        for j in 0..APPS_PER_CGROUP {
+            s.add_app(cg0, job_for(case, 0, &format!("a-{j}")));
+            s.add_app(cg1, job_for(case, 1, &format!("b-{j}")));
+        }
+        knob.configure_weights(&mut s, &[cg0, cg1], &[100, 100]);
+        let app_groups = s.app_groups().to_vec();
+        let report = s.run(fidelity.run_duration());
+        let bws = cgroup_bandwidths(&report, &app_groups, &[cg0, cg1]);
+        Fig6Row {
+            knob,
+            case,
+            jain: jain_index(&bws),
+            agg_gib_s: report.aggregate_gib_s(),
+            cg0_mib_s: bws[0],
+            cg1_mib_s: bws[1],
+        }
+    });
 
     for case in MixCase::ALL {
         let mut t = Table::new(vec!["knob", "jain", "agg GiB/s", "cg0 MiB/s", "cg1 MiB/s"]);

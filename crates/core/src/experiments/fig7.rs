@@ -9,13 +9,14 @@
 //! patterns, and writes to expose each knob's blind spots.
 
 use std::io;
+use std::sync::Arc;
 
 use blkio::{GroupId, PrioClass};
 use cgroup_sim::{DevNode, IoCostQos, IoLatency, IoMax, IoWeight, Knob as KnobWrite};
 use iostats::Table;
 use workload::{JobSpec, RwKind};
 
-use crate::{Fidelity, Knob, OutputSink, Scenario};
+use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// Cores for the trade-off runs.
 const CORES: usize = 10;
@@ -60,8 +61,12 @@ pub enum BeVariant {
 
 impl BeVariant {
     /// All four variants.
-    pub const ALL: [BeVariant; 4] =
-        [BeVariant::Rand4k, BeVariant::Seq4k, BeVariant::Rand256k, BeVariant::Write4k];
+    pub const ALL: [BeVariant; 4] = [
+        BeVariant::Rand4k,
+        BeVariant::Seq4k,
+        BeVariant::Rand256k,
+        BeVariant::Write4k,
+    ];
 
     /// Short label.
     #[must_use]
@@ -115,12 +120,7 @@ pub struct Fig7Result {
 impl Fig7Result {
     /// All points of one `(knob, scenario, variant)` front.
     #[must_use]
-    pub fn front(
-        &self,
-        knob: Knob,
-        scenario: PrioScenario,
-        variant: BeVariant,
-    ) -> Vec<&Fig7Point> {
+    pub fn front(&self, knob: Knob, scenario: PrioScenario, variant: BeVariant) -> Vec<&Fig7Point> {
         self.points
             .iter()
             .filter(|p| p.knob == knob && p.scenario == scenario && p.variant == variant)
@@ -128,10 +128,15 @@ impl Fig7Result {
     }
 }
 
+/// Configures the (prio, BE) group pair of one sweep point. `Send +
+/// Sync` so a config can be shared across concurrently running sweep
+/// points.
+type ApplyFn = Box<dyn Fn(&mut Scenario, GroupId, GroupId) + Send + Sync>;
+
 /// One knob configuration to apply before a run.
 struct SweepConfig {
     label: String,
-    apply: Box<dyn Fn(&mut Scenario, GroupId, GroupId)>,
+    apply: ApplyFn,
 }
 
 fn lerp(lo: f64, hi: f64, i: usize, n: usize) -> f64 {
@@ -144,7 +149,10 @@ fn lerp(lo: f64, hi: f64, i: usize, n: usize) -> f64 {
 fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<SweepConfig> {
     let dev = DevNode::nvme(0);
     match knob {
-        Knob::None => vec![SweepConfig { label: "none".into(), apply: Box::new(|_, _, _| {}) }],
+        Knob::None => vec![SweepConfig {
+            label: "none".into(),
+            apply: Box::new(|_, _, _| {}),
+        }],
         Knob::MqDlPrio => {
             // All class permutations between the priority and BE cgroup.
             let classes = [PrioClass::Realtime, PrioClass::BestEffort, PrioClass::Idle];
@@ -168,12 +176,16 @@ fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<Sweep
                     label: format!("w={w}"),
                     apply: Box::new(move |s, prio, be| {
                         let h = s.hierarchy_mut();
-                        let mut pw = IoWeight::default();
-                        pw.default = w.max(1);
+                        let pw = IoWeight {
+                            default: w.max(1),
+                            ..IoWeight::default()
+                        };
                         h.apply(prio, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(pw)))
                             .expect("bfq weight");
-                        let mut bw = IoWeight::default();
-                        bw.default = 100;
+                        let bw = IoWeight {
+                            default: 100,
+                            ..IoWeight::default()
+                        };
                         h.apply(be, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(bw)))
                             .expect("bfq weight");
                     }),
@@ -188,9 +200,14 @@ fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<Sweep
                 SweepConfig {
                     label: format!("be_cap={cap_mib:.0}MiB/s"),
                     apply: Box::new(move |s, _, be| {
-                        let m =
-                            IoMax { rbps: Some(cap), wbps: Some(cap), ..IoMax::default() };
-                        s.hierarchy_mut().apply(be, KnobWrite::Max(dev, m)).expect("io.max");
+                        let m = IoMax {
+                            rbps: Some(cap),
+                            wbps: Some(cap),
+                            ..IoMax::default()
+                        };
+                        s.hierarchy_mut()
+                            .apply(be, KnobWrite::Max(dev, m))
+                            .expect("io.max");
                     }),
                 }
             })
@@ -231,8 +248,7 @@ fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<Sweep
                 SweepConfig {
                     label,
                     apply: Box::new(move |s, prio, be| {
-                        let model =
-                            Knob::generated_model(&s.devices_mut()[0].profile.clone());
+                        let model = Knob::generated_model(&s.devices_mut()[0].profile.clone());
                         let qos = IoCostQos {
                             enable: true,
                             ctrl: cgroup_sim::CostCtrl::User,
@@ -244,15 +260,22 @@ fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<Sweep
                             max_pct: 100.0,
                         };
                         let h = s.hierarchy_mut();
-                        h.apply(cgroup_sim::Hierarchy::ROOT, KnobWrite::CostModel(dev, model))
-                            .expect("model");
+                        h.apply(
+                            cgroup_sim::Hierarchy::ROOT,
+                            KnobWrite::CostModel(dev, model),
+                        )
+                        .expect("model");
                         h.apply(cgroup_sim::Hierarchy::ROOT, KnobWrite::CostQos(dev, qos))
                             .expect("qos");
-                        let mut pw = IoWeight::default();
-                        pw.default = 10_000;
+                        let pw = IoWeight {
+                            default: 10_000,
+                            ..IoWeight::default()
+                        };
                         h.apply(prio, KnobWrite::Weight(pw)).expect("weight");
-                        let mut bw = IoWeight::default();
-                        bw.default = 100;
+                        let bw = IoWeight {
+                            default: 100,
+                            ..IoWeight::default()
+                        };
                         h.apply(be, KnobWrite::Weight(bw)).expect("weight");
                     }),
                 }
@@ -273,7 +296,12 @@ fn run_point(
         device = device.preconditioned(1.0);
     }
     let mut s = Scenario::new(
-        &format!("fig7-{}-{}-{}", knob.label(), scenario.label(), variant.label()),
+        &format!(
+            "fig7-{}-{}-{}",
+            knob.label(),
+            scenario.label(),
+            variant.label()
+        ),
         CORES,
         vec![device],
     );
@@ -284,7 +312,10 @@ fn run_point(
     let prio = s.add_cgroup("prio");
     let be = s.add_cgroup("be");
     let prio_job = match scenario {
-        PrioScenario::Batch => JobSpec::builder("prio").iodepth(64).block_size(4096).build(),
+        PrioScenario::Batch => JobSpec::builder("prio")
+            .iodepth(64)
+            .block_size(4096)
+            .build(),
         PrioScenario::Lc => JobSpec::lc_app("prio"),
     };
     s.add_app(prio, prio_job);
@@ -321,17 +352,26 @@ pub fn variants_for(fidelity: Fidelity) -> Vec<BeVariant> {
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig7Result> {
     let points_per_knob = fidelity.fig7_sweep_points();
     let variants = variants_for(fidelity);
-    let mut points = Vec::new();
+    // Every (knob, scenario, variant, config) sweep point is an
+    // independent scenario; fan the whole grid across the worker pool.
+    // Point order equals cell order, matching the sequential loops.
+    let mut cells: Vec<(Knob, PrioScenario, BeVariant, Arc<SweepConfig>)> = Vec::new();
     for knob in Knob::ALL {
         for scenario in PrioScenario::ALL {
-            let configs = sweep_configs(knob, scenario, points_per_knob);
+            let configs: Vec<Arc<SweepConfig>> = sweep_configs(knob, scenario, points_per_knob)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
             for &variant in &variants {
                 for config in &configs {
-                    points.push(run_point(knob, scenario, variant, config, fidelity));
+                    cells.push((knob, scenario, variant, Arc::clone(config)));
                 }
             }
         }
     }
+    let points = runner::map_batch(cells, |(knob, scenario, variant, config)| {
+        run_point(knob, scenario, variant, &config, fidelity)
+    });
 
     for scenario in PrioScenario::ALL {
         let metric = match scenario {
@@ -371,7 +411,11 @@ mod tests {
         // none 1, MQ-DL 9, BFQ/io.max/io.latency/io.cost 3 each → 22
         // configs × 2 scenarios × 2 variants.
         assert_eq!(r.points.len(), 22 * 2 * 2);
-        assert_eq!(r.front(Knob::MqDlPrio, PrioScenario::Batch, BeVariant::Rand4k).len(), 9);
+        assert_eq!(
+            r.front(Knob::MqDlPrio, PrioScenario::Batch, BeVariant::Rand4k)
+                .len(),
+            9
+        );
     }
 
     #[test]
@@ -415,12 +459,18 @@ mod tests {
     fn bfq_cannot_prioritize_single_app_bandwidth() {
         let r = result();
         let front = r.front(Knob::BfqWeight, PrioScenario::Batch, BeVariant::Rand4k);
-        let lo = front.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+        let lo = front
+            .iter()
+            .map(|p| p.prio_mib_s)
+            .fold(f64::INFINITY, f64::min);
         let hi = front.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max);
         // O6: the spread BFQ weights achieve for one app's bandwidth is
         // small compared to what io.max achieves.
         let iomax = r.front(Knob::IoMax, PrioScenario::Batch, BeVariant::Rand4k);
-        let io_lo = iomax.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+        let io_lo = iomax
+            .iter()
+            .map(|p| p.prio_mib_s)
+            .fold(f64::INFINITY, f64::min);
         let io_hi = iomax.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max);
         assert!(
             (hi - lo) < 0.7 * (io_hi - io_lo),
@@ -433,7 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn iolatency_fails_for_write_heavy_be(){
+    fn iolatency_fails_for_write_heavy_be() {
         let r = result();
         // With 4 KiB BE reads, a strict target protects the LC app...
         let strict_read = r.front(Knob::IoLatency, PrioScenario::Lc, BeVariant::Rand4k)[0];

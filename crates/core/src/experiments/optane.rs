@@ -17,7 +17,7 @@ use std::io;
 use iostats::{jain_index, Table};
 use workload::{JobSpec, RwKind};
 
-use crate::{cgroup_bandwidths, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// One Optane-vs-flash comparison row.
 #[derive(Debug, Clone)]
@@ -43,12 +43,18 @@ impl OptaneResult {
     /// Looks up a probe.
     #[must_use]
     pub fn row(&self, probe: &str, knob: Knob) -> Option<&OptaneRow> {
-        self.rows.iter().find(|r| r.probe == probe && r.knob == knob)
+        self.rows
+            .iter()
+            .find(|r| r.probe == probe && r.knob == knob)
     }
 }
 
 fn lc_p99(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
-    let device = if optane { knob.device_setup_optane() } else { knob.device_setup(true) };
+    let device = if optane {
+        knob.device_setup_optane()
+    } else {
+        knob.device_setup(true)
+    };
     let mut s = Scenario::new("optane-lat", 1, vec![device]);
     s.set_warmup(fidelity.warmup());
     let g = s.add_cgroup("lc");
@@ -59,7 +65,11 @@ fn lc_p99(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
 }
 
 fn weighted_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
-    let device = if optane { knob.device_setup_optane() } else { knob.device_setup(false) };
+    let device = if optane {
+        knob.device_setup_optane()
+    } else {
+        knob.device_setup(false)
+    };
     let mut s = Scenario::new("optane-fair", 10, vec![device]);
     s.set_warmup(fidelity.warmup());
     let a = s.add_cgroup("a");
@@ -89,7 +99,10 @@ fn readwrite_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
         s.add_app(readers, JobSpec::batch_app(&format!("r{j}")));
         s.add_app(
             writers,
-            JobSpec::builder(&format!("w{j}")).rw(RwKind::RandWrite).iodepth(256).build(),
+            JobSpec::builder(&format!("w{j}"))
+                .rw(RwKind::RandWrite)
+                .iodepth(256)
+                .build(),
         );
     }
     knob.configure_weights(&mut s, &[readers, writers], &[100, 100]);
@@ -105,31 +118,53 @@ fn readwrite_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<OptaneResult> {
-    let mut rows = Vec::new();
+    // Every probe×profile measurement is an independent scenario; fan
+    // all of them (flash and Optane interleaved per row) across the
+    // worker pool, then pair them back up in submission order.
+    type ProbeTask = Box<dyn FnOnce() -> f64 + Send>;
+    let mut keys: Vec<(&str, Knob)> = Vec::new();
+    let mut tasks: Vec<ProbeTask> = Vec::new();
+    let push = |keys: &mut Vec<(&str, Knob)>,
+                tasks: &mut Vec<ProbeTask>,
+                probe: &'static str,
+                knob: Knob,
+                f: fn(Knob, bool, Fidelity) -> f64| {
+        keys.push((probe, knob));
+        tasks.push(Box::new(move || f(knob, false, fidelity)));
+        tasks.push(Box::new(move || f(knob, true, fidelity)));
+    };
     for knob in [Knob::None, Knob::IoCost] {
-        rows.push(OptaneRow {
-            probe: "lc_p99_us".into(),
-            knob,
-            flash: lc_p99(knob, false, fidelity),
-            optane: lc_p99(knob, true, fidelity),
-        });
+        push(&mut keys, &mut tasks, "lc_p99_us", knob, lc_p99);
     }
     for knob in [Knob::IoCost, Knob::IoMax, Knob::BfqWeight] {
-        rows.push(OptaneRow {
-            probe: "weighted_jain".into(),
+        push(
+            &mut keys,
+            &mut tasks,
+            "weighted_jain",
             knob,
-            flash: weighted_fairness(knob, false, fidelity),
-            optane: weighted_fairness(knob, true, fidelity),
-        });
+            weighted_fairness,
+        );
     }
     for knob in [Knob::None, Knob::IoCost] {
-        rows.push(OptaneRow {
-            probe: "readwrite_jain".into(),
+        push(
+            &mut keys,
+            &mut tasks,
+            "readwrite_jain",
             knob,
-            flash: readwrite_fairness(knob, false, fidelity),
-            optane: readwrite_fairness(knob, true, fidelity),
-        });
+            readwrite_fairness,
+        );
     }
+    let values = runner::run_batch(tasks);
+    let rows: Vec<OptaneRow> = keys
+        .iter()
+        .zip(values.chunks(2))
+        .map(|(&(probe, knob), pair)| OptaneRow {
+            probe: probe.into(),
+            knob,
+            flash: pair[0],
+            optane: pair[1],
+        })
+        .collect();
     let mut t = Table::new(vec!["probe", "knob", "flash", "optane"]);
     for r in &rows {
         t.row(vec![
@@ -161,7 +196,11 @@ mod tests {
             row.optane,
             row.flash
         );
-        assert!((8.0..40.0).contains(&row.optane), "optane P99 {}", row.optane);
+        assert!(
+            (8.0..40.0).contains(&row.optane),
+            "optane P99 {}",
+            row.optane
+        );
     }
 
     #[test]
@@ -169,7 +208,11 @@ mod tests {
         let r = result();
         for knob in [Knob::IoCost, Knob::IoMax] {
             let row = r.row("weighted_jain", knob).unwrap();
-            assert!(row.optane > 0.8, "{knob} optane weighted jain {}", row.optane);
+            assert!(
+                row.optane > 0.8,
+                "{knob} optane weighted jain {}",
+                row.optane
+            );
         }
     }
 

@@ -17,7 +17,7 @@ use iostats::Table;
 use simcore::{SimDuration, SimTime};
 use workload::JobSpec;
 
-use crate::{Fidelity, Knob, OutputSink, Scenario};
+use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
 
 /// Cores.
 const CORES: usize = 10;
@@ -87,23 +87,37 @@ fn configure_priority(knob: Knob, s: &mut Scenario, prio: blkio::GroupId, be: bl
         Knob::None => {}
         Knob::MqDlPrio => {
             let h = s.hierarchy_mut();
-            h.apply(prio, KnobWrite::PrioClass(PrioClass::Realtime)).expect("prio");
-            h.apply(be, KnobWrite::PrioClass(PrioClass::Idle)).expect("prio");
+            h.apply(prio, KnobWrite::PrioClass(PrioClass::Realtime))
+                .expect("prio");
+            h.apply(be, KnobWrite::PrioClass(PrioClass::Idle))
+                .expect("prio");
         }
         Knob::BfqWeight => {
             let h = s.hierarchy_mut();
-            let mut pw = IoWeight::default();
-            pw.default = 1000;
-            h.apply(prio, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(pw))).expect("bfq");
-            let mut bw = IoWeight::default();
-            bw.default = 100;
-            h.apply(be, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(bw))).expect("bfq");
+            let pw = IoWeight {
+                default: 1000,
+                ..IoWeight::default()
+            };
+            h.apply(prio, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(pw)))
+                .expect("bfq");
+            let bw = IoWeight {
+                default: 100,
+                ..IoWeight::default()
+            };
+            h.apply(be, KnobWrite::BfqWeight(cgroup_sim::BfqWeight(bw)))
+                .expect("bfq");
         }
         Knob::IoMax => {
             // Cap the BE side at ~30 % of the device.
             let cap = (0.9 * 1024.0 * 1024.0 * 1024.0) as u64;
-            let m = IoMax { rbps: Some(cap), wbps: Some(cap), ..IoMax::default() };
-            s.hierarchy_mut().apply(be, KnobWrite::Max(dev, m)).expect("io.max");
+            let m = IoMax {
+                rbps: Some(cap),
+                wbps: Some(cap),
+                ..IoMax::default()
+            };
+            s.hierarchy_mut()
+                .apply(be, KnobWrite::Max(dev, m))
+                .expect("io.max");
         }
         Knob::IoLatency => {
             s.hierarchy_mut()
@@ -123,14 +137,22 @@ fn configure_priority(knob: Knob, s: &mut Scenario, prio: blkio::GroupId, be: bl
                 max_pct: 100.0,
             };
             let h = s.hierarchy_mut();
-            h.apply(cgroup_sim::Hierarchy::ROOT, KnobWrite::CostModel(dev, model))
-                .expect("model");
-            h.apply(cgroup_sim::Hierarchy::ROOT, KnobWrite::CostQos(dev, qos)).expect("qos");
-            let mut pw = IoWeight::default();
-            pw.default = 10_000;
+            h.apply(
+                cgroup_sim::Hierarchy::ROOT,
+                KnobWrite::CostModel(dev, model),
+            )
+            .expect("model");
+            h.apply(cgroup_sim::Hierarchy::ROOT, KnobWrite::CostQos(dev, qos))
+                .expect("qos");
+            let pw = IoWeight {
+                default: 10_000,
+                ..IoWeight::default()
+            };
             h.apply(prio, KnobWrite::Weight(pw)).expect("weight");
-            let mut bw = IoWeight::default();
-            bw.default = 100;
+            let bw = IoWeight {
+                default: 100,
+                ..IoWeight::default()
+            };
             h.apply(be, KnobWrite::Weight(bw)).expect("weight");
         }
     }
@@ -148,10 +170,16 @@ fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
     let prio = s.add_cgroup("prio");
     let be = s.add_cgroup("be");
     let prio_job = match app {
-        BurstApp::Batch => {
-            JobSpec::builder("prio").iodepth(64).block_size(4096).start_at(burst_at).build()
-        }
-        BurstApp::Lc => JobSpec::builder("prio").iodepth(1).block_size(4096).start_at(burst_at).build(),
+        BurstApp::Batch => JobSpec::builder("prio")
+            .iodepth(64)
+            .block_size(4096)
+            .start_at(burst_at)
+            .build(),
+        BurstApp::Lc => JobSpec::builder("prio")
+            .iodepth(1)
+            .block_size(4096)
+            .start_at(burst_at)
+            .build(),
     };
     s.add_app(prio, prio_job);
     for j in 0..BE_APPS {
@@ -165,8 +193,15 @@ fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
     let steady = series.mean_mib_s(steady_from, until);
     let response_ms = series
         .first_window_reaching(RESPONSE_FRACTION * steady, burst_at)
-        .map_or(f64::INFINITY, |t| t.saturating_since(burst_at).as_millis_f64());
-    Q10Row { knob, app, response_ms, steady_mib_s: steady }
+        .map_or(f64::INFINITY, |t| {
+            t.saturating_since(burst_at).as_millis_f64()
+        });
+    Q10Row {
+        knob,
+        app,
+        response_ms,
+        steady_mib_s: steady,
+    }
 }
 
 /// Runs the burst study.
@@ -175,12 +210,14 @@ fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Q10Result> {
-    let mut rows = Vec::new();
+    // Independent (knob, burst-app) cells; fan across the worker pool.
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for app in BurstApp::ALL {
-            rows.push(measure(knob, app, fidelity));
+            cells.push((knob, app));
         }
     }
+    let rows = runner::map_batch(cells, |(knob, app)| measure(knob, app, fidelity));
     let mut t = Table::new(vec!["knob", "burst app", "response (ms)", "steady MiB/s"]);
     for r in &rows {
         let resp = if r.response_ms.is_finite() {
@@ -208,7 +245,7 @@ mod tests {
     }
 
     #[test]
-    fn iocost_and_iomax_respond_fast(){
+    fn iocost_and_iomax_respond_fast() {
         let r = result();
         for knob in [Knob::IoCost, Knob::IoMax] {
             let row = r.row(knob, BurstApp::Batch).unwrap();

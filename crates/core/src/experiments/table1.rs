@@ -106,7 +106,9 @@ fn d2_fairness(knob: Knob, f5: &fig5::Fig5Result, f6: &fig6::Fig6Result) -> Verd
     let weighted_sat = f5.row(knob, max_n, true).map_or(0.0, |r| r.jain);
     let none_uniform_sat = f5.row(Knob::None, max_n, false).map_or(1.0, |r| r.jain);
     let sizes = f6.row(knob, fig6::MixCase::Sizes).map_or(0.0, |r| r.jain);
-    let readwrite = f6.row(knob, fig6::MixCase::ReadWrite).map_or(0.0, |r| r.jain);
+    let readwrite = f6
+        .row(knob, fig6::MixCase::ReadWrite)
+        .map_or(0.0, |r| r.jain);
     let base_ok = weighted_base >= 0.9;
     // Fairness must survive CPU saturation (Fig. 5b: MQ-DL/BFQ lose it).
     let sat_ok = uniform_sat >= 0.97 * none_uniform_sat && weighted_sat >= 0.80;
@@ -135,7 +137,11 @@ struct FrontQuality {
 
 fn analyze_front(points: &[&fig7::Fig7Point], scenario: fig7::PrioScenario) -> FrontQuality {
     if points.len() < 2 {
-        return FrontQuality { effective: false, fine_grained: false, knee: false };
+        return FrontQuality {
+            effective: false,
+            fine_grained: false,
+            knee: false,
+        };
     }
     let metric = |p: &fig7::Fig7Point| match scenario {
         fig7::PrioScenario::Batch => p.prio_mib_s,
@@ -160,8 +166,10 @@ fn analyze_front(points: &[&fig7::Fig7Point], scenario: fig7::PrioScenario) -> F
         let hi = vals.iter().copied().fold(0.0, f64::max);
         let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let spread = (hi - lo).max(1e-9);
-        let mut bins: Vec<i64> =
-            vals.iter().map(|v| ((v - lo) / (0.15 * spread)) as i64).collect();
+        let mut bins: Vec<i64> = vals
+            .iter()
+            .map(|v| ((v - lo) / (0.15 * spread)) as i64)
+            .collect();
         bins.sort_unstable();
         bins.dedup();
         bins.len()
@@ -176,7 +184,11 @@ fn analyze_front(points: &[&fig7::Fig7Point], scenario: fig7::PrioScenario) -> F
     let knee = points
         .iter()
         .any(|p| p.agg_mib_s >= 0.75 * max_agg && metric(p) >= 0.7 * best);
-    FrontQuality { effective, fine_grained, knee }
+    FrontQuality {
+        effective,
+        fine_grained,
+        knee,
+    }
 }
 
 fn d3_tradeoffs(knob: Knob, f7: &fig7::Fig7Result, fidelity: Fidelity) -> Verdict {
@@ -253,7 +265,13 @@ pub fn derive(
             let fairness = d2_fairness(knob, f5, f6);
             let tradeoffs = d3_tradeoffs(knob, f7, fidelity);
             let bursts = d4_bursts(knob, tradeoffs, q);
-            KnobVerdicts { knob, overhead, fairness, tradeoffs, bursts }
+            KnobVerdicts {
+                knob,
+                overhead,
+                fairness,
+                tradeoffs,
+                bursts,
+            }
         })
         .collect();
     Table1Result { rows }

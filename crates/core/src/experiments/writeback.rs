@@ -23,7 +23,7 @@ use cgroup_sim::{DevNode, IoMax, Knob as KnobWrite};
 use iostats::Table;
 use workload::{JobSpec, RwKind};
 
-use crate::{Fidelity, OutputSink, Scenario};
+use crate::{runner, Fidelity, OutputSink, Scenario};
 
 /// How writeback device I/O is charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,7 +74,9 @@ impl WritebackResult {
     /// Looks up one cell.
     #[must_use]
     pub fn row(&self, mode: WritebackMode, capped: bool) -> Option<&WritebackRow> {
-        self.rows.iter().find(|r| r.mode == mode && r.capped == capped)
+        self.rows
+            .iter()
+            .find(|r| r.mode == mode && r.capped == capped)
     }
 }
 
@@ -109,7 +111,10 @@ fn probe(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> WritebackRow 
     s.add_app(flusher_group, flusher_job);
 
     if capped {
-        let cap = IoMax { wbps: Some(CAP_BYTES), ..IoMax::default() };
+        let cap = IoMax {
+            wbps: Some(CAP_BYTES),
+            ..IoMax::default()
+        };
         s.hierarchy_mut()
             .apply(tenant_cg, KnobWrite::Max(DevNode::nvme(0), cap))
             .expect("io.max write");
@@ -129,12 +134,14 @@ fn probe(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> WritebackRow 
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<WritebackResult> {
-    let mut rows = Vec::new();
+    // Independent (mode, capped) cells; fan across the worker pool.
+    let mut cells = Vec::new();
     for mode in WritebackMode::ALL {
         for capped in [false, true] {
-            rows.push(probe(mode, capped, fidelity));
+            cells.push((mode, capped));
         }
     }
+    let rows = runner::map_batch(cells, |(mode, capped)| probe(mode, capped, fidelity));
     let mut t = Table::new(vec![
         "writeback charging",
         "tenant io.max (wbps)",
@@ -172,7 +179,10 @@ mod tests {
         let capped = r.row(WritebackMode::V1RootCharged, true).unwrap();
         // The cap changes (almost) nothing: writeback escapes it.
         let ratio = capped.writeback_mib_s / uncapped.writeback_mib_s;
-        assert!((0.9..1.1).contains(&ratio), "v1 cap should not bind: ratio {ratio}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "v1 cap should not bind: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -38,8 +38,14 @@ pub enum Knob {
 
 impl Knob {
     /// All six, in the paper's Table I order (baseline first).
-    pub const ALL: [Knob; 6] =
-        [Knob::None, Knob::MqDlPrio, Knob::BfqWeight, Knob::IoMax, Knob::IoLatency, Knob::IoCost];
+    pub const ALL: [Knob; 6] = [
+        Knob::None,
+        Knob::MqDlPrio,
+        Knob::BfqWeight,
+        Knob::IoMax,
+        Knob::IoLatency,
+        Knob::IoCost,
+    ];
 
     /// Display label, matching the paper's figures.
     #[must_use]
@@ -70,7 +76,10 @@ impl Knob {
     pub fn device_setup(self, overhead_mode: bool) -> DeviceSetup {
         let mut d = DeviceSetup::flash().with_scheduler(self.scheduler());
         if self == Knob::BfqWeight && overhead_mode {
-            d = d.with_bfq(BfqConfig { slice_idle: SimDuration::ZERO, ..BfqConfig::default() });
+            d = d.with_bfq(BfqConfig {
+                slice_idle: SimDuration::ZERO,
+                ..BfqConfig::default()
+            });
         }
         d
     }
@@ -98,16 +107,13 @@ impl Knob {
         }
     }
 
-    fn write_iocost(
-        hierarchy: &mut Hierarchy,
-        dev: DevNode,
-        model: IoCostModel,
-        qos: IoCostQos,
-    ) {
+    fn write_iocost(hierarchy: &mut Hierarchy, dev: DevNode, model: IoCostModel, qos: IoCostQos) {
         hierarchy
             .apply(Hierarchy::ROOT, KnobWrite::CostModel(dev, model))
             .expect("root model write");
-        hierarchy.apply(Hierarchy::ROOT, KnobWrite::CostQos(dev, qos)).expect("root qos write");
+        hierarchy
+            .apply(Hierarchy::ROOT, KnobWrite::CostQos(dev, qos))
+            .expect("root qos write");
     }
 
     /// Configures the knob to be *active but not restraining* — the §V
@@ -124,14 +130,20 @@ impl Knob {
                 Knob::None | Knob::MqDlPrio | Knob::BfqWeight => {}
                 Knob::IoMax => {
                     for &g in cgroups {
-                        let huge = IoMax { rbps: Some(20 << 30), ..IoMax::default() };
+                        let huge = IoMax {
+                            rbps: Some(20 << 30),
+                            ..IoMax::default()
+                        };
                         h.apply(g, KnobWrite::Max(dev, huge)).expect("io.max write");
                     }
                 }
                 Knob::IoLatency => {
                     for &g in cgroups {
-                        let lax = IoLatency { target_us: 4_000_000 };
-                        h.apply(g, KnobWrite::Latency(dev, lax)).expect("io.latency write");
+                        let lax = IoLatency {
+                            target_us: 4_000_000,
+                        };
+                        h.apply(g, KnobWrite::Latency(dev, lax))
+                            .expect("io.latency write");
                     }
                 }
                 Knob::IoCost => {
@@ -221,16 +233,20 @@ impl Knob {
                         } else {
                             blkio::PrioClass::BestEffort
                         };
-                        h.apply(cgroups[i], KnobWrite::PrioClass(class)).expect("prio write");
+                        h.apply(cgroups[i], KnobWrite::PrioClass(class))
+                            .expect("prio write");
                     }
                 }
                 Knob::BfqWeight => {
                     for (&g, &w) in cgroups.iter().zip(weights) {
                         let scaled =
                             ((u64::from(w) * 1000 / u64::from(max_w)) as u32).clamp(1, 1000);
-                        let mut bw = IoWeight::default();
-                        bw.default = scaled;
-                        h.apply(g, KnobWrite::BfqWeight(BfqWeight(bw))).expect("bfq write");
+                        let bw = IoWeight {
+                            default: scaled,
+                            ..IoWeight::default()
+                        };
+                        h.apply(g, KnobWrite::BfqWeight(BfqWeight(bw)))
+                            .expect("bfq write");
                     }
                 }
                 Knob::IoMax => {
@@ -255,10 +271,17 @@ impl Knob {
                     }
                 }
                 Knob::IoCost => {
-                    Self::write_iocost(h, dev, Self::generated_model(profile), Self::fairness_qos());
+                    Self::write_iocost(
+                        h,
+                        dev,
+                        Self::generated_model(profile),
+                        Self::fairness_qos(),
+                    );
                     for (&g, &w) in cgroups.iter().zip(weights) {
-                        let mut iw = IoWeight::default();
-                        iw.default = w.clamp(1, 10_000);
+                        let iw = IoWeight {
+                            default: w.clamp(1, 10_000),
+                            ..IoWeight::default()
+                        };
                         h.apply(g, KnobWrite::Weight(iw)).expect("io.weight write");
                     }
                 }
@@ -302,14 +325,20 @@ mod tests {
         assert!(model.rrandiops < full.rrandiops);
         // Roughly the paper's 2.3 GiB/s random-read saturation.
         let gib_s = model.rrandiops as f64 * 4096.0 / (1u64 << 30) as f64;
-        assert!((2.0..2.7).contains(&gib_s), "model saturation {gib_s} GiB/s");
+        assert!(
+            (2.0..2.7).contains(&gib_s),
+            "model saturation {gib_s} GiB/s"
+        );
     }
 
     #[test]
     fn weights_configure_each_knob() {
         for knob in Knob::ALL {
-            let mut s =
-                Scenario::new("t", 2, vec![knob.device_setup(false), knob.device_setup(false)]);
+            let mut s = Scenario::new(
+                "t",
+                2,
+                vec![knob.device_setup(false), knob.device_setup(false)],
+            );
             let a = s.add_cgroup("a");
             let b = s.add_cgroup("b");
             knob.configure_weights(&mut s, &[a, b], &[200, 100]);

@@ -49,6 +49,7 @@ pub mod experiments;
 mod fidelity;
 mod knob;
 mod output;
+pub mod runner;
 mod scenario;
 
 pub use fidelity::Fidelity;

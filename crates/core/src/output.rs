@@ -34,13 +34,21 @@ impl OutputSink {
     /// A sink that only prints to stdout.
     #[must_use]
     pub fn stdout() -> Self {
-        OutputSink { dir: None, quiet: false, emitted: Vec::new() }
+        OutputSink {
+            dir: None,
+            quiet: false,
+            emitted: Vec::new(),
+        }
     }
 
     /// A silent sink (used by tests/benches).
     #[must_use]
     pub fn quiet() -> Self {
-        OutputSink { dir: None, quiet: true, emitted: Vec::new() }
+        OutputSink {
+            dir: None,
+            quiet: true,
+            emitted: Vec::new(),
+        }
     }
 
     /// A sink that prints and also writes `<name>.csv` files to `dir`.
@@ -51,7 +59,11 @@ impl OutputSink {
     pub fn with_dir<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(OutputSink { dir: Some(dir), quiet: false, emitted: Vec::new() })
+        Ok(OutputSink {
+            dir: Some(dir),
+            quiet: false,
+            emitted: Vec::new(),
+        })
     }
 
     /// Emits one named table.

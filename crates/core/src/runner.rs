@@ -1,0 +1,189 @@
+//! Deterministic parallel scenario runner.
+//!
+//! Experiment grids (Fig. 3–7, Q10, …) are embarrassingly parallel:
+//! every cell builds its own [`crate::Scenario`] with its own seeded
+//! RNG and shares no mutable state with any other cell. This module
+//! fans such batches across a fixed-size worker pool while keeping the
+//! output **bit-for-bit identical** to a sequential run:
+//!
+//! * each task writes its result into the slot matching its submission
+//!   index, so [`run_batch`] returns results in submission order no
+//!   matter which worker finished first;
+//! * tasks themselves are deterministic (simulation state is seeded per
+//!   scenario and never shared), so a cell computes the same value on
+//!   any thread.
+//!
+//! Together these make every table, CSV, and report byte-identical for
+//! any `--jobs` value — parallelism only changes wall-clock time.
+//!
+//! The pool is built on [`std::thread::scope`]; there are no external
+//! dependencies and no long-lived threads. Worker count comes from the
+//! process-wide setting ([`set_jobs`]), defaulting to
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Process-wide worker count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`run_batch`].
+///
+/// `0` restores the default: [`std::thread::available_parallelism`].
+/// Because batches are deterministic for *any* worker count, changing
+/// this at any time affects throughput only, never results.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved worker count (always ≥ 1).
+#[must_use]
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `tasks` on the configured worker pool, returning results in
+/// submission order.
+///
+/// Equivalent to `tasks.into_iter().map(|f| f()).collect()` — including
+/// the exact output order — but cells run concurrently on up to
+/// [`jobs`] threads.
+///
+/// # Panics
+///
+/// If a task panics, the panic is propagated once all workers have
+/// stopped (no result is silently dropped).
+pub fn run_batch<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_batch_on(jobs(), tasks)
+}
+
+/// [`run_batch`] with an explicit worker count (used by the determinism
+/// regression tests and benches; prefer [`run_batch`] elsewhere).
+pub fn run_batch_on<T, F>(workers: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+
+    // Task slots and result slots are indexed by submission order; a
+    // worker claims index i atomically, takes the task from slot i, and
+    // writes its output to result slot i. Completion order is
+    // irrelevant to the collected output.
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed twice");
+                let out = task();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on the worker pool, preserving item order.
+///
+/// Convenience wrapper over [`run_batch`] for the common "apply one
+/// measurement function to every grid cell" shape.
+pub fn map_batch<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let f = &f;
+    run_batch(items.into_iter().map(move |item| move || f(item)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Give early tasks the longest work so they finish last; order
+        // must still match submission.
+        let tasks: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    let spin = (32 - i) * 10_000;
+                    let mut acc = i;
+                    for k in 0..spin {
+                        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                }
+            })
+            .collect();
+        let out = run_batch_on(4, tasks);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_counts_agree_bit_for_bit() {
+        let build = || {
+            (0..20u64)
+                .map(|i| move || format!("cell-{i}:{}", i.wrapping_mul(2_654_435_761)))
+                .collect::<Vec<_>>()
+        };
+        let seq = run_batch_on(1, build());
+        for workers in [2, 3, 4, 8, 64] {
+            assert_eq!(run_batch_on(workers, build()), seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_batch_preserves_order() {
+        let out = map_batch((0..10).collect::<Vec<i32>>(), |x| x * x);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn empty_and_single_batches_work() {
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(run_batch(empty).is_empty());
+        assert_eq!(run_batch_on(8, vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn jobs_resolves_to_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+}

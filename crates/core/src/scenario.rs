@@ -38,7 +38,9 @@ impl Scenario {
         assert!(!devices.is_empty(), "need at least one device");
         assert!(cores > 0, "need at least one core");
         let mut hierarchy = Hierarchy::new();
-        let slice = hierarchy.create(Hierarchy::ROOT, "isol.slice").expect("fresh tree");
+        let slice = hierarchy
+            .create(Hierarchy::ROOT, "isol.slice")
+            .expect("fresh tree");
         hierarchy.enable_io(slice).expect("no processes yet");
         Scenario {
             name: name.to_owned(),
@@ -91,7 +93,9 @@ impl Scenario {
     ///
     /// Panics on duplicate names.
     pub fn add_cgroup(&mut self, name: &str) -> GroupId {
-        self.hierarchy.create(self.slice, name).expect("unique cgroup name")
+        self.hierarchy
+            .create(self.slice, name)
+            .expect("unique cgroup name")
     }
 
     /// Adds an app inside `group`, issuing to every device (the default).
@@ -108,7 +112,9 @@ impl Scenario {
     /// Panics if `group` cannot hold processes.
     pub fn add_app_on(&mut self, group: GroupId, spec: JobSpec, devices: Vec<DeviceId>) -> AppId {
         let app = AppId(self.apps.len());
-        self.hierarchy.attach_process(group, app).expect("process group");
+        self.hierarchy
+            .attach_process(group, app)
+            .expect("process group");
         self.apps.push(AppSetup::new(spec, devices));
         self.app_groups.push(group);
         app

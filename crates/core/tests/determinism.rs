@@ -1,0 +1,54 @@
+//! Regression test for the parallel runner's determinism guarantee:
+//! running an experiment grid on one worker and on several workers must
+//! produce byte-identical CSV output. Any jobs-dependent divergence
+//! (result reordering, per-worker RNG state, racy accumulation) fails
+//! this test.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use isol_bench::experiments::fig4;
+use isol_bench::{runner, Fidelity, OutputSink};
+
+/// Runs the Fig. 4 smoke grid with `jobs` workers, returning every
+/// emitted CSV as `name -> bytes`.
+fn fig4_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "isol-bench-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    runner::set_jobs(jobs);
+    let mut sink = OutputSink::with_dir(&dir).expect("temp output dir");
+    fig4::run(Fidelity::Smoke, &mut sink).expect("fig4 run");
+    let mut out = BTreeMap::new();
+    for name in sink.emitted() {
+        let path = dir.join(format!("{name}.csv"));
+        out.insert(name.clone(), fs::read(&path).expect("emitted csv exists"));
+    }
+    fs::remove_dir_all(&dir).ok();
+    out
+}
+
+#[test]
+fn fig4_grid_is_byte_identical_across_worker_counts() {
+    // One test body (not two #[test]s) because the jobs setting is
+    // process-global.
+    let sequential = fig4_csvs(1, "seq");
+    let parallel = fig4_csvs(4, "par");
+    runner::set_jobs(0); // restore auto for any other test in this binary
+
+    assert!(!sequential.is_empty(), "fig4 emitted no CSVs");
+    assert_eq!(
+        sequential.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "emitted CSV sets differ between jobs=1 and jobs=4"
+    );
+    for (name, seq_bytes) in &sequential {
+        let par_bytes = &parallel[name];
+        assert_eq!(
+            seq_bytes, par_bytes,
+            "{name}.csv differs between jobs=1 and jobs=4"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! can never resolve. This is a minimal wall-clock harness implementing
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion`] with builder-style config, `bench_function`,
+//! `benchmark_group`/[`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Under `cargo bench` (cargo passes `--bench` to harness-less bench
+//! binaries) each benchmark runs `sample_size` timed iterations after a
+//! warm-up and reports min/mean/max per iteration. Under `cargo test`
+//! each benchmark runs exactly once so the tier-1 suite stays fast.
+//! No statistics, plots, or baseline comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+    /// True under `cargo test` (or any invocation without `--bench`):
+    /// run each benchmark once, untimed, as a smoke test.
+    test_mode: bool,
+    /// Substring filter from the command line (`cargo bench -- foo`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(5),
+            test_mode: true,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget before timing starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget (accepted for API compatibility; the
+    /// stub times exactly `sample_size` iterations instead).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments: `--bench` enables timed mode,
+    /// a positional argument becomes a substring filter.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                self.test_mode = false;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            run_one(
+                id,
+                self.test_mode,
+                self.sample_size,
+                self.warm_up_time,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the measurement budget for this group (accepted for API
+    /// compatibility; ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.criterion.test_mode,
+                self.sample_size.unwrap_or(self.criterion.sample_size),
+                self.criterion.warm_up_time,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.criterion.test_mode,
+                self.sample_size.unwrap_or(self.criterion.sample_size),
+                self.criterion.warm_up_time,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Function name plus parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample (once total in test mode).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run untimed until the budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(id: &str, test_mode: bool, sample_size: usize, warm_up_time: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        warm_up_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id}: no samples (closure never called iter)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{id}: time: [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.samples.len()
+    );
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function. Supports both the simple form
+/// `criterion_group!(benches, f1, f2)` and the config form
+/// `criterion_group!{name = benches; config = ...; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default(); // test_mode = true
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_filtering_skips_nonmatching() {
+        let mut calls = 0;
+        let mut c = Criterion {
+            filter: Some("match".to_string()),
+            ..Criterion::default()
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("match-this", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::from_parameter("other"), &1, |b, &x| {
+                b.iter(|| calls += x)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+}

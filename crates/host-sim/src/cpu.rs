@@ -36,12 +36,7 @@ impl Core {
     /// Enqueues work; returns `Some(done_at)` if the core was idle and
     /// the item starts immediately (the caller schedules the completion
     /// event).
-    pub(crate) fn push(
-        &mut self,
-        work: Work,
-        dur: SimDuration,
-        now: SimTime,
-    ) -> Option<SimTime> {
+    pub(crate) fn push(&mut self, work: Work, dur: SimDuration, now: SimTime) -> Option<SimTime> {
         self.queue.push_back((work, dur));
         if self.running {
             None
@@ -52,7 +47,10 @@ impl Core {
     }
 
     fn front_duration(&self) -> SimDuration {
-        self.queue.front().map(|(_, d)| *d).unwrap_or(SimDuration::ZERO)
+        self.queue
+            .front()
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Finishes the current item and starts the next one if present;
@@ -63,7 +61,10 @@ impl Core {
         now: SimTime,
         measured: bool,
     ) -> (Work, Option<SimTime>) {
-        let (work, dur) = self.queue.pop_front().expect("CpuDone without running work");
+        let (work, dur) = self
+            .queue
+            .pop_front()
+            .expect("CpuDone without running work");
         self.busy += dur;
         if measured {
             self.busy_measured += dur;

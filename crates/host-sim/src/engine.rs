@@ -48,6 +48,12 @@ pub struct HostSim {
     cores: Vec<Core>,
     devs: Vec<DeviceHost>,
     next_req_id: ReqId,
+    /// Reused scratch for QoS-released requests (kept empty between
+    /// [`HostSim::pump_device`] calls).
+    qos_scratch: Vec<IoRequest>,
+    /// Reused scratch for device service starts (kept empty between
+    /// [`HostSim::pump_device`] calls).
+    start_scratch: Vec<(ReqId, SimTime)>,
 }
 
 impl HostSim {
@@ -150,7 +156,7 @@ impl HostSim {
             })
             .collect();
 
-        let cores = (0..config.cores).map(|_| Core::new()).collect();
+        let cores: Vec<Core> = (0..config.cores).map(|_| Core::new()).collect();
 
         let apps: Vec<AppRuntime> = apps
             .into_iter()
@@ -211,14 +217,30 @@ impl HostSim {
             })
             .collect();
 
+        // Pending events are bounded per class: one AppWake per app
+        // (deduped via `wake_scheduled_at`) plus at most one extra
+        // in-flight start-time wake, one CpuDone per core, one
+        // DeviceDone per in-flight device slot, and at most one each of
+        // SchedDispatchDone / QosPump / SchedTimer per device.
+        // Pre-sizing the heap to that bound keeps the event loop
+        // allocation-free.
+        let event_capacity = apps.len() * 2
+            + cores.len()
+            + devs
+                .iter()
+                .map(|d| 3 + d.device.profile().max_qd as usize)
+                .sum::<usize>();
+
         HostSim {
             config,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(event_capacity),
             apps,
             cores,
             devs,
             next_req_id: 0,
+            qos_scratch: Vec::new(),
+            start_scratch: Vec::new(),
         }
     }
 
@@ -227,7 +249,8 @@ impl HostSim {
     #[must_use]
     pub fn run(mut self, until: SimTime) -> RunReport {
         for (i, app) in self.apps.iter().enumerate() {
-            self.queue.schedule(app.spec.start_at(), Event::AppWake(AppId(i)));
+            self.queue
+                .schedule(app.spec.start_at(), Event::AppWake(AppId(i)));
         }
         for d in 0..self.devs.len() {
             self.schedule_qos_pump(DeviceId(d));
@@ -395,8 +418,10 @@ impl HostSim {
     fn pump_device(&mut self, dev: DeviceId) {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
-        // Pass requests released by QoS stages on to the scheduler.
-        for mut r in dh.qos.drain(now) {
+        // Pass requests released by QoS stages on to the scheduler
+        // (scratch buffers keep this per-event path allocation-free).
+        dh.qos.drain_into(now, &mut self.qos_scratch);
+        for mut r in self.qos_scratch.drain(..) {
             r.scheduled_at = now;
             dh.sched.insert(r, now);
         }
@@ -405,11 +430,13 @@ impl HostSim {
             if let Some(req) = dh.sched.dispatch(now) {
                 let cost = dh.sched.dispatch_overhead();
                 dh.dispatching = Some(req);
-                self.queue.schedule(now + cost, Event::SchedDispatchDone(dev));
+                self.queue
+                    .schedule(now + cost, Event::SchedDispatchDone(dev));
             }
         }
         // Start service on free device units.
-        for (id, done_at) in dh.device.start_ready(now) {
+        dh.device.start_ready_into(now, &mut self.start_scratch);
+        for (id, done_at) in self.start_scratch.drain(..) {
             self.queue.schedule(done_at, Event::DeviceDone(dev, id));
         }
         self.schedule_qos_pump(dev);
@@ -597,7 +624,11 @@ mod tests {
     fn single_lc_app_latency_is_device_plus_cpu() {
         let r = run_lc(1, 300);
         let lat = &r.apps[0].latency;
-        assert!(r.apps[0].completed > 1_000, "completed {}", r.apps[0].completed);
+        assert!(
+            r.apps[0].completed > 1_000,
+            "completed {}",
+            r.apps[0].completed
+        );
         // ~68 µs device + ~7.6 µs CPU ≈ 76 µs mean.
         assert!(
             (65.0..95.0).contains(&lat.mean_us),
@@ -639,11 +670,18 @@ mod tests {
                 )
             })
             .collect();
-        let sim =
-            HostSim::build(HostConfig::with_cores(10), h, apps, vec![DeviceSetup::flash()]);
+        let sim = HostSim::build(
+            HostConfig::with_cores(10),
+            h,
+            apps,
+            vec![DeviceSetup::flash()],
+        );
         let r = sim.run(SimTime::from_millis(300));
         let gib_s = r.aggregate_gib_s();
-        assert!((2.4..3.2).contains(&gib_s), "batch saturation {gib_s} GiB/s");
+        assert!(
+            (2.4..3.2).contains(&gib_s),
+            "batch saturation {gib_s} GiB/s"
+        );
     }
 
     #[test]
@@ -663,7 +701,10 @@ mod tests {
         );
         let r = sim.run(SimTime::from_millis(400));
         let mib_s = r.apps[0].mean_mib_s;
-        assert!((85.0..115.0).contains(&mib_s), "rate-capped bandwidth {mib_s} MiB/s");
+        assert!(
+            (85.0..115.0).contains(&mib_s),
+            "rate-capped bandwidth {mib_s} MiB/s"
+        );
     }
 
     #[test]
@@ -696,7 +737,11 @@ mod tests {
         assert!(r.apps[1].completed > 0);
         // The late app produced nothing before 100 ms.
         let pts = r.apps[1].series.points();
-        let before: f64 = pts.iter().take_while(|p| p.t_secs < 0.1).map(|p| p.mib_s).sum();
+        let before: f64 = pts
+            .iter()
+            .take_while(|p| p.t_secs < 0.1)
+            .map(|p| p.mib_s)
+            .sum();
         assert_eq!(before, 0.0);
     }
 
@@ -774,7 +819,8 @@ mod tests {
         let mut h = simple_hierarchy(2);
         let g0 = h.group_of(AppId(0));
         // 50 MiB/s cap on app 0.
-        h.write(g0, "io.max", &format!("259:0 rbps={}", 50 * 1024 * 1024)).unwrap();
+        h.write(g0, "io.max", &format!("259:0 rbps={}", 50 * 1024 * 1024))
+            .unwrap();
         let apps = (0..2)
             .map(|i| {
                 AppSetup::new(
@@ -783,14 +829,23 @@ mod tests {
                 )
             })
             .collect();
-        let sim = HostSim::build(HostConfig::with_cores(4), h, apps, vec![DeviceSetup::flash()]);
+        let sim = HostSim::build(
+            HostConfig::with_cores(4),
+            h,
+            apps,
+            vec![DeviceSetup::flash()],
+        );
         let r = sim.run(SimTime::from_millis(400));
         assert!(
             (35.0..70.0).contains(&r.apps[0].mean_mib_s),
             "capped app got {} MiB/s",
             r.apps[0].mean_mib_s
         );
-        assert!(r.apps[1].mean_mib_s > 700.0, "uncapped app {}", r.apps[1].mean_mib_s);
+        assert!(
+            r.apps[1].mean_mib_s > 700.0,
+            "uncapped app {}",
+            r.apps[1].mean_mib_s
+        );
     }
 
     #[test]
@@ -835,8 +890,12 @@ mod tests {
             "io.cost.model",
             &format!(
                 "259:0 ctrl=user rbps={} rseqiops={} rrandiops={} wbps={} wseqiops={} wrandiops={}",
-                c.rbps / 4, c.rseqiops / 4, c.rrandiops / 4,
-                c.wbps / 4, c.wseqiops / 4, c.wrandiops / 4
+                c.rbps / 4,
+                c.rseqiops / 4,
+                c.rrandiops / 4,
+                c.wbps / 4,
+                c.wseqiops / 4,
+                c.wrandiops / 4
             ),
         )
         .unwrap();
@@ -856,7 +915,12 @@ mod tests {
                 )
             })
             .collect();
-        let sim = HostSim::build(HostConfig::with_cores(4), h, apps, vec![DeviceSetup::flash()]);
+        let sim = HostSim::build(
+            HostConfig::with_cores(4),
+            h,
+            apps,
+            vec![DeviceSetup::flash()],
+        );
         let r = sim.run(SimTime::from_millis(400));
         let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
         // Both entitlements sit below the CPU caps, so the achieved

@@ -105,7 +105,9 @@ mod ext_tests {
 
     #[test]
     fn stop_by_keeps_earlier_stop() {
-        let j = JobSpec::builder("x").stop_at(SimTime::from_millis(10)).build();
+        let j = JobSpec::builder("x")
+            .stop_at(SimTime::from_millis(10))
+            .build();
         let j = j.stop_by(SimTime::from_secs(1));
         assert_eq!(j.stop_at(), Some(SimTime::from_millis(10)));
     }
@@ -114,7 +116,10 @@ mod ext_tests {
     fn stop_by_preserves_rate_and_burst() {
         let j = JobSpec::builder("x")
             .rate_mib_s(100.0)
-            .burst(simcore::SimDuration::from_millis(1), simcore::SimDuration::from_millis(2))
+            .burst(
+                simcore::SimDuration::from_millis(1),
+                simcore::SimDuration::from_millis(2),
+            )
             .build()
             .stop_by(SimTime::from_secs(2));
         assert!((j.rate_bytes_per_sec().unwrap() - 100.0 * 1048576.0).abs() < 1.0);

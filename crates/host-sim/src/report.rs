@@ -130,9 +130,9 @@ impl RunReport {
     /// Aggregated mean bandwidth over the measurement window, MiB/s.
     #[must_use]
     pub fn aggregate_mib_s(&self) -> f64 {
-        let secs = self.duration.saturating_sub(
-            self.measure_from.saturating_since(SimTime::ZERO),
-        );
+        let secs = self
+            .duration
+            .saturating_sub(self.measure_from.saturating_since(SimTime::ZERO));
         if secs.is_zero() {
             return 0.0;
         }
@@ -190,8 +190,16 @@ mod tests {
             measure_from: SimTime::ZERO,
             apps: vec![dummy_app(1048576, 1.0), dummy_app(2097152, 2.0)],
             cores: vec![
-                CoreReport { core: CoreId(0), utilization: 0.5, busy: SimDuration::from_millis(500) },
-                CoreReport { core: CoreId(1), utilization: 1.0, busy: SimDuration::from_secs(1) },
+                CoreReport {
+                    core: CoreId(0),
+                    utilization: 0.5,
+                    busy: SimDuration::from_millis(500),
+                },
+                CoreReport {
+                    core: CoreId(1),
+                    utilization: 1.0,
+                    busy: SimDuration::from_secs(1),
+                },
             ],
             devices: vec![],
         };

@@ -37,7 +37,10 @@ impl HostConfig {
     /// Convenience: the paper's 10-core configuration (§V, Fig. 4).
     #[must_use]
     pub fn with_cores(cores: usize) -> Self {
-        HostConfig { cores, ..HostConfig::default() }
+        HostConfig {
+            cores,
+            ..HostConfig::default()
+        }
     }
 }
 
@@ -101,7 +104,10 @@ impl DeviceSetup {
     /// An Optane device with no scheduler.
     #[must_use]
     pub fn optane() -> Self {
-        DeviceSetup { profile: DeviceProfile::optane(), ..DeviceSetup::flash() }
+        DeviceSetup {
+            profile: DeviceProfile::optane(),
+            ..DeviceSetup::flash()
+        }
     }
 
     /// Sets the scheduler.
@@ -118,7 +124,10 @@ impl DeviceSetup {
     /// Panics if `frac` is outside `[0, 1]`.
     #[must_use]
     pub fn preconditioned(mut self, frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "precondition fraction in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "precondition fraction in [0, 1]"
+        );
         self.precondition = frac;
         self
     }
@@ -153,7 +162,9 @@ mod tests {
 
     #[test]
     fn device_setup_builders() {
-        let d = DeviceSetup::flash().with_scheduler(SchedKind::Bfq).preconditioned(0.5);
+        let d = DeviceSetup::flash()
+            .with_scheduler(SchedKind::Bfq)
+            .preconditioned(0.5);
         assert_eq!(d.scheduler, SchedKind::Bfq);
         assert!((d.precondition - 0.5).abs() < 1e-12);
         assert_eq!(DeviceSetup::optane().profile.name, "optane-900p-like");

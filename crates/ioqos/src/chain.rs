@@ -7,6 +7,10 @@ use crate::{IoCostController, IoLatencyController, IoMaxThrottler, QosController
 
 /// One stage in the chain. The set is closed: these are the three
 /// mechanisms cgroup v2 exposes.
+// Inline variants on purpose: a chain holds at most three stages, and
+// the engine walks them on every event — boxing the large `Cost`
+// variant would trade a few bytes for a pointer hop on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Stage {
     Max(IoMaxThrottler),
@@ -58,6 +62,9 @@ impl Stage {
 #[derive(Debug, Default)]
 pub struct QosChain {
     stages: Vec<Stage>,
+    /// Reused scratch for stage-released requests (kept empty between
+    /// [`QosChain::drain_into`] calls).
+    released: Vec<IoRequest>,
 }
 
 impl QosChain {
@@ -167,26 +174,43 @@ impl QosChain {
         }
     }
 
-    /// Pumps stage-released requests through the rest of the chain;
-    /// returns those that cleared it entirely.
-    pub fn drain(&mut self, now: SimTime) -> Vec<IoRequest> {
-        let mut out = Vec::new();
+    /// Pumps stage-released requests through the rest of the chain,
+    /// appending those that cleared it entirely to `out`. Runs on
+    /// nearly every engine event; with a caller-reused `out` the whole
+    /// pass is allocation-free.
+    pub fn drain_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
+        let mut released = std::mem::take(&mut self.released);
         for i in 0..self.stages.len() {
-            let released = self.stages[i].ctrl_mut().drain_released(now);
-            for mut r in released {
+            released.clear();
+            self.stages[i]
+                .ctrl_mut()
+                .drain_released_into(now, &mut released);
+            for mut r in released.drain(..) {
                 r.qos_stage = (i + 1) as u8;
                 if let Some(done) = self.feed_from(r, now) {
                     out.push(done);
                 }
             }
         }
+        released.clear();
+        self.released = released;
+    }
+
+    /// Convenience wrapper around [`QosChain::drain_into`] returning a
+    /// fresh `Vec` (allocates; for tests and one-off callers).
+    pub fn drain(&mut self, now: SimTime) -> Vec<IoRequest> {
+        let mut out = Vec::new();
+        self.drain_into(now, &mut out);
         out
     }
 
     /// The earliest instant any stage needs attention.
     #[must_use]
     pub fn next_event(&self, now: SimTime) -> Option<SimTime> {
-        self.stages.iter().filter_map(|s| s.ctrl().next_event(now)).min()
+        self.stages
+            .iter()
+            .filter_map(|s| s.ctrl().next_event(now))
+            .min()
     }
 
     /// Runs periodic work on every stage.
@@ -201,9 +225,9 @@ impl QosChain {
     /// [`QosController::submit_cpu_overhead`]).
     #[must_use]
     pub fn submit_cpu_overhead(&self, deep_queue: bool) -> SimDuration {
-        self.stages
-            .iter()
-            .fold(SimDuration::ZERO, |acc, s| acc + s.ctrl().submit_cpu_overhead(deep_queue))
+        self.stages.iter().fold(SimDuration::ZERO, |acc, s| {
+            acc + s.ctrl().submit_cpu_overhead(deep_queue)
+        })
     }
 }
 
@@ -229,13 +253,26 @@ mod tests {
     fn held_at_first_stage_resumes_through_second() {
         let mut chain = QosChain::new();
         let mut throttler = IoMaxThrottler::new();
-        throttler.set_limits(GroupId(1), IoMax { riops: Some(10), ..Default::default() });
+        throttler.set_limits(
+            GroupId(1),
+            IoMax {
+                riops: Some(10),
+                ..Default::default()
+            },
+        );
         chain.push_io_max(throttler);
         chain.push_io_latency(IoLatencyController::new(1024));
-        chain.io_latency_mut().unwrap().set_target(GroupId(9), Some(1_000));
+        chain
+            .io_latency_mut()
+            .unwrap()
+            .set_target(GroupId(9), Some(1_000));
         // Burst allowance is 1 request; the second is held at io.max.
-        assert!(chain.submit(read4k(0, 1, SimTime::ZERO), SimTime::ZERO).is_some());
-        assert!(chain.submit(read4k(1, 1, SimTime::ZERO), SimTime::ZERO).is_none());
+        assert!(chain
+            .submit(read4k(0, 1, SimTime::ZERO), SimTime::ZERO)
+            .is_some());
+        assert!(chain
+            .submit(read4k(1, 1, SimTime::ZERO), SimTime::ZERO)
+            .is_none());
         // After 100 ms a token accrued; drain must push it through the
         // io.latency stage too and return it fully cleared.
         let out = chain.drain(SimTime::from_millis(100));
@@ -248,11 +285,20 @@ mod tests {
     fn completion_reaches_all_stages() {
         let mut chain = QosChain::new();
         chain.push_io_latency(IoLatencyController::new(2));
-        chain.io_latency_mut().unwrap().set_target(GroupId(1), Some(100));
+        chain
+            .io_latency_mut()
+            .unwrap()
+            .set_target(GroupId(1), Some(100));
         // Fill the QD-2 gate.
-        let a = chain.submit(read4k(0, 2, SimTime::ZERO), SimTime::ZERO).unwrap();
-        let _b = chain.submit(read4k(1, 2, SimTime::ZERO), SimTime::ZERO).unwrap();
-        assert!(chain.submit(read4k(2, 2, SimTime::ZERO), SimTime::ZERO).is_none());
+        let a = chain
+            .submit(read4k(0, 2, SimTime::ZERO), SimTime::ZERO)
+            .unwrap();
+        let _b = chain
+            .submit(read4k(1, 2, SimTime::ZERO), SimTime::ZERO)
+            .unwrap();
+        assert!(chain
+            .submit(read4k(2, 2, SimTime::ZERO), SimTime::ZERO)
+            .is_none());
         // Completing one frees a slot; drain releases the held request.
         chain.on_device_complete(&a, SimTime::from_micros(50));
         let out = chain.drain(SimTime::from_micros(50));
@@ -265,8 +311,14 @@ mod tests {
         let mut chain = QosChain::new();
         chain.push_io_max(IoMaxThrottler::new());
         chain.push_io_latency(IoLatencyController::new(1024));
-        assert_eq!(chain.submit_cpu_overhead(false), SimDuration::from_nanos(400));
-        assert_eq!(chain.submit_cpu_overhead(true), SimDuration::from_nanos(750));
+        assert_eq!(
+            chain.submit_cpu_overhead(false),
+            SimDuration::from_nanos(400)
+        );
+        assert_eq!(
+            chain.submit_cpu_overhead(true),
+            SimDuration::from_nanos(750)
+        );
         assert_eq!(chain.len(), 2);
     }
 

@@ -49,7 +49,12 @@ impl IoCostConfig {
     /// Creates a config with kernel-like period and margin.
     #[must_use]
     pub fn new(model: IoCostModel, qos: IoCostQos) -> Self {
-        IoCostConfig { model, qos, period: SimDuration::from_millis(5), margin_frac: 0.35 }
+        IoCostConfig {
+            model,
+            qos,
+            period: SimDuration::from_millis(5),
+            margin_frac: 0.35,
+        }
     }
 }
 
@@ -99,6 +104,8 @@ pub struct IoCostController {
     next_tick: SimTime,
     window_rlat_ns: Vec<u64>,
     window_wlat_ns: Vec<u64>,
+    /// Reused scratch for the drain pass (kept empty between calls).
+    drain_ids: Vec<GroupId>,
 }
 
 impl IoCostController {
@@ -116,6 +123,7 @@ impl IoCostController {
             tbase: SimTime::ZERO,
             window_rlat_ns: Vec::new(),
             window_wlat_ns: Vec::new(),
+            drain_ids: Vec::new(),
         }
     }
 
@@ -184,8 +192,7 @@ impl IoCostController {
         for (&id, g) in &self.groups {
             if id == group || g.active_until >= now || !g.held.is_empty() || g.inflight > 0 {
                 // A group asking right now always wants more.
-                let wants =
-                    id == group || !g.held.is_empty() || g.usage >= WANTS_MORE;
+                let wants = id == group || !g.held.is_empty() || g.usage >= WANTS_MORE;
                 rows.push((id, f64::from(self.weight(id)), g.usage, wants));
                 seen |= id == group;
             }
@@ -309,17 +316,17 @@ impl QosController for IoCostController {
         }
     }
 
-    fn drain_released(&mut self, now: SimTime) -> Vec<IoRequest> {
+    fn drain_released_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
         let vnow = self.vnow(now);
         let margin = self.margin_v();
-        let ids: Vec<GroupId> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| !g.held.is_empty())
-            .map(|(&id, _)| id)
-            .collect();
-        let mut out = Vec::new();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.drain_ids);
+        ids.extend(
+            self.groups
+                .iter()
+                .filter(|(_, g)| !g.held.is_empty())
+                .map(|(&id, _)| id),
+        );
+        for &id in &ids {
             // Shares move with donation; price each head at the current
             // hweight, not the submit-time one.
             let hw = self.hweight(id, now);
@@ -337,7 +344,8 @@ impl QosController for IoCostController {
                 }
             }
         }
-        out
+        ids.clear();
+        self.drain_ids = ids;
     }
 
     fn next_event(&self, now: SimTime) -> Option<SimTime> {
@@ -364,7 +372,7 @@ impl QosController for IoCostController {
         while self.next_tick <= now {
             let at = self.next_tick;
             self.adjust_vrate(at);
-            self.next_tick = self.next_tick + self.config.period;
+            self.next_tick += self.config.period;
         }
     }
 
@@ -413,7 +421,10 @@ mod tests {
     fn four_k_rand_read_costs_exactly_one_over_iops() {
         let c = IoCostController::new(fixed_cfg());
         let cost = c.abs_cost(IoOp::Read, AccessPattern::Random, 4096);
-        assert!((cost - 10_000.0).abs() < 1.0, "cost {cost} ns for 100k IOPS");
+        assert!(
+            (cost - 10_000.0).abs() < 1.0,
+            "cost {cost} ns for 100k IOPS"
+        );
     }
 
     #[test]
@@ -441,7 +452,7 @@ mod tests {
                     c.on_device_complete(&r, now);
                 }
                 SubmitOutcome::Held => {
-                    now = now + SimDuration::from_micros(100);
+                    now += SimDuration::from_micros(100);
                     for r in c.drain_released(now) {
                         passed += 1;
                         c.on_device_complete(&r, now);
@@ -469,7 +480,7 @@ mod tests {
                     c.on_device_complete(&r, now);
                 }
                 SubmitOutcome::Held => {
-                    now = now + SimDuration::from_micros(100);
+                    now += SimDuration::from_micros(100);
                     for r in c.drain_released(now) {
                         passed += 1;
                         c.on_device_complete(&r, now);
@@ -491,7 +502,7 @@ mod tests {
         let mut id = 0;
         let mut now = SimTime::ZERO;
         while now < SimTime::from_millis(500) {
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             for r in c.drain_released(now) {
                 counts[r.group.index() - 1] += 1;
                 c.on_device_complete(&r, now);
@@ -515,7 +526,10 @@ mod tests {
             }
         }
         let ratio = counts[0] as f64 / counts[1] as f64;
-        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}, counts {counts:?}");
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "ratio {ratio}, counts {counts:?}"
+        );
     }
 
     #[test]
@@ -529,16 +543,13 @@ mod tests {
                 c.on_device_complete(&r, now);
             }
             id += 1;
-            now = now + SimDuration::from_micros(20);
+            now += SimDuration::from_micros(20);
         }
         // Group 1 wakes after 100 ms idle; it must not burst far beyond
         // the margin.
         let mut burst = 0;
-        loop {
-            match c.on_submit(read4k(id, 1, now), now) {
-                SubmitOutcome::Pass(_) => burst += 1,
-                SubmitOutcome::Held => break,
-            }
+        while let SubmitOutcome::Pass(_) = c.on_submit(read4k(id, 1, now), now) {
+            burst += 1;
             id += 1;
             assert!(burst < 10_000, "unbounded burst");
         }
@@ -569,10 +580,14 @@ mod tests {
                 r.submitted_at = now;
                 c.on_device_complete(&r, now + SimDuration::from_millis(1));
             }
-            now = now + SimDuration::from_millis(5);
+            now += SimDuration::from_millis(5);
             c.tick(now);
         }
-        assert!((c.vrate() - 0.5).abs() < 1e-9, "vrate {} should hit min", c.vrate());
+        assert!(
+            (c.vrate() - 0.5).abs() < 1e-9,
+            "vrate {} should hit min",
+            c.vrate()
+        );
         // Recovery: fast completions push vrate back to max.
         for round in 0..60 {
             for i in 0..20 {
@@ -580,10 +595,14 @@ mod tests {
                 r.submitted_at = now;
                 c.on_device_complete(&r, now + SimDuration::from_micros(50));
             }
-            now = now + SimDuration::from_millis(5);
+            now += SimDuration::from_millis(5);
             c.tick(now);
         }
-        assert!((c.vrate() - 1.5).abs() < 1e-9, "vrate {} should recover", c.vrate());
+        assert!(
+            (c.vrate() - 1.5).abs() < 1e-9,
+            "vrate {} should recover",
+            c.vrate()
+        );
     }
 
     #[test]
@@ -595,7 +614,7 @@ mod tests {
             let mut r = read4k(i, 1, now);
             r.submitted_at = now;
             c.on_device_complete(&r, now + SimDuration::from_millis(10));
-            now = now + SimDuration::from_millis(5);
+            now += SimDuration::from_millis(5);
             c.tick(now);
         }
         assert_eq!(c.vrate(), v0);
@@ -616,11 +635,9 @@ mod tests {
         let mut c = IoCostController::new(fixed_cfg());
         let mut id = 0;
         // Saturate until a request is held.
-        loop {
-            match c.on_submit(read4k(id, 1, SimTime::ZERO), SimTime::ZERO) {
-                SubmitOutcome::Pass(_) => id += 1,
-                SubmitOutcome::Held => break,
-            }
+        while let SubmitOutcome::Pass(_) = c.on_submit(read4k(id, 1, SimTime::ZERO), SimTime::ZERO)
+        {
+            id += 1;
         }
         let ev = c.next_event(SimTime::ZERO).expect("tick or release");
         assert!(ev <= SimTime::ZERO + SimDuration::from_millis(5));
@@ -643,7 +660,7 @@ mod tests {
         let horizon = SimTime::from_millis(500);
         let mut next_a = SimTime::ZERO;
         while now < horizon {
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             // A: one request every 100 us (10k IOPS demand).
             if now >= next_a {
                 if let SubmitOutcome::Pass(r) = c.on_submit(read4k(id, 1, now), now) {

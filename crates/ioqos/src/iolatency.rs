@@ -94,7 +94,9 @@ impl IoLatencyController {
     /// The current effective queue depth of a group (for reports/tests).
     #[must_use]
     pub fn effective_qd(&self, group: GroupId) -> u32 {
-        self.groups.get(&group).map_or(self.max_qd, |g| g.effective_qd)
+        self.groups
+            .get(&group)
+            .map_or(self.max_qd, |g| g.effective_qd)
     }
 
     /// The current `use_delay` counter of a group.
@@ -105,7 +107,9 @@ impl IoLatencyController {
 
     fn group_mut(&mut self, id: GroupId) -> &mut GroupState {
         let max_qd = self.max_qd;
-        self.groups.entry(id).or_insert_with(|| GroupState::new(max_qd))
+        self.groups
+            .entry(id)
+            .or_insert_with(|| GroupState::new(max_qd))
     }
 
     fn effective_target(&self, id: GroupId) -> u64 {
@@ -122,9 +126,8 @@ impl IoLatencyController {
                 }
                 let mut lats = state.window_lat_ns.clone();
                 lats.sort_unstable();
-                let idx = ((lats.len() as f64 * PERCENTILE).ceil() as usize)
-                    .clamp(1, lats.len())
-                    - 1;
+                let idx =
+                    ((lats.len() as f64 * PERCENTILE).ceil() as usize).clamp(1, lats.len()) - 1;
                 let p90_us = lats[idx] / 1_000;
                 if p90_us > target_us {
                     violated_targets.push(target_us);
@@ -138,8 +141,7 @@ impl IoLatencyController {
             let my_target = self.effective_target(id);
             // A group is a victim if some *stricter* protected group is
             // violated.
-            let victim_of_violation =
-                strictest_violated.map_or(false, |t| my_target > t);
+            let victim_of_violation = strictest_violated.is_some_and(|t| my_target > t);
             let max_qd = self.max_qd;
             let g = self.group_mut(id);
             if victim_of_violation {
@@ -183,8 +185,7 @@ impl QosController for IoLatencyController {
         g.window_lat_ns.push(lat);
     }
 
-    fn drain_released(&mut self, _now: SimTime) -> Vec<IoRequest> {
-        let mut out = Vec::new();
+    fn drain_released_into(&mut self, _now: SimTime, out: &mut Vec<IoRequest>) {
         for g in self.groups.values_mut() {
             while !g.held.is_empty() && g.inflight < g.effective_qd {
                 let req = g.held.pop_front().expect("nonempty");
@@ -192,7 +193,6 @@ impl QosController for IoLatencyController {
                 out.push(req);
             }
         }
-        out
     }
 
     fn next_event(&self, _now: SimTime) -> Option<SimTime> {
@@ -205,7 +205,7 @@ impl QosController for IoLatencyController {
         }
         while self.next_window_at <= now {
             self.evaluate_window();
-            self.next_window_at = self.next_window_at + WINDOW;
+            self.next_window_at += WINDOW;
         }
     }
 
@@ -235,7 +235,10 @@ mod tests {
         assert!(!c.is_enabled());
         for i in 0..2000 {
             let r = read4k(i, 1, SimTime::ZERO);
-            assert!(matches!(c.on_submit(r, SimTime::ZERO), SubmitOutcome::Pass(_)));
+            assert!(matches!(
+                c.on_submit(r, SimTime::ZERO),
+                SubmitOutcome::Pass(_)
+            ));
         }
         assert_eq!(c.next_event(SimTime::ZERO), None);
     }
@@ -247,8 +250,10 @@ mod tests {
         // Group 2 has no target; cap is max_qd = 4 until throttled.
         let mut passed = 0;
         for i in 0..6 {
-            if matches!(c.on_submit(read4k(i, 2, SimTime::ZERO), SimTime::ZERO), SubmitOutcome::Pass(_))
-            {
+            if matches!(
+                c.on_submit(read4k(i, 2, SimTime::ZERO), SimTime::ZERO),
+                SubmitOutcome::Pass(_)
+            ) {
                 passed += 1;
             }
         }
@@ -275,7 +280,11 @@ mod tests {
         let w1 = SimTime::ZERO + WINDOW;
         c.tick(w1);
         assert_eq!(c.effective_qd(GroupId(2)), 512, "halved once");
-        assert_eq!(c.effective_qd(GroupId(1)), 1024, "protected group untouched");
+        assert_eq!(
+            c.effective_qd(GroupId(1)),
+            1024,
+            "protected group untouched"
+        );
     }
 
     #[test]
@@ -292,7 +301,7 @@ mod tests {
                 c.on_submit(r.clone(), now);
                 complete(&mut c, r, now, 900);
             }
-            now = now + WINDOW;
+            now += WINDOW;
             c.tick(now);
         }
         assert_eq!(c.effective_qd(GroupId(2)), 1);
@@ -302,7 +311,7 @@ mod tests {
             c.on_submit(r.clone(), now);
             complete(&mut c, r, now, 900);
         }
-        now = now + WINDOW;
+        now += WINDOW;
         c.tick(now);
         assert_eq!(c.use_delay(GroupId(2)), 1);
     }
@@ -320,7 +329,7 @@ mod tests {
                 c.on_submit(r.clone(), now);
                 complete(&mut c, r, now, 900);
             }
-            now = now + WINDOW;
+            now += WINDOW;
             c.tick(now);
         }
         assert_eq!(c.effective_qd(GroupId(2)), 1);
@@ -333,7 +342,7 @@ mod tests {
                 c.on_submit(r.clone(), now);
                 complete(&mut c, r, now, 10);
             }
-            now = now + WINDOW;
+            now += WINDOW;
             c.tick(now);
             assert_eq!(c.effective_qd(GroupId(2)), expect_qd);
         }
@@ -344,7 +353,7 @@ mod tests {
         let mut c = IoLatencyController::new(64);
         c.set_target(GroupId(1), Some(50)); // strict
         c.set_target(GroupId(2), Some(5_000)); // loose
-        // Strict group violated.
+                                               // Strict group violated.
         for i in 0..10 {
             let r = read4k(i, 1, SimTime::ZERO);
             c.on_submit(r.clone(), SimTime::ZERO);
@@ -353,7 +362,11 @@ mod tests {
         // Loose group active.
         c.on_submit(read4k(50, 2, SimTime::ZERO), SimTime::ZERO);
         c.tick(SimTime::ZERO + WINDOW);
-        assert_eq!(c.effective_qd(GroupId(2)), 32, "looser protected group is a victim");
+        assert_eq!(
+            c.effective_qd(GroupId(2)),
+            32,
+            "looser protected group is a victim"
+        );
         assert_eq!(c.effective_qd(GroupId(1)), 64);
     }
 

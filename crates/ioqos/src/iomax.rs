@@ -137,13 +137,18 @@ impl IoMaxThrottler {
     /// The configured limits for a group (unlimited if never set).
     #[must_use]
     pub fn limits(&self, group: GroupId) -> IoMax {
-        self.groups.get(&group).map_or_else(IoMax::default, |g| g.limits)
+        self.groups
+            .get(&group)
+            .map_or_else(IoMax::default, |g| g.limits)
     }
 
     /// Number of requests currently held.
     #[must_use]
     pub fn held_count(&self) -> usize {
-        self.groups.values().map(|g| g.held_r.len() + g.held_w.len()).sum()
+        self.groups
+            .values()
+            .map(|g| g.held_r.len() + g.held_w.len())
+            .sum()
     }
 }
 
@@ -152,8 +157,11 @@ impl QosController for IoMaxThrottler {
         let Some(g) = self.groups.get_mut(&req.group) else {
             return SubmitOutcome::Pass(req);
         };
-        let queue_empty =
-            if req.op.is_read() { g.held_r.is_empty() } else { g.held_w.is_empty() };
+        let queue_empty = if req.op.is_read() {
+            g.held_r.is_empty()
+        } else {
+            g.held_w.is_empty()
+        };
         if queue_empty && g.try_take(&req, now).is_ok() {
             SubmitOutcome::Pass(req)
         } else if req.op.is_read() {
@@ -167,16 +175,23 @@ impl QosController for IoMaxThrottler {
 
     fn on_device_complete(&mut self, _req: &IoRequest, _now: SimTime) {}
 
-    fn drain_released(&mut self, now: SimTime) -> Vec<IoRequest> {
-        let mut out = Vec::new();
+    fn drain_released_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
         for g in self.groups.values_mut() {
             for dir in 0..2 {
                 loop {
-                    let head = if dir == 0 { g.held_r.front() } else { g.held_w.front() };
+                    let head = if dir == 0 {
+                        g.held_r.front()
+                    } else {
+                        g.held_w.front()
+                    };
                     let Some(head) = head else { break };
                     let head = head.clone();
                     if g.try_take(&head, now).is_ok() {
-                        let q = if dir == 0 { &mut g.held_r } else { &mut g.held_w };
+                        let q = if dir == 0 {
+                            &mut g.held_r
+                        } else {
+                            &mut g.held_w
+                        };
                         out.push(q.pop_front().expect("head exists"));
                     } else {
                         break;
@@ -184,11 +199,13 @@ impl QosController for IoMaxThrottler {
                 }
             }
         }
-        out
     }
 
     fn next_event(&self, now: SimTime) -> Option<SimTime> {
-        self.groups.values().filter_map(|g| g.next_ready_at(now)).min()
+        self.groups
+            .values()
+            .filter_map(|g| g.next_ready_at(now))
+            .min()
     }
 
     fn tick(&mut self, _now: SimTime) {}
@@ -215,14 +232,20 @@ mod tests {
     use blkio::IoOp;
 
     fn limits_rbps(rbps: u64) -> IoMax {
-        IoMax { rbps: Some(rbps), ..Default::default() }
+        IoMax {
+            rbps: Some(rbps),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn unlimited_groups_pass_through() {
         let mut t = IoMaxThrottler::new();
         let r = read4k(0, 1, SimTime::ZERO);
-        assert!(matches!(t.on_submit(r, SimTime::ZERO), SubmitOutcome::Pass(_)));
+        assert!(matches!(
+            t.on_submit(r, SimTime::ZERO),
+            SubmitOutcome::Pass(_)
+        ));
         assert_eq!(t.held_count(), 0);
         assert_eq!(t.next_event(SimTime::ZERO), None);
     }
@@ -241,7 +264,7 @@ mod tests {
                 SubmitOutcome::Pass(_) => passed += 1,
                 SubmitOutcome::Held => {
                     // Wait and drain.
-                    now = now + SimDuration::from_micros(500);
+                    now += SimDuration::from_micros(500);
                     passed += t.drain_released(now).len() as u64;
                 }
             }
@@ -260,16 +283,14 @@ mod tests {
     fn fifo_within_group_is_preserved() {
         let mut t = IoMaxThrottler::new();
         t.set_limits(GroupId(1), limits_rbps(4096)); // 1 request/s
-        // Exhaust the burst.
+                                                     // Exhaust the burst.
         let mut now = SimTime::ZERO;
-        loop {
-            match t.on_submit(read4k(900, 1, now), now) {
-                SubmitOutcome::Pass(_) => {}
-                SubmitOutcome::Held => break,
-            }
-        }
+        while let SubmitOutcome::Pass(_) = t.on_submit(read4k(900, 1, now), now) {}
         // Two more held requests.
-        assert!(matches!(t.on_submit(read4k(1, 1, now), now), SubmitOutcome::Held));
+        assert!(matches!(
+            t.on_submit(read4k(1, 1, now), now),
+            SubmitOutcome::Held
+        ));
         // Drain far in the future: order must be 900 (the first held), 1.
         now = SimTime::from_secs(10);
         let drained = t.drain_released(now);
@@ -283,16 +304,15 @@ mod tests {
         let mut t = IoMaxThrottler::new();
         t.set_limits(
             GroupId(1),
-            IoMax { rbps: Some(4096), wbps: None, ..Default::default() },
+            IoMax {
+                rbps: Some(4096),
+                wbps: None,
+                ..Default::default()
+            },
         );
         // Reads throttle after the burst...
         let now = SimTime::ZERO;
-        loop {
-            match t.on_submit(read4k(0, 1, now), now) {
-                SubmitOutcome::Pass(_) => {}
-                SubmitOutcome::Held => break,
-            }
-        }
+        while let SubmitOutcome::Pass(_) = t.on_submit(read4k(0, 1, now), now) {}
         // ...but writes still pass.
         let w = req(1, 1, IoOp::Write, 4096, now);
         assert!(matches!(t.on_submit(w, now), SubmitOutcome::Pass(_)));
@@ -301,13 +321,25 @@ mod tests {
     #[test]
     fn iops_limit_counts_requests_not_bytes() {
         let mut t = IoMaxThrottler::new();
-        t.set_limits(GroupId(1), IoMax { riops: Some(10), ..Default::default() });
+        t.set_limits(
+            GroupId(1),
+            IoMax {
+                riops: Some(10),
+                ..Default::default()
+            },
+        );
         // Burst capacity is max(10 * 0.05, 1) = 1... times: capacity =
         // (10*0.05).max(1.0) = 1 token. First passes, second held.
         let big = req(0, 1, IoOp::Read, 1 << 20, SimTime::ZERO);
-        assert!(matches!(t.on_submit(big, SimTime::ZERO), SubmitOutcome::Pass(_)));
+        assert!(matches!(
+            t.on_submit(big, SimTime::ZERO),
+            SubmitOutcome::Pass(_)
+        ));
         let big2 = req(1, 1, IoOp::Read, 1 << 20, SimTime::ZERO);
-        assert!(matches!(t.on_submit(big2, SimTime::ZERO), SubmitOutcome::Held));
+        assert!(matches!(
+            t.on_submit(big2, SimTime::ZERO),
+            SubmitOutcome::Held
+        ));
         // 100 ms later one more token accrued.
         let drained = t.drain_released(SimTime::from_millis(100));
         assert_eq!(drained.len(), 1);
@@ -318,16 +350,11 @@ mod tests {
         let mut t = IoMaxThrottler::new();
         t.set_limits(GroupId(1), limits_rbps(4096));
         let mut now = SimTime::ZERO;
-        loop {
-            match t.on_submit(read4k(7, 1, now), now) {
-                SubmitOutcome::Pass(_) => {}
-                SubmitOutcome::Held => break,
-            }
-        }
+        while let SubmitOutcome::Pass(_) = t.on_submit(read4k(7, 1, now), now) {}
         assert!(t.held_count() > 0);
         // Raise the limit dramatically; held request drains immediately.
         t.set_limits(GroupId(1), limits_rbps(1 << 30));
-        now = now + SimDuration::from_micros(1);
+        now += SimDuration::from_micros(1);
         assert!(!t.drain_released(now).is_empty());
     }
 
@@ -338,7 +365,10 @@ mod tests {
         t.set_limits(GroupId(1), IoMax::default());
         assert!(t.limits(GroupId(1)).is_unlimited());
         let r = read4k(0, 1, SimTime::ZERO);
-        assert!(matches!(t.on_submit(r, SimTime::ZERO), SubmitOutcome::Pass(_)));
+        assert!(matches!(
+            t.on_submit(r, SimTime::ZERO),
+            SubmitOutcome::Pass(_)
+        ));
     }
 
     #[test]
@@ -346,12 +376,7 @@ mod tests {
         let mut t = IoMaxThrottler::new();
         t.set_limits(GroupId(1), limits_rbps(4096));
         let now = SimTime::ZERO;
-        loop {
-            match t.on_submit(read4k(0, 1, now), now) {
-                SubmitOutcome::Pass(_) => {}
-                SubmitOutcome::Held => break,
-            }
-        }
+        while let SubmitOutcome::Pass(_) = t.on_submit(read4k(0, 1, now), now) {}
         assert!(t.next_event(now).is_some());
     }
 }

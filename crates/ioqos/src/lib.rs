@@ -84,8 +84,20 @@ pub trait QosController: std::fmt::Debug {
     /// Reports a device completion (latency feedback + slot release).
     fn on_device_complete(&mut self, req: &IoRequest, now: SimTime);
 
-    /// Removes and returns requests whose hold has expired at `now`.
-    fn drain_released(&mut self, now: SimTime) -> Vec<IoRequest>;
+    /// Removes requests whose hold has expired at `now`, appending them
+    /// to `out`. The engine calls this on nearly every event, so
+    /// implementations must not allocate; callers pass a reused scratch
+    /// buffer.
+    fn drain_released_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>);
+
+    /// Convenience wrapper around
+    /// [`QosController::drain_released_into`] returning a fresh `Vec`
+    /// (allocates; for tests and one-off callers).
+    fn drain_released(&mut self, now: SimTime) -> Vec<IoRequest> {
+        let mut out = Vec::new();
+        self.drain_released_into(now, &mut out);
+        out
+    }
 
     /// The earliest instant at which this controller needs attention
     /// (a hold expiry or a periodic evaluation), if any.
@@ -118,7 +130,7 @@ pub(crate) mod test_util {
             GroupId(group),
             DeviceId(0),
             op,
-            if op.is_write() { AccessPattern::Random } else { AccessPattern::Random },
+            AccessPattern::Random,
             len,
             0,
             at,

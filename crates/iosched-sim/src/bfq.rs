@@ -102,9 +102,7 @@ impl Bfq {
         self.groups
             .iter()
             .filter(|(_, g)| !g.queue.is_empty())
-            .min_by(|(ia, a), (ib, b)| {
-                a.vtime.total_cmp(&b.vtime).then_with(|| ia.cmp(ib))
-            })
+            .min_by(|(ia, a), (ib, b)| a.vtime.total_cmp(&b.vtime).then_with(|| ia.cmp(ib)))
             .map(|(&id, _)| id)
     }
 
@@ -118,10 +116,7 @@ impl Bfq {
         // BFQ disables it for seeky ones, which is why it cannot protect
         // a random-read LC app (Fig. 7e) yet wastes utilization on
         // sequential tenants.
-        if g.queue.is_empty()
-            && !slice_idle.is_zero()
-            && req.pattern == AccessPattern::Sequential
-        {
+        if g.queue.is_empty() && !slice_idle.is_zero() && req.pattern == AccessPattern::Sequential {
             // Bet on more I/O from this group: idle the device.
             self.idle_until = Some(now + slice_idle);
         } else {
@@ -152,10 +147,12 @@ impl IoScheduler for Bfq {
         if let Some(current) = self.in_service {
             let (has_work, budget_spent) = {
                 let g = self.groups.get(&current)?;
-                (!g.queue.is_empty(), g.slice_consumed >= self.config.budget_bytes)
+                (
+                    !g.queue.is_empty(),
+                    g.slice_consumed >= self.config.budget_bytes,
+                )
             };
-            let timed_out =
-                now.saturating_since(self.slice_started) >= self.config.slice_timeout;
+            let timed_out = now.saturating_since(self.slice_started) >= self.config.slice_timeout;
             if has_work && !budget_spent && !timed_out {
                 return self.serve_from(current, now);
             }
@@ -298,8 +295,11 @@ mod tests {
         s.insert(seq_req(0, 1, 4096, SimTime::ZERO), SimTime::ZERO);
         s.insert(seq_req(1, 2, 4096, SimTime::ZERO), SimTime::ZERO);
         s.dispatch(SimTime::ZERO).unwrap(); // group 1, starts idling
-        // The awaited request arrives: service continues in group 1.
-        s.insert(seq_req(2, 1, 4096, SimTime::from_millis(1)), SimTime::from_millis(1));
+                                            // The awaited request arrives: service continues in group 1.
+        s.insert(
+            seq_req(2, 1, 4096, SimTime::from_millis(1)),
+            SimTime::from_millis(1),
+        );
         let r = s.dispatch(SimTime::from_millis(1)).unwrap();
         assert_eq!(r.group, GroupId(1));
     }
@@ -330,9 +330,15 @@ mod tests {
         }
         // Group 1 holds the slice before the timeout...
         assert_eq!(s.dispatch(SimTime::ZERO).unwrap().group, GroupId(1));
-        assert_eq!(s.dispatch(SimTime::from_millis(5)).unwrap().group, GroupId(1));
+        assert_eq!(
+            s.dispatch(SimTime::from_millis(5)).unwrap().group,
+            GroupId(1)
+        );
         // ...after 10 ms the slice expires and vtime picks group 2.
-        assert_eq!(s.dispatch(SimTime::from_millis(11)).unwrap().group, GroupId(2));
+        assert_eq!(
+            s.dispatch(SimTime::from_millis(11)).unwrap().group,
+            GroupId(2)
+        );
     }
 
     #[test]
@@ -357,8 +363,9 @@ mod tests {
             s.insert(req(i, 1, 4096, SimTime::ZERO), SimTime::ZERO);
             s.insert(req(i + 10, 2, 4096, SimTime::ZERO), SimTime::ZERO);
         }
-        let order: Vec<usize> =
-            (0..6).map(|_| s.dispatch(SimTime::ZERO).unwrap().group.index()).collect();
+        let order: Vec<usize> = (0..6)
+            .map(|_| s.dispatch(SimTime::ZERO).unwrap().group.index())
+            .collect();
         // Two from one group, then the slice expires and the other runs.
         assert_eq!(&order[..2], &[order[0], order[0]]);
         assert_ne!(order[2], order[0]);

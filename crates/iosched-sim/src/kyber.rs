@@ -108,7 +108,9 @@ impl IoScheduler for Kyber {
     }
 
     fn on_complete(&mut self, req: &IoRequest, now: SimTime) {
-        let Some(at) = self.dispatch_times.remove(&req.id) else { return };
+        let Some(at) = self.dispatch_times.remove(&req.id) else {
+            return;
+        };
         if req.op.is_read() {
             let lat = now.saturating_since(at);
             self.read_latency.update(lat.as_nanos() as f64);
@@ -159,7 +161,10 @@ mod tests {
 
     #[test]
     fn write_window_limits_inflight_writes() {
-        let cfg = KyberConfig { max_write_inflight: 2, ..Default::default() };
+        let cfg = KyberConfig {
+            max_write_inflight: 2,
+            ..Default::default()
+        };
         let mut s = Kyber::new(cfg);
         for i in 0..4 {
             s.insert(write_req(i, SimTime::ZERO), SimTime::ZERO);
@@ -207,7 +212,10 @@ mod tests {
 
     #[test]
     fn write_completions_release_window_slots() {
-        let cfg = KyberConfig { max_write_inflight: 1, ..Default::default() };
+        let cfg = KyberConfig {
+            max_write_inflight: 1,
+            ..Default::default()
+        };
         let mut s = Kyber::new(cfg);
         s.insert(write_req(0, SimTime::ZERO), SimTime::ZERO);
         s.insert(write_req(1, SimTime::ZERO), SimTime::ZERO);

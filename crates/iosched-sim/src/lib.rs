@@ -191,7 +191,12 @@ mod tests {
 
     #[test]
     fn factory_builds_each_kind() {
-        for kind in [SchedKind::None, SchedKind::MqDeadline, SchedKind::Bfq, SchedKind::Kyber] {
+        for kind in [
+            SchedKind::None,
+            SchedKind::MqDeadline,
+            SchedKind::Bfq,
+            SchedKind::Kyber,
+        ] {
             let s = make_scheduler(kind);
             assert_eq!(s.kind(), kind);
             assert!(!s.has_pending());

@@ -64,7 +64,10 @@ impl MqDeadline {
     /// Creates the scheduler.
     #[must_use]
     pub fn new(config: MqDeadlineConfig) -> Self {
-        MqDeadline { config, queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()] }
+        MqDeadline {
+            config,
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+        }
     }
 
     /// Index of the class `dispatch` would serve at `now`, if any.
@@ -86,7 +89,10 @@ impl MqDeadline {
 impl IoScheduler for MqDeadline {
     fn insert(&mut self, req: IoRequest, now: SimTime) {
         let idx = class_index(req.prio);
-        self.queues[idx].push_back(Entry { req, queued_at: now });
+        self.queues[idx].push_back(Entry {
+            req,
+            queued_at: now,
+        });
     }
 
     fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
@@ -130,9 +136,18 @@ mod tests {
     #[test]
     fn strict_class_priority() {
         let mut s = MqDeadline::new(MqDeadlineConfig::default());
-        s.insert(req_prio(0, 0, PrioClass::Idle, SimTime::ZERO), SimTime::ZERO);
-        s.insert(req_prio(1, 1, PrioClass::BestEffort, SimTime::ZERO), SimTime::ZERO);
-        s.insert(req_prio(2, 2, PrioClass::Realtime, SimTime::ZERO), SimTime::ZERO);
+        s.insert(
+            req_prio(0, 0, PrioClass::Idle, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        s.insert(
+            req_prio(1, 1, PrioClass::BestEffort, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        s.insert(
+            req_prio(2, 2, PrioClass::Realtime, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         let t = SimTime::from_micros(1);
         assert_eq!(s.dispatch(t).unwrap().id, 2);
         assert_eq!(s.dispatch(t).unwrap().id, 1);
@@ -143,7 +158,10 @@ mod tests {
     fn fifo_within_class() {
         let mut s = MqDeadline::new(MqDeadlineConfig::default());
         for i in 0..4 {
-            s.insert(req_prio(i, 0, PrioClass::BestEffort, SimTime::ZERO), SimTime::ZERO);
+            s.insert(
+                req_prio(i, 0, PrioClass::BestEffort, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         for i in 0..4 {
             assert_eq!(s.dispatch(SimTime::ZERO).unwrap().id, i);
@@ -158,14 +176,26 @@ mod tests {
         };
         let mut s = MqDeadline::new(cfg);
         // An idle-class request queued at t=0...
-        s.insert(req_prio(0, 0, PrioClass::Idle, SimTime::ZERO), SimTime::ZERO);
+        s.insert(
+            req_prio(0, 0, PrioClass::Idle, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         // ...and a steady stream of realtime requests.
-        s.insert(req_prio(1, 1, PrioClass::Realtime, SimTime::ZERO), SimTime::ZERO);
+        s.insert(
+            req_prio(1, 1, PrioClass::Realtime, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(s.dispatch(SimTime::from_millis(1)).unwrap().id, 1);
-        s.insert(req_prio(2, 1, PrioClass::Realtime, SimTime::from_millis(2)), SimTime::from_millis(2));
+        s.insert(
+            req_prio(2, 1, PrioClass::Realtime, SimTime::from_millis(2)),
+            SimTime::from_millis(2),
+        );
         // Before the aging deadline the rt class still wins...
         assert_eq!(s.dispatch(SimTime::from_millis(50)).unwrap().id, 2);
-        s.insert(req_prio(3, 1, PrioClass::Realtime, SimTime::from_millis(60)), SimTime::from_millis(60));
+        s.insert(
+            req_prio(3, 1, PrioClass::Realtime, SimTime::from_millis(60)),
+            SimTime::from_millis(60),
+        );
         // ...after it, the starved idle request is forced out first.
         assert_eq!(s.dispatch(SimTime::from_millis(150)).unwrap().id, 0);
         assert_eq!(s.dispatch(SimTime::from_millis(150)).unwrap().id, 3);
@@ -178,8 +208,14 @@ mod tests {
             ..Default::default()
         };
         let mut s = MqDeadline::new(cfg);
-        s.insert(req_prio(0, 0, PrioClass::BestEffort, SimTime::ZERO), SimTime::ZERO);
-        s.insert(req_prio(1, 1, PrioClass::Realtime, SimTime::from_millis(20)), SimTime::from_millis(20));
+        s.insert(
+            req_prio(0, 0, PrioClass::BestEffort, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        s.insert(
+            req_prio(1, 1, PrioClass::Realtime, SimTime::from_millis(20)),
+            SimTime::from_millis(20),
+        );
         // BE head is 20 ms old: aged past 10 ms, wins over rt.
         assert_eq!(s.dispatch(SimTime::from_millis(20)).unwrap().id, 0);
     }
@@ -188,7 +224,10 @@ mod tests {
     fn never_needs_timer() {
         let mut s = MqDeadline::new(MqDeadlineConfig::default());
         assert_eq!(s.next_timer(SimTime::ZERO), None);
-        s.insert(req_prio(0, 0, PrioClass::Idle, SimTime::ZERO), SimTime::ZERO);
+        s.insert(
+            req_prio(0, 0, PrioClass::Idle, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(s.next_timer(SimTime::ZERO), None);
         assert!(s.has_pending());
     }

@@ -45,7 +45,11 @@ impl NvmeDevice {
         if let Err(e) = profile.validate() {
             panic!("invalid device profile `{}`: {e}", profile.name);
         }
-        let gc = GcState::new(profile.gc_threshold_bytes, profile.gc_drain_bps, profile.waf);
+        let gc = GcState::new(
+            profile.gc_threshold_bytes,
+            profile.gc_drain_bps,
+            profile.waf,
+        );
         NvmeDevice {
             profile,
             gc,
@@ -102,17 +106,28 @@ impl NvmeDevice {
         self.waiting.push_back(req);
     }
 
-    /// Starts service on as many waiting requests as free units allow;
-    /// returns `(id, completion instant)` for each started request.
-    pub fn start_ready(&mut self, now: SimTime) -> Vec<(ReqId, SimTime)> {
-        let mut started = Vec::new();
+    /// Starts service on as many waiting requests as free units allow,
+    /// appending `(id, completion instant)` for each started request to
+    /// `started`. The host engine calls this on nearly every event with
+    /// a reused scratch buffer, keeping the hot path allocation-free.
+    pub fn start_ready_into(&mut self, now: SimTime, started: &mut Vec<(ReqId, SimTime)>) {
         while self.busy_units < self.profile.units {
-            let Some(req) = self.waiting.pop_front() else { break };
+            let Some(req) = self.waiting.pop_front() else {
+                break;
+            };
             let done_at = self.service(&req, now);
             self.busy_units += 1;
             started.push((req.id, done_at));
             self.in_service.insert(req.id, req);
         }
+    }
+
+    /// Convenience wrapper around [`NvmeDevice::start_ready_into`]
+    /// returning a fresh `Vec` (allocates; for tests and one-off
+    /// callers).
+    pub fn start_ready(&mut self, now: SimTime) -> Vec<(ReqId, SimTime)> {
+        let mut started = Vec::new();
+        self.start_ready_into(now, &mut started);
         started
     }
 
@@ -120,9 +135,13 @@ impl NvmeDevice {
         let gc_level = self.gc.level(now);
         // Command path.
         let median = self.profile.cmd_latency_ns(req.op, req.pattern) as f64;
-        let mut cmd_ns = self.rng.lognormal_median(median, self.profile.latency_sigma);
+        let mut cmd_ns = self
+            .rng
+            .lognormal_median(median, self.profile.latency_sigma);
         if self.rng.chance(self.profile.tail_prob) {
-            cmd_ns *= self.rng.bounded_pareto(1.5, self.profile.tail_mult_max, 1.2);
+            cmd_ns *= self
+                .rng
+                .bounded_pareto(1.5, self.profile.tail_mult_max, 1.2);
         }
         let cmd_done = now + SimDuration::from_nanos(cmd_ns as u64);
         // Shared data pipe, derated by GC pressure.
@@ -148,7 +167,10 @@ impl NvmeDevice {
     ///
     /// Panics if `id` is not in service (an engine bug).
     pub fn complete(&mut self, id: ReqId, _now: SimTime) -> IoRequest {
-        let req = self.in_service.remove(&id).expect("completing unknown request");
+        let req = self
+            .in_service
+            .remove(&id)
+            .expect("completing unknown request");
         self.busy_units -= 1;
         self.served_ios += 1;
         self.served_bytes += u64::from(req.len);
@@ -174,7 +196,17 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn req(id: ReqId, op: IoOp, pattern: AccessPattern, len: u32, at: SimTime) -> IoRequest {
-        IoRequest::new(id, AppId(0), GroupId(0), DeviceId(0), op, pattern, len, 0, at)
+        IoRequest::new(
+            id,
+            AppId(0),
+            GroupId(0),
+            DeviceId(0),
+            op,
+            pattern,
+            len,
+            0,
+            at,
+        )
     }
 
     /// Closed-loop mini-driver: keep `qd` requests in flight for
@@ -221,7 +253,14 @@ mod tests {
                 completions.push(std::cmp::Reverse((done2, id2)));
             }
         }
-        (bytes, if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 })
+        (
+            bytes,
+            if lat_n == 0 {
+                0.0
+            } else {
+                lat_sum / lat_n as f64
+            },
+        )
     }
 
     #[test]
@@ -255,8 +294,14 @@ mod tests {
     fn sequential_large_reads_are_faster() {
         let dur = SimDuration::from_millis(200);
         let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(3));
-        let (seq_bytes, _) =
-            drive(&mut dev, IoOp::Read, AccessPattern::Sequential, 256 * 1024, 32, dur);
+        let (seq_bytes, _) = drive(
+            &mut dev,
+            IoOp::Read,
+            AccessPattern::Sequential,
+            256 * 1024,
+            32,
+            dur,
+        );
         let mut dev2 = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(3));
         let (rand4k_bytes, _) = drive(&mut dev2, IoOp::Read, AccessPattern::Random, 4096, 32, dur);
         assert!(
@@ -270,17 +315,34 @@ mod tests {
         let dur = SimDuration::from_millis(300);
         // Fresh device: fast burst writes.
         let mut fresh = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(4));
-        let (burst, _) = drive(&mut fresh, IoOp::Write, AccessPattern::Random, 4096, 128, dur);
+        let (burst, _) = drive(
+            &mut fresh,
+            IoOp::Write,
+            AccessPattern::Random,
+            4096,
+            128,
+            dur,
+        );
         // Preconditioned device: sustained GC-bound writes.
         let mut worn = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(4));
         worn.precondition(1.0);
-        let (sustained, _) = drive(&mut worn, IoOp::Write, AccessPattern::Random, 4096, 128, dur);
+        let (sustained, _) = drive(
+            &mut worn,
+            IoOp::Write,
+            AccessPattern::Random,
+            4096,
+            128,
+            dur,
+        );
         assert!(
             (sustained as f64) < 0.4 * burst as f64,
             "burst {burst} sustained {sustained}"
         );
         let gib_s = sustained as f64 / dur.as_secs_f64() / (1u64 << 30) as f64;
-        assert!(gib_s < 0.8, "sustained writes {gib_s} GiB/s should be well under 1");
+        assert!(
+            gib_s < 0.8,
+            "sustained writes {gib_s} GiB/s should be well under 1"
+        );
     }
 
     #[test]
@@ -302,7 +364,10 @@ mod tests {
         let mut dev = NvmeDevice::new(profile, DetRng::new(6));
         for i in 0..4 {
             assert!(dev.has_capacity(SimTime::ZERO));
-            dev.accept(req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+            dev.accept(
+                req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         assert!(!dev.has_capacity(SimTime::ZERO));
         assert_eq!(dev.inflight(), 4);
@@ -314,8 +379,14 @@ mod tests {
         let mut profile = DeviceProfile::flash();
         profile.max_qd = 1;
         let mut dev = NvmeDevice::new(profile, DetRng::new(7));
-        dev.accept(req(0, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
-        dev.accept(req(1, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+        dev.accept(
+            req(0, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        dev.accept(
+            req(1, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO),
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -324,7 +395,10 @@ mod tests {
         profile.units = 2;
         let mut dev = NvmeDevice::new(profile, DetRng::new(8));
         for i in 0..5 {
-            dev.accept(req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO), SimTime::ZERO);
+            dev.accept(
+                req(i, IoOp::Read, AccessPattern::Random, 4096, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         let started = dev.start_ready(SimTime::ZERO);
         assert_eq!(started.len(), 2);
@@ -336,7 +410,10 @@ mod tests {
     #[test]
     fn served_counters_accumulate() {
         let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(9));
-        dev.accept(req(0, IoOp::Read, AccessPattern::Random, 8192, SimTime::ZERO), SimTime::ZERO);
+        dev.accept(
+            req(0, IoOp::Read, AccessPattern::Random, 8192, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         let started = dev.start_ready(SimTime::ZERO);
         dev.complete(started[0].0, started[0].1);
         assert_eq!(dev.served(), (1, 8192));

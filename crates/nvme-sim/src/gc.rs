@@ -31,7 +31,13 @@ impl GcState {
     pub fn new(threshold: f64, drain_bps: f64, waf: f64) -> Self {
         assert!(drain_bps > 0.0, "drain rate must be positive");
         assert!(waf >= 1.0, "waf must be >= 1");
-        GcState { debt_bytes: 0.0, threshold, drain_bps, waf, last: SimTime::ZERO }
+        GcState {
+            debt_bytes: 0.0,
+            threshold,
+            drain_bps,
+            waf,
+            last: SimTime::ZERO,
+        }
     }
 
     fn settle(&mut self, now: SimTime) {
@@ -66,7 +72,10 @@ impl GcState {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn precondition(&mut self, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         if self.threshold.is_finite() {
             self.debt_bytes = self.threshold * fraction;
         }
@@ -95,7 +104,11 @@ mod tests {
         let mut gc = GcState::new(1e9, 1e6, 2.0);
         gc.on_write(2_000_000, SimTime::ZERO); // debt = 2e6
         let lvl = gc.level(SimTime::from_secs(1)); // drains 1e6
-        assert!((gc.debt_bytes() - 1_000_000.0).abs() < 1.0, "debt {}", gc.debt_bytes());
+        assert!(
+            (gc.debt_bytes() - 1_000_000.0).abs() < 1.0,
+            "debt {}",
+            gc.debt_bytes()
+        );
         assert!(lvl > 0.0);
         let lvl = gc.level(SimTime::from_secs(10));
         assert_eq!(lvl, 0.0);

@@ -163,7 +163,8 @@ impl DeviceProfile {
             ("rand_write_bps", self.rand_write_bps),
             ("seq_write_bps", self.seq_write_bps),
         ] {
-            if !(v > 0.0) {
+            // NaN must fail validation too, hence not `v <= 0.0`.
+            if v.is_nan() || v <= 0.0 {
                 return Err(format!("{name} must be positive"));
             }
         }
@@ -187,14 +188,14 @@ impl DeviceProfile {
     /// coefficients.
     #[must_use]
     pub fn iocost_coefficients(&self) -> IocostCoefficients {
-        let unit_iops =
-            |cmd_ns: u64| -> f64 { f64::from(self.units) / (cmd_ns as f64 / 1e9) };
+        let unit_iops = |cmd_ns: u64| -> f64 { f64::from(self.units) / (cmd_ns as f64 / 1e9) };
         let write_sustain = 1.0 - self.gc_write_penalty * self.gc_steady_level();
         let rbps = self.seq_read_bps;
         let rseqiops = unit_iops(self.seq_read_cmd_ns).min(self.seq_read_bps / 4096.0);
         let rrandiops = unit_iops(self.rand_read_cmd_ns).min(self.rand_read_bps / 4096.0);
         let wbps = self.seq_write_bps * write_sustain;
-        let wseqiops = unit_iops(self.write_cmd_ns).min(self.seq_write_bps * write_sustain / 4096.0);
+        let wseqiops =
+            unit_iops(self.write_cmd_ns).min(self.seq_write_bps * write_sustain / 4096.0);
         let wrandiops =
             unit_iops(self.write_cmd_ns).min(self.rand_write_bps * write_sustain / 4096.0);
         IocostCoefficients {
@@ -265,7 +266,10 @@ mod tests {
         let unit_iops = f64::from(p.units) / (p.rand_read_cmd_ns as f64 / 1e9);
         let pipe_iops = p.rand_read_bps / 4096.0;
         let sat_gib_s = unit_iops.min(pipe_iops) * 4096.0 / (1 << 30) as f64;
-        assert!((2.6..3.2).contains(&sat_gib_s), "saturation {sat_gib_s} GiB/s");
+        assert!(
+            (2.6..3.2).contains(&sat_gib_s),
+            "saturation {sat_gib_s} GiB/s"
+        );
     }
 
     #[test]
@@ -280,9 +284,18 @@ mod tests {
     #[test]
     fn cmd_latency_dispatches_by_class() {
         let p = DeviceProfile::flash();
-        assert_eq!(p.cmd_latency_ns(IoOp::Read, AccessPattern::Random), p.rand_read_cmd_ns);
-        assert_eq!(p.cmd_latency_ns(IoOp::Read, AccessPattern::Sequential), p.seq_read_cmd_ns);
-        assert_eq!(p.cmd_latency_ns(IoOp::Write, AccessPattern::Random), p.write_cmd_ns);
+        assert_eq!(
+            p.cmd_latency_ns(IoOp::Read, AccessPattern::Random),
+            p.rand_read_cmd_ns
+        );
+        assert_eq!(
+            p.cmd_latency_ns(IoOp::Read, AccessPattern::Sequential),
+            p.seq_read_cmd_ns
+        );
+        assert_eq!(
+            p.cmd_latency_ns(IoOp::Write, AccessPattern::Random),
+            p.write_cmd_ns
+        );
     }
 
     #[test]
@@ -299,7 +312,10 @@ mod tests {
         let c = DeviceProfile::flash().iocost_coefficients();
         assert!(c.rbps > c.wbps, "reads cheaper than sustained writes");
         assert!(c.rseqiops >= c.rrandiops);
-        assert!(c.rrandiops > c.wrandiops, "sustained random writes are the most expensive");
+        assert!(
+            c.rrandiops > c.wrandiops,
+            "sustained random writes are the most expensive"
+        );
         assert!(c.wrandiops > 10_000, "still five digits of write IOPS");
     }
 

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds offline; the real `serde_derive` cannot be
+//! fetched. Types across the repo carry `#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations but nothing in the
+//! codebase serializes through serde, so the derives can safely expand
+//! to nothing. The `serde(...)` helper attribute (e.g. `#[serde(skip)]`)
+//! is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the real `serde` can never resolve. The repo's types carry
+//! `#[derive(Serialize, Deserialize)]` annotations but nothing actually
+//! serializes through serde yet (reports are rendered via `Display` and
+//! hand-rolled CSV/JSON), so marker traits plus no-op derives are
+//! sufficient for every current use. If real serialization is needed
+//! later, swap this path dependency back to the registry crate — the
+//! annotations are already in place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait DeserializeMarker<'de> {}

@@ -60,7 +60,30 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for `cap` pending events.
+    ///
+    /// Simulations whose pending-event count has a knowable upper bound
+    /// (e.g. one timer per component plus one completion per in-flight
+    /// request) can pre-size the heap once and keep the hot
+    /// schedule/pop loop allocation-free.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedules `payload` to fire at instant `at`.
@@ -108,6 +131,22 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_capacity_pre_sizes_without_growth() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..64u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(
+            q.capacity(),
+            cap,
+            "no reallocation within the pre-sized bound"
+        );
+        assert_eq!(q.len(), 64);
+    }
 
     #[test]
     fn pops_in_time_order() {

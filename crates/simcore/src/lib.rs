@@ -31,14 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ewma;
 mod events;
+mod ewma;
 mod rng;
 mod time;
 mod token;
 
-pub use ewma::Ewma;
 pub use events::EventQueue;
+pub use ewma::Ewma;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use token::TokenBucket;

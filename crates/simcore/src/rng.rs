@@ -1,15 +1,14 @@
 //! Deterministic random numbers and the distribution samplers used by the
 //! device and host models.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded, deterministic RNG.
 ///
-/// Wraps [`rand::rngs::SmallRng`] and adds the handful of samplers the
-/// simulator needs (uniform, exponential, normal, lognormal, bounded
-/// Pareto for latency tails). Two `DetRng`s created from the same seed
-/// produce identical streams.
+/// A self-contained xoshiro256++ generator (the algorithm behind
+/// `rand`'s 64-bit `SmallRng`, vendored here so the simulator has zero
+/// external dependencies) plus the handful of samplers the simulator
+/// needs (uniform, exponential, normal, lognormal, bounded Pareto for
+/// latency tails). Two `DetRng`s created from the same seed produce
+/// identical streams.
 ///
 /// # Example
 ///
@@ -21,14 +20,31 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the 256-bit
+/// xoshiro state (the same expansion `SeedableRng::seed_from_u64` uses).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates an RNG from a 64-bit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        DetRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
     }
 
     /// Derives an independent child RNG; useful to give each simulated
@@ -40,24 +56,44 @@ impl DetRng {
         DetRng::new(seed)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
+    #[allow(clippy::cast_precision_loss)]
     pub fn f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)`, unbiased (Lemire rejection).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.random_range(0..n)
+        // Widening-multiply rejection sampling.
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -67,7 +103,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.random_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw with probability `p`.
@@ -109,7 +145,10 @@ impl DetRng {
     ///
     /// Panics if `lo <= 0`, `hi <= lo`, or `alpha <= 0`.
     pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
-        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid pareto parameters");
+        assert!(
+            lo > 0.0 && hi > lo && alpha > 0.0,
+            "invalid pareto parameters"
+        );
         let u = self.f64();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);

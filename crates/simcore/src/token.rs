@@ -42,8 +42,16 @@ impl TokenBucket {
     #[must_use]
     pub fn new(rate: f64, capacity: f64) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
-        TokenBucket { rate, capacity, level: capacity, last: SimTime::ZERO }
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        TokenBucket {
+            rate,
+            capacity,
+            level: capacity,
+            last: SimTime::ZERO,
+        }
     }
 
     /// The refill rate, in tokens per second.

@@ -76,8 +76,12 @@ mod tests {
 
     #[test]
     fn bounds_hold() {
-        let cases: [&[f64]; 4] =
-            [&[1.0, 2.0, 3.0], &[0.1, 100.0], &[5.0], &[2.0, 2.0, 0.0, 9.0]];
+        let cases: [&[f64]; 4] = [
+            &[1.0, 2.0, 3.0],
+            &[0.1, 100.0],
+            &[5.0],
+            &[2.0, 2.0, 0.0, 9.0],
+        ];
         for xs in cases {
             let j = jain_index(xs);
             let lo = 1.0 / xs.len() as f64;

@@ -171,7 +171,9 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return bucket_value(i).min(self.max_ns).max(self.min_ns.min(self.max_ns));
+                return bucket_value(i)
+                    .min(self.max_ns)
+                    .max(self.min_ns.min(self.max_ns));
             }
         }
         self.max_ns
@@ -193,10 +195,16 @@ impl LatencyHistogram {
         let mut out = Vec::with_capacity(points + 3);
         for i in 1..=points {
             let q = i as f64 / points as f64;
-            out.push(CdfPoint { latency_us: self.percentile_us(q), cum_prob: q });
+            out.push(CdfPoint {
+                latency_us: self.percentile_us(q),
+                cum_prob: q,
+            });
         }
         for q in [0.99, 0.999, 0.9999] {
-            out.push(CdfPoint { latency_us: self.percentile_us(q), cum_prob: q });
+            out.push(CdfPoint {
+                latency_us: self.percentile_us(q),
+                cum_prob: q,
+            });
         }
         out.sort_by(|a, b| a.cum_prob.total_cmp(&b.cum_prob));
         out.dedup_by(|a, b| (a.cum_prob - b.cum_prob).abs() < 1e-12);
@@ -279,7 +287,9 @@ mod tests {
         let mut h = LatencyHistogram::new();
         let mut seed = 1u64;
         for _ in 0..10_000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.record_ns(seed % 10_000_000 + 100);
         }
         let mut last = 0;
@@ -339,7 +349,9 @@ mod tests {
         }
         let cdf = h.cdf(20);
         assert!(cdf.windows(2).all(|w| w[0].cum_prob <= w[1].cum_prob));
-        assert!(cdf.windows(2).all(|w| w[0].latency_us <= w[1].latency_us + 1e-9));
+        assert!(cdf
+            .windows(2)
+            .all(|w| w[0].latency_us <= w[1].latency_us + 1e-9));
         assert!((cdf.last().unwrap().cum_prob - 1.0).abs() < 1e-9);
         assert!(cdf.iter().any(|p| (p.cum_prob - 0.9999).abs() < 1e-9));
     }
@@ -358,7 +370,17 @@ mod tests {
 
     #[test]
     fn bucket_value_inverts_bucket_index() {
-        for v in [0u64, 1, 63, 64, 65, 1_000, 10_000, 1_000_000, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            1_000,
+            10_000,
+            1_000_000,
+            u32::MAX as u64,
+        ] {
             let idx = bucket_index(v);
             let rep = bucket_value(idx);
             let err = (rep as f64 - v as f64).abs() / (v as f64).max(1.0);

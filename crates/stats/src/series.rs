@@ -51,7 +51,13 @@ impl BandwidthSeries {
     #[must_use]
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "window must be positive");
-        BandwidthSeries { window, windows: Vec::new(), total_bytes: 0, first: None, last: None }
+        BandwidthSeries {
+            window,
+            windows: Vec::new(),
+            total_bytes: 0,
+            first: None,
+            last: None,
+        }
     }
 
     /// Records `bytes` completed at instant `now`.
@@ -91,9 +97,15 @@ impl BandwidthSeries {
         }
         let w = self.window.as_nanos();
         let lo = (from.as_nanos() / w) as usize;
-        let hi = ((to.as_nanos() + w - 1) / w) as usize;
+        let hi = to.as_nanos().div_ceil(w) as usize;
         let mut bytes = 0.0f64;
-        for (i, &b) in self.windows.iter().enumerate().skip(lo).take(hi.saturating_sub(lo)) {
+        for (i, &b) in self
+            .windows
+            .iter()
+            .enumerate()
+            .skip(lo)
+            .take(hi.saturating_sub(lo))
+        {
             let w_start = i as u64 * w;
             let w_end = w_start + w;
             let overlap_start = w_start.max(from.as_nanos());
@@ -143,11 +155,15 @@ impl BandwidthSeries {
     pub fn first_window_reaching(&self, threshold_mib_s: f64, from: SimTime) -> Option<SimTime> {
         let w_secs = self.window.as_secs_f64();
         let lo = (from.as_nanos() / self.window.as_nanos()) as usize;
-        self.windows.iter().enumerate().skip(lo).find_map(|(i, &bytes)| {
-            let mib_s = bytes as f64 / (1024.0 * 1024.0) / w_secs;
-            (mib_s >= threshold_mib_s)
-                .then(|| SimTime::from_nanos(i as u64 * self.window.as_nanos()))
-        })
+        self.windows
+            .iter()
+            .enumerate()
+            .skip(lo)
+            .find_map(|(i, &bytes)| {
+                let mib_s = bytes as f64 / (1024.0 * 1024.0) / w_secs;
+                (mib_s >= threshold_mib_s)
+                    .then(|| SimTime::from_nanos(i as u64 * self.window.as_nanos()))
+            })
     }
 }
 
@@ -190,7 +206,10 @@ mod tests {
         assert_eq!(s.mean_mib_s(SimTime::ZERO, SimTime::from_secs(1)), 0.0);
         let mut s2 = BandwidthSeries::new(SimDuration::from_secs(1));
         s2.record(SimTime::from_millis(1), MIB);
-        assert_eq!(s2.mean_mib_s(SimTime::from_secs(2), SimTime::from_secs(1)), 0.0);
+        assert_eq!(
+            s2.mean_mib_s(SimTime::from_secs(2), SimTime::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

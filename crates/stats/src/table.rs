@@ -34,7 +34,10 @@ impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Short rows are padded with empty cells; long rows are

@@ -115,14 +115,22 @@ impl JobSpec {
     /// (stringent P99 requirements, e.g. a cache).
     #[must_use]
     pub fn lc_app(name: &str) -> JobSpec {
-        JobSpec::builder(name).rw(RwKind::RandRead).block_size(4096).iodepth(1).build()
+        JobSpec::builder(name)
+            .rw(RwKind::RandRead)
+            .block_size(4096)
+            .iodepth(1)
+            .build()
     }
 
     /// The paper's throughput-oriented batch app: 4 KiB random reads at
     /// QD 256 (e.g. AI training reads).
     #[must_use]
     pub fn batch_app(name: &str) -> JobSpec {
-        JobSpec::builder(name).rw(RwKind::RandRead).block_size(4096).iodepth(256).build()
+        JobSpec::builder(name)
+            .rw(RwKind::RandRead)
+            .block_size(4096)
+            .iodepth(256)
+            .build()
     }
 
     /// The paper's best-effort app: identical shape to a batch app but
@@ -371,8 +379,14 @@ mod tests {
             .start_at(SimTime::from_secs(1))
             .stop_at(SimTime::from_secs(2))
             .build();
-        assert_eq!(j.next_transition(SimTime::ZERO), Some(SimTime::from_secs(1)));
-        assert_eq!(j.next_transition(SimTime::from_millis(1_500)), Some(SimTime::from_secs(2)));
+        assert_eq!(
+            j.next_transition(SimTime::ZERO),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(
+            j.next_transition(SimTime::from_millis(1_500)),
+            Some(SimTime::from_secs(2))
+        );
         assert_eq!(j.next_transition(SimTime::from_secs(3)), None);
     }
 
@@ -382,9 +396,15 @@ mod tests {
             .burst(SimDuration::from_millis(10), SimDuration::from_millis(10))
             .build();
         // At t=5ms we are in the on-phase; next edge at 10ms.
-        assert_eq!(j.next_transition(SimTime::from_millis(5)), Some(SimTime::from_millis(10)));
+        assert_eq!(
+            j.next_transition(SimTime::from_millis(5)),
+            Some(SimTime::from_millis(10))
+        );
         // At t=15ms in off-phase; next edge at 20ms.
-        assert_eq!(j.next_transition(SimTime::from_millis(15)), Some(SimTime::from_millis(20)));
+        assert_eq!(
+            j.next_transition(SimTime::from_millis(15)),
+            Some(SimTime::from_millis(20))
+        );
     }
 
     #[test]

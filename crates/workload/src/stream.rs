@@ -50,7 +50,10 @@ impl AddressStream {
         assert!(blocks > 0, "device smaller than one block");
         let zipf_norm = match spec.rw() {
             RwKind::ZipfRead { theta } => {
-                assert!(theta > 0.0 && theta != 1.0, "zipf theta must be > 0 and != 1");
+                assert!(
+                    theta > 0.0 && theta != 1.0,
+                    "zipf theta must be > 0 and != 1"
+                );
                 // ∫ x^-θ dx over [1, N+1] — continuous approximation of
                 // the generalized harmonic number.
                 let n = blocks as f64;
@@ -86,17 +89,29 @@ impl AddressStream {
             RwKind::SeqRead | RwKind::SeqWrite => {
                 let off = self.next_block * bs;
                 self.next_block = (self.next_block + 1) % self.blocks;
-                let op = if self.rw == RwKind::SeqRead { IoOp::Read } else { IoOp::Write };
+                let op = if self.rw == RwKind::SeqRead {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
                 (op, AccessPattern::Sequential, off)
             }
             RwKind::RandRead | RwKind::RandWrite => {
                 let off = self.rng.below(self.blocks) * bs;
-                let op = if self.rw == RwKind::RandRead { IoOp::Read } else { IoOp::Write };
+                let op = if self.rw == RwKind::RandRead {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
                 (op, AccessPattern::Random, off)
             }
             RwKind::RandRw { read_frac } => {
                 let off = self.rng.below(self.blocks) * bs;
-                let op = if self.rng.chance(read_frac) { IoOp::Read } else { IoOp::Write };
+                let op = if self.rng.chance(read_frac) {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
                 (op, AccessPattern::Random, off)
             }
             RwKind::ZipfRead { theta } => {

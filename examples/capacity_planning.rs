@@ -17,7 +17,9 @@ const SLO_P99_US: f64 = 300.0;
 
 fn p99_at(knob: Knob, tenants: usize) -> f64 {
     let mut s = Scenario::new("capacity", 1, vec![knob.device_setup(true)]);
-    let groups: Vec<_> = (0..tenants).map(|i| s.add_cgroup(&format!("t-{i}"))).collect();
+    let groups: Vec<_> = (0..tenants)
+        .map(|i| s.add_cgroup(&format!("t-{i}")))
+        .collect();
     for (i, &g) in groups.iter().enumerate() {
         s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
     }
@@ -43,7 +45,11 @@ fn main() {
                 *slot = Some(n);
             }
         }
-        t.row(vec![n.to_string(), format!("{none:.0}"), format!("{cost:.0}")]);
+        t.row(vec![
+            n.to_string(),
+            format!("{none:.0}"),
+            format!("{cost:.0}"),
+        ]);
     }
     println!("{}", t.render());
     println!(

@@ -54,12 +54,19 @@ fn main() -> Result<(), CgroupError> {
     println!("write io.cost.model in root -> ok");
 
     // Kernel value grammars parse and render back.
-    h.write(a, "io.max", "259:0 rbps=1572864000 wbps=max riops=max wiops=max")?;
+    h.write(
+        a,
+        "io.max",
+        "259:0 rbps=1572864000 wbps=max riops=max wiops=max",
+    )?;
     println!("\ncontainer-a io.max  = {}", h.read(a, "io.max")?);
     h.write(a, "io.weight", "default 250")?;
     println!("container-a io.weight = {}", h.read(a, "io.weight")?);
     h.write(a, "io.prio.class", "rt")?;
-    println!("container-a io.prio.class = {}", h.read(a, "io.prio.class")?);
+    println!(
+        "container-a io.prio.class = {}",
+        h.read(a, "io.prio.class")?
+    );
 
     // io.prio.class is NOT inheritable: a child reads the default.
     h.write(b, "io.prio.class", "idle")?;

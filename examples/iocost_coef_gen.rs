@@ -9,7 +9,9 @@ use isol_bench_repro::cgroup::{DevNode, Hierarchy};
 use isol_bench_repro::nvme::DeviceProfile;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "flash".to_owned());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "flash".to_owned());
     let profile = match which.as_str() {
         "optane" => DeviceProfile::optane(),
         _ => DeviceProfile::flash(),
@@ -36,14 +38,23 @@ fn main() {
 
     // Install it exactly as a sysfs write.
     let mut h = Hierarchy::new();
-    h.write(Hierarchy::ROOT, "io.cost.model", &line).expect("root write");
+    h.write(Hierarchy::ROOT, "io.cost.model", &line)
+        .expect("root write");
     h.write(
         Hierarchy::ROOT,
         "io.cost.qos",
-        &format!("{dev} enable=1 ctrl=user rpct=95.00 rlat=100 wpct=95.00 wlat=500 min=50.00 max=100.00"),
+        &format!(
+            "{dev} enable=1 ctrl=user rpct=95.00 rlat=100 wpct=95.00 wlat=500 min=50.00 max=100.00"
+        ),
     )
     .expect("root write");
     println!("# installed; reading back:");
-    println!("io.cost.model = {}", h.read(Hierarchy::ROOT, "io.cost.model").unwrap());
-    println!("io.cost.qos   = {}", h.read(Hierarchy::ROOT, "io.cost.qos").unwrap());
+    println!(
+        "io.cost.model = {}",
+        h.read(Hierarchy::ROOT, "io.cost.model").unwrap()
+    );
+    println!(
+        "io.cost.qos   = {}",
+        h.read(Hierarchy::ROOT, "io.cost.qos").unwrap()
+    );
 }

@@ -34,11 +34,7 @@ fn main() -> std::io::Result<()> {
             .flat_map(|r| [r.a_mib_s, r.b_mib_s, r.c_mib_s])
             .fold(1.0, f64::max);
         println!("({}) {}  [peak {:.0} MiB/s]", panel.tag, panel.label, max);
-        for (name, pick) in [
-            ("A", 0usize),
-            ("B", 1),
-            ("C", 2),
-        ] {
+        for (name, pick) in [("A", 0usize), ("B", 1), ("C", 2)] {
             let vals: Vec<f64> = panel
                 .rows
                 .iter()

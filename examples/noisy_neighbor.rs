@@ -29,20 +29,34 @@ fn run_case(knob: Knob) -> (f64, f64, String) {
     match knob {
         Knob::None => {}
         Knob::MqDlPrio => {
-            s.hierarchy_mut().apply(cache, KnobWrite::PrioClass(PrioClass::Realtime)).unwrap();
-            s.hierarchy_mut().apply(archiver, KnobWrite::PrioClass(PrioClass::Idle)).unwrap();
+            s.hierarchy_mut()
+                .apply(cache, KnobWrite::PrioClass(PrioClass::Realtime))
+                .unwrap();
+            s.hierarchy_mut()
+                .apply(archiver, KnobWrite::PrioClass(PrioClass::Idle))
+                .unwrap();
         }
         Knob::BfqWeight => {
-            let mut w = IoWeight::default();
-            w.default = 1000;
+            let w = IoWeight {
+                default: 1000,
+                ..IoWeight::default()
+            };
             s.hierarchy_mut()
-                .apply(cache, KnobWrite::BfqWeight(isol_bench_repro::cgroup::BfqWeight(w)))
+                .apply(
+                    cache,
+                    KnobWrite::BfqWeight(isol_bench_repro::cgroup::BfqWeight(w)),
+                )
                 .unwrap();
         }
         Knob::IoMax => {
             // Cap the archiver at 800 MiB/s.
-            let m = IoMax { rbps: Some(800 << 20), ..IoMax::default() };
-            s.hierarchy_mut().apply(archiver, KnobWrite::Max(dev, m)).unwrap();
+            let m = IoMax {
+                rbps: Some(800 << 20),
+                ..IoMax::default()
+            };
+            s.hierarchy_mut()
+                .apply(archiver, KnobWrite::Max(dev, m))
+                .unwrap();
         }
         Knob::IoLatency => {
             s.hierarchy_mut()
@@ -62,11 +76,19 @@ fn run_case(knob: Knob) -> (f64, f64, String) {
                 max_pct: 100.0,
             };
             let root = isol_bench_repro::cgroup::Hierarchy::ROOT;
-            s.hierarchy_mut().apply(root, KnobWrite::CostModel(dev, model)).unwrap();
-            s.hierarchy_mut().apply(root, KnobWrite::CostQos(dev, qos)).unwrap();
-            let mut w = IoWeight::default();
-            w.default = 10_000;
-            s.hierarchy_mut().apply(cache, KnobWrite::Weight(w)).unwrap();
+            s.hierarchy_mut()
+                .apply(root, KnobWrite::CostModel(dev, model))
+                .unwrap();
+            s.hierarchy_mut()
+                .apply(root, KnobWrite::CostQos(dev, qos))
+                .unwrap();
+            let w = IoWeight {
+                default: 10_000,
+                ..IoWeight::default()
+            };
+            s.hierarchy_mut()
+                .apply(cache, KnobWrite::Weight(w))
+                .unwrap();
         }
     }
 
@@ -75,28 +97,40 @@ fn run_case(knob: Knob) -> (f64, f64, String) {
     (
         report.apps[0].latency.p99_us,
         report.aggregate_gib_s(),
-        format!("{} ({:.0} of {:.0} us)", stages.dominant_stage(),
-                match stages.dominant_stage() {
-                    "submit-cpu" => stages.submit_cpu_us,
-                    "qos-wait" => stages.qos_wait_us,
-                    "sched-wait" => stages.sched_wait_us,
-                    "device" => stages.device_us,
-                    _ => stages.complete_cpu_us,
-                },
-                stages.total_us()),
+        format!(
+            "{} ({:.0} of {:.0} us)",
+            stages.dominant_stage(),
+            match stages.dominant_stage() {
+                "submit-cpu" => stages.submit_cpu_us,
+                "qos-wait" => stages.qos_wait_us,
+                "sched-wait" => stages.sched_wait_us,
+                "device" => stages.device_us,
+                _ => stages.complete_cpu_us,
+            },
+            stages.total_us()
+        ),
     )
 }
 
 fn main() {
-    let mut t =
-        Table::new(vec!["knob", "cache P99 (us)", "aggregate GiB/s", "cache latency dominated by"]);
+    let mut t = Table::new(vec![
+        "knob",
+        "cache P99 (us)",
+        "aggregate GiB/s",
+        "cache latency dominated by",
+    ]);
     let mut baseline = 0.0;
     for knob in Knob::ALL {
         let (p99, agg, dominant) = run_case(knob);
         if knob == Knob::None {
             baseline = p99;
         }
-        t.row(vec![knob.label().to_owned(), format!("{p99:.1}"), format!("{agg:.2}"), dominant]);
+        t.row(vec![
+            knob.label().to_owned(),
+            format!("{p99:.1}"),
+            format!("{agg:.2}"),
+            dominant,
+        ]);
     }
     println!("{}", t.render());
     println!(

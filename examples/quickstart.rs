@@ -26,7 +26,12 @@ fn main() {
     Knob::IoCost.configure_weights(&mut s, &[tenant_a, tenant_b], &[200, 100]);
 
     // The hierarchy is real cgroup-v2 surface: read the knob files back.
-    println!("root io.cost.model = {}", s.hierarchy().read(cgroup_sim_root(), "io.cost.model").unwrap());
+    println!(
+        "root io.cost.model = {}",
+        s.hierarchy()
+            .read(cgroup_sim_root(), "io.cost.model")
+            .unwrap()
+    );
 
     let report = s.run(SimTime::from_secs(1));
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, and the full test suite.
+#
+# Run from the repository root:
+#
+#   ./scripts/check.sh          # everything (what CI runs)
+#   ./scripts/check.sh --quick  # fmt + clippy only
+#
+# The workspace must pass clippy with -D warnings; fix lints rather than
+# silencing them (or add a justified #[allow] at the site).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "OK (quick: fmt + clippy)"
+    exit 0
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "OK"

@@ -35,8 +35,14 @@ fn gc_storm_mid_run_degrades_then_recovers() {
     let before = series.mean_mib_s(SimTime::from_millis(100), SimTime::from_millis(400));
     let during = series.mean_mib_s(SimTime::from_millis(500), SimTime::from_millis(800));
     let after = series.mean_mib_s(SimTime::from_millis(1_300), SimTime::from_millis(1_600));
-    assert!(during < 0.7 * before, "GC should dent reads: before {before} during {during}");
-    assert!(after > 1.5 * during, "reads should recover after GC drains: {during} -> {after}");
+    assert!(
+        during < 0.7 * before,
+        "GC should dent reads: before {before} during {during}"
+    );
+    assert!(
+        after > 1.5 * during,
+        "reads should recover after GC drains: {during} -> {after}"
+    );
 }
 
 #[test]
@@ -65,7 +71,13 @@ fn zero_weight_and_overflow_weights_rejected() {
     let g = h.create(slice, "g").unwrap();
     assert!(h.write(g, "io.weight", "default 0").is_err());
     assert!(h.write(g, "io.weight", "default 10001").is_err());
-    assert!(h.write(g, "io.weight", &format!("default {}", u64::from(u32::MAX) + 1)).is_err());
+    assert!(h
+        .write(
+            g,
+            "io.weight",
+            &format!("default {}", u64::from(u32::MAX) + 1)
+        )
+        .is_err());
 }
 
 #[test]
@@ -87,12 +99,18 @@ fn tiny_device_still_simulates() {
     profile.capacity_bytes = 8 << 20; // 8 MiB
     profile.units = 1;
     profile.max_qd = 2;
-    let setup = DeviceSetup { profile, ..DeviceSetup::flash() };
+    let setup = DeviceSetup {
+        profile,
+        ..DeviceSetup::flash()
+    };
     let mut s = Scenario::new("tiny", 1, vec![setup]);
     let g = s.add_cgroup("g");
     s.add_app(g, JobSpec::lc_app("lc"));
     let r = s.run(SimTime::from_millis(100));
-    assert!(r.apps[0].completed > 100, "tiny device still makes progress");
+    assert!(
+        r.apps[0].completed > 100,
+        "tiny device still makes progress"
+    );
 }
 
 #[test]
@@ -106,7 +124,10 @@ fn many_groups_scale_without_blowup() {
     }
     let r = s.run(SimTime::from_millis(150));
     let total: u64 = r.apps.iter().map(|a| a.completed).sum();
-    assert!(total > 1_000, "aggregate progress under extreme co-location: {total}");
+    assert!(
+        total > 1_000,
+        "aggregate progress under extreme co-location: {total}"
+    );
     // Every app made at least some progress (no total starvation).
     let starved = r.apps.iter().filter(|a| a.completed == 0).count();
     assert!(starved < 8, "{starved}/128 apps fully starved");
@@ -118,22 +139,34 @@ fn app_stopping_with_inflight_requests_completes_cleanly() {
     let g = s.add_cgroup("g");
     s.add_app(
         g,
-        JobSpec::builder("short").iodepth(256).stop_at(SimTime::from_millis(5)).build(),
+        JobSpec::builder("short")
+            .iodepth(256)
+            .stop_at(SimTime::from_millis(5))
+            .build(),
     );
     let r = s.run(SimTime::from_millis(100));
     // All issued requests eventually completed (none lost in the stack).
-    assert_eq!(r.apps[0].issued, r.apps[0].completed, "requests lost in flight");
+    assert_eq!(
+        r.apps[0].issued, r.apps[0].completed,
+        "requests lost in flight"
+    );
 }
 
 #[test]
 fn rate_cap_far_above_capacity_is_harmless() {
     let mut s = Scenario::new("cap", 4, vec![DeviceSetup::flash()]);
     let g = s.add_cgroup("g");
-    s.add_app(g, JobSpec::builder("j").iodepth(128).rate_mib_s(1e6).build());
+    s.add_app(
+        g,
+        JobSpec::builder("j").iodepth(128).rate_mib_s(1e6).build(),
+    );
     let r = s.run(SimTime::from_millis(200));
     let gib_s = r.aggregate_gib_s();
     // One submitter at QD 128 is CPU-bound near 1 GiB/s on this host.
-    assert!((0.8..3.3).contains(&gib_s), "sane throughput despite silly cap: {gib_s}");
+    assert!(
+        (0.8..3.3).contains(&gib_s),
+        "sane throughput despite silly cap: {gib_s}"
+    );
 }
 
 #[test]
@@ -155,10 +188,16 @@ fn preconditioned_optane_ignores_gc_pressure() {
     let g = s.add_cgroup("g");
     s.add_app(
         g,
-        JobSpec::builder("w").rw(RwKind::RandWrite).iodepth(128).build(),
+        JobSpec::builder("w")
+            .rw(RwKind::RandWrite)
+            .iodepth(128)
+            .build(),
     );
     let r = s.run(SimTime::from_millis(200));
     let gib_s = r.aggregate_gib_s();
-    assert!(gib_s > 0.8, "optane sustains writes regardless of preconditioning: {gib_s}");
+    assert!(
+        gib_s > 0.8,
+        "optane sustains writes regardless of preconditioning: {gib_s}"
+    );
     assert_eq!(r.devices[0].gc_level, 0.0);
 }

@@ -3,9 +3,7 @@
 //! checks: who wins, in which direction, and by roughly what kind of
 //! margin — not absolute numbers.
 
-use isol_bench_repro::bench_suite::experiments::{
-    fig2, fig3, fig4, fig5, fig6, fig7, q10, table1,
-};
+use isol_bench_repro::bench_suite::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, q10, table1};
 use isol_bench_repro::bench_suite::{Fidelity, Knob, OutputSink};
 
 const F: Fidelity = Fidelity::Smoke;
@@ -82,9 +80,15 @@ fn o6_to_o9_tradeoff_fronts() {
     // O6: BFQ cannot spread a single app's bandwidth like io.max can.
     let bfq = r.front(Knob::BfqWeight, PrioScenario::Batch, BeVariant::Rand4k);
     let bfq_spread = bfq.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max)
-        - bfq.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+        - bfq
+            .iter()
+            .map(|p| p.prio_mib_s)
+            .fold(f64::INFINITY, f64::min);
     let iomax_spread = iomax.iter().map(|p| p.prio_mib_s).fold(0.0, f64::max)
-        - iomax.iter().map(|p| p.prio_mib_s).fold(f64::INFINITY, f64::min);
+        - iomax
+            .iter()
+            .map(|p| p.prio_mib_s)
+            .fold(f64::INFINITY, f64::min);
     assert!(bfq_spread < 0.7 * iomax_spread);
 }
 

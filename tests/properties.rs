@@ -5,11 +5,11 @@
 
 use proptest::prelude::*;
 
+use isol_bench_repro::bench_suite::Scenario;
 use isol_bench_repro::cgroup::{BfqWeight, DevNode, IoCostQos, IoMax, IoWeight};
 use isol_bench_repro::host::DeviceSetup;
 use isol_bench_repro::simcore::{SimDuration, SimTime, TokenBucket};
 use isol_bench_repro::stats::{jain_index, weighted_jain_index, LatencyHistogram};
-use isol_bench_repro::bench_suite::Scenario;
 use isol_bench_repro::workload::{JobSpec, RwKind};
 
 fn limit() -> impl Strategy<Value = Option<u64>> {
@@ -29,8 +29,10 @@ proptest! {
 
     #[test]
     fn io_weight_grammar_roundtrips(default in 1u32..=10_000, devs in proptest::collection::btree_map(0u32..8, 1u32..=10_000, 0..4)) {
-        let mut w = IoWeight::default();
-        w.default = default;
+        let mut w = IoWeight {
+            default,
+            ..IoWeight::default()
+        };
         for (minor, weight) in devs {
             w.per_dev.insert(DevNode::nvme(minor), weight);
         }

@@ -18,7 +18,9 @@ fn io_max_written_through_sysfs_grammar_limits_bandwidth() {
     s.add_app(g0, JobSpec::batch_app("capped"));
     s.add_app(g1, JobSpec::batch_app("free"));
     // The exact string a container runtime would write.
-    s.hierarchy_mut().write(g0, "io.max", "259:0 rbps=104857600").unwrap();
+    s.hierarchy_mut()
+        .write(g0, "io.max", "259:0 rbps=104857600")
+        .unwrap();
     let r = s.run(RUN);
     let capped = r.apps[0].mean_mib_s;
     let free = r.apps[1].mean_mib_s;
@@ -32,9 +34,14 @@ fn iops_limits_are_request_size_agnostic() {
     let g0 = s.add_cgroup("iops-capped");
     s.add_app(
         g0,
-        JobSpec::builder("big").block_size(256 * 1024).iodepth(64).build(),
+        JobSpec::builder("big")
+            .block_size(256 * 1024)
+            .iodepth(64)
+            .build(),
     );
-    s.hierarchy_mut().write(g0, "io.max", "259:0 riops=1000").unwrap();
+    s.hierarchy_mut()
+        .write(g0, "io.max", "259:0 riops=1000")
+        .unwrap();
     let r = s.run(RUN);
     let iops = r.apps[0].completed as f64 / RUN.as_secs_f64();
     assert!((700.0..1_300.0).contains(&iops), "iops {iops}");
@@ -79,11 +86,19 @@ fn bfq_weights_written_as_strings_control_shares() {
     for (g, n) in [(g0, "heavy"), (g1, "light")] {
         s.add_app(
             g,
-            JobSpec::builder(n).rw(RwKind::SeqRead).block_size(65536).iodepth(32).build(),
+            JobSpec::builder(n)
+                .rw(RwKind::SeqRead)
+                .block_size(65536)
+                .iodepth(32)
+                .build(),
         );
     }
-    s.hierarchy_mut().write(g0, "io.bfq.weight", "default 800").unwrap();
-    s.hierarchy_mut().write(g1, "io.bfq.weight", "default 100").unwrap();
+    s.hierarchy_mut()
+        .write(g0, "io.bfq.weight", "default 800")
+        .unwrap();
+    s.hierarchy_mut()
+        .write(g1, "io.bfq.weight", "default 100")
+        .unwrap();
     let r = s.run(RUN);
     let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
     assert!(ratio > 2.0, "heavy/light ratio {ratio}");
@@ -98,7 +113,9 @@ fn io_latency_protects_after_windows_converge() {
     for i in 0..4 {
         s.add_app(be, JobSpec::be_app(&format!("be-{i}")));
     }
-    s.hierarchy_mut().write(prio, "io.latency", "259:0 target=150").unwrap();
+    s.hierarchy_mut()
+        .write(prio, "io.latency", "259:0 target=150")
+        .unwrap();
     // Long enough for ~10 windows of 500 ms.
     s.set_warmup(SimTime::from_secs(5));
     let r = s.run(SimTime::from_secs(6));
@@ -129,14 +146,21 @@ fn iocost_full_config_through_root_files() {
             "259:0 enable=1 ctrl=user rpct=0.00 rlat=0 wpct=0.00 wlat=0 min=100.00 max=100.00",
         )
         .unwrap();
-    s.hierarchy_mut().write(a, "io.weight", "default 600").unwrap();
-    s.hierarchy_mut().write(b, "io.weight", "default 100").unwrap();
+    s.hierarchy_mut()
+        .write(a, "io.weight", "default 600")
+        .unwrap();
+    s.hierarchy_mut()
+        .write(b, "io.weight", "default 100")
+        .unwrap();
     let r = s.run(RUN);
     let ratio = r.apps[0].mean_mib_s / r.apps[1].mean_mib_s;
     assert!(ratio > 2.0, "io.weight 600:100 ratio {ratio}");
     // The model caps aggregate around 300k IOPS ≈ 1.14 GiB/s.
     let agg = r.aggregate_gib_s();
-    assert!((0.7..1.5).contains(&agg), "model-capped aggregate {agg} GiB/s");
+    assert!(
+        (0.7..1.5).contains(&agg),
+        "model-capped aggregate {agg} GiB/s"
+    );
 }
 
 #[test]
@@ -164,7 +188,9 @@ fn multi_device_knob_lines_are_per_device() {
     // cap only the first app's device.
     s.add_app_on(g, JobSpec::batch_app("on-dev0"), vec![DeviceId(0)]);
     s.add_app_on(g, JobSpec::batch_app("on-dev1"), vec![DeviceId(1)]);
-    s.hierarchy_mut().write(g, "io.max", "259:0 rbps=52428800").unwrap();
+    s.hierarchy_mut()
+        .write(g, "io.max", "259:0 rbps=52428800")
+        .unwrap();
     let r = s.run(RUN);
     assert!(
         r.devices[1].served_bytes > 3 * r.devices[0].served_bytes,
@@ -195,7 +221,10 @@ fn bursty_job_windows_show_in_series() {
     let pts = r.apps[0].series.points();
     let active = pts.iter().filter(|p| p.mib_s > 1.0).count();
     let silent = pts.iter().filter(|p| p.mib_s <= 1.0).count();
-    assert!(active > 0 && silent > 0, "duty cycle visible: {active} on / {silent} off");
+    assert!(
+        active > 0 && silent > 0,
+        "duty cycle visible: {active} on / {silent} off"
+    );
 }
 
 #[test]
@@ -206,7 +235,9 @@ fn reports_are_deterministic_across_identical_runs() {
         let g1 = s.add_cgroup("b");
         s.add_app(g0, JobSpec::batch_app("a"));
         s.add_app(g1, JobSpec::lc_app("b"));
-        s.hierarchy_mut().write(g0, "io.max", "259:0 rbps=524288000").unwrap();
+        s.hierarchy_mut()
+            .write(g0, "io.max", "259:0 rbps=524288000")
+            .unwrap();
         s.run(SimTime::from_millis(200))
     };
     let r1 = build();
