@@ -1,12 +1,19 @@
-//! Event-queue throughput: schedule/pop cycles with and without heap
-//! pre-sizing (`EventQueue::with_capacity`). The host engine pre-sizes
-//! its queue to the pending-event bound at build time; this bench
-//! quantifies what that saves over growing from empty.
+//! Event-queue and request-tracking micro-benchmarks:
+//!
+//! * heap pre-sizing (`EventQueue::with_capacity`) vs growing from
+//!   empty,
+//! * the timing-wheel backend vs the binary-heap backend under the
+//!   engine's three characteristic schedule shapes (uniform churn,
+//!   bursty arrivals with long quiet gaps, same-instant ties),
+//! * slab/free-list in-service tracking vs a `HashMap` keyed by request
+//!   id (the structure `NvmeDevice` replaced).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
 use std::hint::black_box;
 
-use simcore::{EventQueue, SimTime};
+use blkio::{AccessPattern, AppId, DeviceId, GroupId, IoOp, IoRequest};
+use simcore::{EventQueue, QueueBackend, SimDuration, SimTime};
 
 const EVENTS: u64 = 10_000;
 
@@ -62,5 +69,163 @@ fn bench_event_queue_sizing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue_sizing);
+/// Uniform churn: a 512-deep pending set with re-arm delays spread over
+/// ~130 µs — the steady-state shape of a saturated device.
+fn uniform_workload(mut q: EventQueue<u64>) -> u64 {
+    let pending = 512u64;
+    for i in 0..pending {
+        q.schedule(SimTime::from_nanos(i * 257), i);
+    }
+    let mut sum = 0u64;
+    for next in pending..EVENTS {
+        let (t, v) = q.pop().expect("pending set never empties");
+        sum = sum.wrapping_add(v);
+        q.schedule(t + SimDuration::from_nanos(1 + (v * 7919) % 131_072), next);
+    }
+    while let Some((_, v)) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+/// Bursty arrivals: clusters of 64 events within 10 µs separated by
+/// 5 ms quiet gaps (burst workloads; exercises the wheel's upper level
+/// and far-heap scatter path).
+fn bursty_workload(mut q: EventQueue<u64>) -> u64 {
+    let mut sum = 0u64;
+    let mut base = SimTime::ZERO;
+    let mut i = 0u64;
+    while i < EVENTS {
+        for k in 0..64 {
+            q.schedule(base + SimDuration::from_nanos((k * 157) % 10_000), i);
+            i += 1;
+        }
+        // Drain half the burst, keeping a backlog across gaps.
+        for _ in 0..32 {
+            let (_, v) = q.pop().expect("burst pending");
+            sum = sum.wrapping_add(v);
+        }
+        base += SimDuration::from_micros(5_000);
+    }
+    while let Some((_, v)) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+/// Same-instant ties: batches of 128 events at one instant (FIFO
+/// tie-break pressure — completions fanning out of one dispatch).
+fn ties_workload(mut q: EventQueue<u64>) -> u64 {
+    let mut sum = 0u64;
+    let mut i = 0u64;
+    let mut now = SimTime::ZERO;
+    while i < EVENTS {
+        for _ in 0..128 {
+            q.schedule(now, i);
+            i += 1;
+        }
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        now += SimDuration::from_nanos(911);
+    }
+    sum
+}
+
+fn bench_queue_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_backends");
+    let backends = [("wheel", QueueBackend::Wheel), ("heap", QueueBackend::Heap)];
+    for (name, backend) in backends {
+        g.bench_function(BenchmarkId::new("uniform_10k", name), |b| {
+            b.iter(|| black_box(uniform_workload(EventQueue::with_backend(backend))));
+        });
+        g.bench_function(BenchmarkId::new("bursty_10k", name), |b| {
+            b.iter(|| black_box(bursty_workload(EventQueue::with_backend(backend))));
+        });
+        g.bench_function(BenchmarkId::new("ties_10k", name), |b| {
+            b.iter(|| black_box(ties_workload(EventQueue::with_backend(backend))));
+        });
+    }
+    g.finish();
+}
+
+fn mk_req(id: u64) -> IoRequest {
+    IoRequest::new(
+        id,
+        AppId(0),
+        GroupId(0),
+        DeviceId(0),
+        IoOp::Read,
+        AccessPattern::Random,
+        4096,
+        id * 4096,
+        SimTime::from_nanos(id),
+    )
+}
+
+/// In-service tracking via `HashMap<ReqId, IoRequest>` — the structure
+/// `NvmeDevice` used before the slab: hash + probe per start/complete.
+fn hashmap_tracking(outstanding: u64) -> u64 {
+    let mut in_service: HashMap<u64, IoRequest> = HashMap::new();
+    let mut sum = 0u64;
+    for i in 0..EVENTS {
+        in_service.insert(i, mk_req(i));
+        if i >= outstanding {
+            let req = in_service.remove(&(i - outstanding)).expect("tracked");
+            sum = sum.wrapping_add(u64::from(req.len));
+        }
+    }
+    for (_, req) in in_service.drain() {
+        sum = sum.wrapping_add(u64::from(req.len));
+    }
+    sum
+}
+
+/// In-service tracking via the slab/free-list shape `NvmeDevice` uses
+/// now: a fixed arena indexed by service slot, FIFO completion order.
+fn slab_tracking(outstanding: u64) -> u64 {
+    let n = outstanding as usize;
+    let mut slots: Vec<Option<IoRequest>> = (0..n).map(|_| None).collect();
+    let mut free: Vec<u32> = (0..n as u32).rev().collect();
+    // Completion ring: slot of the i-th started request, retired FIFO.
+    let mut ring: Vec<u32> = vec![0; n];
+    let mut sum = 0u64;
+    for i in 0..EVENTS {
+        if i >= outstanding {
+            let slot = ring[(i % outstanding) as usize];
+            let req = slots[slot as usize].take().expect("tracked");
+            free.push(slot);
+            sum = sum.wrapping_add(u64::from(req.len));
+        }
+        let slot = free.pop().expect("arena sized to outstanding");
+        slots[slot as usize] = Some(mk_req(i));
+        ring[(i % outstanding) as usize] = slot;
+    }
+    for req in slots.into_iter().flatten() {
+        sum = sum.wrapping_add(u64::from(req.len));
+    }
+    sum
+}
+
+fn bench_slab_vs_hashmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("in_service_tracking");
+    for outstanding in [64u64, 256] {
+        g.bench_function(
+            BenchmarkId::new(format!("hashmap_10k_qd{outstanding}"), "hashmap"),
+            |b| b.iter(|| black_box(hashmap_tracking(outstanding))),
+        );
+        g.bench_function(
+            BenchmarkId::new(format!("slab_10k_qd{outstanding}"), "slab"),
+            |b| b.iter(|| black_box(slab_tracking(outstanding))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue_sizing,
+    bench_queue_backends,
+    bench_slab_vs_hashmap
+);
 criterion_main!(benches);

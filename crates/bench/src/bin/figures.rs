@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--fidelity smoke|standard|full] [--jobs N|auto]
+//! figures [--fidelity smoke|standard|full] [--jobs N|auto] [--profile]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane | all]
 //! ```
 //!
@@ -14,20 +14,29 @@
 //! available cores). Output is byte-identical for every jobs value;
 //! only wall-clock time changes. Per-experiment timings land in
 //! `target/isol-bench/timings.json`.
+//!
+//! `--profile` additionally reports each experiment's engine profile —
+//! simulation runs, events popped, pop rate, and peak pending events —
+//! and writes `target/isol-bench/profile.json`. With `--jobs > 1`
+//! concurrent experiments overlap in the counter deltas; use `--jobs 1`
+//! for clean attribution.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use isol_bench::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, table1, writeback};
 use isol_bench::{runner, Fidelity, OutputSink};
-use isol_bench_harness::{parse_jobs, parse_selection, Timings, OUTPUT_DIR};
+use isol_bench_harness::{parse_jobs, parse_selection, Profiles, Timings, OUTPUT_DIR};
 
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Standard;
+    let mut profile = false;
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--fidelity" {
+        if a == "--profile" {
+            profile = true;
+        } else if a == "--fidelity" {
             match args.next().as_deref() {
                 Some("smoke") => fidelity = Fidelity::Smoke,
                 Some("standard") => fidelity = Fidelity::Standard,
@@ -77,18 +86,46 @@ fn main() -> ExitCode {
     let needs_table1 = wants("table1");
     let t0 = Instant::now();
     let mut timings = Timings::new(&format!("{fidelity:?}").to_lowercase(), jobs);
+    let mut profiles = Profiles::new();
 
     // fig2 is standalone; the rest feed Table I.
     let result: std::io::Result<()> = (|| {
+        // Samples the engine counters around one experiment and prints
+        // the delta (no-op unless --profile).
+        macro_rules! profiled {
+            ($name:literal, $elapsed:expr, $before:expr) => {
+                if profile {
+                    let after = host_sim::stats::snapshot();
+                    let line = profiles.record(
+                        $name,
+                        after.runs - $before.runs,
+                        after.events_popped - $before.events_popped,
+                        $elapsed,
+                        after.peak_pending,
+                    );
+                    sink.note(&line);
+                }
+            };
+        }
+        macro_rules! sample_before {
+            () => {{
+                if profile {
+                    host_sim::stats::reset_peak();
+                }
+                host_sim::stats::snapshot()
+            }};
+        }
         macro_rules! standalone {
             ($name:literal, $module:ident) => {
                 if wants($name) {
                     let started = Instant::now();
+                    let before = sample_before!();
                     sink.note(&format!("\n=== {} ===", $name));
                     $module::run(fidelity, &mut sink)?;
                     let elapsed = started.elapsed();
                     timings.record($name, elapsed);
                     sink.note(&format!("({} took {:.1?})", $name, elapsed));
+                    profiled!($name, elapsed, before);
                 }
             };
         }
@@ -105,11 +142,13 @@ fn main() -> ExitCode {
             ($name:literal, $slot:ident, $module:ident) => {
                 if wants($name) || needs_table1 {
                     let started = Instant::now();
+                    let before = sample_before!();
                     sink.note(&format!("\n=== {} ===", $name));
                     $slot = Some($module::run(fidelity, &mut sink)?);
                     let elapsed = started.elapsed();
                     timings.record($name, elapsed);
                     sink.note(&format!("({} took {:.1?})", $name, elapsed));
+                    profiled!($name, elapsed, before);
                 }
             };
         }
@@ -157,6 +196,14 @@ fn main() -> ExitCode {
     if let Err(e) = timings.write_json(&timings_path, t0.elapsed()) {
         eprintln!("cannot write {timings_path}: {e}");
         return ExitCode::FAILURE;
+    }
+    if profile {
+        let profile_path = format!("{OUTPUT_DIR}/profile.json");
+        if let Err(e) = profiles.write_json(&profile_path) {
+            eprintln!("cannot write {profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        sink.note(&format!("Engine profiles in {profile_path}."));
     }
     sink.note(&format!(
         "\nDone in {:.1?}; {} tables emitted; timings in {timings_path}.",

@@ -9,7 +9,7 @@
 //! * the **Criterion benches** (`cargo bench`) cover the simulator's
 //!   hot paths (`engine`), a scaled-down run of every paper experiment
 //!   (`paper_experiments`), and the design-choice ablations from
-//!   DESIGN.md §8 (`ablations`).
+//!   DESIGN.md §10 (`ablations`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,6 +99,105 @@ impl Timings {
     pub fn write_json(&self, path: &str, total: Duration) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json(total).as_bytes())
+    }
+}
+
+/// One experiment's engine-profile sample: how many simulation events
+/// it popped, at what rate, and the largest pending-event backlog any
+/// of its runs reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Experiment name (`fig4`, `q10`, ...).
+    pub name: String,
+    /// Simulation runs the experiment executed.
+    pub runs: u64,
+    /// Events popped across those runs.
+    pub events: u64,
+    /// Events per wall-clock second (`events / elapsed`).
+    pub pops_per_sec: f64,
+    /// Peak pending events in any single run.
+    pub peak_pending: u64,
+}
+
+/// Per-experiment engine profiles (the `figures --profile` payload),
+/// serialized next to [`Timings`] as `profile.json`.
+///
+/// Samples come from `host_sim::stats` counter deltas around each
+/// experiment; with `--jobs > 1` concurrent experiments overlap in the
+/// deltas, so profile with `--jobs 1` for clean attribution.
+#[derive(Debug, Default)]
+pub struct Profiles {
+    entries: Vec<ProfileEntry>,
+}
+
+impl Profiles {
+    /// Starts an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiles::default()
+    }
+
+    /// Records one experiment's sample and returns the human-readable
+    /// one-liner the harness prints alongside the tables.
+    pub fn record(
+        &mut self,
+        name: &str,
+        runs: u64,
+        events: u64,
+        elapsed: Duration,
+        peak: u64,
+    ) -> String {
+        let pops_per_sec = if elapsed.as_secs_f64() > 0.0 {
+            events as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        self.entries.push(ProfileEntry {
+            name: name.to_owned(),
+            runs,
+            events,
+            pops_per_sec,
+            peak_pending: peak,
+        });
+        format!(
+            "(profile: {runs} runs, {events} events, {:.2} Mpops/s, peak pending {peak})",
+            pops_per_sec / 1e6
+        )
+    }
+
+    /// Recorded samples, in run order.
+    #[must_use]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Renders the JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"experiments\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"pops_per_sec\": {:.0}, \"peak_pending\": {}}}{comma}\n",
+                json_escape(&e.name),
+                e.runs,
+                e.events,
+                e.pops_per_sec,
+                e.peak_pending
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
     }
 }
 
@@ -213,5 +312,29 @@ mod tests {
         let t = Timings::new("we\"ird\\name", 1);
         let json = t.to_json(Duration::ZERO);
         assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn profiles_record_and_serialize() {
+        let mut p = Profiles::new();
+        let line = p.record("fig4", 12, 3_000_000, Duration::from_secs(2), 512);
+        assert!(line.contains("12 runs"));
+        assert!(line.contains("3000000 events"));
+        assert!(line.contains("1.50 Mpops/s"));
+        assert!(line.contains("peak pending 512"));
+        p.record("q10", 6, 1_000_000, Duration::from_millis(500), 64);
+        assert_eq!(p.entries().len(), 2);
+        let json = p.to_json();
+        assert!(json.contains("{\"name\": \"fig4\", \"runs\": 12, \"events\": 3000000, \"pops_per_sec\": 1500000, \"peak_pending\": 512},"));
+        assert!(json.contains("{\"name\": \"q10\", \"runs\": 6, \"events\": 1000000, \"pops_per_sec\": 2000000, \"peak_pending\": 64}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn profiles_zero_elapsed_yields_zero_rate() {
+        let mut p = Profiles::new();
+        p.record("x", 1, 10, Duration::ZERO, 1);
+        assert_eq!(p.entries()[0].pops_per_sec, 0.0);
     }
 }

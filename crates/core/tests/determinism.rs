@@ -1,15 +1,29 @@
-//! Regression test for the parallel runner's determinism guarantee:
-//! running an experiment grid on one worker and on several workers must
-//! produce byte-identical CSV output. Any jobs-dependent divergence
-//! (result reordering, per-worker RNG state, racy accumulation) fails
-//! this test.
+//! Regression tests for the engine's determinism guarantees:
+//!
+//! * running an experiment grid on one worker and on several workers
+//!   must produce byte-identical CSV output (any jobs-dependent
+//!   divergence — result reordering, per-worker RNG state, racy
+//!   accumulation — fails here),
+//! * the timing-wheel and binary-heap event-queue backends must produce
+//!   byte-identical output (the wheel must preserve exact FIFO
+//!   tie-breaking at equal instants),
+//! * output must match the committed golden CSVs, pinning today's
+//!   tables against *any* future engine change (the goldens were
+//!   captured before the wheel/slab/enum-dispatch rework and survived
+//!   it byte-for-byte).
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use isol_bench::experiments::fig4;
 use isol_bench::{runner, Fidelity, OutputSink};
+use simcore::{set_default_backend, QueueBackend};
+
+/// The worker count and the queue backend are process-global, so tests
+/// that set either must not interleave.
+static GLOBAL_CONFIG: Mutex<()> = Mutex::new(());
 
 /// Runs the Fig. 4 smoke grid with `jobs` workers, returning every
 /// emitted CSV as `name -> bytes`.
@@ -30,25 +44,54 @@ fn fig4_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     out
 }
 
+fn assert_same_csvs(a: &BTreeMap<String, Vec<u8>>, b: &BTreeMap<String, Vec<u8>>, what: &str) {
+    assert!(!a.is_empty(), "fig4 emitted no CSVs");
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "emitted CSV sets differ between {what}"
+    );
+    for (name, a_bytes) in a {
+        assert_eq!(a_bytes, &b[name], "{name}.csv differs between {what}");
+    }
+}
+
 #[test]
 fn fig4_grid_is_byte_identical_across_worker_counts() {
-    // One test body (not two #[test]s) because the jobs setting is
-    // process-global.
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
     let sequential = fig4_csvs(1, "seq");
     let parallel = fig4_csvs(4, "par");
     runner::set_jobs(0); // restore auto for any other test in this binary
+    assert_same_csvs(&sequential, &parallel, "jobs=1 and jobs=4");
+}
 
-    assert!(!sequential.is_empty(), "fig4 emitted no CSVs");
-    assert_eq!(
-        sequential.keys().collect::<Vec<_>>(),
-        parallel.keys().collect::<Vec<_>>(),
-        "emitted CSV sets differ between jobs=1 and jobs=4"
-    );
-    for (name, seq_bytes) in &sequential {
-        let par_bytes = &parallel[name];
+#[test]
+fn fig4_grid_is_byte_identical_across_queue_backends() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    set_default_backend(QueueBackend::Heap);
+    let heap = fig4_csvs(2, "heap");
+    set_default_backend(QueueBackend::Wheel);
+    let wheel = fig4_csvs(2, "wheel");
+    runner::set_jobs(0);
+    assert_same_csvs(&heap, &wheel, "heap and wheel queue backends");
+}
+
+#[test]
+fn fig4_smoke_output_matches_committed_golden() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let current = fig4_csvs(2, "golden");
+    runner::set_jobs(0);
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut checked = 0;
+    for (name, bytes) in &current {
+        let golden_path = golden_dir.join(format!("{name}.csv"));
+        let golden = fs::read(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", golden_path.display()));
         assert_eq!(
-            seq_bytes, par_bytes,
-            "{name}.csv differs between jobs=1 and jobs=4"
+            bytes, &golden,
+            "{name}.csv diverged from the committed golden fixture"
         );
+        checked += 1;
     }
+    assert!(checked >= 2, "expected at least the two fig4 CSVs");
 }

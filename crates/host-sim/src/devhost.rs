@@ -2,22 +2,34 @@
 
 use blkio::IoRequest;
 use ioqos::QosChain;
-use iosched_sim::{IoScheduler, SchedKind};
+use iosched_sim::{SchedKind, Scheduler};
 use nvme_sim::NvmeDevice;
 use simcore::SimTime;
 
 /// Everything the host keeps per device.
+///
+/// Timer coalescing: the engine keeps at most one *live* `QosPump` and
+/// one *live* `SchedTimer` event per device. `*_at` is the instant of
+/// the live event and `*_gen` its generation; whenever an earlier timer
+/// is needed, the generation is bumped and a new event scheduled — the
+/// superseded event still sits in the queue (it cannot be removed) but
+/// carries a stale generation, so the engine drops it on arrival
+/// without ticking or pumping.
 #[derive(Debug)]
 pub(crate) struct DeviceHost {
     pub device: NvmeDevice,
-    pub sched: Box<dyn IoScheduler>,
+    pub sched: Scheduler,
     pub qos: QosChain,
     /// A request currently traversing the serialized dispatch path.
     pub dispatching: Option<IoRequest>,
-    /// Earliest scheduled QoS pump event (dedup guard).
+    /// Instant of the live QoS pump event (`None` = no pump pending).
     pub qos_pump_at: Option<SimTime>,
-    /// Earliest scheduled scheduler timer (dedup guard).
+    /// Generation of the live QoS pump event.
+    pub qos_pump_gen: u64,
+    /// Instant of the live scheduler timer (`None` = none pending).
     pub sched_timer_at: Option<SimTime>,
+    /// Generation of the live scheduler timer.
+    pub sched_timer_gen: u64,
     /// Extra context switches per I/O attributed to the scheduler.
     pub ctx_factor: f64,
 }

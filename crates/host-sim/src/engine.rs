@@ -3,9 +3,9 @@
 use blkio::{AppId, CoreId, DeviceId, IoRequest, ReqId};
 use cgroup_sim::{DevNode, Hierarchy};
 use ioqos::{IoCostConfig, IoCostController, IoLatencyController, IoMaxThrottler, QosChain};
-use iosched_sim::{Bfq, Kyber, MqDeadline, Noop, SchedKind};
+use iosched_sim::{Bfq, Kyber, MqDeadline, Noop, SchedKind, Scheduler};
 use iostats::{BandwidthSeries, LatencyHistogram};
-use nvme_sim::NvmeDevice;
+use nvme_sim::{NvmeDevice, ServiceSlot};
 use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
 use workload::AddressStream;
 
@@ -30,9 +30,14 @@ enum Event {
     AppWake(AppId),
     CpuDone(CoreId),
     SchedDispatchDone(DeviceId),
-    DeviceDone(DeviceId, ReqId),
-    QosPump(DeviceId),
-    SchedTimer(DeviceId),
+    /// Completion of the request in the device's given service slot.
+    DeviceDone(DeviceId, ServiceSlot),
+    /// QoS pump timer; the `u64` is its generation — a fired event whose
+    /// generation no longer matches the device's was superseded by an
+    /// earlier timer and is dropped unprocessed (see [`DeviceHost`]).
+    QosPump(DeviceId, u64),
+    /// Scheduler timer, generation-tagged like `QosPump`.
+    SchedTimer(DeviceId, u64),
 }
 
 /// The simulated host, ready to run.
@@ -53,7 +58,7 @@ pub struct HostSim {
     qos_scratch: Vec<IoRequest>,
     /// Reused scratch for device service starts (kept empty between
     /// [`HostSim::pump_device`] calls).
-    start_scratch: Vec<(ReqId, SimTime)>,
+    start_scratch: Vec<(ServiceSlot, SimTime)>,
 }
 
 impl HostSim {
@@ -84,12 +89,12 @@ impl HostSim {
             .enumerate()
             .map(|(d, setup)| {
                 let node = DevNode::nvme(d as u32);
-                // Scheduler.
-                let mut sched: Box<dyn iosched_sim::IoScheduler> = match setup.scheduler {
-                    SchedKind::None => Box::new(Noop::new()),
-                    SchedKind::MqDeadline => Box::new(MqDeadline::new(setup.mq_deadline)),
-                    SchedKind::Bfq => Box::new(Bfq::new(setup.bfq)),
-                    SchedKind::Kyber => Box::new(Kyber::new(setup.kyber)),
+                // Scheduler (enum-dispatched: see `iosched_sim::Scheduler`).
+                let mut sched: Scheduler = match setup.scheduler {
+                    SchedKind::None => Noop::new().into(),
+                    SchedKind::MqDeadline => MqDeadline::new(setup.mq_deadline).into(),
+                    SchedKind::Bfq => Bfq::new(setup.bfq).into(),
+                    SchedKind::Kyber => Kyber::new(setup.kyber).into(),
                 };
                 for &g in &group_ids {
                     sched.set_group_weight(g, hierarchy.bfq_weight(g, node));
@@ -150,7 +155,9 @@ impl HostSim {
                     qos,
                     dispatching: None,
                     qos_pump_at: None,
+                    qos_pump_gen: 0,
                     sched_timer_at: None,
+                    sched_timer_gen: 0,
                     ctx_factor: DeviceHost::ctx_factor_for(setup.scheduler),
                 }
             })
@@ -255,20 +262,28 @@ impl HostSim {
         for d in 0..self.devs.len() {
             self.schedule_qos_pump(DeviceId(d));
         }
+        // Profiling totals, kept in locals through the loop and folded
+        // into the process-global counters once at the end (see
+        // `crate::stats`).
+        let mut popped = 0u64;
+        let mut peak = self.queue.len() as u64;
         while let Some((t, ev)) = self.queue.pop() {
             if t > until {
                 break;
             }
             self.now = t;
+            popped += 1;
             match ev {
                 Event::AppWake(a) => self.on_app_wake(a),
                 Event::CpuDone(c) => self.on_cpu_done(c),
                 Event::SchedDispatchDone(d) => self.on_sched_dispatch_done(d),
-                Event::DeviceDone(d, id) => self.on_device_done(d, id),
-                Event::QosPump(d) => self.on_qos_pump(d),
-                Event::SchedTimer(d) => self.on_sched_timer(d),
+                Event::DeviceDone(d, slot) => self.on_device_done(d, slot),
+                Event::QosPump(d, gen) => self.on_qos_pump(d, gen),
+                Event::SchedTimer(d, gen) => self.on_sched_timer(d, gen),
             }
+            peak = peak.max(self.queue.len() as u64);
         }
+        crate::stats::record_run(popped, peak);
         self.now = until;
         self.finish(until)
     }
@@ -436,8 +451,8 @@ impl HostSim {
         }
         // Start service on free device units.
         dh.device.start_ready_into(now, &mut self.start_scratch);
-        for (id, done_at) in self.start_scratch.drain(..) {
-            self.queue.schedule(done_at, Event::DeviceDone(dev, id));
+        for (slot, done_at) in self.start_scratch.drain(..) {
+            self.queue.schedule(done_at, Event::DeviceDone(dev, slot));
         }
         self.schedule_qos_pump(dev);
         self.schedule_sched_timer(dev);
@@ -452,10 +467,10 @@ impl HostSim {
         self.pump_device(dev);
     }
 
-    fn on_device_done(&mut self, dev: DeviceId, id: ReqId) {
+    fn on_device_done(&mut self, dev: DeviceId, slot: ServiceSlot) {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
-        let mut req = dh.device.complete(id, now);
+        let mut req = dh.device.complete(slot, now);
         req.device_done_at = now;
         dh.qos.on_device_complete(&req, now);
         dh.sched.on_complete(&req, now);
@@ -468,21 +483,25 @@ impl HostSim {
         self.pump_device(dev);
     }
 
-    fn on_qos_pump(&mut self, dev: DeviceId) {
+    fn on_qos_pump(&mut self, dev: DeviceId, gen: u64) {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
-        if dh.qos_pump_at == Some(now) {
-            dh.qos_pump_at = None;
+        if gen != dh.qos_pump_gen {
+            // Superseded by an earlier pump that already ran (and
+            // rescheduled the follow-up it needed): drop it.
+            return;
         }
+        dh.qos_pump_at = None;
         dh.qos.tick(now);
         self.pump_device(dev);
     }
 
-    fn on_sched_timer(&mut self, dev: DeviceId) {
+    fn on_sched_timer(&mut self, dev: DeviceId, gen: u64) {
         let dh = &mut self.devs[dev.index()];
-        if dh.sched_timer_at == Some(self.now) {
-            dh.sched_timer_at = None;
+        if gen != dh.sched_timer_gen {
+            return;
         }
+        dh.sched_timer_at = None;
         self.pump_device(dev);
     }
 
@@ -494,7 +513,8 @@ impl HostSim {
             let t = t.max(now + SimDuration::from_nanos(1));
             if dh.qos_pump_at.is_none_or(|e| t < e) {
                 dh.qos_pump_at = Some(t);
-                self.queue.schedule(t, Event::QosPump(dev));
+                dh.qos_pump_gen += 1;
+                self.queue.schedule(t, Event::QosPump(dev, dh.qos_pump_gen));
             }
         }
     }
@@ -506,7 +526,9 @@ impl HostSim {
             let t = t.max(now + SimDuration::from_nanos(1));
             if dh.sched_timer_at.is_none_or(|e| t < e) {
                 dh.sched_timer_at = Some(t);
-                self.queue.schedule(t, Event::SchedTimer(dev));
+                dh.sched_timer_gen += 1;
+                self.queue
+                    .schedule(t, Event::SchedTimer(dev, dh.sched_timer_gen));
             }
         }
     }

@@ -56,6 +56,7 @@ mod devhost;
 mod engine;
 mod report;
 mod setup;
+pub mod stats;
 
 pub use engine::HostSim;
 pub use report::{AppReport, CoreReport, DeviceReport, RunReport, StageBreakdown};

@@ -1,0 +1,72 @@
+//! Process-global engine profiling counters.
+//!
+//! Every [`crate::HostSim::run`] accumulates its event-loop totals into
+//! these counters when it finishes (one atomic update per run, so the
+//! per-event hot path stays free of shared-memory traffic). The
+//! `figures --profile` harness snapshots them around each experiment to
+//! report event counts, pop rates, and peak pending events.
+//!
+//! With concurrent runs (`--jobs > 1`) the deltas of overlapping
+//! experiments mix; profile with `--jobs 1` for clean attribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the global engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped off simulation queues, over all finished runs.
+    pub events_popped: u64,
+    /// Simulation runs finished.
+    pub runs: u64,
+    /// Largest pending-event count seen in any single run since the
+    /// last [`reset_peak`].
+    pub peak_pending: u64,
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn snapshot() -> EngineStats {
+    EngineStats {
+        events_popped: EVENTS_POPPED.load(Ordering::Relaxed),
+        runs: RUNS.load(Ordering::Relaxed),
+        peak_pending: PEAK_PENDING.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the peak-pending high-water mark (the cumulative counters are
+/// monotonic; profilers attribute them by delta instead).
+pub fn reset_peak() {
+    PEAK_PENDING.store(0, Ordering::Relaxed);
+}
+
+/// Folds one finished run's totals into the global counters.
+pub(crate) fn record_run(events_popped: u64, peak_pending: u64) {
+    EVENTS_POPPED.fetch_add(events_popped, Ordering::Relaxed);
+    RUNS.fetch_add(1, Ordering::Relaxed);
+    PEAK_PENDING.fetch_max(peak_pending, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_peak_resets() {
+        // Other tests in the process also record; assert on deltas.
+        let before = snapshot();
+        record_run(100, 7);
+        record_run(50, 3);
+        let after = snapshot();
+        assert_eq!(after.events_popped - before.events_popped, 150);
+        assert_eq!(after.runs - before.runs, 2);
+        assert!(after.peak_pending >= 7);
+        reset_peak();
+        record_run(1, 2);
+        let s = snapshot();
+        assert!(s.peak_pending >= 2);
+    }
+}

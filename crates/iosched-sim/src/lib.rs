@@ -135,6 +135,9 @@ pub trait IoScheduler: std::fmt::Debug {
 }
 
 /// Creates a boxed scheduler of the given kind with default config.
+///
+/// Kept for callers that want trait-object polymorphism; the engine hot
+/// path uses [`Scheduler`] instead to avoid per-call vtable indirection.
 #[must_use]
 pub fn make_scheduler(kind: SchedKind) -> Box<dyn IoScheduler> {
     match kind {
@@ -142,6 +145,138 @@ pub fn make_scheduler(kind: SchedKind) -> Box<dyn IoScheduler> {
         SchedKind::MqDeadline => Box::new(MqDeadline::new(MqDeadlineConfig::default())),
         SchedKind::Bfq => Box::new(Bfq::new(BfqConfig::default())),
         SchedKind::Kyber => Box::new(Kyber::new(KyberConfig::default())),
+    }
+}
+
+/// Enum dispatch over the closed scheduler set.
+///
+/// The kernel's elevator framework is an open registry, but this
+/// simulation models exactly four schedulers, so the host engine stores
+/// this enum instead of `Box<dyn IoScheduler>`: every per-request call
+/// (`insert`/`dispatch`/`on_complete` and the two overhead probes) is a
+/// direct, inlinable match instead of a vtable hop, and the scheduler
+/// lives inline in `DeviceHost` rather than behind a heap pointer.
+// Inline variants on purpose: one scheduler exists per device, and the
+// engine calls through it on every event — boxing the large variants
+// would reintroduce the pointer hop this enum removes.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Scheduler {
+    /// Scheduler `none`.
+    Noop(Noop),
+    /// MQ-Deadline.
+    MqDeadline(MqDeadline),
+    /// BFQ.
+    Bfq(Bfq),
+    /// Kyber.
+    Kyber(Kyber),
+}
+
+macro_rules! each_sched {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            Scheduler::Noop($s) => $body,
+            Scheduler::MqDeadline($s) => $body,
+            Scheduler::Bfq($s) => $body,
+            Scheduler::Kyber($s) => $body,
+        }
+    };
+}
+
+impl Scheduler {
+    /// Creates a scheduler of the given kind with default config.
+    #[must_use]
+    pub fn new(kind: SchedKind) -> Self {
+        match kind {
+            SchedKind::None => Scheduler::Noop(Noop::new()),
+            SchedKind::MqDeadline => Scheduler::MqDeadline(MqDeadline::new(Default::default())),
+            SchedKind::Bfq => Scheduler::Bfq(Bfq::new(Default::default())),
+            SchedKind::Kyber => Scheduler::Kyber(Kyber::new(Default::default())),
+        }
+    }
+
+    /// Queues a request. See [`IoScheduler::insert`].
+    #[inline]
+    pub fn insert(&mut self, req: IoRequest, now: SimTime) {
+        each_sched!(self, s => s.insert(req, now));
+    }
+
+    /// Picks the next request to dispatch. See [`IoScheduler::dispatch`].
+    #[inline]
+    pub fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
+        each_sched!(self, s => s.dispatch(now))
+    }
+
+    /// `true` if any request is queued. See [`IoScheduler::has_pending`].
+    #[inline]
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        each_sched!(self, s => s.has_pending())
+    }
+
+    /// Earliest instant `dispatch` might newly succeed. See
+    /// [`IoScheduler::next_timer`].
+    #[inline]
+    #[must_use]
+    pub fn next_timer(&self, now: SimTime) -> Option<SimTime> {
+        each_sched!(self, s => s.next_timer(now))
+    }
+
+    /// Reports a device completion. See [`IoScheduler::on_complete`].
+    #[inline]
+    pub fn on_complete(&mut self, req: &IoRequest, now: SimTime) {
+        each_sched!(self, s => s.on_complete(req, now));
+    }
+
+    /// Serialized per-request dispatch cost. See
+    /// [`IoScheduler::dispatch_overhead`].
+    #[inline]
+    #[must_use]
+    pub fn dispatch_overhead(&self) -> SimDuration {
+        each_sched!(self, s => s.dispatch_overhead())
+    }
+
+    /// Extra per-I/O submit CPU. See
+    /// [`IoScheduler::submit_cpu_overhead`].
+    #[inline]
+    #[must_use]
+    pub fn submit_cpu_overhead(&self) -> SimDuration {
+        each_sched!(self, s => s.submit_cpu_overhead())
+    }
+
+    /// Updates a cgroup's weight. See [`IoScheduler::set_group_weight`].
+    pub fn set_group_weight(&mut self, group: GroupId, weight: u32) {
+        each_sched!(self, s => s.set_group_weight(group, weight));
+    }
+
+    /// Which scheduler this is.
+    #[must_use]
+    pub fn kind(&self) -> SchedKind {
+        each_sched!(self, s => s.kind())
+    }
+}
+
+impl From<Noop> for Scheduler {
+    fn from(s: Noop) -> Self {
+        Scheduler::Noop(s)
+    }
+}
+
+impl From<MqDeadline> for Scheduler {
+    fn from(s: MqDeadline) -> Self {
+        Scheduler::MqDeadline(s)
+    }
+}
+
+impl From<Bfq> for Scheduler {
+    fn from(s: Bfq) -> Self {
+        Scheduler::Bfq(s)
+    }
+}
+
+impl From<Kyber> for Scheduler {
+    fn from(s: Kyber) -> Self {
+        Scheduler::Kyber(s)
     }
 }
 
@@ -201,6 +336,36 @@ mod tests {
             assert_eq!(s.kind(), kind);
             assert!(!s.has_pending());
         }
+    }
+
+    #[test]
+    fn enum_dispatch_agrees_with_trait_objects() {
+        for kind in [
+            SchedKind::None,
+            SchedKind::MqDeadline,
+            SchedKind::Bfq,
+            SchedKind::Kyber,
+        ] {
+            let e = Scheduler::new(kind);
+            let b = make_scheduler(kind);
+            assert_eq!(e.kind(), kind);
+            assert!(!e.has_pending());
+            assert_eq!(e.dispatch_overhead(), b.dispatch_overhead());
+            assert_eq!(e.submit_cpu_overhead(), b.submit_cpu_overhead());
+            assert_eq!(e.next_timer(SimTime::ZERO), b.next_timer(SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_round_trips_a_request() {
+        let mut s = Scheduler::new(SchedKind::MqDeadline);
+        let r = test_util::req(7, 1, 4096, SimTime::ZERO);
+        s.insert(r, SimTime::ZERO);
+        assert!(s.has_pending());
+        let out = s.dispatch(SimTime::ZERO).expect("dispatchable");
+        assert_eq!(out.id, 7);
+        s.on_complete(&out, SimTime::ZERO);
+        assert!(!s.has_pending());
     }
 
     #[test]

@@ -1,11 +1,29 @@
 //! The runtime device: command units + shared pipe + GC interaction.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use blkio::{IoRequest, ReqId};
+use blkio::IoRequest;
 use simcore::{DetRng, SimDuration, SimTime};
 
 use crate::{DeviceProfile, GcState};
+
+/// Opaque handle to a request in service on a device — the simulation's
+/// analogue of an NVMe command identifier (CID).
+///
+/// [`NvmeDevice::start_ready_into`] hands one out per started request;
+/// the caller passes it back to [`NvmeDevice::complete`]. Internally it
+/// indexes a slab/free-list arena, so completion is a direct array
+/// access instead of a `ReqId` hash lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceSlot(u32);
+
+impl ServiceSlot {
+    /// The arena index backing this slot.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A simulated NVMe SSD.
 ///
@@ -15,10 +33,10 @@ use crate::{DeviceProfile, GcState};
 ///    must respect [`NvmeDevice::has_capacity`], which models
 ///    `nr_requests`),
 /// 2. [`NvmeDevice::start_ready`] — begin service on free command units;
-///    returns `(request id, completion instant)` pairs for the caller to
-///    schedule,
-/// 3. [`NvmeDevice::complete`] — retire a finished request, freeing its
-///    unit.
+///    returns `(service slot, completion instant)` pairs for the caller
+///    to schedule,
+/// 3. [`NvmeDevice::complete`] — retire a finished request by its
+///    [`ServiceSlot`], freeing its unit.
 ///
 /// See the crate docs for the performance model.
 #[derive(Debug)]
@@ -27,7 +45,13 @@ pub struct NvmeDevice {
     gc: GcState,
     rng: DetRng,
     waiting: VecDeque<IoRequest>,
-    in_service: HashMap<ReqId, IoRequest>,
+    /// Slab of in-service requests, indexed by [`ServiceSlot`]. Sized to
+    /// `profile.units` up front: a slot is occupied exactly while its
+    /// command unit is busy, so the arena never grows.
+    slots: Vec<Option<IoRequest>>,
+    /// Free-list of vacant `slots` indexes (LIFO: the most recently
+    /// retired slot is reused first, keeping the touched set small).
+    free: Vec<u32>,
     busy_units: u32,
     pipe_cursor: SimTime,
     served_ios: u64,
@@ -50,12 +74,15 @@ impl NvmeDevice {
             profile.gc_drain_bps,
             profile.waf,
         );
+        let units = profile.units as usize;
         NvmeDevice {
             profile,
             gc,
             rng,
             waiting: VecDeque::new(),
-            in_service: HashMap::new(),
+            slots: (0..units).map(|_| None).collect(),
+            // Reversed so the first allocation pops slot 0.
+            free: (0..units as u32).rev().collect(),
             busy_units: 0,
             pipe_cursor: SimTime::ZERO,
             served_ios: 0,
@@ -78,7 +105,7 @@ impl NvmeDevice {
     /// Total requests inside the device (queued + in service).
     #[must_use]
     pub fn inflight(&self) -> usize {
-        self.waiting.len() + self.in_service.len()
+        self.waiting.len() + self.busy_units as usize
     }
 
     /// `true` while the device queue (`nr_requests`) has room *and* the
@@ -107,25 +134,31 @@ impl NvmeDevice {
     }
 
     /// Starts service on as many waiting requests as free units allow,
-    /// appending `(id, completion instant)` for each started request to
-    /// `started`. The host engine calls this on nearly every event with
-    /// a reused scratch buffer, keeping the hot path allocation-free.
-    pub fn start_ready_into(&mut self, now: SimTime, started: &mut Vec<(ReqId, SimTime)>) {
+    /// appending `(service slot, completion instant)` for each started
+    /// request to `started`. The host engine calls this on nearly every
+    /// event with a reused scratch buffer, keeping the hot path
+    /// allocation-free.
+    pub fn start_ready_into(&mut self, now: SimTime, started: &mut Vec<(ServiceSlot, SimTime)>) {
         while self.busy_units < self.profile.units {
             let Some(req) = self.waiting.pop_front() else {
                 break;
             };
             let done_at = self.service(&req, now);
             self.busy_units += 1;
-            started.push((req.id, done_at));
-            self.in_service.insert(req.id, req);
+            let slot = self
+                .free
+                .pop()
+                .expect("free-list exhausted with units spare");
+            debug_assert!(self.slots[slot as usize].is_none());
+            self.slots[slot as usize] = Some(req);
+            started.push((ServiceSlot(slot), done_at));
         }
     }
 
     /// Convenience wrapper around [`NvmeDevice::start_ready_into`]
     /// returning a fresh `Vec` (allocates; for tests and one-off
     /// callers).
-    pub fn start_ready(&mut self, now: SimTime) -> Vec<(ReqId, SimTime)> {
+    pub fn start_ready(&mut self, now: SimTime) -> Vec<(ServiceSlot, SimTime)> {
         let mut started = Vec::new();
         self.start_ready_into(now, &mut started);
         started
@@ -161,16 +194,16 @@ impl NvmeDevice {
         cmd_done.max(data_done)
     }
 
-    /// Retires a completed request, freeing its command unit.
+    /// Retires a completed request, freeing its command unit and slot.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not in service (an engine bug).
-    pub fn complete(&mut self, id: ReqId, _now: SimTime) -> IoRequest {
-        let req = self
-            .in_service
-            .remove(&id)
-            .expect("completing unknown request");
+    /// Panics if `slot` is vacant (an engine bug).
+    pub fn complete(&mut self, slot: ServiceSlot, _now: SimTime) -> IoRequest {
+        let req = self.slots[slot.index()]
+            .take()
+            .expect("completing vacant service slot");
+        self.free.push(slot.0);
         self.busy_units -= 1;
         self.served_ios += 1;
         self.served_bytes += u64::from(req.len);
@@ -192,8 +225,8 @@ impl NvmeDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blkio::{AccessPattern, AppId, DeviceId, GroupId, IoOp};
-    use std::collections::BinaryHeap;
+    use blkio::{AccessPattern, AppId, DeviceId, GroupId, IoOp, ReqId};
+    use simcore::EventQueue;
 
     fn req(id: ReqId, op: IoOp, pattern: AccessPattern, len: u32, at: SimTime) -> IoRequest {
         IoRequest::new(
@@ -221,36 +254,36 @@ mod tests {
     ) -> (u64, f64) {
         let mut now = SimTime::ZERO;
         let mut next_id: ReqId = 0;
-        let mut completions: BinaryHeap<std::cmp::Reverse<(SimTime, ReqId)>> = BinaryHeap::new();
-        let mut issued_at: HashMap<ReqId, SimTime> = HashMap::new();
+        // Completions keyed by service slot: the request (and its issue
+        // time) lives in the device slab until `complete` hands it back,
+        // so the driver needs no side table of its own.
+        let mut completions: EventQueue<ServiceSlot> = EventQueue::new();
         let mut bytes = 0u64;
         let mut lat_sum = 0f64;
         let mut lat_n = 0u64;
         let end = SimTime::ZERO + duration;
         for _ in 0..qd {
             let r = req(next_id, op, pattern, len, now);
-            issued_at.insert(next_id, now);
             dev.accept(r, now);
             next_id += 1;
         }
-        for (id, done) in dev.start_ready(now) {
-            completions.push(std::cmp::Reverse((done, id)));
+        for (slot, done) in dev.start_ready(now) {
+            completions.schedule(done, slot);
         }
-        while let Some(std::cmp::Reverse((t, id))) = completions.pop() {
+        while let Some((t, slot)) = completions.pop() {
             if t > end {
                 break;
             }
             now = t;
-            dev.complete(id, now);
+            let done_req = dev.complete(slot, now);
             bytes += u64::from(len);
-            lat_sum += (now - issued_at[&id]).as_nanos() as f64;
+            lat_sum += (now - done_req.issued_at).as_nanos() as f64;
             lat_n += 1;
             let r = req(next_id, op, pattern, len, now);
-            issued_at.insert(next_id, now);
             dev.accept(r, now);
             next_id += 1;
-            for (id2, done2) in dev.start_ready(now) {
-                completions.push(std::cmp::Reverse((done2, id2)));
+            for (slot2, done2) in dev.start_ready(now) {
+                completions.schedule(done2, slot2);
             }
         }
         (

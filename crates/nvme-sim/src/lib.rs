@@ -34,9 +34,11 @@
 //! dev.accept(req, SimTime::ZERO);
 //! let started = dev.start_ready(SimTime::ZERO);
 //! assert_eq!(started.len(), 1);
-//! let (id, done_at) = started[0];
-//! assert_eq!(id, 1);
+//! let (slot, done_at) = started[0];
 //! assert!(done_at > SimTime::ZERO);
+//! // The service slot retires the request and hands it back.
+//! let done = dev.complete(slot, done_at);
+//! assert_eq!(done.id, 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,6 +48,6 @@ mod device;
 mod gc;
 mod profile;
 
-pub use device::NvmeDevice;
+pub use device::{NvmeDevice, ServiceSlot};
 pub use gc::GcState;
 pub use profile::{DeviceProfile, IocostCoefficients};

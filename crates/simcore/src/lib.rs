@@ -37,7 +37,7 @@ mod rng;
 mod time;
 mod token;
 
-pub use events::EventQueue;
+pub use events::{default_backend, set_default_backend, EventQueue, QueueBackend};
 pub use ewma::Ewma;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

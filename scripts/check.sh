@@ -25,6 +25,9 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
