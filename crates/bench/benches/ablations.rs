@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md §10:
+//! Ablation benches for the design choices called out in DESIGN.md §11:
 //!
 //! * io.latency recovery step (`+max_qd/4` vs `+1`) → burst recovery,
 //! * iocost QoS vrate adjustment on/off → achieved throughput,

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use blkio::{AccessPattern, AppId, DeviceId, GroupId, IoOp, IoRequest};
 use iosched_sim::SchedKind;
 use isol_bench::{Knob, Scenario};
-use nvme_sim::{DeviceProfile, NvmeDevice, ServiceSlot};
+use nvme_sim::{DeviceProfile, NvmeDevice, StartedCmd};
 use simcore::{DetRng, EventQueue, SimTime};
 use workload::JobSpec;
 
@@ -49,7 +49,7 @@ fn bench_device(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = NvmeDevice::new(DeviceProfile::flash(), DetRng::new(1));
             let mut now = SimTime::ZERO;
-            let mut completions: Vec<(ServiceSlot, SimTime)> = Vec::new();
+            let mut completions: Vec<StartedCmd> = Vec::new();
             for i in 0..10_000u64 {
                 let r = IoRequest::new(
                     i,
@@ -64,9 +64,9 @@ fn bench_device(c: &mut Criterion) {
                 );
                 if !dev.has_capacity(now) {
                     // Retire the oldest outstanding completion.
-                    let (slot, t) = completions.remove(0);
-                    now = t;
-                    dev.complete(slot, now);
+                    let cmd = completions.remove(0);
+                    now = cmd.done_at;
+                    dev.complete_current(cmd.slot, cmd.gen, now);
                 }
                 dev.accept(r, now);
                 completions.extend(dev.start_ready(now));

@@ -9,7 +9,7 @@
 //! * the **Criterion benches** (`cargo bench`) cover the simulator's
 //!   hot paths (`engine`), a scaled-down run of every paper experiment
 //!   (`paper_experiments`), and the design-choice ablations from
-//!   DESIGN.md §10 (`ablations`).
+//!   DESIGN.md §11 (`ablations`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -201,6 +201,93 @@ impl Profiles {
     }
 }
 
+/// One grid cell that panicked instead of producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureEntry {
+    /// The experiment the cell belonged to (`q_faults`, `fig5`, ...).
+    pub experiment: String,
+    /// The cell's submission index within its batch.
+    pub index: usize,
+    /// The cell's label (scenario name, or `#index`).
+    pub label: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Grid cells that panicked during a `figures` run, serialized as
+/// `failures.json` next to the CSVs (same hand-rolled JSON as
+/// [`Timings`]). The file is written on every run — an empty
+/// `failures` array is the healthy signal, a populated one names each
+/// failing cell while the surviving cells' partial CSVs stand.
+#[derive(Debug, Default)]
+pub struct Failures {
+    entries: Vec<FailureEntry>,
+}
+
+impl Failures {
+    /// Starts an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Failures::default()
+    }
+
+    /// Records one failed cell.
+    pub fn record(&mut self, experiment: &str, index: usize, label: &str, message: &str) {
+        self.entries.push(FailureEntry {
+            experiment: experiment.to_owned(),
+            index,
+            label: label.to_owned(),
+            message: message.to_owned(),
+        });
+    }
+
+    /// Whether any cell failed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of failed cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Recorded failures, in record order.
+    #[must_use]
+    pub fn entries(&self) -> &[FailureEntry] {
+        &self.entries
+    }
+
+    /// Renders the JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"failures\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"experiment\": \"{}\", \"index\": {}, \"label\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+                json_escape(&e.experiment),
+                e.index,
+                json_escape(&e.label),
+                json_escape(&e.message)
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -222,7 +309,8 @@ fn json_escape(s: &str) -> String {
 ///
 /// Returns the offending token when it is not a known experiment.
 pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<String>, String> {
-    const KNOWN: [&str; 10] = [
+    // The paper artifacts `all` expands to.
+    const DEFAULT: [&str; 10] = [
         "fig2",
         "fig3",
         "fig4",
@@ -234,20 +322,23 @@ pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<St
         "optane",
         "writeback",
     ];
+    // Extra studies that must be requested by name (or via their own
+    // flag, like `--faults` for the fault-injection study).
+    const EXTRA: [&str; 1] = ["q_faults"];
     let mut out = Vec::new();
     for a in args {
         let a = a.to_lowercase();
         match a.as_str() {
             "all" => {
-                out = KNOWN.iter().map(|s| (*s).to_owned()).collect();
+                out = DEFAULT.iter().map(|s| (*s).to_owned()).collect();
                 return Ok(out);
             }
-            k if KNOWN.contains(&k) => out.push(a),
+            k if DEFAULT.contains(&k) || EXTRA.contains(&k) => out.push(a),
             other => return Err(other.to_owned()),
         }
     }
     if out.is_empty() {
-        out = KNOWN.iter().map(|s| (*s).to_owned()).collect();
+        out = DEFAULT.iter().map(|s| (*s).to_owned()).collect();
     }
     Ok(out)
 }
@@ -279,6 +370,33 @@ mod tests {
     #[test]
     fn unknown_is_an_error() {
         assert_eq!(parse_selection(vec!["fig9".into()]), Err("fig9".to_owned()));
+    }
+
+    #[test]
+    fn q_faults_is_selectable_but_not_in_all() {
+        let sel = parse_selection(vec!["q_faults".into()]).unwrap();
+        assert_eq!(sel, vec!["q_faults"]);
+        let all = parse_selection(vec!["all".into()]).unwrap();
+        assert!(!all.contains(&"q_faults".to_owned()));
+        let sel = parse_selection(vec!["fig3".into(), "q_faults".into()]).unwrap();
+        assert_eq!(sel, vec!["fig3", "q_faults"]);
+    }
+
+    #[test]
+    fn failures_json_is_well_formed() {
+        let mut f = Failures::new();
+        assert!(f.is_empty());
+        let empty = f.to_json();
+        assert!(empty.contains("\"failures\": ["));
+        f.record("q_faults", 4, "q_faults-io.cost", "boom \"quoted\"");
+        assert_eq!(f.len(), 1);
+        let json = f.to_json();
+        assert!(json.contains(
+            "{\"experiment\": \"q_faults\", \"index\": 4, \
+             \"label\": \"q_faults-io.cost\", \"message\": \"boom \\\"quoted\\\"\"}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum CgroupError {
     Busy,
     /// The root group cannot be removed.
     CannotRemoveRoot,
+    /// Structural operation on a group that has already been removed
+    /// (its id reads as a tombstone, like an unlinked inode).
+    RemovedGroup,
 }
 
 impl fmt::Display for CgroupError {
@@ -61,6 +64,7 @@ impl fmt::Display for CgroupError {
             CgroupError::InvalidValue(v) => write!(f, "invalid knob value: {v}"),
             CgroupError::Busy => f.write_str("cgroup still has children or processes"),
             CgroupError::CannotRemoveRoot => f.write_str("the root cgroup cannot be removed"),
+            CgroupError::RemovedGroup => f.write_str("cgroup has already been removed"),
         }
     }
 }

@@ -114,6 +114,17 @@ impl Hierarchy {
             .ok_or(CgroupError::NoSuchGroup)
     }
 
+    /// Like [`Hierarchy::get`], but rejects tombstoned (removed) slots.
+    /// Structural mutations go through this; plain reads keep working on
+    /// tombstones, matching an open fd to an unlinked cgroup directory.
+    fn live(&self, id: GroupId) -> Result<&Group, CgroupError> {
+        let g = self.get(id)?;
+        if id != Self::ROOT && g.parent.is_none() {
+            return Err(CgroupError::RemovedGroup);
+        }
+        Ok(g)
+    }
+
     /// Borrow a group.
     ///
     /// # Errors
@@ -165,12 +176,13 @@ impl Hierarchy {
     ///
     /// * [`CgroupError::InvalidName`] for empty names or names with `/`,
     /// * [`CgroupError::DuplicateName`] if a sibling has the name,
-    /// * [`CgroupError::NoSuchGroup`] if `parent` is stale.
+    /// * [`CgroupError::NoSuchGroup`] if `parent` is stale,
+    /// * [`CgroupError::RemovedGroup`] if `parent` has been removed.
     pub fn create(&mut self, parent: GroupId, name: &str) -> Result<GroupId, CgroupError> {
         if name.is_empty() || name.contains('/') || name.contains('\0') {
             return Err(CgroupError::InvalidName(name.to_owned()));
         }
-        let parent_group = self.get(parent)?;
+        let parent_group = self.live(parent)?;
         if parent_group
             .children
             .iter()
@@ -197,10 +209,11 @@ impl Hierarchy {
     ///
     /// # Errors
     ///
-    /// [`CgroupError::ControllerOnProcessGroup`] if the group already has
-    /// member processes.
+    /// * [`CgroupError::ControllerOnProcessGroup`] if the group already
+    ///   has member processes,
+    /// * [`CgroupError::RemovedGroup`] if the group has been removed.
     pub fn enable_io(&mut self, id: GroupId) -> Result<(), CgroupError> {
-        let g = self.get(id)?;
+        let g = self.live(id)?;
         if !g.procs.is_empty() {
             return Err(CgroupError::ControllerOnProcessGroup);
         }
@@ -212,11 +225,12 @@ impl Hierarchy {
     ///
     /// # Errors
     ///
-    /// [`CgroupError::ProcessInManagementGroup`] if the group has `+io`
-    /// enabled — the "no internal processes" rule (the root is exempt, as
-    /// in the kernel).
+    /// * [`CgroupError::ProcessInManagementGroup`] if the group has `+io`
+    ///   enabled — the "no internal processes" rule (the root is exempt,
+    ///   as in the kernel),
+    /// * [`CgroupError::RemovedGroup`] if the group has been removed.
     pub fn attach_process(&mut self, id: GroupId, app: AppId) -> Result<(), CgroupError> {
-        let g = self.get(id)?;
+        let g = self.live(id)?;
         if g.io_enabled && id != Self::ROOT {
             return Err(CgroupError::ProcessInManagementGroup);
         }
@@ -238,16 +252,17 @@ impl Hierarchy {
     /// # Errors
     ///
     /// * [`CgroupError::CannotRemoveRoot`],
-    /// * [`CgroupError::Busy`] if the group still has children or procs.
+    /// * [`CgroupError::Busy`] if the group still has children or procs,
+    /// * [`CgroupError::RemovedGroup`] if it was already removed.
     pub fn remove(&mut self, id: GroupId) -> Result<(), CgroupError> {
         if id == Self::ROOT {
             return Err(CgroupError::CannotRemoveRoot);
         }
-        let g = self.get(id)?;
+        let g = self.live(id)?;
         if !g.children.is_empty() || !g.procs.is_empty() {
             return Err(CgroupError::Busy);
         }
-        let parent = g.parent.expect("non-root has a parent");
+        let parent = g.parent.ok_or(CgroupError::RemovedGroup)?;
         self.get_mut(parent)?.children.retain(|&c| c != id);
         // Tombstone: rename so the slot reads as detached. Ids are not
         // reused.
@@ -287,13 +302,13 @@ impl Hierarchy {
                 if id == Self::ROOT {
                     return Err(CgroupError::NotInRoot("io.prio.class"));
                 }
-                self.get(id)?;
+                self.live(id)?;
             }
             _ => {
                 if id == Self::ROOT {
                     return Err(CgroupError::NotInRoot(knob.kind().file_name()));
                 }
-                let parent = self.get(id)?.parent.ok_or(CgroupError::NoSuchGroup)?;
+                let parent = self.get(id)?.parent.ok_or(CgroupError::RemovedGroup)?;
                 if !self.get(parent)?.io_enabled {
                     return Err(CgroupError::IoControllerNotEnabled);
                 }
@@ -694,6 +709,31 @@ mod tests {
         h.remove(broken).unwrap();
         assert!(h.group(b).is_ok(), "tombstoned slot still readable");
         assert_eq!(h.group(b).unwrap().parent(), None);
+    }
+
+    #[test]
+    fn tombstones_reject_structural_operations() {
+        let (mut h, _, _, b, _) = fig1_hierarchy();
+        h.remove(b).unwrap();
+        assert_eq!(h.remove(b), Err(CgroupError::RemovedGroup));
+        assert_eq!(h.create(b, "child"), Err(CgroupError::RemovedGroup));
+        assert_eq!(
+            h.attach_process(b, AppId(7)),
+            Err(CgroupError::RemovedGroup)
+        );
+        assert_eq!(h.enable_io(b), Err(CgroupError::RemovedGroup));
+        assert_eq!(
+            h.write(b, "io.prio.class", "idle"),
+            Err(CgroupError::RemovedGroup)
+        );
+        assert_eq!(
+            h.write(b, "io.max", "259:0 rbps=1000"),
+            Err(CgroupError::RemovedGroup)
+        );
+        // Reads still work (open-fd semantics) and truly-unknown ids
+        // stay NoSuchGroup.
+        assert!(h.group(b).is_ok());
+        assert_eq!(h.remove(GroupId(99)), Err(CgroupError::NoSuchGroup));
     }
 
     #[test]

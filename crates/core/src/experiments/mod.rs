@@ -11,5 +11,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod optane;
 pub mod q10;
+pub mod q_faults;
 pub mod table1;
 pub mod writeback;

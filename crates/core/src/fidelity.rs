@@ -124,6 +124,18 @@ impl Fidelity {
         }
     }
 
+    /// Duration of one fault-injection (`q_faults`) run: long enough
+    /// for several injected reset periods, timeout expirations, and
+    /// retry backoff chains to play out.
+    #[must_use]
+    pub fn q_faults_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(400),
+            Fidelity::Standard => SimTime::from_secs(2),
+            Fidelity::Full => SimTime::from_secs(8),
+        }
+    }
+
     /// Number of repetitions for fairness runs (the paper repeats 5×).
     #[must_use]
     pub fn fairness_reps(self) -> usize {

@@ -16,18 +16,51 @@
 //! Together these make every table, CSV, and report byte-identical for
 //! any `--jobs` value — parallelism only changes wall-clock time.
 //!
+//! # Graceful degradation
+//!
+//! A panicking cell no longer takes down the whole batch (and with it a
+//! multi-minute figures run): every cell executes under
+//! [`std::panic::catch_unwind`], a failure is recorded in a
+//! process-global registry tagged with the cell's submission index and
+//! label, and the batch returns the *surviving* cells in submission
+//! order. The harness drains the registry via [`take_failures`] and
+//! writes `failures.json` next to the partial CSVs. Callers that chunk
+//! results positionally should treat any recorded failure as
+//! invalidating that experiment's table.
+//!
 //! The pool is built on [`std::thread::scope`]; there are no external
 //! dependencies and no long-lived threads. Worker count comes from the
 //! process-wide setting ([`set_jobs`]), defaulting to
 //! [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
 /// Process-wide worker count; 0 means "auto" (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-global registry of cells that panicked (drained by
+/// [`take_failures`]).
+static FAILURES: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+
+/// Label of the cell the next batches should deliberately panic in
+/// (testing hook for the degraded-harness path).
+static INJECT_PANIC: Mutex<Option<String>> = Mutex::new(None);
+
+/// One grid cell that panicked instead of producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Submission index within its batch.
+    pub index: usize,
+    /// Cell label — the scenario label for labeled batches, `#index`
+    /// otherwise.
+    pub label: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
 
 /// Sets the process-wide worker count used by [`run_batch`].
 ///
@@ -49,17 +82,69 @@ pub fn jobs() -> usize {
     }
 }
 
-/// Runs `tasks` on the configured worker pool, returning results in
-/// submission order.
+/// Drains and returns every cell failure recorded since the last call
+/// (process-global, across all batches).
+pub fn take_failures() -> Vec<CellFailure> {
+    std::mem::take(&mut *FAILURES.lock().expect("failure registry poisoned"))
+}
+
+/// Arms (or with `None`, disarms) the deliberate-panic hook: the next
+/// cell whose label equals `label` panics inside the catch scope,
+/// exercising the real degraded-harness machinery end to end. Used by
+/// `figures --inject-panic` and the CI check.
+pub fn set_inject_panic(label: Option<&str>) {
+    *INJECT_PANIC.lock().expect("inject flag poisoned") = label.map(str::to_owned);
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one cell under `catch_unwind`; `None` means it panicked (the
+/// failure is recorded and announced on stderr with index + label).
+fn run_cell<T>(index: usize, label: &str, task: impl FnOnce() -> T) -> Option<T> {
+    let inject = INJECT_PANIC
+        .lock()
+        .expect("inject flag poisoned")
+        .as_deref()
+        == Some(label);
+    match panic::catch_unwind(AssertUnwindSafe(|| {
+        assert!(!inject, "injected panic (requested for cell `{label}`)");
+        task()
+    })) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            let message = payload_message(payload);
+            eprintln!("runner: cell #{index} ({label}) panicked: {message}");
+            FAILURES
+                .lock()
+                .expect("failure registry poisoned")
+                .push(CellFailure {
+                    index,
+                    label: label.to_owned(),
+                    message,
+                });
+            None
+        }
+    }
+}
+
+/// Runs `tasks` on the configured worker pool, returning the surviving
+/// results in submission order.
 ///
 /// Equivalent to `tasks.into_iter().map(|f| f()).collect()` — including
 /// the exact output order — but cells run concurrently on up to
 /// [`jobs`] threads.
 ///
-/// # Panics
-///
-/// If a task panics, the panic is propagated once all workers have
-/// stopped (no result is silently dropped).
+/// A panicking task does **not** abort the batch: its failure is
+/// recorded (see [`take_failures`]) under the label `#index` and its
+/// result is omitted from the returned vector.
 pub fn run_batch<T, F>(tasks: Vec<F>) -> Vec<T>
 where
     T: Send,
@@ -75,17 +160,40 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_labeled_on(
+        workers,
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (format!("#{i}"), f))
+            .collect(),
+    )
+}
+
+/// The labeled core: runs `(label, task)` pairs, catching per-cell
+/// panics, and returns surviving results in submission order.
+fn run_labeled_on<T, F>(workers: usize, tasks: Vec<(String, F)>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = tasks.len();
     let workers = workers.max(1).min(n);
     if workers <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, (label, f))| run_cell(i, &label, f))
+            .collect();
     }
 
     // Task slots and result slots are indexed by submission order; a
     // worker claims index i atomically, takes the task from slot i, and
     // writes its output to result slot i. Completion order is
-    // irrelevant to the collected output.
-    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    // irrelevant to the collected output. A slot left `None` after the
+    // scope joins belongs to a cell that panicked (already recorded).
+    let slots: Vec<Mutex<Option<(String, F)>>> =
+        tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
@@ -96,31 +204,28 @@ where
                 if i >= n {
                     break;
                 }
-                let task = slots[i]
+                let (label, task) = slots[i]
                     .lock()
                     .expect("task slot poisoned")
                     .take()
                     .expect("task claimed twice");
-                let out = task();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                let out = run_cell(i, &label, task);
+                *results[i].lock().expect("result slot poisoned") = out;
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited without storing a result")
-        })
+        .filter_map(|m| m.into_inner().expect("result slot poisoned"))
         .collect()
 }
 
 /// Maps `f` over `items` on the worker pool, preserving item order.
 ///
 /// Convenience wrapper over [`run_batch`] for the common "apply one
-/// measurement function to every grid cell" shape.
+/// measurement function to every grid cell" shape. Panicking cells are
+/// recorded and omitted (see [`run_batch`]).
 pub fn map_batch<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -129,6 +234,27 @@ where
 {
     let f = &f;
     run_batch(items.into_iter().map(move |item| move || f(item)).collect())
+}
+
+/// [`map_batch`] with human-readable cell labels: `label(&item)` names
+/// each cell (typically the scenario name) so a panic is reported as
+/// e.g. `q_faults-io.cost` instead of `#4`. Results carry no item
+/// correlation, so cells should embed their own identity in `T`.
+pub fn map_batch_labeled<I, T, L, F>(items: Vec<I>, label: L, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    L: Fn(&I) -> String,
+    F: Fn(I) -> T + Sync,
+{
+    let f = &f;
+    run_labeled_on(
+        jobs(),
+        items
+            .into_iter()
+            .map(move |item| (label(&item), move || f(item)))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -185,5 +311,70 @@ mod tests {
     #[test]
     fn jobs_resolves_to_at_least_one() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn panicking_cell_is_dropped_and_recorded() {
+        for workers in [1, 4] {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+                .map(|i| {
+                    Box::new(move || {
+                        assert!(i != 5, "cell five exploded (workers test)");
+                        i
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            let out = run_batch_on(workers, tasks);
+            assert_eq!(out, vec![0, 1, 2, 3, 4, 6, 7], "workers = {workers}");
+            let fails = take_failures();
+            let ours: Vec<_> = fails
+                .iter()
+                .filter(|f| f.message.contains("cell five exploded"))
+                .collect();
+            assert_eq!(ours.len(), 1, "workers = {workers}");
+            assert_eq!(ours[0].index, 5);
+            assert_eq!(ours[0].label, "#5");
+        }
+    }
+
+    #[test]
+    fn labeled_batches_report_the_label() {
+        let items = vec!["alpha", "beta", "gamma"];
+        let out = map_batch_labeled(
+            items,
+            |i| format!("cell-{i}"),
+            |i| {
+                assert!(i != "beta", "beta failed (label test)");
+                i.len()
+            },
+        );
+        assert_eq!(out, vec![5, 5]);
+        let fails = take_failures();
+        let ours: Vec<_> = fails
+            .iter()
+            .filter(|f| f.message.contains("beta failed"))
+            .collect();
+        assert_eq!(ours.len(), 1);
+        assert_eq!(ours[0].label, "cell-beta");
+        assert_eq!(ours[0].index, 1);
+    }
+
+    #[test]
+    fn injected_panic_hits_only_the_named_label() {
+        set_inject_panic(Some("cell-b (inject test)"));
+        let out = map_batch_labeled(
+            vec!["a (inject test)", "b (inject test)", "c (inject test)"],
+            |i| format!("cell-{i}"),
+            |i| i.len(),
+        );
+        set_inject_panic(None);
+        assert_eq!(out.len(), 2);
+        let fails = take_failures();
+        let ours: Vec<_> = fails
+            .iter()
+            .filter(|f| f.label == "cell-b (inject test)")
+            .collect();
+        assert_eq!(ours.len(), 1);
+        assert!(ours[0].message.contains("injected panic"));
     }
 }

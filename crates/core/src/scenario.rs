@@ -25,6 +25,7 @@ pub struct Scenario {
     seed: u64,
     warmup: SimTime,
     bw_window: SimDuration,
+    io_timeout: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -53,6 +54,7 @@ impl Scenario {
             seed: 0x15_05_19_55,
             warmup: SimTime::ZERO,
             bw_window: SimDuration::from_millis(100),
+            io_timeout: None,
         }
     }
 
@@ -84,6 +86,15 @@ impl Scenario {
     pub fn set_bw_window(&mut self, window: SimDuration) -> &mut Self {
         assert!(!window.is_zero(), "window must be positive");
         self.bw_window = window;
+        self
+    }
+
+    /// Arms per-command deadline timers: commands in flight longer than
+    /// `timeout` are aborted and re-driven by the host recovery path
+    /// (the `/sys/block/*/queue/io_timeout` analogue). `None` (the
+    /// default) disables timeout tracking entirely.
+    pub fn set_io_timeout(&mut self, timeout: Option<SimDuration>) -> &mut Self {
+        self.io_timeout = timeout;
         self
     }
 
@@ -157,6 +168,7 @@ impl Scenario {
             seed: self.seed,
             measure_from: self.warmup,
             bw_window: self.bw_window,
+            io_timeout: self.io_timeout,
             ..HostConfig::default()
         };
         let apps = self

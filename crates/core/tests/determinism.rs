@@ -17,7 +17,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use isol_bench::experiments::fig4;
+use isol_bench::experiments::{fig4, q_faults};
 use isol_bench::{runner, Fidelity, OutputSink};
 use simcore::{set_default_backend, QueueBackend};
 
@@ -25,16 +25,21 @@ use simcore::{set_default_backend, QueueBackend};
 /// that set either must not interleave.
 static GLOBAL_CONFIG: Mutex<()> = Mutex::new(());
 
-/// Runs the Fig. 4 smoke grid with `jobs` workers, returning every
-/// emitted CSV as `name -> bytes`.
-fn fig4_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
+/// Runs one experiment's smoke grid with `jobs` workers, returning
+/// every emitted CSV as `name -> bytes`.
+fn grid_csvs(
+    experiment: &str,
+    jobs: usize,
+    tag: &str,
+    run: impl FnOnce(&mut OutputSink),
+) -> BTreeMap<String, Vec<u8>> {
     let dir: PathBuf = std::env::temp_dir().join(format!(
-        "isol-bench-determinism-{}-{tag}",
+        "isol-bench-determinism-{experiment}-{}-{tag}",
         std::process::id()
     ));
     runner::set_jobs(jobs);
     let mut sink = OutputSink::with_dir(&dir).expect("temp output dir");
-    fig4::run(Fidelity::Smoke, &mut sink).expect("fig4 run");
+    run(&mut sink);
     let mut out = BTreeMap::new();
     for name in sink.emitted() {
         let path = dir.join(format!("{name}.csv"));
@@ -44,8 +49,23 @@ fn fig4_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
     out
 }
 
+fn fig4_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    grid_csvs("fig4", jobs, tag, |sink| {
+        fig4::run(Fidelity::Smoke, sink).expect("fig4 run");
+    })
+}
+
+/// The fault-injection grid: the interesting determinism case, because
+/// every cell draws from a fault RNG stream on top of the usual
+/// simulation streams.
+fn q_faults_csvs(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    grid_csvs("qfaults", jobs, tag, |sink| {
+        q_faults::run(Fidelity::Smoke, sink).expect("q_faults run");
+    })
+}
+
 fn assert_same_csvs(a: &BTreeMap<String, Vec<u8>>, b: &BTreeMap<String, Vec<u8>>, what: &str) {
-    assert!(!a.is_empty(), "fig4 emitted no CSVs");
+    assert!(!a.is_empty(), "experiment emitted no CSVs");
     assert_eq!(
         a.keys().collect::<Vec<_>>(),
         b.keys().collect::<Vec<_>>(),
@@ -81,9 +101,13 @@ fn fig4_smoke_output_matches_committed_golden() {
     let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
     let current = fig4_csvs(2, "golden");
     runner::set_jobs(0);
+    assert_matches_goldens(&current, 2, "the two fig4 CSVs");
+}
+
+fn assert_matches_goldens(current: &BTreeMap<String, Vec<u8>>, min: usize, what: &str) {
     let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
     let mut checked = 0;
-    for (name, bytes) in &current {
+    for (name, bytes) in current {
         let golden_path = golden_dir.join(format!("{name}.csv"));
         let golden = fs::read(&golden_path)
             .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", golden_path.display()));
@@ -93,5 +117,33 @@ fn fig4_smoke_output_matches_committed_golden() {
         );
         checked += 1;
     }
-    assert!(checked >= 2, "expected at least the two fig4 CSVs");
+    assert!(checked >= min, "expected at least {what}");
+}
+
+#[test]
+fn q_faults_grid_is_byte_identical_across_worker_counts() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let sequential = q_faults_csvs(1, "seq");
+    let parallel = q_faults_csvs(4, "par");
+    runner::set_jobs(0);
+    assert_same_csvs(&sequential, &parallel, "jobs=1 and jobs=4 (faulted)");
+}
+
+#[test]
+fn q_faults_grid_is_byte_identical_across_queue_backends() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    set_default_backend(QueueBackend::Heap);
+    let heap = q_faults_csvs(2, "heap");
+    set_default_backend(QueueBackend::Wheel);
+    let wheel = q_faults_csvs(2, "wheel");
+    runner::set_jobs(0);
+    assert_same_csvs(&heap, &wheel, "heap and wheel queue backends (faulted)");
+}
+
+#[test]
+fn q_faults_smoke_output_matches_committed_golden() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let current = q_faults_csvs(2, "golden");
+    runner::set_jobs(0);
+    assert_matches_goldens(&current, 1, "the q_faults CSV");
 }

@@ -19,6 +19,9 @@ pub(crate) struct AppRuntime {
     pub inflight: u32,
     pub issued: u64,
     pub completed: u64,
+    /// I/Os that exhausted the host's retry budget and were reported
+    /// back as errors.
+    pub failed: u64,
     pub ctx_switches: f64,
     pub hist: LatencyHistogram,
     pub bw: BandwidthSeries,

@@ -13,6 +13,10 @@ pub(crate) enum Work {
     Submit(IoRequest),
     /// Completion-path work; on completion the app observes the I/O.
     Complete(IoRequest),
+    /// Error-completion work: the request exhausted its retry budget
+    /// and is reported to the app as failed (counted, not measured as a
+    /// successful completion).
+    Fail(IoRequest),
 }
 
 /// One CPU core: a FIFO queue of timed work items.

@@ -5,7 +5,7 @@ use cgroup_sim::{DevNode, Hierarchy};
 use ioqos::{IoCostConfig, IoCostController, IoLatencyController, IoMaxThrottler, QosChain};
 use iosched_sim::{Bfq, Kyber, MqDeadline, Noop, SchedKind, Scheduler};
 use iostats::{BandwidthSeries, LatencyHistogram};
-use nvme_sim::{NvmeDevice, ServiceSlot};
+use nvme_sim::{CompletionStatus, FaultPlan, NvmeDevice, ServiceSlot, StartedCmd};
 use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
 use workload::AddressStream;
 
@@ -31,13 +31,26 @@ enum Event {
     CpuDone(CoreId),
     SchedDispatchDone(DeviceId),
     /// Completion of the request in the device's given service slot.
-    DeviceDone(DeviceId, ServiceSlot),
+    /// The `u64` is the slot's generation at service start: if the
+    /// command was aborted or wiped by a reset in the meantime, the
+    /// slot's generation has moved on and the event is dropped.
+    DeviceDone(DeviceId, ServiceSlot, u64),
     /// QoS pump timer; the `u64` is its generation — a fired event whose
     /// generation no longer matches the device's was superseded by an
     /// earlier timer and is dropped unprocessed (see [`DeviceHost`]).
     QosPump(DeviceId, u64),
     /// Scheduler timer, generation-tagged like `QosPump`.
     SchedTimer(DeviceId, u64),
+    /// Per-command deadline sweep (the analogue of the block layer's
+    /// timeout work), generation-tagged like `QosPump`.
+    IoTimeout(DeviceId, u64),
+    /// Backoff expiry for requests awaiting a retry, generation-tagged
+    /// like `QosPump`.
+    RetryTimer(DeviceId, u64),
+    /// Injected full controller reset.
+    DeviceReset(DeviceId),
+    /// End of a reset's offline window; the device serves again.
+    DeviceRestart(DeviceId),
 }
 
 /// The simulated host, ready to run.
@@ -58,7 +71,7 @@ pub struct HostSim {
     qos_scratch: Vec<IoRequest>,
     /// Reused scratch for device service starts (kept empty between
     /// [`HostSim::pump_device`] calls).
-    start_scratch: Vec<(ServiceSlot, SimTime)>,
+    start_scratch: Vec<StartedCmd>,
 }
 
 impl HostSim {
@@ -149,6 +162,17 @@ impl HostSim {
                 }
                 let mut device = NvmeDevice::new(setup.profile.clone(), rng.fork(d as u64));
                 device.precondition(setup.precondition);
+                if setup.faults.is_enabled() {
+                    // The fault stream is a pure function of (seed,
+                    // device index) — NOT a fork of `rng`, which would
+                    // shift every downstream stream and break
+                    // byte-compatibility with fault-free runs.
+                    device.set_fault_plan(FaultPlan::new(
+                        setup.faults.clone(),
+                        config.seed,
+                        d as u64,
+                    ));
+                }
                 DeviceHost {
                     device,
                     sched,
@@ -159,6 +183,17 @@ impl HostSim {
                     sched_timer_at: None,
                     sched_timer_gen: 0,
                     ctx_factor: DeviceHost::ctx_factor_for(setup.scheduler),
+                    timeouts: std::collections::VecDeque::new(),
+                    timeout_at: None,
+                    timeout_gen: 0,
+                    retry_queue: Vec::new(),
+                    retry_at: None,
+                    retry_gen: 0,
+                    reset_period: setup.faults.reset_period,
+                    reset_duration: setup.faults.reset_duration,
+                    timeouts_fired: 0,
+                    retries: 0,
+                    failed: 0,
                 }
             })
             .collect();
@@ -214,6 +249,7 @@ impl HostSim {
                     inflight: 0,
                     issued: 0,
                     completed: 0,
+                    failed: 0,
                     ctx_switches: 0.0,
                     hist: LatencyHistogram::new(),
                     bw: BandwidthSeries::new(config.bw_window),
@@ -228,14 +264,16 @@ impl HostSim {
         // (deduped via `wake_scheduled_at`) plus at most one extra
         // in-flight start-time wake, one CpuDone per core, one
         // DeviceDone per in-flight device slot, and at most one each of
-        // SchedDispatchDone / QosPump / SchedTimer per device.
+        // SchedDispatchDone / QosPump / SchedTimer / IoTimeout /
+        // RetryTimer / DeviceReset / DeviceRestart per device.
         // Pre-sizing the heap to that bound keeps the event loop
-        // allocation-free.
+        // allocation-free in the fault-free case (aborts and resets can
+        // leave extra stale DeviceDone events; the queue then grows).
         let event_capacity = apps.len() * 2
             + cores.len()
             + devs
                 .iter()
-                .map(|d| 3 + d.device.profile().max_qd as usize)
+                .map(|d| 7 + d.device.profile().max_qd as usize)
                 .sum::<usize>();
 
         HostSim {
@@ -261,6 +299,10 @@ impl HostSim {
         }
         for d in 0..self.devs.len() {
             self.schedule_qos_pump(DeviceId(d));
+            if let Some(period) = self.devs[d].reset_period {
+                self.queue
+                    .schedule(SimTime::ZERO + period, Event::DeviceReset(DeviceId(d)));
+            }
         }
         // Profiling totals, kept in locals through the loop and folded
         // into the process-global counters once at the end (see
@@ -277,13 +319,21 @@ impl HostSim {
                 Event::AppWake(a) => self.on_app_wake(a),
                 Event::CpuDone(c) => self.on_cpu_done(c),
                 Event::SchedDispatchDone(d) => self.on_sched_dispatch_done(d),
-                Event::DeviceDone(d, slot) => self.on_device_done(d, slot),
+                Event::DeviceDone(d, slot, gen) => self.on_device_done(d, slot, gen),
                 Event::QosPump(d, gen) => self.on_qos_pump(d, gen),
                 Event::SchedTimer(d, gen) => self.on_sched_timer(d, gen),
+                Event::IoTimeout(d, gen) => self.on_io_timeout(d, gen),
+                Event::RetryTimer(d, gen) => self.on_retry_timer(d, gen),
+                Event::DeviceReset(d) => self.on_device_reset(d),
+                Event::DeviceRestart(d) => self.pump_device(d),
             }
             peak = peak.max(self.queue.len() as u64);
         }
         crate::stats::record_run(popped, peak);
+        let (t, r, f) = self.devs.iter().fold((0, 0, 0), |(t, r, f), d| {
+            (t + d.timeouts_fired, r + d.retries, f + d.failed)
+        });
+        crate::stats::record_faults(t, r, f);
         self.now = until;
         self.finish(until)
     }
@@ -427,6 +477,16 @@ impl HostSim {
                 let a = req.app;
                 self.schedule_wake(a, self.now);
             }
+            Work::Fail(req) => {
+                // The app observes an error completion: the in-flight
+                // slot frees (so closed-loop jobs keep issuing) but no
+                // latency/bandwidth sample is recorded.
+                let app = &mut self.apps[req.app.index()];
+                app.inflight = app.inflight.saturating_sub(1);
+                app.failed += 1;
+                let a = req.app;
+                self.schedule_wake(a, self.now);
+            }
         }
     }
 
@@ -451,8 +511,20 @@ impl HostSim {
         }
         // Start service on free device units.
         dh.device.start_ready_into(now, &mut self.start_scratch);
-        for (slot, done_at) in self.start_scratch.drain(..) {
-            self.queue.schedule(done_at, Event::DeviceDone(dev, slot));
+        let io_timeout = self.config.io_timeout;
+        let started_any = !self.start_scratch.is_empty();
+        for c in self.start_scratch.drain(..) {
+            self.queue
+                .schedule(c.done_at, Event::DeviceDone(dev, c.slot, c.gen));
+            if let Some(deadline) = io_timeout {
+                // Constant offset from service start keeps this FIFO in
+                // deadline order; one coalesced IoTimeout event covers
+                // the front entry.
+                dh.timeouts.push_back((now + deadline, c.slot, c.gen));
+            }
+        }
+        if io_timeout.is_some() && started_any {
+            self.schedule_io_timeout(dev);
         }
         self.schedule_qos_pump(dev);
         self.schedule_sched_timer(dev);
@@ -462,25 +534,190 @@ impl HostSim {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
         let mut req = dh.dispatching.take().expect("dispatch path was busy");
-        req.dispatched_at = now;
-        dh.device.accept(req, now);
+        if dh.device.is_online(now) {
+            req.dispatched_at = now;
+            dh.device.accept(req, now);
+        } else {
+            // The device went into reset mid-dispatch: requeue through
+            // the scheduler like any other bounced request.
+            req.scheduled_at = now;
+            dh.sched.insert(req, now);
+        }
         self.pump_device(dev);
     }
 
-    fn on_device_done(&mut self, dev: DeviceId, slot: ServiceSlot) {
+    fn on_device_done(&mut self, dev: DeviceId, slot: ServiceSlot, gen: u64) {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
-        let mut req = dh.device.complete(slot, now);
-        req.device_done_at = now;
-        dh.qos.on_device_complete(&req, now);
-        dh.sched.on_complete(&req, now);
-        let app = req.app;
-        let engine = self.apps[app.index()].spec.engine();
-        let qd = self.apps[app.index()].spec.iodepth();
-        let core = self.apps[app.index()].core;
-        let dur = engine.complete_cost().mul_f64(Self::amortization(qd));
-        self.push_cpu_work(core, Work::Complete(req), dur);
+        let Some((mut req, status)) = dh.device.complete_current(slot, gen, now) else {
+            // Stale: the command was aborted (timeout) or wiped by a
+            // reset after this event was scheduled.
+            return;
+        };
+        match status {
+            CompletionStatus::Success => {
+                req.device_done_at = now;
+                dh.qos.on_device_complete(&req, now);
+                dh.sched.on_complete(&req, now);
+                let app = req.app;
+                let engine = self.apps[app.index()].spec.engine();
+                let qd = self.apps[app.index()].spec.iodepth();
+                let core = self.apps[app.index()].core;
+                let dur = engine.complete_cost().mul_f64(Self::amortization(qd));
+                self.push_cpu_work(core, Work::Complete(req), dur);
+            }
+            CompletionStatus::MediaError => {
+                // The scheduler saw a device attempt finish (feedback,
+                // e.g. Kyber's latency tracking); QoS completion
+                // accounting waits for the request's *final* outcome so
+                // per-group inflight stays balanced across retries.
+                dh.sched.on_complete(&req, now);
+                self.handle_attempt_failure(dev, req);
+            }
+        }
         self.pump_device(dev);
+    }
+
+    /// A device attempt failed (media error or timeout abort): re-drive
+    /// it after backoff if budget remains, else fail it back to the app.
+    fn handle_attempt_failure(&mut self, dev: DeviceId, mut req: IoRequest) {
+        let now = self.now;
+        if u32::from(req.retries) < self.config.max_retries {
+            req.retries += 1;
+            // Exponential backoff: base × 2^(attempt-1).
+            let exp = u32::from(req.retries) - 1;
+            let backoff = self
+                .config
+                .retry_backoff
+                .mul_f64(f64::from(1u32 << exp.min(16)));
+            let dh = &mut self.devs[dev.index()];
+            dh.retries += 1;
+            dh.retry_queue.push((now + backoff, req));
+            self.schedule_retry_timer(dev);
+        } else {
+            let dh = &mut self.devs[dev.index()];
+            dh.failed += 1;
+            req.device_done_at = now;
+            // Final outcome: settle QoS accounting exactly once.
+            dh.qos.on_device_complete(&req, now);
+            let app = req.app;
+            let engine = self.apps[app.index()].spec.engine();
+            let qd = self.apps[app.index()].spec.iodepth();
+            let core = self.apps[app.index()].core;
+            let dur = engine.complete_cost().mul_f64(Self::amortization(qd));
+            self.push_cpu_work(core, Work::Fail(req), dur);
+        }
+    }
+
+    fn on_io_timeout(&mut self, dev: DeviceId, gen: u64) {
+        {
+            let dh = &mut self.devs[dev.index()];
+            if gen != dh.timeout_gen {
+                return;
+            }
+            dh.timeout_at = None;
+        }
+        let now = self.now;
+        loop {
+            let dh = &mut self.devs[dev.index()];
+            let Some(&(deadline, slot, sgen)) = dh.timeouts.front() else {
+                break;
+            };
+            if !dh.device.slot_pending(slot, sgen) {
+                // Completed / aborted / reset since: deadline satisfied.
+                dh.timeouts.pop_front();
+                continue;
+            }
+            if deadline > now {
+                break;
+            }
+            dh.timeouts.pop_front();
+            if let Some(req) = dh.device.abort(slot, sgen) {
+                dh.timeouts_fired += 1;
+                dh.sched.on_complete(&req, now);
+                self.handle_attempt_failure(dev, req);
+            }
+        }
+        self.schedule_io_timeout(dev);
+        self.pump_device(dev);
+    }
+
+    fn on_retry_timer(&mut self, dev: DeviceId, gen: u64) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        if gen != dh.retry_gen {
+            return;
+        }
+        dh.retry_at = None;
+        // Re-drive due requests in push order (deterministic; due times
+        // can tie across backoff levels).
+        let mut i = 0;
+        while i < dh.retry_queue.len() {
+            if dh.retry_queue[i].0 <= now {
+                let (_, mut r) = dh.retry_queue.remove(i);
+                r.scheduled_at = now;
+                dh.sched.insert(r, now);
+            } else {
+                i += 1;
+            }
+        }
+        self.schedule_retry_timer(dev);
+        self.pump_device(dev);
+    }
+
+    fn on_device_reset(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        let until = now + dh.reset_duration;
+        // Everything queued or in flight on the device bounces back to
+        // the scheduler (the kernel's requeue-on-reset: these consume no
+        // retry budget). Their old DeviceDone events and deadlines go
+        // stale via the slot generations.
+        let bounced = dh.device.reset(now, until);
+        dh.timeouts.clear();
+        for mut r in bounced {
+            r.scheduled_at = now;
+            dh.sched.insert(r, now);
+        }
+        self.queue.schedule(until, Event::DeviceRestart(dev));
+        if let Some(period) = dh.reset_period {
+            self.queue.schedule(now + period, Event::DeviceReset(dev));
+        }
+    }
+
+    fn schedule_io_timeout(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        // Drop satisfied deadlines from the front (amortized O(1)).
+        while let Some(&(_, slot, sgen)) = dh.timeouts.front() {
+            if dh.device.slot_pending(slot, sgen) {
+                break;
+            }
+            dh.timeouts.pop_front();
+        }
+        if let Some(&(deadline, _, _)) = dh.timeouts.front() {
+            let t = deadline.max(now + SimDuration::from_nanos(1));
+            if dh.timeout_at.is_none_or(|e| t < e) {
+                dh.timeout_at = Some(t);
+                dh.timeout_gen += 1;
+                self.queue
+                    .schedule(t, Event::IoTimeout(dev, dh.timeout_gen));
+            }
+        }
+    }
+
+    fn schedule_retry_timer(&mut self, dev: DeviceId) {
+        let now = self.now;
+        let dh = &mut self.devs[dev.index()];
+        let Some(due) = dh.retry_queue.iter().map(|&(t, _)| t).min() else {
+            return;
+        };
+        let t = due.max(now + SimDuration::from_nanos(1));
+        if dh.retry_at.is_none_or(|e| t < e) {
+            dh.retry_at = Some(t);
+            dh.retry_gen += 1;
+            self.queue.schedule(t, Event::RetryTimer(dev, dh.retry_gen));
+        }
     }
 
     fn on_qos_pump(&mut self, dev: DeviceId, gen: u64) {
@@ -559,6 +796,7 @@ impl HostSim {
                     group: app.group,
                     issued: app.issued,
                     completed: app.completed,
+                    failed: app.failed,
                     bytes,
                     mean_mib_s,
                     latency: app.hist.summary(),
@@ -593,11 +831,19 @@ impl HostSim {
             .enumerate()
             .map(|(i, dh)| {
                 let (served_ios, served_bytes) = dh.device.served();
+                let fc = dh.device.fault_counters();
                 DeviceReport {
                     dev: DeviceId(i),
                     served_ios,
                     served_bytes,
                     gc_level: dh.device.gc_level(until),
+                    media_errors: fc.media_errors,
+                    stalls: fc.stalls,
+                    spikes: fc.spikes,
+                    resets: fc.resets,
+                    timeouts: dh.timeouts_fired,
+                    retries: dh.retries,
+                    failed: dh.failed,
                 }
             })
             .collect();
@@ -948,5 +1194,138 @@ mod tests {
         // Both entitlements sit below the CPU caps, so the achieved
         // ratio tracks the 8:1 nominal weights.
         assert!((4.0..9.5).contains(&ratio), "weighted ratio {ratio}");
+    }
+
+    fn run_faulted(
+        faults: nvme_sim::FaultConfig,
+        io_timeout: Option<SimDuration>,
+        dur_ms: u64,
+    ) -> RunReport {
+        let h = simple_hierarchy(1);
+        let cfg = HostConfig {
+            io_timeout,
+            ..HostConfig::default()
+        };
+        let spec = JobSpec::builder("faulted")
+            .iodepth(16)
+            .stop_at(SimTime::from_millis(dur_ms))
+            .build();
+        let sim = HostSim::build(
+            cfg,
+            h,
+            vec![AppSetup::new(spec, vec![DeviceId(0)])],
+            vec![DeviceSetup::flash().with_faults(faults)],
+        );
+        sim.run(SimTime::from_millis(dur_ms))
+    }
+
+    #[test]
+    fn media_errors_are_retried_transparently() {
+        let r = run_faulted(
+            nvme_sim::FaultConfig {
+                media_error_rate: 0.01,
+                ..nvme_sim::FaultConfig::none()
+            },
+            None,
+            200,
+        );
+        let d = &r.devices[0];
+        assert!(d.media_errors > 0, "no media errors injected");
+        assert!(d.retries >= d.media_errors, "every error re-drives");
+        // At a 1% error rate, exhausting 3 retries is a ~1e-8 event.
+        assert_eq!(d.failed, 0);
+        assert_eq!(r.apps[0].failed, 0);
+        assert!(r.apps[0].completed > 1_000);
+        // Conservation: everything issued either completed or is still
+        // in flight (bounded by the queue depth).
+        let leftover = r.apps[0].issued - r.apps[0].completed - r.apps[0].failed;
+        assert!(leftover <= 16, "lost requests: {leftover}");
+    }
+
+    #[test]
+    fn stalls_trip_the_timeout_and_abort_path() {
+        let r = run_faulted(
+            nvme_sim::FaultConfig {
+                stall_rate: 0.002,
+                stall: SimDuration::from_millis(50),
+                ..nvme_sim::FaultConfig::none()
+            },
+            Some(SimDuration::from_millis(2)),
+            200,
+        );
+        let d = &r.devices[0];
+        assert!(d.stalls > 0, "no stalls injected");
+        assert!(d.timeouts > 0, "stalls must trip the deadline");
+        assert!(d.timeouts <= d.stalls, "only stalled commands time out");
+        assert!(r.apps[0].completed > 1_000);
+        let leftover = r.apps[0].issued - r.apps[0].completed - r.apps[0].failed;
+        assert!(leftover <= 16, "lost requests: {leftover}");
+    }
+
+    #[test]
+    fn periodic_resets_requeue_without_loss() {
+        let r = run_faulted(
+            nvme_sim::FaultConfig {
+                reset_period: Some(SimDuration::from_millis(20)),
+                reset_duration: SimDuration::from_millis(1),
+                ..nvme_sim::FaultConfig::none()
+            },
+            None,
+            200,
+        );
+        let d = &r.devices[0];
+        assert!(d.resets >= 5, "resets {}", d.resets);
+        assert_eq!(d.failed, 0, "requeue consumes no retry budget");
+        assert!(r.apps[0].completed > 1_000);
+        let leftover = r.apps[0].issued - r.apps[0].completed - r.apps[0].failed;
+        assert!(leftover <= 16, "lost requests: {leftover}");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_back_to_the_app() {
+        // Every command errors: each request burns its full retry
+        // budget and fails; the closed loop keeps issuing regardless.
+        let r = run_faulted(
+            nvme_sim::FaultConfig {
+                media_error_rate: 1.0,
+                ..nvme_sim::FaultConfig::none()
+            },
+            None,
+            50,
+        );
+        let d = &r.devices[0];
+        assert_eq!(r.apps[0].completed, 0);
+        assert!(r.apps[0].failed > 0);
+        assert_eq!(d.failed, r.apps[0].failed);
+        assert_eq!(d.served_ios, 0, "nothing actually served");
+    }
+
+    #[test]
+    fn fault_free_config_keeps_reports_identical() {
+        // Installing an inert FaultConfig (the default) must not perturb
+        // anything — the determinism bedrock for the golden CSVs.
+        let base = run_lc(2, 100);
+        let inert = {
+            let h = simple_hierarchy(2);
+            let apps = (0..2)
+                .map(|i| {
+                    AppSetup::new(
+                        JobSpec::lc_app(&format!("lc-{i}")).stop_by(SimTime::from_millis(100)),
+                        vec![DeviceId(0)],
+                    )
+                })
+                .collect();
+            let sim = HostSim::build(
+                HostConfig::default(),
+                h,
+                apps,
+                vec![DeviceSetup::flash().with_faults(nvme_sim::FaultConfig::none())],
+            );
+            sim.run(SimTime::from_millis(100))
+        };
+        assert_eq!(base.total_bytes(), inert.total_bytes());
+        assert_eq!(base.apps[0].latency.p99_us, inert.apps[0].latency.p99_us);
+        assert_eq!(inert.devices[0].media_errors, 0);
+        assert_eq!(inert.devices[0].resets, 0);
     }
 }

@@ -63,6 +63,9 @@ pub struct AppReport {
     pub issued: u64,
     /// I/Os completed (within the measurement window).
     pub completed: u64,
+    /// I/Os that exhausted the host retry budget and came back as
+    /// errors (whole run; zero unless fault injection is enabled).
+    pub failed: u64,
     /// Completed bytes (measurement window).
     pub bytes: u64,
     /// Mean bandwidth over the app's measured active window, MiB/s.
@@ -103,6 +106,20 @@ pub struct DeviceReport {
     pub served_bytes: u64,
     /// GC pressure at the end of the run.
     pub gc_level: f64,
+    /// Commands completed with a media error (injected).
+    pub media_errors: u64,
+    /// Commands whose service stalled (injected firmware hangs).
+    pub stalls: u64,
+    /// Commands whose latency was spiked (injected).
+    pub spikes: u64,
+    /// Full controller resets the device underwent.
+    pub resets: u64,
+    /// Commands the host aborted after their deadline expired.
+    pub timeouts: u64,
+    /// Device attempts re-driven by the host retry path.
+    pub retries: u64,
+    /// Requests failed back to their app after exhausting retries.
+    pub failed: u64,
 }
 
 /// The complete result of one simulation run.
@@ -173,6 +190,7 @@ mod tests {
             group: GroupId(1),
             issued: 10,
             completed: 10,
+            failed: 0,
             bytes,
             mean_mib_s: mib_s,
             latency: LatencySummary::default(),

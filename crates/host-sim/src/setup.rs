@@ -2,7 +2,7 @@
 
 use blkio::DeviceId;
 use iosched_sim::{BfqConfig, KyberConfig, MqDeadlineConfig, SchedKind};
-use nvme_sim::DeviceProfile;
+use nvme_sim::{DeviceProfile, FaultConfig};
 use simcore::{SimDuration, SimTime};
 use workload::JobSpec;
 
@@ -19,6 +19,17 @@ pub struct HostConfig {
     pub measure_from: SimTime,
     /// Window used for per-app bandwidth time series.
     pub bw_window: SimDuration,
+    /// Per-command deadline (the kernel's `/sys/block/*/queue/io_timeout`,
+    /// default 30 s there). `None` disables timeout tracking entirely —
+    /// the hot path carries zero extra work, which keeps fault-free runs
+    /// byte-identical to pre-fault builds.
+    pub io_timeout: Option<SimDuration>,
+    /// Device attempts beyond the first before a request is failed back
+    /// to the app (the kernel's `nvme_max_retries`, default 5 there).
+    pub max_retries: u32,
+    /// Base delay before re-driving a failed command; doubles per retry
+    /// (exponential backoff).
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for HostConfig {
@@ -29,6 +40,9 @@ impl Default for HostConfig {
             seed: 0x1505_1955,
             measure_from: SimTime::ZERO,
             bw_window: SimDuration::from_millis(100),
+            io_timeout: None,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_micros(100),
         }
     }
 }
@@ -85,6 +99,8 @@ pub struct DeviceSetup {
     pub mq_deadline: MqDeadlineConfig,
     /// Kyber tunables.
     pub kyber: KyberConfig,
+    /// Fault injection for this device ([`FaultConfig::none`] = inert).
+    pub faults: FaultConfig,
 }
 
 impl DeviceSetup {
@@ -98,6 +114,7 @@ impl DeviceSetup {
             bfq: BfqConfig::default(),
             mq_deadline: MqDeadlineConfig::default(),
             kyber: KyberConfig::default(),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -144,6 +161,13 @@ impl DeviceSetup {
     #[must_use]
     pub fn with_mq_deadline(mut self, cfg: MqDeadlineConfig) -> Self {
         self.mq_deadline = cfg;
+        self
+    }
+
+    /// Installs a fault-injection configuration for this device.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -14,6 +14,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
 static RUNS: AtomicU64 = AtomicU64::new(0);
 static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
+static IO_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+static IO_RETRIES: AtomicU64 = AtomicU64::new(0);
+static IO_FAILED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the global engine counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +28,13 @@ pub struct EngineStats {
     /// Largest pending-event count seen in any single run since the
     /// last [`reset_peak`].
     pub peak_pending: u64,
+    /// Commands aborted on deadline expiry (host recovery path), over
+    /// all finished runs. Zero unless fault injection was enabled.
+    pub io_timeouts: u64,
+    /// Device attempts re-driven by the host retry path.
+    pub io_retries: u64,
+    /// Requests failed back to apps after exhausting retries.
+    pub io_failed: u64,
 }
 
 /// Reads the current counter values.
@@ -34,6 +44,9 @@ pub fn snapshot() -> EngineStats {
         events_popped: EVENTS_POPPED.load(Ordering::Relaxed),
         runs: RUNS.load(Ordering::Relaxed),
         peak_pending: PEAK_PENDING.load(Ordering::Relaxed),
+        io_timeouts: IO_TIMEOUTS.load(Ordering::Relaxed),
+        io_retries: IO_RETRIES.load(Ordering::Relaxed),
+        io_failed: IO_FAILED.load(Ordering::Relaxed),
     }
 }
 
@@ -48,6 +61,17 @@ pub(crate) fn record_run(events_popped: u64, peak_pending: u64) {
     EVENTS_POPPED.fetch_add(events_popped, Ordering::Relaxed);
     RUNS.fetch_add(1, Ordering::Relaxed);
     PEAK_PENDING.fetch_max(peak_pending, Ordering::Relaxed);
+}
+
+/// Folds one finished run's recovery-path totals into the global
+/// counters (skipped entirely when all are zero, the fault-free case).
+pub(crate) fn record_faults(timeouts: u64, retries: u64, failed: u64) {
+    if timeouts == 0 && retries == 0 && failed == 0 {
+        return;
+    }
+    IO_TIMEOUTS.fetch_add(timeouts, Ordering::Relaxed);
+    IO_RETRIES.fetch_add(retries, Ordering::Relaxed);
+    IO_FAILED.fetch_add(failed, Ordering::Relaxed);
 }
 
 #[cfg(test)]

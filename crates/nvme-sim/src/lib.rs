@@ -34,20 +34,29 @@
 //! dev.accept(req, SimTime::ZERO);
 //! let started = dev.start_ready(SimTime::ZERO);
 //! assert_eq!(started.len(), 1);
-//! let (slot, done_at) = started[0];
-//! assert!(done_at > SimTime::ZERO);
+//! let cmd = started[0];
+//! assert!(cmd.done_at > SimTime::ZERO);
 //! // The service slot retires the request and hands it back.
-//! let done = dev.complete(slot, done_at);
+//! let done = dev.complete(cmd.slot, cmd.done_at);
 //! assert_eq!(done.id, 1);
 //! ```
+//!
+//! Devices can also *misbehave*: install a seeded [`FaultPlan`] with
+//! [`NvmeDevice::set_fault_plan`] and commands may complete with
+//! [`CompletionStatus::MediaError`], stall past the host's `io_timeout`,
+//! or spike in latency, while [`NvmeDevice::reset`] models a full
+//! controller reset. Recovery (timeout, abort, retry, requeue) is the
+//! host's job — see `host-sim`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod device;
+mod fault;
 mod gc;
 mod profile;
 
-pub use device::{NvmeDevice, ServiceSlot};
+pub use device::{InvalidProfile, NvmeDevice, ServiceSlot, StartedCmd};
+pub use fault::{CommandFate, CompletionStatus, FaultConfig, FaultCounters, FaultPlan};
 pub use gc::GcState;
 pub use profile::{DeviceProfile, IocostCoefficients};

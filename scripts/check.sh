@@ -31,4 +31,17 @@ cargo bench --workspace --no-run
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> fault suite (recovery properties + faulted-grid determinism)"
+cargo test -q --test fault_recovery
+cargo test -q -p isol-bench --test determinism q_faults
+
+echo "==> degraded-harness check (forced cell panic must not abort the run)"
+rm -f target/isol-bench/failures.json
+./target/release/figures --smoke --faults --inject-panic q_faults-io.cost q_faults \
+    > /dev/null
+test -f target/isol-bench/failures.json \
+    || { echo "FAIL: failures.json was not written"; exit 1; }
+grep -q 'q_faults-io.cost' target/isol-bench/failures.json \
+    || { echo "FAIL: failures.json does not name the panicked cell"; exit 1; }
+
 echo "OK"

@@ -1,0 +1,119 @@
+//! Property-based tests for the fault-injection recovery path: across
+//! arbitrary fault mixes, deadlines, and queue depths, the host-side
+//! timeout/retry/backoff/reset machinery must never lose a request and
+//! never complete one twice. Conservation is checked end to end through
+//! the app accounting: after the device drains, every issued request is
+//! either completed or failed back — exactly once.
+
+use proptest::prelude::*;
+
+use isol_bench_repro::bench_suite::Scenario;
+use isol_bench_repro::host::DeviceSetup;
+use isol_bench_repro::nvme::FaultConfig;
+use isol_bench_repro::simcore::{SimDuration, SimTime};
+use isol_bench_repro::workload::JobSpec;
+
+/// Issue window: apps stop here; the run continues until [`UNTIL`] so
+/// every in-flight command can finish, time out, back off, retry, and
+/// ride out injected resets (worst chain: 4 attempts × (15 ms deadline
+/// + backoff) + a reset, far below the 350 ms drain gap).
+const STOP_AT: SimTime = SimTime::from_millis(50);
+const UNTIL: SimTime = SimTime::from_millis(400);
+
+fn run_conservation_case(
+    faults: FaultConfig,
+    io_timeout: Option<SimDuration>,
+    iodepth: u32,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let device = DeviceSetup::flash().with_faults(faults);
+    let mut s = Scenario::new("fault-conservation", 2, vec![device]);
+    s.set_seed(seed);
+    s.set_io_timeout(io_timeout);
+    let g = s.add_cgroup("g");
+    s.add_app(
+        g,
+        JobSpec::builder("load")
+            .iodepth(iodepth)
+            .stop_at(STOP_AT)
+            .build(),
+    );
+    let r = s.run(UNTIL);
+    let a = &r.apps[0];
+    (a.issued, a.completed, a.failed)
+}
+
+fn timeout_strategy() -> impl Strategy<Value = Option<SimDuration>> {
+    prop_oneof![
+        Just(None),
+        (2u64..15).prop_map(|ms| Some(SimDuration::from_millis(ms))),
+    ]
+}
+
+fn reset_strategy() -> impl Strategy<Value = Option<SimDuration>> {
+    prop_oneof![
+        Just(None),
+        (20u64..60).prop_map(|ms| Some(SimDuration::from_millis(ms))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The state-machine property: for any fault mix, any deadline, and
+    /// any queue depth, `issued == completed + failed` once the device
+    /// drains. A lost request (dropped on abort/reset/retry) breaks the
+    /// equality one way; a double completion (stale timer firing on a
+    /// reused slot) breaks it the other.
+    #[test]
+    fn no_request_is_lost_or_double_completed(
+        media_pm in 0u32..300,          // per-mille ×1000 → rate 0..0.3
+        stall_pm in 0u32..50,
+        stall_ms in 1u64..40,
+        spike_pm in 0u32..10,
+        io_timeout in timeout_strategy(),
+        reset_period in reset_strategy(),
+        iodepth in 1u32..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let faults = FaultConfig {
+            media_error_rate: f64::from(media_pm) / 1000.0,
+            stall_rate: f64::from(stall_pm) / 1000.0,
+            stall: SimDuration::from_millis(stall_ms),
+            spike_rate: f64::from(spike_pm) / 1000.0,
+            spike_mult: 8.0,
+            reset_period,
+            reset_duration: SimDuration::from_millis(2),
+            window: None,
+        };
+        let (issued, completed, failed) =
+            run_conservation_case(faults, io_timeout, iodepth, seed);
+        prop_assert!(issued > 0, "load generator issued nothing");
+        prop_assert_eq!(
+            issued,
+            completed + failed,
+            "conservation broken: issued {} != completed {} + failed {}",
+            issued,
+            completed,
+            failed
+        );
+    }
+
+    /// With every command failing and the retry budget finite, all
+    /// requests must come back as failures — none stuck, none completed.
+    #[test]
+    fn total_media_failure_fails_everything_back(
+        iodepth in 1u32..32,
+        seed in 0u64..u64::MAX,
+    ) {
+        let faults = FaultConfig {
+            media_error_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let (issued, completed, failed) =
+            run_conservation_case(faults, Some(SimDuration::from_millis(10)), iodepth, seed);
+        prop_assert!(issued > 0);
+        prop_assert_eq!(completed, 0u64, "nothing can complete at rate 1.0");
+        prop_assert_eq!(failed, issued);
+    }
+}
