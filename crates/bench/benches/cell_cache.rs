@@ -1,0 +1,102 @@
+//! Cell-cache micro-benchmarks: the per-cell overhead the
+//! content-addressed cache adds to a `figures` run.
+//!
+//! * fingerprinting — building the canonical spec string for a real
+//!   grid scenario and hashing it with both vendored lanes (XXH64 +
+//!   FNV-1a); this is the cost every cache-enabled cell pays even on a
+//!   hit,
+//! * hash throughput on a prebuilt spec (isolates the hash lanes from
+//!   the spec formatting),
+//! * the disk round-trip — `store_rows` (render + temp file + atomic
+//!   rename) and `load_rows` (read + strict parse + checksum) for a
+//!   typical cell payload.
+//!
+//! All of this must stay microseconds-per-cell: a cache hit is only
+//! worth having if it is orders of magnitude below the milliseconds a
+//! smoke-fidelity simulation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use isol_bench::{cache, Fidelity, Knob, Scenario};
+use simcore::{Fingerprint, SimTime};
+use workload::JobSpec;
+
+/// A representative grid scenario (the fig4 shape: one cgroup per app,
+/// uniform weights).
+fn sample_scenario() -> Scenario {
+    let mut s = Scenario::new(
+        "bench-cache-cell",
+        10,
+        vec![Knob::IoCost.device_setup(false)],
+    );
+    let mut groups = Vec::new();
+    for i in 0..8 {
+        let g = s.add_cgroup(&format!("cg-{i}"));
+        s.add_app(g, JobSpec::batch_app(&format!("app-{i}")));
+        groups.push(g);
+    }
+    let weights = vec![100; groups.len()];
+    Knob::IoCost.configure_weights(&mut s, &groups, &weights);
+    s
+}
+
+/// A typical cell payload (a few metric rows plus a CDF).
+fn sample_rows() -> Vec<Vec<f64>> {
+    let mut rows = vec![vec![123.456, 789.0, 0.42, 1.7, 12.3]];
+    for i in 0..40 {
+        rows.push(vec![f64::from(i) * 3.25, f64::from(i) / 40.0]);
+    }
+    rows
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let scenario = sample_scenario();
+    let until = SimTime::from_nanos(1_000_000_000);
+    let mut g = c.benchmark_group("cell_cache_fingerprint");
+    g.bench_function("spec_string_and_fingerprint", |b| {
+        b.iter(|| {
+            let spec = cache::spec_string(
+                black_box("fig4"),
+                black_box("fig4-io.cost-1ssd-8"),
+                Fidelity::Smoke,
+                black_box(&scenario),
+                until,
+            );
+            black_box(cache::fingerprint(&spec))
+        });
+    });
+    let spec = cache::spec_string(
+        "fig4",
+        "fig4-io.cost-1ssd-8",
+        Fidelity::Smoke,
+        &scenario,
+        until,
+    );
+    g.bench_function("hash_lanes_on_prebuilt_spec", |b| {
+        b.iter(|| black_box(Fingerprint::of(black_box(spec.as_bytes()), 0x1505)));
+    });
+    g.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("isol-bench-cache-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let rows = sample_rows();
+    let mut g = c.benchmark_group("cell_cache_round_trip");
+    g.bench_function("store_rows", |b| {
+        b.iter(|| cache::store_rows(black_box(&dir), black_box("bench-spec"), black_box(&rows)));
+    });
+    cache::store_rows(&dir, "bench-spec", &rows).expect("seed entry");
+    g.bench_function("load_rows_hit", |b| {
+        b.iter(|| black_box(cache::load_rows(black_box(&dir), black_box("bench-spec"))));
+    });
+    g.bench_function("load_rows_miss", |b| {
+        b.iter(|| black_box(cache::load_rows(black_box(&dir), black_box("absent-spec"))));
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_round_trip);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--fidelity smoke|standard|full] [--smoke] [--jobs N|auto]
-//!         [--profile] [--faults] [--inject-panic LABEL]
+//!         [--no-cache] [--refresh] [--profile] [--faults]
+//!         [--inject-panic LABEL]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
 //!          q_faults | all]
 //! ```
@@ -14,14 +15,35 @@
 //!
 //! `--jobs` sets how many scenarios run concurrently (default: all
 //! available cores). Output is byte-identical for every jobs value;
-//! only wall-clock time changes. Per-experiment timings land in
-//! `target/isol-bench/timings.json`.
+//! only wall-clock time changes. Per-experiment and per-cell timings
+//! land in `target/isol-bench/timings.json`.
 //!
-//! `--profile` additionally reports each experiment's engine profile —
-//! simulation runs, events popped, pop rate, and peak pending events —
-//! and writes `target/isol-bench/profile.json`. With `--jobs > 1`
-//! concurrent experiments overlap in the counter deltas; use `--jobs 1`
-//! for clean attribution.
+//! # Incremental runs
+//!
+//! Grid-cell results are cached content-addressed under
+//! `target/isol-bench/cache/` (see `isol_bench::cache`): a cell whose
+//! scenario, fidelity, and engine version are unchanged is loaded from
+//! disk instead of re-simulated, so warm reruns are near-instant and
+//! byte-identical to cold runs by construction. `--no-cache` disables
+//! the cache entirely (every cell recomputes, nothing is read or
+//! written — the pre-cache behavior); `--refresh` recomputes every cell
+//! and overwrites its entry. Faulted cells (`q_faults`) always run
+//! live.
+//!
+//! # Scheduling
+//!
+//! By default the cells of *all* selected experiments are concatenated
+//! into one batch for a single global worker pool, so the pool never
+//! drains at an experiment boundary. Results return positionally, so
+//! every CSV is byte-identical to the per-experiment scheduling for any
+//! `--jobs` value. `--profile` falls back to running experiments
+//! sequentially (each on its own pool) because engine-counter deltas
+//! cannot be attributed when experiments overlap; it additionally
+//! reports each experiment's engine profile — simulation runs, events
+//! popped, pop rate, and peak pending events — and writes
+//! `target/isol-bench/profile.json`. With `--jobs > 1` concurrent
+//! scenarios of one experiment still overlap in the counter deltas; use
+//! `--jobs 1` for clean attribution.
 //!
 //! `--faults` adds the fault-injection isolation study (`q_faults`) to
 //! the selection; `--smoke` is shorthand for `--fidelity smoke`.
@@ -35,16 +57,20 @@
 //! signal). The process still exits 0 — CI distinguishes degraded runs
 //! by inspecting `failures.json`. `--inject-panic LABEL` deliberately
 //! panics the cell with that label (e.g. `q_faults-io.cost`) to
-//! exercise this path end to end.
+//! exercise this path end to end. Panicked cells are never written to
+//! the cache.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use isol_bench::cell::FinishFn;
 use isol_bench::experiments::{
     fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, q_faults, table1, writeback,
 };
-use isol_bench::{runner, Fidelity, OutputSink};
-use isol_bench_harness::{parse_jobs, parse_selection, Failures, Profiles, Timings, OUTPUT_DIR};
+use isol_bench::{cache, runner, Cell, Fidelity, OutputSink, Staged};
+use isol_bench_harness::{
+    parse_jobs, parse_selection, CellTiming, Failures, Profiles, Timings, OUTPUT_DIR,
+};
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -56,10 +82,34 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One experiment's slice of the global cell batch.
+struct Span {
+    name: &'static str,
+    start: usize,
+    end: usize,
+}
+
+/// Appends a staged experiment's cells to the global batch, records its
+/// span, and hands back the typed finishing step.
+fn stage_push<R>(staged: Staged<R>, batch: &mut Vec<Cell>, spans: &mut Vec<Span>) -> FinishFn<R> {
+    let name = staged.name();
+    let (cells, finish) = staged.into_parts();
+    let start = batch.len();
+    batch.extend(cells);
+    spans.push(Span {
+        name,
+        start,
+        end: batch.len(),
+    });
+    finish
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Standard;
     let mut profile = false;
+    let mut no_cache = false;
+    let mut refresh = false;
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,6 +117,10 @@ fn main() -> ExitCode {
             profile = true;
         } else if a == "--smoke" {
             fidelity = Fidelity::Smoke;
+        } else if a == "--no-cache" {
+            no_cache = true;
+        } else if a == "--refresh" {
+            refresh = true;
         } else if a == "--faults" {
             rest.push("q_faults".to_owned());
         } else if a == "--inject-panic" {
@@ -113,6 +167,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if no_cache {
+        cache::set_mode(cache::CacheMode::Off);
+    } else {
+        cache::set_dir(cache::DEFAULT_DIR);
+        cache::set_mode(if refresh {
+            cache::CacheMode::Refresh
+        } else {
+            cache::CacheMode::ReadWrite
+        });
+    }
+    cache::reset_stats();
 
     let mut sink = match OutputSink::with_dir(OUTPUT_DIR) {
         Ok(s) => s,
@@ -128,10 +193,16 @@ fn main() -> ExitCode {
 
     let wants = |name: &str| selection.iter().any(|s| s == name);
     let needs_table1 = wants("table1");
+    // --profile attributes engine-counter deltas per experiment, which
+    // the cross-experiment batch would smear; it keeps the sequential
+    // per-experiment scheduler.
+    let global_sched = !profile;
     let t0 = Instant::now();
     let mut timings = Timings::new(&format!("{fidelity:?}").to_lowercase(), jobs);
+    timings.set_scheduler(if global_sched { "global" } else { "sequential" });
     let mut profiles = Profiles::new();
     let mut failures = Failures::new();
+    let mut batch_cells: Vec<cache::CellStat> = Vec::new();
 
     // fig2 is standalone; the rest feed Table I.
     let result: std::io::Result<()> = (|| {
@@ -160,11 +231,12 @@ fn main() -> ExitCode {
                 host_sim::stats::snapshot()
             }};
         }
-        // Runs one experiment without letting a panic kill the whole
-        // regeneration: cell panics are already caught (and the cells
-        // dropped) inside the runner; an experiment-level panic is
-        // caught here. Either way the failure lands in failures.json
-        // and the remaining experiments still run.
+        // Runs one experiment (or one finishing step) without letting a
+        // panic kill the whole regeneration: cell panics are already
+        // caught (and the cells dropped) inside the runner; an
+        // experiment-level panic is caught here. Either way the failure
+        // lands in failures.json and the remaining experiments still
+        // run.
         macro_rules! run_guarded {
             ($name:literal, $body:expr) => {{
                 let out =
@@ -182,6 +254,137 @@ fn main() -> ExitCode {
                 }
             }};
         }
+
+        if global_sched {
+            // ===== Global scheduler =====
+            // Stage every selected experiment, concatenate the cells
+            // into one batch, run the batch on one pool, then finish
+            // the experiments in the canonical (sequential) order so
+            // every CSV and table appears exactly as before.
+            let mut batch: Vec<Cell> = Vec::new();
+            let mut spans: Vec<Span> = Vec::new();
+            let fin_fig2 =
+                wants("fig2").then(|| stage_push(fig2::stage(fidelity), &mut batch, &mut spans));
+            let fin_optane = wants("optane")
+                .then(|| stage_push(optane::stage(fidelity), &mut batch, &mut spans));
+            let fin_writeback = wants("writeback")
+                .then(|| stage_push(writeback::stage(fidelity), &mut batch, &mut spans));
+            let fin_q_faults = wants("q_faults")
+                .then(|| stage_push(q_faults::stage(fidelity), &mut batch, &mut spans));
+            let fin_fig3 = (wants("fig3") || needs_table1)
+                .then(|| stage_push(fig3::stage(fidelity), &mut batch, &mut spans));
+            let fin_fig4 = (wants("fig4") || needs_table1)
+                .then(|| stage_push(fig4::stage(fidelity), &mut batch, &mut spans));
+            let fin_fig5 = (wants("fig5") || needs_table1)
+                .then(|| stage_push(fig5::stage(fidelity), &mut batch, &mut spans));
+            let fin_fig6 = (wants("fig6") || needs_table1)
+                .then(|| stage_push(fig6::stage(fidelity), &mut batch, &mut spans));
+            let fin_fig7 = (wants("fig7") || needs_table1)
+                .then(|| stage_push(fig7::stage(fidelity), &mut batch, &mut spans));
+            let fin_q10 = (wants("q10") || needs_table1)
+                .then(|| stage_push(q10::stage(fidelity), &mut batch, &mut spans));
+            sink.note(&format!(
+                "(global scheduler: {} cells from {} experiments on one pool)",
+                batch.len(),
+                spans.len()
+            ));
+            let batch_started = Instant::now();
+            let mut results = isol_bench::run_cells(batch);
+            let batch_elapsed = batch_started.elapsed();
+            // Cell panics carry global batch indices; map them back to
+            // their experiment and its local submission index.
+            for f in runner::take_failures() {
+                let (exp, local) = spans
+                    .iter()
+                    .find(|s| f.index >= s.start && f.index < s.end)
+                    .map_or(("batch", f.index), |s| (s.name, f.index - s.start));
+                failures.record(exp, local, &f.label, &f.message);
+            }
+            batch_cells = cache::take_cell_stats();
+            sink.note(&format!("(batch ran in {batch_elapsed:.1?})"));
+            // An experiment's "seconds" under the global scheduler is
+            // the sum of its cells' wall-clock (they overlap other
+            // experiments') plus its finishing step.
+            let cells_secs = |name: &str| {
+                batch_cells
+                    .iter()
+                    .filter(|c| c.experiment == name)
+                    .map(|c| c.seconds)
+                    .sum::<f64>()
+            };
+            macro_rules! finish_exp {
+                ($name:literal, $fin:expr) => {{
+                    let mut out = None;
+                    if let Some(finish) = $fin {
+                        let n = spans
+                            .iter()
+                            .find(|s| s.name == $name)
+                            .map_or(0, |s| s.end - s.start);
+                        let slice: Vec<_> = results.drain(..n).collect();
+                        let started = Instant::now();
+                        sink.note(&format!("\n=== {} ===", $name));
+                        if let Some(r) = run_guarded!($name, finish(slice, &mut sink)) {
+                            out = Some(r?);
+                        }
+                        let elapsed =
+                            started.elapsed() + Duration::from_secs_f64(cells_secs($name));
+                        timings.record($name, elapsed);
+                        sink.note(&format!(
+                            "({} took {:.1?} of cell+finish time)",
+                            $name, elapsed
+                        ));
+                    }
+                    out
+                }};
+            }
+            finish_exp!("fig2", fin_fig2);
+            finish_exp!("optane", fin_optane);
+            finish_exp!("writeback", fin_writeback);
+            finish_exp!("q_faults", fin_q_faults);
+            let f3 = finish_exp!("fig3", fin_fig3);
+            let f4 = finish_exp!("fig4", fin_fig4);
+            let f5 = finish_exp!("fig5", fin_fig5);
+            let f6 = finish_exp!("fig6", fin_fig6);
+            let f7 = finish_exp!("fig7", fin_fig7);
+            let q = finish_exp!("q10", fin_q10);
+            if needs_table1 {
+                if let (Some(f3), Some(f4), Some(f5), Some(f6), Some(f7), Some(q)) = (
+                    f3.as_ref(),
+                    f4.as_ref(),
+                    f5.as_ref(),
+                    f6.as_ref(),
+                    f7.as_ref(),
+                    q.as_ref(),
+                ) {
+                    let started = Instant::now();
+                    sink.note("\n=== table1 ===");
+                    let derived =
+                        run_guarded!("table1", table1::derive(f3, f4, f5, f6, f7, q, fidelity));
+                    if let Some(result) = derived {
+                        table1::emit(&result, &mut sink)?;
+                        let matches = result
+                            .rows
+                            .iter()
+                            .filter(|r| {
+                                table1::paper_verdicts(r.knob).is_some_and(|p| {
+                                    p == [r.overhead, r.fairness, r.tradeoffs, r.bursts]
+                                })
+                            })
+                            .count();
+                        sink.note(&format!(
+                            "verdict rows matching the paper's Table I: {matches}/{}",
+                            result.rows.len()
+                        ));
+                    }
+                    timings.record("table1", started.elapsed());
+                } else {
+                    sink.note("\n(table1 skipped: a prerequisite experiment failed)");
+                }
+            }
+            return Ok(());
+        }
+
+        // ===== Sequential scheduler (--profile) =====
         macro_rules! standalone {
             ($name:literal, $module:ident) => {
                 if wants($name) {
@@ -287,6 +490,30 @@ fn main() -> ExitCode {
                 f.experiment, f.index, f.label, f.message
             ));
         }
+    }
+    let stats = cache::stats();
+    timings.set_cache_summary(stats.hits, stats.misses, stats.stored, stats.bypassed);
+    batch_cells.extend(cache::take_cell_stats());
+    timings.set_cells(
+        batch_cells
+            .into_iter()
+            .map(|c| CellTiming {
+                experiment: c.experiment,
+                label: c.label,
+                seconds: c.seconds,
+                outcome: c.outcome.as_str().to_owned(),
+            })
+            .collect(),
+    );
+    if cache::mode() != cache::CacheMode::Off {
+        sink.note(&format!(
+            "(cell cache: {} hits, {} misses, {} stored, {} bypassed — {})",
+            stats.hits,
+            stats.misses,
+            stats.stored,
+            stats.bypassed,
+            cache::dir().display()
+        ));
     }
     let timings_path = format!("{OUTPUT_DIR}/timings.json");
     if let Err(e) = timings.write_json(&timings_path, t0.elapsed()) {

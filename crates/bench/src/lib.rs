@@ -38,14 +38,32 @@ pub fn parse_jobs(value: &str) -> Result<usize, String> {
         .map_err(|_| format!("invalid --jobs value `{value}` (expected a number or `auto`)"))
 }
 
+/// One grid cell's wall-clock + cache outcome, reported in the
+/// `cells` array of `timings.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Owning experiment (`fig4`, `q10`, ...).
+    pub experiment: String,
+    /// Cell label (scenario name).
+    pub label: String,
+    /// Wall-clock spent in the cell, including cache I/O.
+    pub seconds: f64,
+    /// Cache outcome token (`hit`, `miss`, `bypass`, `off`).
+    pub outcome: String,
+}
+
 /// Per-experiment wall-clock timings, serialized as machine-readable
 /// JSON (hand-rolled: the workspace is offline and carries no JSON
-/// dependency).
+/// dependency). Also carries the per-cell breakdown, the cache traffic
+/// summary, and which scheduler produced the run.
 #[derive(Debug)]
 pub struct Timings {
     fidelity: String,
     jobs: usize,
     entries: Vec<(String, Duration)>,
+    scheduler: String,
+    cache: (usize, usize, usize, usize),
+    cells: Vec<CellTiming>,
 }
 
 impl Timings {
@@ -57,12 +75,40 @@ impl Timings {
             fidelity: fidelity.to_owned(),
             jobs,
             entries: Vec::new(),
+            scheduler: "sequential".to_owned(),
+            cache: (0, 0, 0, 0),
+            cells: Vec::new(),
         }
     }
 
     /// Records one experiment's wall-clock duration.
     pub fn record(&mut self, name: &str, elapsed: Duration) {
         self.entries.push((name.to_owned(), elapsed));
+    }
+
+    /// Names the scheduler that produced the run (`sequential` per
+    /// experiment, or `global` for the cross-experiment batch).
+    pub fn set_scheduler(&mut self, scheduler: &str) {
+        self.scheduler = scheduler.to_owned();
+    }
+
+    /// Records the run's cache traffic counters.
+    pub fn set_cache_summary(
+        &mut self,
+        hits: usize,
+        misses: usize,
+        stored: usize,
+        bypassed: usize,
+    ) {
+        self.cache = (hits, misses, stored, bypassed);
+    }
+
+    /// Replaces the per-cell breakdown. Entries are sorted by
+    /// (experiment, label) so the array is deterministic regardless of
+    /// worker interleaving (only the `seconds` values vary run to run).
+    pub fn set_cells(&mut self, mut cells: Vec<CellTiming>) {
+        cells.sort_by(|a, b| (&a.experiment, &a.label).cmp(&(&b.experiment, &b.label)));
+        self.cells = cells;
     }
 
     /// Renders the JSON document.
@@ -85,6 +131,26 @@ impl Timings {
                 "    {{\"name\": \"{}\", \"seconds\": {:.3}}}{comma}\n",
                 json_escape(name),
                 d.as_secs_f64()
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"scheduler\": \"{}\",\n",
+            json_escape(&self.scheduler)
+        ));
+        let (hits, misses, stored, bypassed) = self.cache;
+        s.push_str(&format!(
+            "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"stored\": {stored}, \"bypassed\": {bypassed}}},\n",
+        ));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"experiment\": \"{}\", \"label\": \"{}\", \"seconds\": {:.6}, \"outcome\": \"{}\"}}{comma}\n",
+                json_escape(&c.experiment),
+                json_escape(&c.label),
+                c.seconds,
+                json_escape(&c.outcome)
             ));
         }
         s.push_str("  ]\n}\n");
@@ -421,6 +487,42 @@ mod tests {
         assert!(json.contains("{\"name\": \"fig4\", \"seconds\": 0.250}\n"));
         assert!(json.contains("\"total_seconds\": 1.750"));
         // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn timings_json_carries_scheduler_cache_and_cells() {
+        let mut t = Timings::new("smoke", 4);
+        t.record("fig4", Duration::from_millis(100));
+        t.set_scheduler("global");
+        t.set_cache_summary(10, 2, 2, 1);
+        t.set_cells(vec![
+            CellTiming {
+                experiment: "fig4".into(),
+                label: "fig4-none-1ssd-4".into(),
+                seconds: 0.25,
+                outcome: "miss".into(),
+            },
+            CellTiming {
+                experiment: "fig3".into(),
+                label: "fig3-none-16".into(),
+                seconds: 0.125,
+                outcome: "hit".into(),
+            },
+        ]);
+        let json = t.to_json(Duration::from_millis(100));
+        assert!(json.contains("\"scheduler\": \"global\""));
+        assert!(json
+            .contains("\"cache\": {\"hits\": 10, \"misses\": 2, \"stored\": 2, \"bypassed\": 1}"));
+        // Cells are sorted by (experiment, label): fig3 first.
+        let f3 = json.find("fig3-none-16").unwrap();
+        let f4 = json.find("fig4-none-1ssd-4").unwrap();
+        assert!(f3 < f4);
+        assert!(json.contains(
+            "{\"experiment\": \"fig3\", \"label\": \"fig3-none-16\", \
+             \"seconds\": 0.125000, \"outcome\": \"hit\"}"
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -14,7 +14,7 @@ use iostats::Table;
 use simcore::{SimDuration, SimTime};
 use workload::JobSpec;
 
-use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{Cell, CellRows, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// One bandwidth-over-time sample row: window start plus the three apps'
 /// bandwidth in MiB/s.
@@ -96,53 +96,46 @@ fn base_scenario(tag: char, knob: Knob, unit: SimDuration) -> (Scenario, [GroupI
     (s, [a, b, c])
 }
 
-fn collect(s: Scenario, tag: char, label: &str, unit: SimDuration) -> Panel {
+/// Wraps one configured panel scenario as a cell. Cell rows: one
+/// `[t, a_mib_s, b_mib_s, c_mib_s]` row per unit/10 window (the 100 ms
+/// series re-binned).
+fn panel_cell(s: Scenario, fidelity: Fidelity, unit: SimDuration) -> Cell {
     let until = SimTime::ZERO + unit * 7;
-    let report = s.run(until);
-    // Re-bin the 100 ms series into unit/10 windows.
-    let win = unit / 10;
-    let n_windows = (until.as_nanos() / win.as_nanos()) as usize;
-    let mut rows = Vec::with_capacity(n_windows);
-    for w in 0..n_windows {
-        let from = SimTime::from_nanos(w as u64 * win.as_nanos());
-        let to = from + win;
-        let m = |i: usize| report.apps[i].series.mean_mib_s(from, to);
-        rows.push(SeriesRow {
-            t_phase_units_x10: w as f64,
-            a_mib_s: m(0),
-            b_mib_s: m(1),
-            c_mib_s: m(2),
-        });
-    }
-    Panel {
-        tag,
-        label: label.to_owned(),
-        rows,
-    }
+    Cell::scenario("fig2", fidelity, s, until, move |report| -> CellRows {
+        // Re-bin the 100 ms series into unit/10 windows.
+        let win = unit / 10;
+        let n_windows = (until.as_nanos() / win.as_nanos()) as usize;
+        (0..n_windows)
+            .map(|w| {
+                let from = SimTime::from_nanos(w as u64 * win.as_nanos());
+                let to = from + win;
+                let m = |i: usize| report.apps[i].series.mean_mib_s(from, to);
+                vec![w as f64, m(0), m(1), m(2)]
+            })
+            .collect()
+    })
 }
 
-/// Runs all eight panels.
-///
-/// # Errors
-///
-/// Propagates sink I/O failures.
-pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> {
+/// Stages all eight panels: one cell per configured panel scenario,
+/// a–h in submission order.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig2Result> {
     let unit = fidelity.fig2_phase_unit();
     let dev = DevNode::nvme(0);
-    // Each panel is an independent scenario; box the eight heterogeneous
-    // setups as tasks and fan them across the worker pool. Panel order
-    // (a–h) equals submission order.
-    type PanelTask = Box<dyn FnOnce() -> Panel + Send>;
-    let mut tasks: Vec<PanelTask> = Vec::new();
+    let mut keys: Vec<(char, &str)> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
 
     // (a) none.
-    tasks.push(Box::new(move || {
+    keys.push(('a', "none"));
+    cells.push({
         let (s, _) = base_scenario('a', Knob::None, unit);
-        collect(s, 'a', "none", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (b) MQ-DL + io.prio.class: A=rt, B=be, C=idle.
-    tasks.push(Box::new(move || {
+    keys.push(('b', "MQ-DL prio classes"));
+    cells.push({
         let (mut s, [a, b, c]) = base_scenario('b', Knob::MqDlPrio, unit);
         let h = s.hierarchy_mut();
         h.apply(a, KnobWrite::PrioClass(PrioClass::Realtime))
@@ -151,25 +144,28 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> 
             .expect("prio");
         h.apply(c, KnobWrite::PrioClass(PrioClass::Idle))
             .expect("prio");
-        collect(s, 'b', "MQ-DL prio classes", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (c) BFQ, uniform weights.
-    tasks.push(Box::new(move || {
+    keys.push(('c', "BFQ uniform weights"));
+    cells.push({
         let (mut s, [a, b, c]) = base_scenario('c', Knob::BfqWeight, unit);
         Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
-        collect(s, 'c', "BFQ uniform weights", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (d) BFQ, differing weights 4:2:1.
-    tasks.push(Box::new(move || {
+    keys.push(('d', "BFQ weights 4:2:1"));
+    cells.push({
         let (mut s, [a, b, c]) = base_scenario('d', Knob::BfqWeight, unit);
         Knob::BfqWeight.configure_weights(&mut s, &[a, b, c], &[400, 200, 100]);
-        collect(s, 'd', "BFQ weights 4:2:1", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (e) io.max: 1 GiB/s read cap per app.
-    tasks.push(Box::new(move || {
+    keys.push(('e', "io.max 1 GiB/s caps"));
+    cells.push({
         let (mut s, groups) = base_scenario('e', Knob::IoMax, unit);
         for g in groups {
             let m = IoMax {
@@ -180,55 +176,87 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> 
                 .apply(g, KnobWrite::Max(dev, m))
                 .expect("io.max");
         }
-        collect(s, 'e', "io.max 1 GiB/s caps", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (f) io.latency: protect A with a tight target (one achievable
     // alone but violated under 3-way contention, as in the paper).
-    tasks.push(Box::new(move || {
+    keys.push(('f', "io.latency protects A"));
+    cells.push({
         let (mut s, [a, _, _]) = base_scenario('f', Knob::IoLatency, unit);
         s.hierarchy_mut()
             .apply(a, KnobWrite::Latency(dev, IoLatency { target_us: 130 }))
             .expect("io.latency");
-        collect(s, 'f', "io.latency protects A", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (g) io.cost, uniform weights (generated model + P95 100 us QoS).
-    tasks.push(Box::new(move || {
+    keys.push(('g', "io.cost uniform"));
+    cells.push({
         let (mut s, [a, b, c]) = base_scenario('g', Knob::IoCost, unit);
         Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[100, 100, 100]);
-        collect(s, 'g', "io.cost uniform", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
     // (h) io.cost, weights 16:4:1.
-    tasks.push(Box::new(move || {
+    keys.push(('h', "io.cost weights 16:4:1"));
+    cells.push({
         let (mut s, [a, b, c]) = base_scenario('h', Knob::IoCost, unit);
         Knob::IoCost.configure_weights(&mut s, &[a, b, c], &[800, 200, 50]);
-        collect(s, 'h', "io.cost weights 16:4:1", unit)
-    }));
+        panel_cell(s, fidelity, unit)
+    });
 
-    let panels = runner::run_batch(tasks);
-
-    for p in &panels {
-        let mut t = Table::new(vec!["t (x phase/10)", "A MiB/s", "B MiB/s", "C MiB/s"]);
-        for r in &p.rows {
-            t.row(vec![
-                format!("{:.0}", r.t_phase_units_x10),
-                format!("{:.0}", r.a_mib_s),
-                format!("{:.0}", r.b_mib_s),
-                format!("{:.0}", r.c_mib_s),
-            ]);
+    Staged::new("fig2", cells, move |results, sink| {
+        let panels: Vec<Panel> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&(tag, label), cell)| {
+                let cell = cell?;
+                Some(Panel {
+                    tag,
+                    label: label.to_owned(),
+                    rows: cell
+                        .iter()
+                        .map(|r| SeriesRow {
+                            t_phase_units_x10: r[0],
+                            a_mib_s: r[1],
+                            b_mib_s: r[2],
+                            c_mib_s: r[3],
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        for p in &panels {
+            let mut t = Table::new(vec!["t (x phase/10)", "A MiB/s", "B MiB/s", "C MiB/s"]);
+            for r in &p.rows {
+                t.row(vec![
+                    format!("{:.0}", r.t_phase_units_x10),
+                    format!("{:.0}", r.a_mib_s),
+                    format!("{:.0}", r.b_mib_s),
+                    format!("{:.0}", r.c_mib_s),
+                ]);
+            }
+            sink.emit(
+                &format!(
+                    "fig2{}_{}",
+                    p.tag,
+                    p.label.replace([' ', ':', '.', '/'], "_")
+                ),
+                &t,
+            )?;
         }
-        sink.emit(
-            &format!(
-                "fig2{}_{}",
-                p.tag,
-                p.label.replace([' ', ':', '.', '/'], "_")
-            ),
-            &t,
-        )?;
-    }
-    Ok(Fig2Result { panels })
+        Ok(Fig2Result { panels })
+    })
+}
+
+/// Runs all eight panels.
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig2Result> {
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::io;
 use iostats::{CdfPoint, LatencyHistogram, Table};
 use workload::JobSpec;
 
-use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// One (knob, app-count) measurement.
 #[derive(Debug, Clone)]
@@ -50,110 +50,154 @@ impl Fig3Result {
     }
 }
 
+/// Stages the Fig. 3 sweep: one cell per (knob, apps) scenario. Cell
+/// rows: row 0 is `[p50, p99, cpu_util, ctx/io, kcycles/io]`; for
+/// highlighted app counts the remaining rows are the merged CDF as
+/// `[latency_us, cum_prob]` pairs.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig3Result> {
+    let counts = fidelity.fig3_app_counts();
+    let highlight = [1usize, 16, 256];
+    // Independent (knob, apps) cells; the scheduler fans them across
+    // the worker pool and hands results back in cell order.
+    let mut keys = Vec::new();
+    for knob in Knob::ALL {
+        for &n in &counts {
+            keys.push((knob, n));
+        }
+    }
+    let cells = keys
+        .iter()
+        .map(|&(knob, n)| {
+            let mut s = Scenario::new(
+                &format!("fig3-{}-{}", knob.label(), n),
+                1,
+                vec![knob.device_setup(true)],
+            );
+            s.set_warmup(fidelity.warmup());
+            let groups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("lc-{i}"))).collect();
+            for (i, &g) in groups.iter().enumerate() {
+                s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
+            }
+            knob.configure_overhead_mode(&mut s, &groups);
+            Cell::scenario(
+                "fig3",
+                fidelity,
+                s,
+                fidelity.run_duration(),
+                move |report| {
+                    let mut merged = LatencyHistogram::new();
+                    for a in &report.apps {
+                        merged.merge(&a.hist);
+                    }
+                    let sum = merged.summary();
+                    let completed: u64 = report.apps.iter().map(|a| a.completed).sum();
+                    let busy_ns: u64 = report.cores.iter().map(|c| c.busy.as_nanos()).sum();
+                    let kcycles = if completed == 0 {
+                        0.0
+                    } else {
+                        busy_ns as f64 * 2.4 / completed as f64 / 1_000.0
+                    };
+                    let ctx = if report.apps.is_empty() {
+                        0.0
+                    } else {
+                        report.apps.iter().map(|a| a.ctx_per_io).sum::<f64>()
+                            / report.apps.len() as f64
+                    };
+                    let mut rows = vec![vec![
+                        sum.p50_us,
+                        sum.p99_us,
+                        report.cores[0].utilization,
+                        ctx,
+                        kcycles,
+                    ]];
+                    if highlight.contains(&n) {
+                        rows.extend(
+                            merged
+                                .cdf(40)
+                                .iter()
+                                .map(|p| vec![p.latency_us, p.cum_prob]),
+                        );
+                    }
+                    rows
+                },
+            )
+        })
+        .collect();
+    Staged::new("fig3", cells, move |results, sink| {
+        let mut rows = Vec::new();
+        let mut cdfs = Vec::new();
+        for (&(knob, n), cell) in keys.iter().zip(results) {
+            let Some(cell) = cell else { continue };
+            rows.push(Fig3Row {
+                knob,
+                apps: n,
+                p50_us: cell[0][0],
+                p99_us: cell[0][1],
+                cpu_util: cell[0][2],
+                ctx_per_io: cell[0][3],
+                kcycles_per_io: cell[0][4],
+            });
+            if highlight.contains(&n) {
+                let cdf: Vec<CdfPoint> = cell[1..]
+                    .iter()
+                    .map(|p| CdfPoint {
+                        latency_us: p[0],
+                        cum_prob: p[1],
+                    })
+                    .collect();
+                cdfs.push((knob, n, cdf));
+            }
+        }
+
+        let mut p99 = Table::new(vec!["knob", "apps", "P50 (us)", "P99 (us)", "CPU util"]);
+        for r in &rows {
+            p99.row(vec![
+                r.knob.label().to_owned(),
+                r.apps.to_string(),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                format!("{:.3}", r.cpu_util),
+            ]);
+        }
+        sink.emit("fig3_p99_cpu", &p99)?;
+
+        let mut prof = Table::new(vec!["knob", "ctx/io @16", "kcycles/io @16"]);
+        for knob in Knob::ALL {
+            if let Some(r) = rows.iter().find(|r| r.knob == knob && r.apps == 16) {
+                prof.row(vec![
+                    knob.label().to_owned(),
+                    format!("{:.3}", r.ctx_per_io),
+                    format!("{:.1}", r.kcycles_per_io),
+                ]);
+            }
+        }
+        sink.emit("fig3_profile_16apps", &prof)?;
+
+        for (knob, n, cdf) in &cdfs {
+            let mut t = Table::new(vec!["latency_us", "cum_prob"]);
+            for p in cdf {
+                t.row(vec![
+                    format!("{:.2}", p.latency_us),
+                    format!("{:.4}", p.cum_prob),
+                ]);
+            }
+            sink.emit(
+                &format!("fig3_cdf_{}_{}apps", knob.label().replace('.', "_"), n),
+                &t,
+            )?;
+        }
+        Ok(Fig3Result { rows, cdfs })
+    })
+}
+
 /// Runs the Fig. 3 sweep.
 ///
 /// # Errors
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig3Result> {
-    let counts = fidelity.fig3_app_counts();
-    let highlight = [1usize, 16, 256];
-    // Independent (knob, apps) cells; fan across the worker pool. Each
-    // cell yields its row plus (for highlighted counts) a merged CDF;
-    // both come back in cell order.
-    let mut cells = Vec::new();
-    for knob in Knob::ALL {
-        for &n in &counts {
-            cells.push((knob, n));
-        }
-    }
-    let measured = runner::map_batch(cells, |(knob, n)| {
-        let mut s = Scenario::new(
-            &format!("fig3-{}-{}", knob.label(), n),
-            1,
-            vec![knob.device_setup(true)],
-        );
-        s.set_warmup(fidelity.warmup());
-        let groups: Vec<_> = (0..n).map(|i| s.add_cgroup(&format!("lc-{i}"))).collect();
-        for (i, &g) in groups.iter().enumerate() {
-            s.add_app(g, JobSpec::lc_app(&format!("lc-{i}")));
-        }
-        knob.configure_overhead_mode(&mut s, &groups);
-        let report = s.run(fidelity.run_duration());
-        let mut merged = LatencyHistogram::new();
-        for a in &report.apps {
-            merged.merge(&a.hist);
-        }
-        let sum = merged.summary();
-        let completed: u64 = report.apps.iter().map(|a| a.completed).sum();
-        let busy_ns: u64 = report.cores.iter().map(|c| c.busy.as_nanos()).sum();
-        let kcycles = if completed == 0 {
-            0.0
-        } else {
-            busy_ns as f64 * 2.4 / completed as f64 / 1_000.0
-        };
-        let ctx = if report.apps.is_empty() {
-            0.0
-        } else {
-            report.apps.iter().map(|a| a.ctx_per_io).sum::<f64>() / report.apps.len() as f64
-        };
-        let row = Fig3Row {
-            knob,
-            apps: n,
-            p50_us: sum.p50_us,
-            p99_us: sum.p99_us,
-            cpu_util: report.cores[0].utilization,
-            ctx_per_io: ctx,
-            kcycles_per_io: kcycles,
-        };
-        let cdf = highlight.contains(&n).then(|| (knob, n, merged.cdf(40)));
-        (row, cdf)
-    });
-    let mut rows = Vec::with_capacity(measured.len());
-    let mut cdfs = Vec::new();
-    for (row, cdf) in measured {
-        rows.push(row);
-        cdfs.extend(cdf);
-    }
-
-    let mut p99 = Table::new(vec!["knob", "apps", "P50 (us)", "P99 (us)", "CPU util"]);
-    for r in &rows {
-        p99.row(vec![
-            r.knob.label().to_owned(),
-            r.apps.to_string(),
-            format!("{:.1}", r.p50_us),
-            format!("{:.1}", r.p99_us),
-            format!("{:.3}", r.cpu_util),
-        ]);
-    }
-    sink.emit("fig3_p99_cpu", &p99)?;
-
-    let mut prof = Table::new(vec!["knob", "ctx/io @16", "kcycles/io @16"]);
-    for knob in Knob::ALL {
-        if let Some(r) = rows.iter().find(|r| r.knob == knob && r.apps == 16) {
-            prof.row(vec![
-                knob.label().to_owned(),
-                format!("{:.3}", r.ctx_per_io),
-                format!("{:.1}", r.kcycles_per_io),
-            ]);
-        }
-    }
-    sink.emit("fig3_profile_16apps", &prof)?;
-
-    for (knob, n, cdf) in &cdfs {
-        let mut t = Table::new(vec!["latency_us", "cum_prob"]);
-        for p in cdf {
-            t.row(vec![
-                format!("{:.2}", p.latency_us),
-                format!("{:.4}", p.cum_prob),
-            ]);
-        }
-        sink.emit(
-            &format!("fig3_cdf_{}_{}apps", knob.label().replace('.', "_"), n),
-            &t,
-        )?;
-    }
-    Ok(Fig3Result { rows, cdfs })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use std::io;
 use iostats::Table;
 use workload::JobSpec;
 
-use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// One (knob, ssds, apps) measurement.
 #[derive(Debug, Clone, Copy)]
@@ -55,62 +55,86 @@ impl Fig4Result {
     }
 }
 
+/// Stages the Fig. 4 sweep: one cell per (knob, ssds, apps) scenario,
+/// plus a finish step that decodes the rows and emits the two tables.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig4Result> {
+    let counts = fidelity.fig4_app_counts();
+    // Every (knob, ssds, apps) cell is an independent scenario; the
+    // scheduler fans them across the worker pool. Row order equals
+    // cell order.
+    let mut keys = Vec::new();
+    for knob in Knob::ALL {
+        for &ssds in &[1usize, 7] {
+            for &n in &counts {
+                keys.push((knob, ssds, n));
+            }
+        }
+    }
+    let cells = keys
+        .iter()
+        .map(|&(knob, ssds, n)| {
+            let devices = (0..ssds).map(|_| knob.device_setup(true)).collect();
+            let mut s = Scenario::new(
+                &format!("fig4-{}-{}ssd-{}", knob.label(), ssds, n),
+                10,
+                devices,
+            );
+            s.set_warmup(fidelity.warmup());
+            let groups: Vec<_> = (0..n)
+                .map(|i| s.add_cgroup(&format!("batch-{i}")))
+                .collect();
+            for (i, &g) in groups.iter().enumerate() {
+                // Apps issue round-robin to every SSD (§V, Q2).
+                s.add_app(g, JobSpec::batch_app(&format!("b-{i}")));
+            }
+            knob.configure_overhead_mode(&mut s, &groups);
+            Cell::scenario("fig4", fidelity, s, fidelity.run_duration(), |report| {
+                vec![vec![
+                    report.aggregate_gib_s(),
+                    report.mean_cpu_utilization(),
+                ]]
+            })
+        })
+        .collect();
+    Staged::new("fig4", cells, move |results, sink| {
+        let rows: Vec<Fig4Row> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&(knob, ssds, apps), cell)| {
+                let cell = cell?;
+                Some(Fig4Row {
+                    knob,
+                    ssds,
+                    apps,
+                    agg_gib_s: cell[0][0],
+                    cpu_util: cell[0][1],
+                })
+            })
+            .collect();
+        for ssds in [1usize, 7] {
+            let mut t = Table::new(vec!["knob", "apps", "agg GiB/s", "CPU util (10 cores)"]);
+            for r in rows.iter().filter(|r| r.ssds == ssds) {
+                t.row(vec![
+                    r.knob.label().to_owned(),
+                    r.apps.to_string(),
+                    format!("{:.2}", r.agg_gib_s),
+                    format!("{:.3}", r.cpu_util),
+                ]);
+            }
+            sink.emit(&format!("fig4_bandwidth_cpu_{ssds}ssd"), &t)?;
+        }
+        Ok(Fig4Result { rows })
+    })
+}
+
 /// Runs the Fig. 4 sweep.
 ///
 /// # Errors
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig4Result> {
-    let counts = fidelity.fig4_app_counts();
-    // Every (knob, ssds, apps) cell is an independent scenario; fan the
-    // grid across the worker pool. Row order equals cell order.
-    let mut cells = Vec::new();
-    for knob in Knob::ALL {
-        for &ssds in &[1usize, 7] {
-            for &n in &counts {
-                cells.push((knob, ssds, n));
-            }
-        }
-    }
-    let rows = runner::map_batch(cells, |(knob, ssds, n)| {
-        let devices = (0..ssds).map(|_| knob.device_setup(true)).collect();
-        let mut s = Scenario::new(
-            &format!("fig4-{}-{}ssd-{}", knob.label(), ssds, n),
-            10,
-            devices,
-        );
-        s.set_warmup(fidelity.warmup());
-        let groups: Vec<_> = (0..n)
-            .map(|i| s.add_cgroup(&format!("batch-{i}")))
-            .collect();
-        for (i, &g) in groups.iter().enumerate() {
-            // Apps issue round-robin to every SSD (§V, Q2).
-            s.add_app(g, JobSpec::batch_app(&format!("b-{i}")));
-        }
-        knob.configure_overhead_mode(&mut s, &groups);
-        let report = s.run(fidelity.run_duration());
-        Fig4Row {
-            knob,
-            ssds,
-            apps: n,
-            agg_gib_s: report.aggregate_gib_s(),
-            cpu_util: report.mean_cpu_utilization(),
-        }
-    });
-
-    for ssds in [1usize, 7] {
-        let mut t = Table::new(vec!["knob", "apps", "agg GiB/s", "CPU util (10 cores)"]);
-        for r in rows.iter().filter(|r| r.ssds == ssds) {
-            t.row(vec![
-                r.knob.label().to_owned(),
-                r.apps.to_string(),
-                format!("{:.2}", r.agg_gib_s),
-                format!("{:.3}", r.cpu_util),
-            ]);
-        }
-        sink.emit(&format!("fig4_bandwidth_cpu_{ssds}ssd"), &t)?;
-    }
-    Ok(Fig4Result { rows })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

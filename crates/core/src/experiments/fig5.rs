@@ -13,7 +13,7 @@ use std::io;
 use iostats::{jain_index, weighted_jain_index, Table};
 use workload::JobSpec;
 
-use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// Apps per cgroup (paper: four batch apps saturate the device).
 const APPS_PER_CGROUP: usize = 4;
@@ -55,11 +55,11 @@ impl Fig5Result {
     }
 }
 
-/// Runs one repetition of a (knob, n, weighted) cell; returns
-/// `(jain, agg_gib_s)`.
-fn measure_rep(knob: Knob, n: usize, weighted: bool, rep: usize, fidelity: Fidelity) -> (f64, f64) {
+/// Builds the cell for one repetition of a (knob, n, weighted) grid
+/// point. Cell rows: `[[jain, agg_gib_s]]`.
+fn rep_cell(knob: Knob, n: usize, weighted: bool, rep: usize, fidelity: Fidelity) -> Cell {
     let mut s = Scenario::new(
-        &format!("fig5-{}-{}-{}", knob.label(), n, weighted),
+        &format!("fig5-{}-{}-{}-r{rep}", knob.label(), n, weighted),
         CORES,
         vec![knob.device_setup(false)],
     );
@@ -76,19 +76,26 @@ fn measure_rep(knob: Knob, n: usize, weighted: bool, rep: usize, fidelity: Fidel
     }
     knob.configure_weights(&mut s, &cgroups, &weights);
     let app_groups = s.app_groups().to_vec();
-    let report = s.run(fidelity.run_duration());
-    let bws = cgroup_bandwidths(&report, &app_groups, &cgroups);
-    let jain = if weighted {
-        let pairs: Vec<(f64, f64)> = bws
-            .iter()
-            .zip(&weights)
-            .map(|(&b, &w)| (b, f64::from(w)))
-            .collect();
-        weighted_jain_index(&pairs)
-    } else {
-        jain_index(&bws)
-    };
-    (jain, report.aggregate_gib_s())
+    Cell::scenario(
+        "fig5",
+        fidelity,
+        s,
+        fidelity.run_duration(),
+        move |report| {
+            let bws = cgroup_bandwidths(&report, &app_groups, &cgroups);
+            let jain = if weighted {
+                let pairs: Vec<(f64, f64)> = bws
+                    .iter()
+                    .zip(&weights)
+                    .map(|(&b, &w)| (b, f64::from(w)))
+                    .collect();
+                weighted_jain_index(&pairs)
+            } else {
+                jain_index(&bws)
+            };
+            vec![vec![jain, report.aggregate_gib_s()]]
+        },
+    )
 }
 
 /// Folds the `reps` per-repetition samples of one cell into its row.
@@ -110,17 +117,14 @@ fn fold_reps(knob: Knob, n: usize, weighted: bool, samples: &[(f64, f64)]) -> Fi
     }
 }
 
-/// Runs the Fig. 5 sweeps (uniform a/b and weighted c/d).
-///
-/// # Errors
-///
-/// Propagates sink I/O failures.
-pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig5Result> {
+/// Stages the Fig. 5 sweeps: one cell per repetition of every
+/// (knob, n, weighted) grid point; the finish step folds contiguous
+/// `reps`-sized result chunks back into rows — same order and same
+/// statistics as the sequential loops.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig5Result> {
     let counts = fidelity.fig5_cgroup_counts();
     let reps = fidelity.fairness_reps();
-    // Fan every repetition of every (knob, n, weighted) cell across the
-    // worker pool, then fold contiguous `reps`-sized chunks back into
-    // rows — same order and same statistics as the sequential loops.
     let mut keys = Vec::new();
     let mut cells = Vec::new();
     for knob in Knob::ALL {
@@ -128,34 +132,50 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig5Result> 
             for weighted in [false, true] {
                 keys.push((knob, n, weighted));
                 for rep in 0..reps {
-                    cells.push((knob, n, weighted, rep));
+                    cells.push(rep_cell(knob, n, weighted, rep, fidelity));
                 }
             }
         }
     }
-    let samples = runner::map_batch(cells, |(knob, n, weighted, rep)| {
-        measure_rep(knob, n, weighted, rep, fidelity)
-    });
-    let rows: Vec<Fig5Row> = keys
-        .iter()
-        .zip(samples.chunks(reps))
-        .map(|(&(knob, n, weighted), chunk)| fold_reps(knob, n, weighted, chunk))
-        .collect();
-    for weighted in [false, true] {
-        let tag = if weighted { "weighted" } else { "uniform" };
-        let mut t = Table::new(vec!["knob", "cgroups", "jain", "jain std", "agg GiB/s"]);
-        for r in rows.iter().filter(|r| r.weighted == weighted) {
-            t.row(vec![
-                r.knob.label().to_owned(),
-                r.cgroups.to_string(),
-                format!("{:.3}", r.jain),
-                format!("{:.3}", r.jain_std),
-                format!("{:.2}", r.agg_gib_s),
-            ]);
+    Staged::new("fig5", cells, move |results, sink| {
+        let rows: Vec<Fig5Row> = keys
+            .iter()
+            .zip(results.chunks(reps))
+            .filter_map(|(&(knob, n, weighted), chunk)| {
+                // A panicked repetition leaves a None slot; fold the
+                // surviving samples (a fully failed cell has no row).
+                let samples: Vec<(f64, f64)> = chunk
+                    .iter()
+                    .filter_map(|c| c.as_ref().map(|rows| (rows[0][0], rows[0][1])))
+                    .collect();
+                (!samples.is_empty()).then(|| fold_reps(knob, n, weighted, &samples))
+            })
+            .collect();
+        for weighted in [false, true] {
+            let tag = if weighted { "weighted" } else { "uniform" };
+            let mut t = Table::new(vec!["knob", "cgroups", "jain", "jain std", "agg GiB/s"]);
+            for r in rows.iter().filter(|r| r.weighted == weighted) {
+                t.row(vec![
+                    r.knob.label().to_owned(),
+                    r.cgroups.to_string(),
+                    format!("{:.3}", r.jain),
+                    format!("{:.3}", r.jain_std),
+                    format!("{:.2}", r.agg_gib_s),
+                ]);
+            }
+            sink.emit(&format!("fig5_fairness_{tag}"), &t)?;
         }
-        sink.emit(&format!("fig5_fairness_{tag}"), &t)?;
-    }
-    Ok(Fig5Result { rows })
+        Ok(Fig5Result { rows })
+    })
+}
+
+/// Runs the Fig. 5 sweeps (uniform a/b and weighted c/d).
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig5Result> {
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

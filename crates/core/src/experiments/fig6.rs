@@ -15,7 +15,7 @@ use std::io;
 use iostats::{jain_index, Table};
 use workload::{JobSpec, RwKind};
 
-use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// Apps per cgroup.
 const APPS_PER_CGROUP: usize = 4;
@@ -94,65 +94,95 @@ fn job_for(case: MixCase, cgroup: usize, name: &str) -> JobSpec {
     .build()
 }
 
+/// Stages the Fig. 6 cases: one cell per (knob, case) scenario. Cell
+/// rows: `[[jain, agg_gib_s, cg0_mib_s, cg1_mib_s]]`.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig6Result> {
+    let mut keys = Vec::new();
+    for knob in Knob::ALL {
+        for case in MixCase::ALL {
+            keys.push((knob, case));
+        }
+    }
+    let cells = keys
+        .iter()
+        .map(|&(knob, case)| {
+            let mut device = knob.device_setup(false);
+            if case == MixCase::ReadWrite {
+                // §III: precondition before write experiments.
+                device = device.preconditioned(1.0);
+            }
+            let mut s = Scenario::new(
+                &format!("fig6-{}-{}", knob.label(), case.label()),
+                CORES,
+                vec![device],
+            );
+            s.set_warmup(fidelity.warmup());
+            let cg0 = s.add_cgroup("cg-0");
+            let cg1 = s.add_cgroup("cg-1");
+            for j in 0..APPS_PER_CGROUP {
+                s.add_app(cg0, job_for(case, 0, &format!("a-{j}")));
+                s.add_app(cg1, job_for(case, 1, &format!("b-{j}")));
+            }
+            knob.configure_weights(&mut s, &[cg0, cg1], &[100, 100]);
+            let app_groups = s.app_groups().to_vec();
+            Cell::scenario(
+                "fig6",
+                fidelity,
+                s,
+                fidelity.run_duration(),
+                move |report| {
+                    let bws = cgroup_bandwidths(&report, &app_groups, &[cg0, cg1]);
+                    vec![vec![
+                        jain_index(&bws),
+                        report.aggregate_gib_s(),
+                        bws[0],
+                        bws[1],
+                    ]]
+                },
+            )
+        })
+        .collect();
+    Staged::new("fig6", cells, move |results, sink| {
+        let rows: Vec<Fig6Row> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&(knob, case), cell)| {
+                let cell = cell?;
+                Some(Fig6Row {
+                    knob,
+                    case,
+                    jain: cell[0][0],
+                    agg_gib_s: cell[0][1],
+                    cg0_mib_s: cell[0][2],
+                    cg1_mib_s: cell[0][3],
+                })
+            })
+            .collect();
+        for case in MixCase::ALL {
+            let mut t = Table::new(vec!["knob", "jain", "agg GiB/s", "cg0 MiB/s", "cg1 MiB/s"]);
+            for r in rows.iter().filter(|r| r.case == case) {
+                t.row(vec![
+                    r.knob.label().to_owned(),
+                    format!("{:.3}", r.jain),
+                    format!("{:.2}", r.agg_gib_s),
+                    format!("{:.0}", r.cg0_mib_s),
+                    format!("{:.0}", r.cg1_mib_s),
+                ]);
+            }
+            sink.emit(&format!("fig6_fairness_{}", case.label()), &t)?;
+        }
+        Ok(Fig6Result { rows })
+    })
+}
+
 /// Runs the Fig. 6 cases.
 ///
 /// # Errors
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig6Result> {
-    // Independent (knob, case) cells; fan across the worker pool.
-    let mut cells = Vec::new();
-    for knob in Knob::ALL {
-        for case in MixCase::ALL {
-            cells.push((knob, case));
-        }
-    }
-    let rows = runner::map_batch(cells, |(knob, case)| {
-        let mut device = knob.device_setup(false);
-        if case == MixCase::ReadWrite {
-            // §III: precondition before write experiments.
-            device = device.preconditioned(1.0);
-        }
-        let mut s = Scenario::new(
-            &format!("fig6-{}-{}", knob.label(), case.label()),
-            CORES,
-            vec![device],
-        );
-        s.set_warmup(fidelity.warmup());
-        let cg0 = s.add_cgroup("cg-0");
-        let cg1 = s.add_cgroup("cg-1");
-        for j in 0..APPS_PER_CGROUP {
-            s.add_app(cg0, job_for(case, 0, &format!("a-{j}")));
-            s.add_app(cg1, job_for(case, 1, &format!("b-{j}")));
-        }
-        knob.configure_weights(&mut s, &[cg0, cg1], &[100, 100]);
-        let app_groups = s.app_groups().to_vec();
-        let report = s.run(fidelity.run_duration());
-        let bws = cgroup_bandwidths(&report, &app_groups, &[cg0, cg1]);
-        Fig6Row {
-            knob,
-            case,
-            jain: jain_index(&bws),
-            agg_gib_s: report.aggregate_gib_s(),
-            cg0_mib_s: bws[0],
-            cg1_mib_s: bws[1],
-        }
-    });
-
-    for case in MixCase::ALL {
-        let mut t = Table::new(vec!["knob", "jain", "agg GiB/s", "cg0 MiB/s", "cg1 MiB/s"]);
-        for r in rows.iter().filter(|r| r.case == case) {
-            t.row(vec![
-                r.knob.label().to_owned(),
-                format!("{:.3}", r.jain),
-                format!("{:.2}", r.agg_gib_s),
-                format!("{:.0}", r.cg0_mib_s),
-                format!("{:.0}", r.cg1_mib_s),
-            ]);
-        }
-        sink.emit(&format!("fig6_fairness_{}", case.label()), &t)?;
-    }
-    Ok(Fig6Result { rows })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

@@ -9,14 +9,13 @@
 //! patterns, and writes to expose each knob's blind spots.
 
 use std::io;
-use std::sync::Arc;
 
 use blkio::{GroupId, PrioClass};
 use cgroup_sim::{DevNode, IoCostQos, IoLatency, IoMax, IoWeight, Knob as KnobWrite};
 use iostats::Table;
 use workload::{JobSpec, RwKind};
 
-use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// Cores for the trade-off runs.
 const CORES: usize = 10;
@@ -128,10 +127,10 @@ impl Fig7Result {
     }
 }
 
-/// Configures the (prio, BE) group pair of one sweep point. `Send +
-/// Sync` so a config can be shared across concurrently running sweep
-/// points.
-type ApplyFn = Box<dyn Fn(&mut Scenario, GroupId, GroupId) + Send + Sync>;
+/// Configures the (prio, BE) group pair of one sweep point. Applied at
+/// staging time — the fully configured scenario is what the cell cache
+/// fingerprints, so every swept setting lands in the cache key.
+type ApplyFn = Box<dyn Fn(&mut Scenario, GroupId, GroupId)>;
 
 /// One knob configuration to apply before a run.
 struct SweepConfig {
@@ -284,23 +283,28 @@ fn sweep_configs(knob: Knob, scenario: PrioScenario, points: usize) -> Vec<Sweep
     }
 }
 
-fn run_point(
+/// Builds the cell for one sweep point: the scenario is fully
+/// configured here (knob settings applied), so the cache fingerprint
+/// covers every swept parameter. Cell rows:
+/// `[[prio_mib_s, prio_p99_us, agg_mib_s]]`.
+fn point_cell(
     knob: Knob,
     scenario: PrioScenario,
     variant: BeVariant,
     config: &SweepConfig,
     fidelity: Fidelity,
-) -> Fig7Point {
+) -> Cell {
     let mut device = knob.device_setup(false);
     if variant == BeVariant::Write4k {
         device = device.preconditioned(1.0);
     }
     let mut s = Scenario::new(
         &format!(
-            "fig7-{}-{}-{}",
+            "fig7-{}-{}-{}-{}",
             knob.label(),
             scenario.label(),
-            variant.label()
+            variant.label(),
+            config.label,
         ),
         CORES,
         vec![device],
@@ -323,16 +327,13 @@ fn run_point(
         s.add_app(be, variant.job(&format!("be-{j}")));
     }
     (config.apply)(&mut s, prio, be);
-    let report = s.run(until);
-    Fig7Point {
-        knob,
-        scenario,
-        variant,
-        config: config.label.clone(),
-        prio_mib_s: report.apps[0].mean_mib_s,
-        prio_p99_us: report.apps[0].latency.p99_us,
-        agg_mib_s: report.apps.iter().map(|a| a.mean_mib_s).sum(),
-    }
+    Cell::scenario("fig7", fidelity, s, until, |report| {
+        vec![vec![
+            report.apps[0].mean_mib_s,
+            report.apps[0].latency.p99_us,
+            report.apps.iter().map(|a| a.mean_mib_s).sum(),
+        ]]
+    })
 }
 
 /// Which BE variants a fidelity level sweeps.
@@ -344,35 +345,49 @@ pub fn variants_for(fidelity: Fidelity) -> Vec<BeVariant> {
     }
 }
 
-/// Runs the Fig. 7 sweeps.
-///
-/// # Errors
-///
-/// Propagates sink I/O failures.
-pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig7Result> {
+/// Stages the Fig. 7 sweeps: one cell per (knob, scenario, variant,
+/// config) sweep point, configured at staging time. Point order equals
+/// cell order, matching the sequential loops.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Fig7Result> {
     let points_per_knob = fidelity.fig7_sweep_points();
     let variants = variants_for(fidelity);
-    // Every (knob, scenario, variant, config) sweep point is an
-    // independent scenario; fan the whole grid across the worker pool.
-    // Point order equals cell order, matching the sequential loops.
-    let mut cells: Vec<(Knob, PrioScenario, BeVariant, Arc<SweepConfig>)> = Vec::new();
+    let mut keys: Vec<(Knob, PrioScenario, BeVariant, String)> = Vec::new();
+    let mut cells = Vec::new();
     for knob in Knob::ALL {
         for scenario in PrioScenario::ALL {
-            let configs: Vec<Arc<SweepConfig>> = sweep_configs(knob, scenario, points_per_knob)
-                .into_iter()
-                .map(Arc::new)
-                .collect();
+            let configs = sweep_configs(knob, scenario, points_per_knob);
             for &variant in &variants {
                 for config in &configs {
-                    cells.push((knob, scenario, variant, Arc::clone(config)));
+                    keys.push((knob, scenario, variant, config.label.clone()));
+                    cells.push(point_cell(knob, scenario, variant, config, fidelity));
                 }
             }
         }
     }
-    let points = runner::map_batch(cells, |(knob, scenario, variant, config)| {
-        run_point(knob, scenario, variant, &config, fidelity)
-    });
+    Staged::new("fig7", cells, move |results, sink| {
+        let points: Vec<Fig7Point> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|((knob, scenario, variant, config), cell)| {
+                let cell = cell?;
+                Some(Fig7Point {
+                    knob: *knob,
+                    scenario: *scenario,
+                    variant: *variant,
+                    config: config.clone(),
+                    prio_mib_s: cell[0][0],
+                    prio_p99_us: cell[0][1],
+                    agg_mib_s: cell[0][2],
+                })
+            })
+            .collect();
+        emit_tables(&points, sink)?;
+        Ok(Fig7Result { points })
+    })
+}
 
+fn emit_tables(points: &[Fig7Point], sink: &mut OutputSink) -> io::Result<()> {
     for scenario in PrioScenario::ALL {
         let metric = match scenario {
             PrioScenario::Batch => "prio MiB/s",
@@ -394,7 +409,16 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig7Result> 
         }
         sink.emit(&format!("fig7_tradeoffs_{}", scenario.label()), &t)?;
     }
-    Ok(Fig7Result { points })
+    Ok(())
+}
+
+/// Runs the Fig. 7 sweeps.
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Fig7Result> {
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

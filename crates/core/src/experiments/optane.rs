@@ -17,7 +17,7 @@ use std::io;
 use iostats::{jain_index, Table};
 use workload::{JobSpec, RwKind};
 
-use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// One Optane-vs-flash comparison row.
 #[derive(Debug, Clone)]
@@ -49,28 +49,47 @@ impl OptaneResult {
     }
 }
 
-fn lc_p99(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
+fn profile_label(optane: bool) -> &'static str {
+    if optane {
+        "optane"
+    } else {
+        "flash"
+    }
+}
+
+/// QD-1 latency probe: cell rows `[[p99_us]]`.
+fn lc_p99_cell(knob: Knob, optane: bool, fidelity: Fidelity) -> Cell {
     let device = if optane {
         knob.device_setup_optane()
     } else {
         knob.device_setup(true)
     };
-    let mut s = Scenario::new("optane-lat", 1, vec![device]);
+    let mut s = Scenario::new(
+        &format!("optane-lat-{}-{}", knob.label(), profile_label(optane)),
+        1,
+        vec![device],
+    );
     s.set_warmup(fidelity.warmup());
     let g = s.add_cgroup("lc");
     s.add_app(g, JobSpec::lc_app("lc"));
     knob.configure_overhead_mode(&mut s, &[g]);
-    let r = s.run(fidelity.short_run());
-    r.apps[0].latency.p99_us
+    Cell::scenario("optane", fidelity, s, fidelity.short_run(), |r| {
+        vec![vec![r.apps[0].latency.p99_us]]
+    })
 }
 
-fn weighted_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
+/// Weighted-fairness probe: cell rows `[[weighted_jain]]`.
+fn weighted_fairness_cell(knob: Knob, optane: bool, fidelity: Fidelity) -> Cell {
     let device = if optane {
         knob.device_setup_optane()
     } else {
         knob.device_setup(false)
     };
-    let mut s = Scenario::new("optane-fair", 10, vec![device]);
+    let mut s = Scenario::new(
+        &format!("optane-fair-{}-{}", knob.label(), profile_label(optane)),
+        10,
+        vec![device],
+    );
     s.set_warmup(fidelity.warmup());
     let a = s.add_cgroup("a");
     let b = s.add_cgroup("b");
@@ -80,18 +99,27 @@ fn weighted_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
     }
     knob.configure_weights(&mut s, &[a, b], &[200, 100]);
     let groups = s.app_groups().to_vec();
-    let r = s.run(fidelity.run_duration());
-    let bws = cgroup_bandwidths(&r, &groups, &[a, b]);
-    iostats::weighted_jain_index(&[(bws[0], 200.0), (bws[1], 100.0)])
+    Cell::scenario("optane", fidelity, s, fidelity.run_duration(), move |r| {
+        let bws = cgroup_bandwidths(&r, &groups, &[a, b]);
+        vec![vec![iostats::weighted_jain_index(&[
+            (bws[0], 200.0),
+            (bws[1], 100.0),
+        ])]]
+    })
 }
 
-fn readwrite_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
+/// Mixed read/write fairness probe: cell rows `[[jain]]`.
+fn readwrite_fairness_cell(knob: Knob, optane: bool, fidelity: Fidelity) -> Cell {
     let device = if optane {
         knob.device_setup_optane().preconditioned(1.0)
     } else {
         knob.device_setup(false).preconditioned(1.0)
     };
-    let mut s = Scenario::new("optane-rw", 10, vec![device]);
+    let mut s = Scenario::new(
+        &format!("optane-rw-{}-{}", knob.label(), profile_label(optane)),
+        10,
+        vec![device],
+    );
     s.set_warmup(fidelity.warmup());
     let readers = s.add_cgroup("readers");
     let writers = s.add_cgroup("writers");
@@ -107,9 +135,61 @@ fn readwrite_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
     }
     knob.configure_weights(&mut s, &[readers, writers], &[100, 100]);
     let groups = s.app_groups().to_vec();
-    let r = s.run(fidelity.run_duration());
-    let bws = cgroup_bandwidths(&r, &groups, &[readers, writers]);
-    jain_index(&bws)
+    Cell::scenario("optane", fidelity, s, fidelity.run_duration(), move |r| {
+        let bws = cgroup_bandwidths(&r, &groups, &[readers, writers]);
+        vec![vec![jain_index(&bws)]]
+    })
+}
+
+/// Stages the generalizability probes on both device profiles. Every
+/// probe×profile measurement is an independent cell (flash and Optane
+/// interleaved per row); finish pairs them back up in submission order.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<OptaneResult> {
+    let mut keys: Vec<(&'static str, Knob)> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut push = |probe: &'static str, knob: Knob, f: fn(Knob, bool, Fidelity) -> Cell| {
+        keys.push((probe, knob));
+        cells.push(f(knob, false, fidelity));
+        cells.push(f(knob, true, fidelity));
+    };
+    for knob in [Knob::None, Knob::IoCost] {
+        push("lc_p99_us", knob, lc_p99_cell);
+    }
+    for knob in [Knob::IoCost, Knob::IoMax, Knob::BfqWeight] {
+        push("weighted_jain", knob, weighted_fairness_cell);
+    }
+    for knob in [Knob::None, Knob::IoCost] {
+        push("readwrite_jain", knob, readwrite_fairness_cell);
+    }
+    Staged::new("optane", cells, move |results, sink| {
+        let rows: Vec<OptaneRow> = keys
+            .iter()
+            .zip(results.chunks(2))
+            .filter_map(|(&(probe, knob), pair)| {
+                // Both halves of a flash/Optane pair must have survived.
+                let flash = pair[0].as_ref()?;
+                let optane = pair[1].as_ref()?;
+                Some(OptaneRow {
+                    probe: probe.into(),
+                    knob,
+                    flash: flash[0][0],
+                    optane: optane[0][0],
+                })
+            })
+            .collect();
+        let mut t = Table::new(vec!["probe", "knob", "flash", "optane"]);
+        for r in &rows {
+            t.row(vec![
+                r.probe.clone(),
+                r.knob.label().to_owned(),
+                format!("{:.3}", r.flash),
+                format!("{:.3}", r.optane),
+            ]);
+        }
+        sink.emit("optane_generalizability", &t)?;
+        Ok(OptaneResult { rows })
+    })
 }
 
 /// Runs the generalizability probes on both device profiles.
@@ -118,64 +198,7 @@ fn readwrite_fairness(knob: Knob, optane: bool, fidelity: Fidelity) -> f64 {
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<OptaneResult> {
-    // Every probe×profile measurement is an independent scenario; fan
-    // all of them (flash and Optane interleaved per row) across the
-    // worker pool, then pair them back up in submission order.
-    type ProbeTask = Box<dyn FnOnce() -> f64 + Send>;
-    let mut keys: Vec<(&str, Knob)> = Vec::new();
-    let mut tasks: Vec<ProbeTask> = Vec::new();
-    let push = |keys: &mut Vec<(&str, Knob)>,
-                tasks: &mut Vec<ProbeTask>,
-                probe: &'static str,
-                knob: Knob,
-                f: fn(Knob, bool, Fidelity) -> f64| {
-        keys.push((probe, knob));
-        tasks.push(Box::new(move || f(knob, false, fidelity)));
-        tasks.push(Box::new(move || f(knob, true, fidelity)));
-    };
-    for knob in [Knob::None, Knob::IoCost] {
-        push(&mut keys, &mut tasks, "lc_p99_us", knob, lc_p99);
-    }
-    for knob in [Knob::IoCost, Knob::IoMax, Knob::BfqWeight] {
-        push(
-            &mut keys,
-            &mut tasks,
-            "weighted_jain",
-            knob,
-            weighted_fairness,
-        );
-    }
-    for knob in [Knob::None, Knob::IoCost] {
-        push(
-            &mut keys,
-            &mut tasks,
-            "readwrite_jain",
-            knob,
-            readwrite_fairness,
-        );
-    }
-    let values = runner::run_batch(tasks);
-    let rows: Vec<OptaneRow> = keys
-        .iter()
-        .zip(values.chunks(2))
-        .map(|(&(probe, knob), pair)| OptaneRow {
-            probe: probe.into(),
-            knob,
-            flash: pair[0],
-            optane: pair[1],
-        })
-        .collect();
-    let mut t = Table::new(vec!["probe", "knob", "flash", "optane"]);
-    for r in &rows {
-        t.row(vec![
-            r.probe.clone(),
-            r.knob.label().to_owned(),
-            format!("{:.3}", r.flash),
-            format!("{:.3}", r.optane),
-        ]);
-    }
-    sink.emit("optane_generalizability", &t)?;
-    Ok(OptaneResult { rows })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

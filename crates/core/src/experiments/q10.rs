@@ -17,7 +17,7 @@ use iostats::Table;
 use simcore::{SimDuration, SimTime};
 use workload::JobSpec;
 
-use crate::{runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 
 /// Cores.
 const CORES: usize = 10;
@@ -158,7 +158,10 @@ fn configure_priority(knob: Knob, s: &mut Scenario, prio: blkio::GroupId, be: bl
     }
 }
 
-fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
+/// Builds the cell for one (knob, burst-app) measurement. Cell rows:
+/// `[[response_ms, steady_mib_s]]` (`response_ms` may be `INFINITY`,
+/// which the row encoding preserves exactly).
+fn burst_cell(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Cell {
     let until = fidelity.q10_duration();
     let burst_at = SimTime::from_nanos(until.as_nanos() / 4);
     let mut s = Scenario::new(
@@ -186,22 +189,64 @@ fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
         s.add_app(be, JobSpec::batch_app(&format!("be-{j}")));
     }
     configure_priority(knob, &mut s, prio, be);
-    let report = s.run(until);
-    let series = &report.apps[0].series;
-    // Steady state: the last 40 % of the run.
-    let steady_from = SimTime::from_nanos((until.as_nanos() as f64 * 0.6) as u64);
-    let steady = series.mean_mib_s(steady_from, until);
-    let response_ms = series
-        .first_window_reaching(RESPONSE_FRACTION * steady, burst_at)
-        .map_or(f64::INFINITY, |t| {
-            t.saturating_since(burst_at).as_millis_f64()
-        });
-    Q10Row {
-        knob,
-        app,
-        response_ms,
-        steady_mib_s: steady,
+    Cell::scenario("q10", fidelity, s, until, move |report| {
+        let series = &report.apps[0].series;
+        // Steady state: the last 40 % of the run.
+        let steady_from = SimTime::from_nanos((until.as_nanos() as f64 * 0.6) as u64);
+        let steady = series.mean_mib_s(steady_from, until);
+        let response_ms = series
+            .first_window_reaching(RESPONSE_FRACTION * steady, burst_at)
+            .map_or(f64::INFINITY, |t| {
+                t.saturating_since(burst_at).as_millis_f64()
+            });
+        vec![vec![response_ms, steady]]
+    })
+}
+
+/// Stages the burst study: one cell per (knob, burst-app) scenario.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<Q10Result> {
+    let mut keys = Vec::new();
+    for knob in Knob::ALL {
+        for app in BurstApp::ALL {
+            keys.push((knob, app));
+        }
     }
+    let cells = keys
+        .iter()
+        .map(|&(knob, app)| burst_cell(knob, app, fidelity))
+        .collect();
+    Staged::new("q10", cells, move |results, sink| {
+        let rows: Vec<Q10Row> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&(knob, app), cell)| {
+                let cell = cell?;
+                Some(Q10Row {
+                    knob,
+                    app,
+                    response_ms: cell[0][0],
+                    steady_mib_s: cell[0][1],
+                })
+            })
+            .collect();
+        let mut t = Table::new(vec!["knob", "burst app", "response (ms)", "steady MiB/s"]);
+        for r in &rows {
+            let resp = if r.response_ms.is_finite() {
+                format!("{:.0}", r.response_ms)
+            } else {
+                "not within run".to_owned()
+            };
+            t.row(vec![
+                r.knob.label().to_owned(),
+                r.app.label().to_owned(),
+                resp,
+                format!("{:.0}", r.steady_mib_s),
+            ]);
+        }
+        sink.emit("q10_burst_response", &t)?;
+        Ok(Q10Result { rows })
+    })
 }
 
 /// Runs the burst study.
@@ -210,30 +255,7 @@ fn measure(knob: Knob, app: BurstApp, fidelity: Fidelity) -> Q10Row {
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<Q10Result> {
-    // Independent (knob, burst-app) cells; fan across the worker pool.
-    let mut cells = Vec::new();
-    for knob in Knob::ALL {
-        for app in BurstApp::ALL {
-            cells.push((knob, app));
-        }
-    }
-    let rows = runner::map_batch(cells, |(knob, app)| measure(knob, app, fidelity));
-    let mut t = Table::new(vec!["knob", "burst app", "response (ms)", "steady MiB/s"]);
-    for r in &rows {
-        let resp = if r.response_ms.is_finite() {
-            format!("{:.0}", r.response_ms)
-        } else {
-            "not within run".to_owned()
-        };
-        t.row(vec![
-            r.knob.label().to_owned(),
-            r.app.label().to_owned(),
-            resp,
-            format!("{:.0}", r.steady_mib_s),
-        ]);
-    }
-    sink.emit("q10_burst_response", &t)?;
-    Ok(Q10Result { rows })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

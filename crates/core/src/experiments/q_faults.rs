@@ -18,12 +18,11 @@
 
 use std::io;
 
-use host_sim::RunReport;
 use iostats::Table;
 use simcore::SimDuration;
 use workload::JobSpec;
 
-use crate::{cgroup_bandwidths, runner, Fidelity, Knob, OutputSink, Scenario};
+use crate::{cgroup_bandwidths, Cell, Fidelity, Knob, OutputSink, Scenario, Staged};
 use nvme_sim::FaultConfig;
 
 /// The fault mix every cell runs under: roughly one media error per
@@ -97,7 +96,12 @@ impl QFaultsResult {
     }
 }
 
-fn probe(knob: Knob, fidelity: Fidelity) -> QFaultsRow {
+/// Builds the cell for one knob's faulty-device probe. The scenario
+/// carries injected faults, so the cell cache always bypasses it (fault
+/// outcomes must never be served from disk). Cell rows:
+/// `[[prio_mib_s, be_mib_s, prio_p99_us, media, timeouts, retries,
+/// failed, resets]]` — the counts are exact in `f64` (far below 2^53).
+fn probe_cell(knob: Knob, fidelity: Fidelity) -> Cell {
     let device = knob.device_setup(false).with_faults(fault_config());
     let mut s = Scenario::new(&cell_label(knob), 8, vec![device]);
     s.set_warmup(fidelity.warmup());
@@ -108,33 +112,62 @@ fn probe(knob: Knob, fidelity: Fidelity) -> QFaultsRow {
     s.add_app(prio, JobSpec::lc_app("prio"));
     s.add_app(be, JobSpec::batch_app("be"));
     let groups = s.app_groups().to_vec();
-    let report: RunReport = s.run(fidelity.q_faults_duration());
-    let bws = cgroup_bandwidths(&report, &groups, &[prio, be]);
-    let d = report.devices[0];
-    QFaultsRow {
-        knob,
-        prio_mib_s: bws[0],
-        be_mib_s: bws[1],
-        prio_p99_us: report.apps[0].latency.p99_us,
-        media_errors: d.media_errors,
-        timeouts: d.timeouts,
-        retries: d.retries,
-        failed: d.failed,
-        resets: d.resets,
-    }
+    Cell::scenario(
+        "q_faults",
+        fidelity,
+        s,
+        fidelity.q_faults_duration(),
+        move |report| {
+            let bws = cgroup_bandwidths(&report, &groups, &[prio, be]);
+            let d = report.devices[0];
+            vec![vec![
+                bws[0],
+                bws[1],
+                report.apps[0].latency.p99_us,
+                d.media_errors as f64,
+                d.timeouts as f64,
+                d.retries as f64,
+                d.failed as f64,
+                d.resets as f64,
+            ]]
+        },
+    )
 }
 
-/// Runs the fault-injection isolation study across all knobs.
-///
-/// # Errors
-///
-/// Propagates sink I/O failures.
-pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<QFaultsResult> {
-    let rows = runner::map_batch_labeled(
-        Knob::ALL.to_vec(),
-        |&knob| cell_label(knob),
-        |knob| probe(knob, fidelity),
-    );
+/// Stages the fault-injection isolation study: one cell per knob.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<QFaultsResult> {
+    let keys: Vec<Knob> = Knob::ALL.to_vec();
+    let cells = keys
+        .iter()
+        .map(|&knob| probe_cell(knob, fidelity))
+        .collect();
+    Staged::new("q_faults", cells, move |results, sink| {
+        let rows: Vec<QFaultsRow> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&knob, cell)| {
+                let cell = cell?;
+                let v = &cell[0];
+                Some(QFaultsRow {
+                    knob,
+                    prio_mib_s: v[0],
+                    be_mib_s: v[1],
+                    prio_p99_us: v[2],
+                    media_errors: v[3] as u64,
+                    timeouts: v[4] as u64,
+                    retries: v[5] as u64,
+                    failed: v[6] as u64,
+                    resets: v[7] as u64,
+                })
+            })
+            .collect();
+        emit_table(&rows, sink)?;
+        Ok(QFaultsResult { rows })
+    })
+}
+
+fn emit_table(rows: &[QFaultsRow], sink: &mut OutputSink) -> io::Result<()> {
     let mut t = Table::new(vec![
         "knob",
         "prio MiB/s",
@@ -146,7 +179,7 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<QFaultsResul
         "failed",
         "resets",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row(vec![
             r.knob.label().to_owned(),
             format!("{:.0}", r.prio_mib_s),
@@ -165,7 +198,16 @@ pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<QFaultsResul
          and failures are the host recovery path responding — faults are \
          retried transparently, so `failed` should stay 0)",
     );
-    Ok(QFaultsResult { rows })
+    Ok(())
+}
+
+/// Runs the fault-injection isolation study across all knobs.
+///
+/// # Errors
+///
+/// Propagates sink I/O failures.
+pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<QFaultsResult> {
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

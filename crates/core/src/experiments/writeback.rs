@@ -23,7 +23,7 @@ use cgroup_sim::{DevNode, IoMax, Knob as KnobWrite};
 use iostats::Table;
 use workload::{JobSpec, RwKind};
 
-use crate::{runner, Fidelity, OutputSink, Scenario};
+use crate::{Cell, Fidelity, OutputSink, Scenario, Staged};
 
 /// How writeback device I/O is charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,7 +83,9 @@ impl WritebackResult {
 /// The write cap applied to the tenant (200 MiB/s).
 const CAP_BYTES: u64 = 200 * 1024 * 1024;
 
-fn probe(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> WritebackRow {
+/// Builds the cell for one (mode, capped) probe. Cell rows:
+/// `[[reader_p99_us, writeback_mib_s]]`.
+fn probe_cell(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> Cell {
     let mut s = Scenario::new(
         &format!("writeback-{}-{}", mode.label(), capped),
         8,
@@ -119,13 +121,69 @@ fn probe(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> WritebackRow 
             .apply(tenant_cg, KnobWrite::Max(DevNode::nvme(0), cap))
             .expect("io.max write");
     }
-    let report = s.run(fidelity.run_duration());
-    WritebackRow {
-        mode,
-        capped,
-        reader_p99_us: report.apps[0].latency.p99_us,
-        writeback_mib_s: report.apps[1].mean_mib_s,
+    Cell::scenario(
+        "writeback",
+        fidelity,
+        s,
+        fidelity.run_duration(),
+        |report| {
+            vec![vec![
+                report.apps[0].latency.p99_us,
+                report.apps[1].mean_mib_s,
+            ]]
+        },
+    )
+}
+
+/// Stages the 2×2 writeback-attribution study: one cell per
+/// (mode, capped) scenario.
+#[must_use]
+pub fn stage(fidelity: Fidelity) -> Staged<WritebackResult> {
+    let mut keys = Vec::new();
+    for mode in WritebackMode::ALL {
+        for capped in [false, true] {
+            keys.push((mode, capped));
+        }
     }
+    let cells = keys
+        .iter()
+        .map(|&(mode, capped)| probe_cell(mode, capped, fidelity))
+        .collect();
+    Staged::new("writeback", cells, move |results, sink| {
+        let rows: Vec<WritebackRow> = keys
+            .iter()
+            .zip(results)
+            .filter_map(|(&(mode, capped), cell)| {
+                let cell = cell?;
+                Some(WritebackRow {
+                    mode,
+                    capped,
+                    reader_p99_us: cell[0][0],
+                    writeback_mib_s: cell[0][1],
+                })
+            })
+            .collect();
+        let mut t = Table::new(vec![
+            "writeback charging",
+            "tenant io.max (wbps)",
+            "reader P99 (us)",
+            "writeback MiB/s",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.mode.label().to_owned(),
+                if r.capped { "200 MiB/s" } else { "none" }.to_owned(),
+                format!("{:.1}", r.reader_p99_us),
+                format!("{:.0}", r.writeback_mib_s),
+            ]);
+        }
+        sink.emit("writeback_attribution", &t)?;
+        sink.note(
+            "(v1: the cap is vacuous — flusher I/O escapes the tenant cgroup; \
+             v2: writeback is charged to the dirtying cgroup and the cap binds)",
+        );
+        Ok(WritebackResult { rows })
+    })
 }
 
 /// Runs the 2×2 writeback-attribution study.
@@ -134,34 +192,7 @@ fn probe(mode: WritebackMode, capped: bool, fidelity: Fidelity) -> WritebackRow 
 ///
 /// Propagates sink I/O failures.
 pub fn run(fidelity: Fidelity, sink: &mut OutputSink) -> io::Result<WritebackResult> {
-    // Independent (mode, capped) cells; fan across the worker pool.
-    let mut cells = Vec::new();
-    for mode in WritebackMode::ALL {
-        for capped in [false, true] {
-            cells.push((mode, capped));
-        }
-    }
-    let rows = runner::map_batch(cells, |(mode, capped)| probe(mode, capped, fidelity));
-    let mut t = Table::new(vec![
-        "writeback charging",
-        "tenant io.max (wbps)",
-        "reader P99 (us)",
-        "writeback MiB/s",
-    ]);
-    for r in &rows {
-        t.row(vec![
-            r.mode.label().to_owned(),
-            if r.capped { "200 MiB/s" } else { "none" }.to_owned(),
-            format!("{:.1}", r.reader_p99_us),
-            format!("{:.0}", r.writeback_mib_s),
-        ]);
-    }
-    sink.emit("writeback_attribution", &t)?;
-    sink.note(
-        "(v1: the cap is vacuous — flusher I/O escapes the tenant cgroup; \
-         v2: writeback is charged to the dirtying cgroup and the cap binds)",
-    );
-    Ok(WritebackResult { rows })
+    stage(fidelity).run(sink)
 }
 
 #[cfg(test)]

@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod cell;
 pub mod experiments;
 mod fidelity;
 mod knob;
@@ -52,6 +54,7 @@ mod output;
 pub mod runner;
 mod scenario;
 
+pub use cell::{run_cells, Cell, CellRows, Staged};
 pub use fidelity::Fidelity;
 pub use knob::Knob;
 pub use output::OutputSink;

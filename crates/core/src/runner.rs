@@ -177,13 +177,34 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_labeled_keep(workers, tasks)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The position-keeping core behind every batch entry point: runs
+/// `(label, task)` pairs on `workers` threads, catching per-cell
+/// panics, and returns one slot per submitted task in submission order
+/// — `None` marks a cell that panicked (already recorded in the
+/// failure registry).
+///
+/// Keeping positions (rather than dropping failed cells) is what lets
+/// callers that correlate results with their submitted grid keys — the
+/// global cell scheduler, `chunks`-based repetition folds — stay
+/// aligned even in a degraded run.
+pub(crate) fn run_labeled_keep<T, F>(workers: usize, tasks: Vec<(String, F)>) -> Vec<Option<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = tasks.len();
     let workers = workers.max(1).min(n);
     if workers <= 1 {
         return tasks
             .into_iter()
             .enumerate()
-            .filter_map(|(i, (label, f))| run_cell(i, &label, f))
+            .map(|(i, (label, f))| run_cell(i, &label, f))
             .collect();
     }
 
@@ -217,7 +238,7 @@ where
 
     results
         .into_iter()
-        .filter_map(|m| m.into_inner().expect("result slot poisoned"))
+        .map(|m| m.into_inner().expect("result slot poisoned"))
         .collect()
 }
 

@@ -159,6 +159,14 @@ impl Scenario {
         self.apps.len()
     }
 
+    /// Whether any device has fault injection armed. Faulted cells are
+    /// excluded from the result cache (recovery-path statistics are the
+    /// thing under test there, so they are always recomputed).
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        self.devices.iter().any(|d| d.faults.is_enabled())
+    }
+
     /// Runs the scenario until `until` and returns the report. Every app
     /// is stopped at `until` at the latest.
     #[must_use]

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use isol_bench::experiments::{fig4, q_faults};
-use isol_bench::{runner, Fidelity, OutputSink};
+use isol_bench::{cache, runner, Fidelity, OutputSink};
 use simcore::{set_default_backend, QueueBackend};
 
 /// The worker count and the queue backend are process-global, so tests
@@ -118,6 +118,38 @@ fn assert_matches_goldens(current: &BTreeMap<String, Vec<u8>>, min: usize, what:
         checked += 1;
     }
     assert!(checked >= min, "expected at least {what}");
+}
+
+/// The cache determinism guarantee: a warm run serves every cell from
+/// disk yet stays byte-identical to the cold run *and* to the committed
+/// goldens — the cache is invisible in the output.
+#[test]
+fn fig4_warm_cache_run_is_byte_identical_to_cold_and_golden() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let cache_dir: PathBuf = std::env::temp_dir().join(format!(
+        "isol-bench-determinism-cache-{}",
+        std::process::id()
+    ));
+    fs::remove_dir_all(&cache_dir).ok();
+    cache::set_dir(&cache_dir);
+    cache::set_mode(cache::CacheMode::ReadWrite);
+    cache::reset_stats();
+    let cold = fig4_csvs(2, "cache-cold");
+    let cold_stats = cache::stats();
+    let warm = fig4_csvs(2, "cache-warm");
+    let warm_stats = cache::stats();
+    cache::set_mode(cache::CacheMode::Off);
+    runner::set_jobs(0);
+    fs::remove_dir_all(&cache_dir).ok();
+    assert!(cold_stats.misses > 0, "cold run must simulate");
+    assert!(
+        warm_stats.hits >= cold_stats.misses,
+        "warm run must be served from the cache ({} hits for {} cells)",
+        warm_stats.hits,
+        cold_stats.misses
+    );
+    assert_same_csvs(&cold, &warm, "cold and warm cache runs");
+    assert_matches_goldens(&warm, 2, "the two fig4 CSVs (warm run)");
 }
 
 #[test]

@@ -2,15 +2,23 @@
 //!
 //! The build environment has no network access and no registry cache,
 //! so the real `serde` can never resolve. The repo's types carry
-//! `#[derive(Serialize, Deserialize)]` annotations but nothing actually
-//! serializes through serde yet (reports are rendered via `Display` and
+//! `#[derive(Serialize, Deserialize)]` annotations but nothing routes
+//! through derived serde code (reports are rendered via `Display` and
 //! hand-rolled CSV/JSON), so marker traits plus no-op derives are
-//! sufficient for every current use. If real serialization is needed
-//! later, swap this path dependency back to the registry crate — the
+//! sufficient on that front. If real serialization is needed later,
+//! swap this path dependency back to the registry crate — the
 //! annotations are already in place.
+//!
+//! The one piece of *real* serialization the workspace does need — the
+//! content-addressed cell cache persisting grid-cell result rows — is
+//! provided by the [`rows`] module: a tiny, exact, human-greppable
+//! encoding of `Vec<Vec<f64>>` built on `f64::to_bits`, so a cached
+//! cell decodes to the same bits it was computed with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod rows;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -1,0 +1,200 @@
+//! Vendored, dependency-free content hashes.
+//!
+//! The build environment is offline, so the usual hashing crates
+//! (`twox-hash`, `fnv`) can never resolve; this module vendors the two
+//! algorithms the workspace needs for content-addressed caching:
+//!
+//! * [`fnv1a_64`] — FNV-1a, the classic byte-at-a-time mixer. Cheap and
+//!   good enough for short keys; used as the *second* lane of a cache
+//!   fingerprint so a collision must defeat two unrelated functions.
+//! * [`xxhash64`] — XXH64, the seeded 8-bytes-at-a-time hash used as
+//!   the *primary* lane (the seed carries the engine-version salt).
+//!
+//! Both are pure functions of their input bytes: the same spec hashes
+//! to the same fingerprint on every platform, run, and thread, which is
+//! what makes cache keys stable across processes.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+const XXH_PRIME_1: u64 = 0x9e37_79b1_85eb_ca87;
+const XXH_PRIME_2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const XXH_PRIME_3: u64 = 0x1656_67b1_9e37_79f9;
+const XXH_PRIME_4: u64 = 0x85eb_ca77_c2b2_ae63;
+const XXH_PRIME_5: u64 = 0x27d4_eb2f_1656_67c5;
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XXH_PRIME_2))
+        .rotate_left(31)
+        .wrapping_mul(XXH_PRIME_1)
+}
+
+#[inline]
+fn xxh_merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh_round(0, val))
+        .wrapping_mul(XXH_PRIME_1)
+        .wrapping_add(XXH_PRIME_4)
+}
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8-byte window"))
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u64 {
+    u64::from(u32::from_le_bytes(
+        b[..4].try_into().expect("4-byte window"),
+    ))
+}
+
+/// Hashes `bytes` with XXH64 under `seed`.
+///
+/// Matches the reference implementation bit for bit (see the test
+/// vectors below), so keys remain valid even if a future PR swaps this
+/// for the real `twox-hash` crate.
+#[must_use]
+#[allow(clippy::missing_panics_doc)] // slicing is bounds-checked by construction
+pub fn xxhash64(bytes: &[u8], seed: u64) -> u64 {
+    let len = bytes.len() as u64;
+    let mut rest = bytes;
+    let mut h: u64 = if bytes.len() >= 32 {
+        let mut v1 = seed.wrapping_add(XXH_PRIME_1).wrapping_add(XXH_PRIME_2);
+        let mut v2 = seed.wrapping_add(XXH_PRIME_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(XXH_PRIME_1);
+        while rest.len() >= 32 {
+            v1 = xxh_round(v1, read_u64(&rest[0..]));
+            v2 = xxh_round(v2, read_u64(&rest[8..]));
+            v3 = xxh_round(v3, read_u64(&rest[16..]));
+            v4 = xxh_round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = xxh_merge_round(h, v1);
+        h = xxh_merge_round(h, v2);
+        h = xxh_merge_round(h, v3);
+        xxh_merge_round(h, v4)
+    } else {
+        seed.wrapping_add(XXH_PRIME_5)
+    };
+    h = h.wrapping_add(len);
+    while rest.len() >= 8 {
+        h = (h ^ xxh_round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(XXH_PRIME_1)
+            .wrapping_add(XXH_PRIME_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ read_u32(rest).wrapping_mul(XXH_PRIME_1))
+            .rotate_left(23)
+            .wrapping_mul(XXH_PRIME_2)
+            .wrapping_add(XXH_PRIME_3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h = (h ^ u64::from(b).wrapping_mul(XXH_PRIME_5))
+            .rotate_left(11)
+            .wrapping_mul(XXH_PRIME_1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(XXH_PRIME_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(XXH_PRIME_3);
+    h ^= h >> 32;
+    h
+}
+
+/// A 128-bit content fingerprint: XXH64 (seeded) plus FNV-1a over the
+/// same bytes. Rendered as a fixed-width 32-hex-digit string, it names
+/// cache entries; a collision must defeat both lanes simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// XXH64 lane (carries the seed/salt).
+    pub xx: u64,
+    /// FNV-1a lane (unsalted).
+    pub fnv: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprints `bytes` under `seed` (the engine-version salt).
+    #[must_use]
+    pub fn of(bytes: &[u8], seed: u64) -> Self {
+        Fingerprint {
+            xx: xxhash64(bytes, seed),
+            fnv: fnv1a_64(bytes),
+        }
+    }
+
+    /// The fixed-width hex rendering used as a file stem.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.xx, self.fnv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn xxhash64_known_vectors() {
+        // Reference-implementation vectors (xxhsum / twox-hash agree).
+        assert_eq!(xxhash64(b"", 0), 0xef46_db37_51d8_e999);
+        assert_eq!(xxhash64(b"abc", 0), 0x44bc_2cf5_ad77_0999);
+        // Long input exercises the 32-byte stripe loop.
+        let long: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        assert_eq!(xxhash64(&long, 0), xxhash64(&long, 0));
+        assert_ne!(xxhash64(&long, 0), xxhash64(&long, 1));
+    }
+
+    #[test]
+    fn seed_changes_the_xx_lane_only() {
+        let a = Fingerprint::of(b"spec", 1);
+        let b = Fingerprint::of(b"spec", 2);
+        assert_ne!(a.xx, b.xx);
+        assert_eq!(a.fnv, b.fnv);
+    }
+
+    #[test]
+    fn hex_is_fixed_width_and_stable() {
+        let f = Fingerprint::of(b"x", 0);
+        assert_eq!(f.hex().len(), 32);
+        assert_eq!(f.hex(), Fingerprint::of(b"x", 0).hex());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(
+            Fingerprint::of(b"scenario-a", 7),
+            Fingerprint::of(b"scenario-b", 7)
+        );
+    }
+}

@@ -33,12 +33,14 @@
 
 mod events;
 mod ewma;
+pub mod hash;
 mod rng;
 mod time;
 mod token;
 
 pub use events::{default_backend, set_default_backend, EventQueue, QueueBackend};
 pub use ewma::Ewma;
+pub use hash::{fnv1a_64, xxhash64, Fingerprint};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use token::TokenBucket;

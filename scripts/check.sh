@@ -44,4 +44,19 @@ test -f target/isol-bench/failures.json \
 grep -q 'q_faults-io.cost' target/isol-bench/failures.json \
     || { echo "FAIL: failures.json does not name the panicked cell"; exit 1; }
 
+echo "==> cell-cache check (warm rerun must be byte-identical, served from cache)"
+rm -rf target/isol-bench/cache
+cold_dir=$(mktemp -d)
+./target/release/figures --smoke all > /dev/null
+cp target/isol-bench/*.csv "$cold_dir"/
+./target/release/figures --smoke all > /dev/null
+for f in "$cold_dir"/*.csv; do
+    cmp -s "$f" "target/isol-bench/$(basename "$f")" \
+        || { echo "FAIL: $(basename "$f") differs between cold and warm runs"; exit 1; }
+done
+hits=$(grep -o '"hits": [0-9]*' target/isol-bench/timings.json | head -1 | grep -o '[0-9]*$')
+[[ "${hits:-0}" -gt 0 ]] \
+    || { echo "FAIL: warm run reported zero cache hits"; exit 1; }
+rm -rf "$cold_dir"
+
 echo "OK"
