@@ -97,11 +97,45 @@ fn bench_host_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tracing overhead contract: a disabled recorder is one
+/// thread-local flag read per probe site (compare `untraced` against
+/// the other `host_sim_quarter_second` numbers over time), and even a
+/// fully armed recorder stays within a small constant factor.
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(10);
+    let scenario = || {
+        let mut s = Scenario::new("bench", 4, vec![Knob::MqDlPrio.device_setup(true)]);
+        let g0 = s.add_cgroup("g0");
+        s.add_app(g0, JobSpec::batch_app("b"));
+        s
+    };
+    g.bench_function("host_sim_quarter_second_untraced", |b| {
+        b.iter(|| black_box(scenario().run(SimTime::from_millis(250)).total_bytes()));
+    });
+    g.bench_function("host_sim_quarter_second_traced", |b| {
+        b.iter(|| {
+            let (report, trace) = scenario().run_traced(SimTime::from_millis(250), 1 << 20);
+            black_box((report.total_bytes(), trace.events.len()))
+        });
+    });
+    g.bench_function("record_with_disabled_100k", |b| {
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                simcore::trace::record_with(|| {
+                    panic!("event built with tracing disabled ({i})");
+                });
+            }
+        });
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = criterion::Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_event_queue, bench_histogram, bench_device, bench_host_sim
+    targets = bench_event_queue, bench_histogram, bench_device, bench_host_sim, bench_trace
 }
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--fidelity smoke|standard|full] [--smoke] [--jobs N|auto]
 //!         [--no-cache] [--refresh] [--profile] [--faults]
-//!         [--inject-panic LABEL]
+//!         [--trace[=N]] [--inject-panic LABEL]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
 //!          q_faults | all]
 //! ```
@@ -47,6 +47,18 @@
 //!
 //! `--faults` adds the fault-injection isolation study (`q_faults`) to
 //! the selection; `--smoke` is shorthand for `--fidelity smoke`.
+//!
+//! # Tracing
+//!
+//! `--trace` records the full request lifecycle of every cell and
+//! writes two files per cell under `target/isol-bench/traces/`:
+//! `<label>.trace.jsonl` (the raw event stream, input to the `traceck`
+//! checker) and `<label>.chrome.json` (loadable in `chrome://tracing` /
+//! Perfetto). `--trace=N` sets the per-cell ring-buffer capacity in
+//! events (default 65536); once full, the oldest events are evicted and
+//! counted in the JSONL header's `dropped` field. Traced cells always
+//! bypass the result cache. See EXPERIMENTS.md ("Tracing a run") and
+//! DESIGN.md §13 for the schema.
 //!
 //! # Graceful degradation
 //!
@@ -123,6 +135,16 @@ fn main() -> ExitCode {
             refresh = true;
         } else if a == "--faults" {
             rest.push("q_faults".to_owned());
+        } else if a == "--trace" {
+            isol_bench::tracing::set_capacity(Some(isol_bench::tracing::DEFAULT_CAPACITY));
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => isol_bench::tracing::set_capacity(Some(n)),
+                _ => {
+                    eprintln!("--trace={v}: capacity must be a positive event count");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if a == "--inject-panic" {
             match args.next() {
                 Some(label) => runner::set_inject_panic(Some(&label)),
@@ -190,6 +212,13 @@ fn main() -> ExitCode {
     sink.note(&format!(
         "# isol-bench figure regeneration ({fidelity:?} fidelity, {jobs} jobs), CSVs in {OUTPUT_DIR}/"
     ));
+    if let Some(capacity) = isol_bench::tracing::capacity() {
+        isol_bench::tracing::reset_written();
+        sink.note(&format!(
+            "(tracing: {capacity}-event ring per cell, files in {})",
+            isol_bench::tracing::dir().display()
+        ));
+    }
 
     let wants = |name: &str| selection.iter().any(|s| s == name);
     let needs_table1 = wants("table1");
@@ -513,6 +542,13 @@ fn main() -> ExitCode {
             stats.stored,
             stats.bypassed,
             cache::dir().display()
+        ));
+    }
+    if isol_bench::tracing::enabled() {
+        sink.note(&format!(
+            "(traces: {} cell(s) written to {})",
+            isol_bench::tracing::written(),
+            isol_bench::tracing::dir().display()
         ));
     }
     let timings_path = format!("{OUTPUT_DIR}/timings.json");

@@ -1,0 +1,123 @@
+//! Checks request-lifecycle traces against the simulator's invariants.
+//!
+//! ```text
+//! traceck [PATH ...]
+//! ```
+//!
+//! Each `PATH` is a `*.trace.jsonl` file (as written by `figures
+//! --trace`) or a directory to scan for them; with no arguments the
+//! default trace directory (`target/isol-bench/traces/`) is scanned.
+//! Every trace is parsed and run through the full invariant suite
+//! (`isol_bench::traceck`): span well-formedness, FIFO tie-break,
+//! `io.max` budget replay, iocost vtime monotonicity, and work
+//! conservation. Partial traces (from panicked cells) are checked up to
+//! where they stop.
+//!
+//! Exit status: 0 when every trace parses and passes, 1 on any
+//! violation, unreadable file, or empty scan.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use isol_bench::traceck;
+use simcore::trace::Trace;
+
+/// Collects `*.trace.jsonl` files under `path` (one level; the trace
+/// directory is flat).
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(path)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".trace.jsonl"))
+            })
+            .collect();
+        entries.sort();
+        out.extend(entries);
+    } else {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from(isol_bench::tracing::DEFAULT_DIR)]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    let mut files = Vec::new();
+    for root in &roots {
+        if let Err(e) = collect(root, &mut files) {
+            eprintln!("traceck: cannot read {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if files.is_empty() {
+        eprintln!(
+            "traceck: no *.trace.jsonl files found under {}",
+            roots
+                .iter()
+                .map(|r| r.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut bad = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("traceck: cannot read {}: {e}", file.display());
+                bad += 1;
+                continue;
+            }
+        };
+        let trace = match Trace::from_jsonl(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("traceck: {}: malformed trace: {e}", file.display());
+                bad += 1;
+                continue;
+            }
+        };
+        let result = traceck::check(&trace);
+        let quality = match (result.partial, result.lossless) {
+            (false, true) => "complete, lossless",
+            (false, false) => "complete, lossy",
+            (true, true) => "partial, lossless",
+            (true, false) => "partial, lossy",
+        };
+        if result.is_ok() {
+            println!(
+                "traceck: {}: OK — {} events ({quality}; checks: {})",
+                file.display(),
+                trace.events.len(),
+                result.checks.join(", ")
+            );
+        } else {
+            bad += 1;
+            eprintln!(
+                "traceck: {}: {} violation(s) in {} events ({quality}):",
+                file.display(),
+                result.violations.len(),
+                trace.events.len()
+            );
+            for v in &result.violations {
+                eprintln!("  {v}");
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("traceck: {bad} of {} trace(s) failed", files.len());
+        return ExitCode::FAILURE;
+    }
+    println!("traceck: all {} trace(s) pass", files.len());
+    ExitCode::SUCCESS
+}

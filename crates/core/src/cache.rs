@@ -354,6 +354,15 @@ pub fn run_scenario(
     extract: impl FnOnce(RunReport) -> Vec<Vec<f64>>,
 ) -> Vec<Vec<f64>> {
     let started = Instant::now();
+    if let Some(capacity) = crate::tracing::capacity() {
+        // Traced cells always simulate (the trace is a side effect of
+        // running) and are never stored: with tracing on, probe
+        // closures run, so timings would differ from untraced entries.
+        let rows = run_traced_cell(label, scenario, until, capacity, extract);
+        BYPASSED.fetch_add(1, Ordering::Relaxed);
+        record_cell(experiment, label, started, CellOutcome::Bypass);
+        return rows;
+    }
     if scenario.has_faults() {
         let rows = extract(scenario.run(until));
         BYPASSED.fetch_add(1, Ordering::Relaxed);
@@ -382,6 +391,53 @@ pub fn run_scenario(
     }
     record_cell(experiment, label, started, CellOutcome::Miss);
     rows
+}
+
+/// Number of trace events after which a deferred `--inject-panic`
+/// fires. Large enough for a meaningful partial prefix, small enough to
+/// abort well before a smoke cell finishes.
+const INJECT_AFTER_EVENTS: u64 = 1_000;
+
+/// Runs one cell with the trace recorder installed, writing the trace
+/// files on the way out — including the *partial* trace when the cell
+/// panics mid-run (the deferred `--inject-panic` path arms the recorder
+/// so the panic fires from inside the simulation).
+fn run_traced_cell(
+    label: &str,
+    scenario: Scenario,
+    until: SimTime,
+    capacity: usize,
+    extract: impl FnOnce(RunReport) -> Vec<Vec<f64>>,
+) -> Vec<Vec<f64>> {
+    let armed = crate::runner::inject_panic_label().as_deref() == Some(label);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        simcore::trace::install(capacity);
+        if armed {
+            simcore::trace::arm_panic_after(INJECT_AFTER_EVENTS);
+        }
+        let report = scenario.run(until);
+        let trace = simcore::trace::take().expect("recorder installed above");
+        (report, trace)
+    }));
+    match outcome {
+        Ok((report, trace)) => {
+            if let Err(e) = crate::tracing::write_files(label, &trace) {
+                eprintln!("trace: failed to write files for `{label}`: {e}");
+            }
+            extract(report)
+        }
+        Err(payload) => {
+            // Salvage whatever the recorder captured before the panic;
+            // the JSONL format is line-oriented, so a partial trace is
+            // still parseable by `traceck`.
+            if let Some(partial) = simcore::trace::take() {
+                if let Err(e) = crate::tracing::write_files(label, &partial) {
+                    eprintln!("trace: failed to write partial files for `{label}`: {e}");
+                }
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
 }
 
 #[cfg(test)]

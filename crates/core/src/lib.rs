@@ -53,6 +53,8 @@ mod knob;
 mod output;
 pub mod runner;
 mod scenario;
+pub mod traceck;
+pub mod tracing;
 
 pub use cell::{run_cells, Cell, CellRows, Staged};
 pub use fidelity::Fidelity;

@@ -96,6 +96,13 @@ pub fn set_inject_panic(label: Option<&str>) {
     *INJECT_PANIC.lock().expect("inject flag poisoned") = label.map(str::to_owned);
 }
 
+/// The currently armed inject-panic label, if any. The traced cell path
+/// ([`crate::cache`]) uses this to arm the recorder's mid-run panic
+/// instead of the up-front assert below.
+pub(crate) fn inject_panic_label() -> Option<String> {
+    INJECT_PANIC.lock().expect("inject flag poisoned").clone()
+}
+
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -114,8 +121,12 @@ fn run_cell<T>(index: usize, label: &str, task: impl FnOnce() -> T) -> Option<T>
         .expect("inject flag poisoned")
         .as_deref()
         == Some(label);
+    // With trace capture on, the injected panic is deferred into the
+    // traced run itself (the recorder is armed to panic mid-simulation;
+    // see crate::cache) so the partial-trace path gets exercised.
+    let inject_now = inject && !crate::tracing::enabled();
     match panic::catch_unwind(AssertUnwindSafe(|| {
-        assert!(!inject, "injected panic (requested for cell `{label}`)");
+        assert!(!inject_now, "injected panic (requested for cell `{label}`)");
         task()
     })) {
         Ok(v) => Some(v),

@@ -189,6 +189,28 @@ impl Scenario {
             .collect();
         HostSim::build(config, self.hierarchy, apps, self.devices).run(until)
     }
+
+    /// Runs the scenario with the request-lifecycle trace recorder
+    /// installed, returning both the report and the captured trace.
+    ///
+    /// `capacity` bounds the trace ring buffer: once full, the oldest
+    /// events are evicted and counted in [`simcore::trace::Trace::dropped`].
+    /// Tracing is scoped to this call — the recorder is installed before
+    /// the run and removed afterwards, even if the run panics.
+    ///
+    /// # Panics
+    ///
+    /// Propagates any panic from the run itself. The recorder is left
+    /// installed in that case so a `catch_unwind` caller can salvage the
+    /// partial trace with [`simcore::trace::take`] (which also
+    /// uninstalls it).
+    #[must_use]
+    pub fn run_traced(self, until: SimTime, capacity: usize) -> (RunReport, simcore::trace::Trace) {
+        simcore::trace::install(capacity);
+        let report = self.run(until);
+        let trace = simcore::trace::take().expect("recorder installed above");
+        (report, trace)
+    }
 }
 
 /// Aggregates per-app mean bandwidths into per-cgroup sums, ordered like

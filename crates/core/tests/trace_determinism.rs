@@ -1,0 +1,126 @@
+//! Determinism regression for the trace layer: the recorded event
+//! stream is part of the engine's byte-identical contract, so
+//!
+//! * a traced experiment grid must emit identical trace files on one
+//!   worker and on several (per-cell recorders are thread-local; any
+//!   cross-worker leakage or reordering fails here),
+//! * the timing-wheel and binary-heap event-queue backends must record
+//!   identical traces (the trace observes every FIFO tie-break the CSVs
+//!   can only aggregate away),
+//! * a small committed golden trace pins today's exact event stream —
+//!   schema, payloads, ordering — against any future engine change.
+//!   Regenerate deliberately with
+//!   `UPDATE_TRACE_GOLDEN=1 cargo test -p isol-bench --test trace_determinism`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use isol_bench::experiments::fig4;
+use isol_bench::{runner, tracing, Fidelity, Knob, OutputSink, Scenario};
+use simcore::{set_default_backend, QueueBackend, SimTime};
+use workload::JobSpec;
+
+/// Worker count, queue backend, and trace capture are process-global,
+/// so these tests must not interleave.
+static GLOBAL_CONFIG: Mutex<()> = Mutex::new(());
+
+/// Runs the fig4 smoke grid with `jobs` workers and tracing on,
+/// returning every written trace file as `name -> bytes`.
+fn traced_grid(jobs: usize, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let base: PathBuf = std::env::temp_dir().join(format!(
+        "isol-bench-trace-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    let trace_dir = base.join("traces");
+    runner::set_jobs(jobs);
+    tracing::set_dir(&trace_dir);
+    tracing::set_capacity(Some(tracing::DEFAULT_CAPACITY));
+    let mut sink = OutputSink::with_dir(&base).expect("temp output dir");
+    fig4::run(Fidelity::Smoke, &mut sink).expect("fig4 run");
+    tracing::set_capacity(None);
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(&trace_dir).expect("trace dir exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        out.insert(name, fs::read(&path).expect("trace file readable"));
+    }
+    fs::remove_dir_all(&base).ok();
+    out
+}
+
+#[test]
+fn traced_fig4_grid_is_byte_identical_across_worker_counts() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let sequential = traced_grid(1, "seq");
+    let parallel = traced_grid(4, "par");
+    runner::set_jobs(0);
+    assert!(!sequential.is_empty(), "traced grid wrote no trace files");
+    assert_eq!(
+        sequential.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "trace file sets differ between jobs=1 and jobs=4"
+    );
+    for (name, seq_bytes) in &sequential {
+        assert_eq!(
+            seq_bytes, &parallel[name],
+            "{name} differs between jobs=1 and jobs=4"
+        );
+    }
+}
+
+/// The fixed cell for backend comparison and the golden: the paper's
+/// two-tenant prioritization shape on mq-deadline, short enough that
+/// the golden stays a small fixture yet touches submit, QoS, scheduler,
+/// device, and completion events.
+fn golden_scenario() -> Scenario {
+    let knob = Knob::MqDlPrio;
+    let mut s = Scenario::new("trace-golden", 2, vec![knob.device_setup(false)]);
+    let prio = s.add_cgroup("prio");
+    let be = s.add_cgroup("be");
+    knob.configure_weights(&mut s, &[prio, be], &[800, 100]);
+    s.add_app(prio, JobSpec::lc_app("prio"));
+    s.add_app(be, JobSpec::batch_app("be"));
+    s
+}
+
+fn golden_jsonl(backend: QueueBackend) -> String {
+    set_default_backend(backend);
+    let (_, trace) = golden_scenario().run_traced(SimTime::from_micros(300), 1 << 16);
+    set_default_backend(QueueBackend::Wheel);
+    assert!(trace.is_lossless(), "golden cell overflowed its ring");
+    assert!(trace.is_complete(), "golden cell trace missing run_end");
+    trace.to_jsonl()
+}
+
+#[test]
+fn trace_is_byte_identical_across_queue_backends() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let wheel = golden_jsonl(QueueBackend::Wheel);
+    let heap = golden_jsonl(QueueBackend::Heap);
+    assert_eq!(
+        wheel, heap,
+        "trace bytes differ between wheel and heap queue backends"
+    );
+}
+
+#[test]
+fn trace_matches_committed_golden() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let current = golden_jsonl(QueueBackend::Wheel);
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_mq_prio.trace.jsonl");
+    if std::env::var_os("UPDATE_TRACE_GOLDEN").is_some() {
+        fs::write(&golden_path, &current).expect("write golden trace");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", golden_path.display()));
+    assert_eq!(
+        current, golden,
+        "trace stream diverged from the committed golden \
+         (if the schema or engine changed intentionally, regenerate with \
+         UPDATE_TRACE_GOLDEN=1)"
+    );
+}

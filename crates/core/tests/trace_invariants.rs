@@ -1,0 +1,233 @@
+//! Trace-invariant conformance suite: runs the full invariant checker
+//! (`isol_bench::traceck`) over a real traced simulation of every
+//! cgroup knob, plus a fault-injected scenario exercising the recovery
+//! path (media errors, timeouts, retries, controller resets).
+//!
+//! Every scenario here is captured losslessly (the ring is sized above
+//! the run's event count), so the whole checker suite runs: request
+//! span well-formedness, FIFO tie-break, `io.max` budget replay, vtime
+//! monotonicity, work conservation, and report reconciliation.
+
+use isol_bench::{traceck, Knob, Scenario};
+use nvme_sim::FaultConfig;
+use simcore::trace::{Trace, TraceKind};
+use simcore::{SimDuration, SimTime};
+use workload::JobSpec;
+
+/// Ring capacity comfortably above any of these runs' event counts, so
+/// the counting invariants are all checkable.
+const CAPACITY: usize = 1 << 21;
+
+/// Two tenants with an 8:1 weight advantage on one flash SSD — the
+/// paper's prioritization shape, long enough to exercise throttling and
+/// queueing on every knob.
+fn knob_scenario(knob: Knob) -> Scenario {
+    let mut s = Scenario::new(
+        &format!("traceck-{}", knob.label()),
+        4,
+        vec![knob.device_setup(false)],
+    );
+    let prio = s.add_cgroup("prio");
+    let be = s.add_cgroup("be");
+    knob.configure_weights(&mut s, &[prio, be], &[800, 100]);
+    s.add_app(prio, JobSpec::lc_app("prio"));
+    s.add_app(be, JobSpec::batch_app("be"));
+    s
+}
+
+fn run_and_check(knob: Knob) -> Trace {
+    let s = knob_scenario(knob);
+    // Long enough that io.max exhausts its burst allowance (5 % of the
+    // configured rate) and actually holds requests mid-run.
+    let (report, trace) = s.run_traced(SimTime::from_millis(60), CAPACITY);
+    assert!(
+        trace.is_lossless(),
+        "{}: ring too small ({} events dropped) — counting checks would be gated",
+        knob.label(),
+        trace.dropped
+    );
+    assert!(trace.is_complete(), "{}: missing run_end", knob.label());
+    let result = traceck::check(&trace);
+    assert!(
+        result.checks.contains(&"request-spans") && result.checks.contains(&"work-conservation"),
+        "{}: full checker suite did not run: {:?}",
+        knob.label(),
+        result.checks
+    );
+    assert!(
+        result.is_ok(),
+        "{}: invariant violations:\n{}",
+        knob.label(),
+        result
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let recon = traceck::check_against_report(&trace, &report);
+    assert!(
+        recon.is_empty(),
+        "{}: trace does not reconcile with the report:\n{}",
+        knob.label(),
+        recon
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    trace
+}
+
+fn count(trace: &Trace, kind: TraceKind) -> usize {
+    trace.events.iter().filter(|e| e.kind == kind).count()
+}
+
+#[test]
+fn none_baseline_trace_holds_all_invariants() {
+    let t = run_and_check(Knob::None);
+    assert!(count(&t, TraceKind::Submit) > 100);
+    assert!(count(&t, TraceKind::Complete) > 100);
+}
+
+#[test]
+fn mq_deadline_prio_trace_holds_all_invariants() {
+    let t = run_and_check(Knob::MqDlPrio);
+    // The knob maps weights onto distinct priority classes; both must
+    // appear in the dispatch stream (class is payload `a`).
+    let classes: std::collections::BTreeSet<u64> = t
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceKind::SchedDispatch)
+        .map(|e| e.a)
+        .collect();
+    assert!(
+        classes.len() >= 2,
+        "expected ≥2 priority classes: {classes:?}"
+    );
+}
+
+#[test]
+fn bfq_weight_trace_holds_all_invariants() {
+    run_and_check(Knob::BfqWeight);
+}
+
+#[test]
+fn io_max_trace_holds_all_invariants() {
+    let t = run_and_check(Knob::IoMax);
+    // The budget replay must actually have something to replay.
+    assert!(
+        count(&t, TraceKind::CfgIoMax) > 0,
+        "io.max limits not in trace"
+    );
+    assert!(
+        count(&t, TraceKind::IoMaxPass) > 100,
+        "io.max passes not traced"
+    );
+    assert!(
+        count(&t, TraceKind::QosEnter) > 0,
+        "a throttled run should hold some requests at a QoS stage"
+    );
+}
+
+#[test]
+fn io_latency_trace_holds_all_invariants() {
+    run_and_check(Knob::IoLatency);
+}
+
+#[test]
+fn io_cost_trace_holds_all_invariants() {
+    let t = run_and_check(Knob::IoCost);
+    assert!(
+        count(&t, TraceKind::VtimeAdvance) > 100,
+        "iocost vtime advances not traced"
+    );
+}
+
+/// Heavier fault mix than `q_faults` so a short run still sees media
+/// errors, deadline aborts, retries, and two full controller resets.
+fn heavy_faults() -> FaultConfig {
+    FaultConfig {
+        media_error_rate: 5e-3,
+        stall_rate: 1e-3,
+        stall: SimDuration::from_millis(30),
+        spike_rate: 1e-3,
+        spike_mult: 8.0,
+        reset_period: Some(SimDuration::from_millis(12)),
+        reset_duration: SimDuration::from_millis(1),
+        window: None,
+    }
+}
+
+#[test]
+fn faulted_trace_has_well_formed_recovery_spans() {
+    let device = Knob::MqDlPrio
+        .device_setup(false)
+        .with_faults(heavy_faults());
+    let mut s = Scenario::new("traceck-faulted", 4, vec![device]);
+    s.set_io_timeout(Some(SimDuration::from_millis(5)));
+    let prio = s.add_cgroup("prio");
+    let be = s.add_cgroup("be");
+    Knob::MqDlPrio.configure_weights(&mut s, &[prio, be], &[800, 100]);
+    s.add_app(prio, JobSpec::lc_app("prio"));
+    s.add_app(be, JobSpec::batch_app("be"));
+    let (report, trace) = s.run_traced(SimTime::from_millis(30), CAPACITY);
+    assert!(trace.is_lossless(), "{} events dropped", trace.dropped);
+    assert!(trace.is_complete());
+
+    // The recovery path must actually have fired…
+    assert!(
+        count(&trace, TraceKind::DeviceError) > 0,
+        "no media errors traced"
+    );
+    assert!(
+        count(&trace, TraceKind::TimeoutFired) > 0,
+        "no deadline aborts traced"
+    );
+    assert!(
+        count(&trace, TraceKind::RetryScheduled) > 0,
+        "no retries traced"
+    );
+    // A retry's backoff timer may still be pending when the run ends, so
+    // requeues can lag schedules — but never exceed them.
+    assert!(
+        count(&trace, TraceKind::RetryRequeue) > 0,
+        "no retry requeues traced"
+    );
+    assert!(
+        count(&trace, TraceKind::RetryRequeue) <= count(&trace, TraceKind::RetryScheduled),
+        "more requeues than scheduled retries"
+    );
+    assert!(
+        count(&trace, TraceKind::DeviceReset) >= 2,
+        "resets not traced"
+    );
+    assert_eq!(
+        count(&trace, TraceKind::DeviceReset),
+        count(&trace, TraceKind::DeviceRestart),
+        "every reset has a matching restart"
+    );
+
+    // …and the fault/retry spans must still satisfy every invariant.
+    let result = traceck::check(&trace);
+    assert!(
+        result.is_ok(),
+        "faulted run violates invariants:\n{}",
+        result
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let recon = traceck::check_against_report(&trace, &report);
+    assert!(
+        recon.is_empty(),
+        "faulted trace does not reconcile:\n{}",
+        recon
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

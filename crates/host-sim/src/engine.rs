@@ -6,6 +6,7 @@ use ioqos::{IoCostConfig, IoCostController, IoLatencyController, IoMaxThrottler,
 use iosched_sim::{Bfq, Kyber, MqDeadline, Noop, SchedKind, Scheduler};
 use iostats::{BandwidthSeries, LatencyHistogram};
 use nvme_sim::{CompletionStatus, FaultPlan, NvmeDevice, ServiceSlot, StartedCmd};
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
 use workload::AddressStream;
 
@@ -24,6 +25,46 @@ const DEEP_QD: u32 = 64;
 /// infinite queue depth (calibrated: ~3.8 µs/IO at QD 256 with io_uring,
 /// ~7.6 µs at QD 1 — the paper's Fig. 3d / Fig. 4 CPU shapes).
 const AMORT_FLOOR: f64 = 0.5;
+
+/// Stable wire index of a scheduler kind in `CfgSched` trace events.
+const fn sched_kind_index(kind: SchedKind) -> u64 {
+    match kind {
+        SchedKind::None => 0,
+        SchedKind::MqDeadline => 1,
+        SchedKind::Bfq => 2,
+        SchedKind::Kyber => 3,
+    }
+}
+
+/// Stable wire index of an `ioprio` class in scheduler/submit events.
+const fn prio_index(prio: blkio::PrioClass) -> u64 {
+    match prio {
+        blkio::PrioClass::Realtime => 0,
+        blkio::PrioClass::BestEffort => 1,
+        blkio::PrioClass::Idle => 2,
+    }
+}
+
+/// Trace probe for a per-request lifecycle point.
+fn req_event(kind: TraceKind, req: &IoRequest, now: SimTime, a: u64, b: u64) -> TraceEvent {
+    TraceEvent::new(
+        now.as_nanos(),
+        kind,
+        req.id,
+        req.group.0 as u32,
+        req.dev.0 as u32,
+        a,
+        b,
+    )
+}
+
+/// Trace probe for an app-issued request (`Submit`).
+fn submit_event(req: &IoRequest, now: SimTime) -> TraceEvent {
+    let flags = u64::from(req.op.is_write())
+        | (u64::from(req.pattern == blkio::AccessPattern::Random) << 1)
+        | (prio_index(req.prio) << 2);
+    req_event(TraceKind::Submit, req, now, u64::from(req.len), flags)
+}
 
 #[derive(Debug)]
 enum Event {
@@ -112,6 +153,28 @@ impl HostSim {
                 for &g in &group_ids {
                     sched.set_group_weight(g, hierarchy.bfq_weight(g, node));
                 }
+                trace::record_with(|| {
+                    TraceEvent::new(
+                        0,
+                        TraceKind::CfgDevice,
+                        0,
+                        0,
+                        d as u32,
+                        u64::from(setup.profile.max_qd),
+                        u64::from(setup.profile.units),
+                    )
+                });
+                trace::record_with(|| {
+                    TraceEvent::new(
+                        0,
+                        TraceKind::CfgSched,
+                        0,
+                        0,
+                        d as u32,
+                        sched_kind_index(setup.scheduler),
+                        0,
+                    )
+                });
                 // QoS chain, kernel order: io.max → io.cost → io.latency.
                 let mut qos = QosChain::new();
                 let mut throttler = IoMaxThrottler::new();
@@ -119,6 +182,26 @@ impl HostSim {
                 for &g in &group_ids {
                     let limits = hierarchy.io_max(g, node);
                     if !limits.is_unlimited() {
+                        // Self-describing trace: one CfgIoMax event per
+                        // configured bucket (0 rbps, 1 wbps, 2 riops,
+                        // 3 wiops) so the invariant checker can replay
+                        // the exact budget.
+                        let buckets = [limits.rbps, limits.wbps, limits.riops, limits.wiops];
+                        for (bucket, rate) in buckets.iter().enumerate() {
+                            if let Some(rate) = rate {
+                                trace::record_with(|| {
+                                    TraceEvent::new(
+                                        0,
+                                        TraceKind::CfgIoMax,
+                                        bucket as u64,
+                                        g.0 as u32,
+                                        d as u32,
+                                        *rate,
+                                        0,
+                                    )
+                                });
+                            }
+                        }
                         throttler.set_limits(g, limits);
                         any_max = true;
                     }
@@ -325,7 +408,21 @@ impl HostSim {
                 Event::IoTimeout(d, gen) => self.on_io_timeout(d, gen),
                 Event::RetryTimer(d, gen) => self.on_retry_timer(d, gen),
                 Event::DeviceReset(d) => self.on_device_reset(d),
-                Event::DeviceRestart(d) => self.pump_device(d),
+                Event::DeviceRestart(d) => {
+                    let now = self.now;
+                    trace::record_with(|| {
+                        TraceEvent::new(
+                            now.as_nanos(),
+                            TraceKind::DeviceRestart,
+                            0,
+                            0,
+                            d.0 as u32,
+                            0,
+                            0,
+                        )
+                    });
+                    self.pump_device(d);
+                }
             }
             peak = peak.max(self.queue.len() as u64);
         }
@@ -335,6 +432,7 @@ impl HostSim {
         });
         crate::stats::record_faults(t, r, f);
         self.now = until;
+        trace::record_with(|| TraceEvent::new(until.as_nanos(), TraceKind::RunEnd, 0, 0, 0, 0, 0));
         self.finish(until)
     }
 
@@ -378,6 +476,7 @@ impl HostSim {
         if !active {
             return;
         }
+        let now = self.now;
         loop {
             let app = &mut self.apps[a.index()];
             if app.inflight >= app.spec.iodepth() {
@@ -404,6 +503,7 @@ impl HostSim {
             req.prio = app.prio;
             app.inflight += 1;
             app.issued += 1;
+            trace::record_with(|| submit_event(&req, now));
             let qd = app.spec.iodepth();
             let engine = app.spec.engine();
             let core = app.core;
@@ -452,6 +552,16 @@ impl HostSim {
                 self.pump_device(dev);
             }
             Work::Complete(req) => {
+                let now = self.now;
+                trace::record_with(|| {
+                    req_event(
+                        TraceKind::Complete,
+                        &req,
+                        now,
+                        now.saturating_since(req.issued_at).as_nanos(),
+                        u64::from(req.op.is_write()),
+                    )
+                });
                 let ctx_factor = self.devs[req.dev.index()].ctx_factor;
                 let app = &mut self.apps[req.app.index()];
                 app.inflight = app.inflight.saturating_sub(1);
@@ -481,6 +591,10 @@ impl HostSim {
                 // The app observes an error completion: the in-flight
                 // slot frees (so closed-loop jobs keep issuing) but no
                 // latency/bandwidth sample is recorded.
+                let now = self.now;
+                trace::record_with(|| {
+                    req_event(TraceKind::Fail, &req, now, u64::from(req.retries), 0)
+                });
                 let app = &mut self.apps[req.app.index()];
                 app.inflight = app.inflight.saturating_sub(1);
                 app.failed += 1;
@@ -590,6 +704,15 @@ impl HostSim {
                 .config
                 .retry_backoff
                 .mul_f64(f64::from(1u32 << exp.min(16)));
+            trace::record_with(|| {
+                req_event(
+                    TraceKind::RetryScheduled,
+                    &req,
+                    now,
+                    u64::from(req.retries),
+                    backoff.as_nanos(),
+                )
+            });
             let dh = &mut self.devs[dev.index()];
             dh.retries += 1;
             dh.retry_queue.push((now + backoff, req));
@@ -634,6 +757,24 @@ impl HostSim {
             dh.timeouts.pop_front();
             if let Some(req) = dh.device.abort(slot, sgen) {
                 dh.timeouts_fired += 1;
+                trace::record_with(|| {
+                    req_event(
+                        TraceKind::TimeoutFired,
+                        &req,
+                        now,
+                        u64::from(req.retries),
+                        0,
+                    )
+                });
+                trace::record_with(|| {
+                    req_event(
+                        TraceKind::DeviceAbort,
+                        &req,
+                        now,
+                        u64::from(req.len),
+                        u64::from(req.op.is_write()),
+                    )
+                });
                 dh.sched.on_complete(&req, now);
                 self.handle_attempt_failure(dev, req);
             }
@@ -656,6 +797,9 @@ impl HostSim {
             if dh.retry_queue[i].0 <= now {
                 let (_, mut r) = dh.retry_queue.remove(i);
                 r.scheduled_at = now;
+                trace::record_with(|| {
+                    req_event(TraceKind::RetryRequeue, &r, now, u64::from(r.retries), 0)
+                });
                 dh.sched.insert(r, now);
             } else {
                 i += 1;
@@ -674,6 +818,18 @@ impl HostSim {
         // retry budget). Their old DeviceDone events and deadlines go
         // stale via the slot generations.
         let bounced = dh.device.reset(now, until);
+        let n_bounced = bounced.len() as u64;
+        trace::record_with(|| {
+            TraceEvent::new(
+                now.as_nanos(),
+                TraceKind::DeviceReset,
+                0,
+                0,
+                dev.0 as u32,
+                n_bounced,
+                until.as_nanos(),
+            )
+        });
         dh.timeouts.clear();
         for mut r in bounced {
             r.scheduled_at = now;

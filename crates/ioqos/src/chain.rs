@@ -1,6 +1,7 @@
 //! Composition of QoS controllers into the kernel's `rq_qos` stack.
 
 use blkio::IoRequest;
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime};
 
 use crate::{IoCostController, IoLatencyController, IoMaxThrottler, QosController, SubmitOutcome};
@@ -150,9 +151,23 @@ impl QosChain {
         let start = usize::from(req.qos_stage);
         for i in start..self.stages.len() {
             req.qos_stage = i as u8;
+            let (id, group, dev) = (req.id, req.group, req.dev);
             match self.stages[i].ctrl_mut().on_submit(req, now) {
                 SubmitOutcome::Pass(r) => req = r,
-                SubmitOutcome::Held => return None,
+                SubmitOutcome::Held => {
+                    trace::record_with(|| {
+                        TraceEvent::new(
+                            now.as_nanos(),
+                            TraceKind::QosEnter,
+                            id,
+                            group.0 as u32,
+                            dev.0 as u32,
+                            i as u64,
+                            0,
+                        )
+                    });
+                    return None;
+                }
             }
         }
         req.qos_stage = self.stages.len() as u8;

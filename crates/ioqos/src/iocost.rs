@@ -28,9 +28,23 @@ use std::collections::{HashMap, VecDeque};
 use blkio::{AccessPattern, GroupId, IoOp, IoRequest};
 use cgroup_sim::{IoCostModel, IoCostQos};
 use serde::{Deserialize, Serialize};
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime};
 
 use crate::{QosController, SubmitOutcome};
+
+/// A group's vtime advanced to `vtime` charging `abs` for `req` (probe).
+fn vtime_event(req: &IoRequest, now: SimTime, vtime: f64, abs: f64) -> TraceEvent {
+    TraceEvent::new(
+        now.as_nanos(),
+        TraceKind::VtimeAdvance,
+        req.id,
+        req.group.0 as u32,
+        req.dev.0 as u32,
+        vtime.to_bits(),
+        abs.to_bits(),
+    )
+}
 
 /// Configuration of one device's iocost instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -293,6 +307,8 @@ impl QosController for IoCostController {
             g.vtime += charge;
             g.spent_in_period += charge;
             g.inflight += 1;
+            let vtime = g.vtime;
+            trace::record_with(|| vtime_event(&req, now, vtime, abs));
             SubmitOutcome::Pass(req)
         } else {
             g.held.push_back((req, abs));
@@ -334,10 +350,12 @@ impl QosController for IoCostController {
             while let Some((_, abs)) = g.held.front() {
                 let charge = abs / hw;
                 if g.vtime + charge <= vnow + margin {
-                    let (req, _) = g.held.pop_front().expect("nonempty");
+                    let (req, abs) = g.held.pop_front().expect("nonempty");
                     g.vtime += charge;
                     g.spent_in_period += charge;
                     g.inflight += 1;
+                    let vtime = g.vtime;
+                    trace::record_with(|| vtime_event(&req, now, vtime, abs));
                     out.push(req);
                 } else {
                     break;

@@ -4,12 +4,28 @@ use std::collections::{HashMap, VecDeque};
 
 use blkio::{GroupId, IoRequest};
 use cgroup_sim::IoMax;
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime, TokenBucket};
 
 use crate::{QosController, SubmitOutcome};
 
 /// Burst window the buckets accumulate (kernel `throtl_slice`-like).
 const BURST_SECS: f64 = 0.05;
+
+/// Minimum burst allowance of a byte-rate bucket.
+pub const MIN_BURST_BYTES: f64 = 256.0 * 1024.0;
+
+/// Minimum burst allowance of an IOPS bucket.
+pub const MIN_BURST_IOS: f64 = 1.0;
+
+/// The burst capacity (in tokens) a bucket with the given rate gets.
+/// Exported so the trace-invariant checker replays the exact budget the
+/// throttler enforces.
+#[must_use]
+pub fn burst_tokens(rate: u64, min_burst: f64) -> f64 {
+    let r = rate.max(1) as f64;
+    (r * BURST_SECS).max(min_burst)
+}
 
 #[derive(Debug)]
 struct GroupThrottle {
@@ -26,16 +42,13 @@ struct GroupThrottle {
 impl GroupThrottle {
     fn new(limits: IoMax) -> Self {
         let bucket = |rate: Option<u64>, min_burst: f64| {
-            rate.map(|r| {
-                let r = r.max(1) as f64;
-                TokenBucket::new(r, (r * BURST_SECS).max(min_burst))
-            })
+            rate.map(|r| TokenBucket::new(r.max(1) as f64, burst_tokens(r, min_burst)))
         };
         GroupThrottle {
-            rbps: bucket(limits.rbps, 256.0 * 1024.0),
-            wbps: bucket(limits.wbps, 256.0 * 1024.0),
-            riops: bucket(limits.riops, 1.0),
-            wiops: bucket(limits.wiops, 1.0),
+            rbps: bucket(limits.rbps, MIN_BURST_BYTES),
+            wbps: bucket(limits.wbps, MIN_BURST_BYTES),
+            riops: bucket(limits.riops, MIN_BURST_IOS),
+            wiops: bucket(limits.wiops, MIN_BURST_IOS),
             limits,
             held_r: VecDeque::new(),
             held_w: VecDeque::new(),
@@ -163,6 +176,7 @@ impl QosController for IoMaxThrottler {
             g.held_w.is_empty()
         };
         if queue_empty && g.try_take(&req, now).is_ok() {
+            trace::record_with(|| iomax_pass_event(&req, now));
             SubmitOutcome::Pass(req)
         } else if req.op.is_read() {
             g.held_r.push_back(req);
@@ -192,7 +206,9 @@ impl QosController for IoMaxThrottler {
                         } else {
                             &mut g.held_w
                         };
-                        out.push(q.pop_front().expect("head exists"));
+                        let released = q.pop_front().expect("head exists");
+                        trace::record_with(|| iomax_pass_event(&released, now));
+                        out.push(released);
                     } else {
                         break;
                     }
@@ -223,6 +239,19 @@ impl QosController for IoMaxThrottler {
     fn name(&self) -> &'static str {
         "io.max"
     }
+}
+
+/// A request consumed `io.max` tokens at `now` (trace probe).
+fn iomax_pass_event(req: &IoRequest, now: SimTime) -> TraceEvent {
+    TraceEvent::new(
+        now.as_nanos(),
+        TraceKind::IoMaxPass,
+        req.id,
+        req.group.0 as u32,
+        req.dev.0 as u32,
+        u64::from(req.len),
+        u64::from(req.op.is_write()),
+    )
 }
 
 #[cfg(test)]

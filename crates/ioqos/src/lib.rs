@@ -54,7 +54,7 @@ mod iomax;
 pub use chain::QosChain;
 pub use iocost::{IoCostConfig, IoCostController};
 pub use iolatency::IoLatencyController;
-pub use iomax::IoMaxThrottler;
+pub use iomax::{burst_tokens, IoMaxThrottler, MIN_BURST_BYTES, MIN_BURST_IOS};
 
 use blkio::IoRequest;
 use simcore::{SimDuration, SimTime};

@@ -53,9 +53,28 @@ pub use kyber::{Kyber, KyberConfig};
 pub use mq_deadline::{MqDeadline, MqDeadlineConfig};
 pub use noop::Noop;
 
-use blkio::{GroupId, IoRequest};
+use blkio::{GroupId, IoRequest, PrioClass};
 use serde::{Deserialize, Serialize};
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime};
+
+/// Trace probe shared by the enqueue/dispatch instrumentation points.
+fn sched_event(kind: TraceKind, req: &IoRequest, now: SimTime) -> TraceEvent {
+    let class = match req.prio {
+        PrioClass::Realtime => 0,
+        PrioClass::BestEffort => 1,
+        PrioClass::Idle => 2,
+    };
+    TraceEvent::new(
+        now.as_nanos(),
+        kind,
+        req.id,
+        req.group.0 as u32,
+        req.dev.0 as u32,
+        class,
+        u64::from(req.op.is_write()),
+    )
+}
 
 /// Which scheduler is attached to a device queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -198,13 +217,18 @@ impl Scheduler {
     /// Queues a request. See [`IoScheduler::insert`].
     #[inline]
     pub fn insert(&mut self, req: IoRequest, now: SimTime) {
+        trace::record_with(|| sched_event(TraceKind::SchedEnqueue, &req, now));
         each_sched!(self, s => s.insert(req, now));
     }
 
     /// Picks the next request to dispatch. See [`IoScheduler::dispatch`].
     #[inline]
     pub fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
-        each_sched!(self, s => s.dispatch(now))
+        let picked = each_sched!(self, s => s.dispatch(now));
+        if let Some(req) = &picked {
+            trace::record_with(|| sched_event(TraceKind::SchedDispatch, req, now));
+        }
+        picked
     }
 
     /// `true` if any request is queued. See [`IoScheduler::has_pending`].

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use blkio::IoRequest;
+use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{DetRng, SimDuration, SimTime};
 
 use crate::fault::{CommandFate, CompletionStatus, FaultCounters, FaultPlan};
@@ -243,6 +244,17 @@ impl NvmeDevice {
                 break;
             };
             let (done_at, status) = self.service(&req, now);
+            trace::record_with(|| {
+                TraceEvent::new(
+                    now.as_nanos(),
+                    TraceKind::DeviceStart,
+                    req.id,
+                    req.group.0 as u32,
+                    req.dev.0 as u32,
+                    u64::from(req.len),
+                    u64::from(req.op.is_write()),
+                )
+            });
             self.busy_units += 1;
             let slot = self
                 .free
@@ -339,7 +351,7 @@ impl NvmeDevice {
         &mut self,
         slot: ServiceSlot,
         gen: u64,
-        _now: SimTime,
+        now: SimTime,
     ) -> Option<(IoRequest, CompletionStatus)> {
         let i = slot.index();
         if self.gens[i] != gen {
@@ -354,6 +366,29 @@ impl NvmeDevice {
             self.served_ios += 1;
             self.served_bytes += u64::from(req.len);
         }
+        trace::record_with(|| {
+            if status == CompletionStatus::Success {
+                TraceEvent::new(
+                    now.as_nanos(),
+                    TraceKind::DeviceComplete,
+                    req.id,
+                    req.group.0 as u32,
+                    req.dev.0 as u32,
+                    u64::from(req.len),
+                    u64::from(req.op.is_write()),
+                )
+            } else {
+                TraceEvent::new(
+                    now.as_nanos(),
+                    TraceKind::DeviceError,
+                    req.id,
+                    req.group.0 as u32,
+                    req.dev.0 as u32,
+                    1, // MediaError
+                    u64::from(req.retries),
+                )
+            }
+        });
         Some((req, status))
     }
 

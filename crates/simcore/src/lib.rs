@@ -37,6 +37,7 @@ pub mod hash;
 mod rng;
 mod time;
 mod token;
+pub mod trace;
 
 pub use events::{default_backend, set_default_backend, EventQueue, QueueBackend};
 pub use ewma::Ewma;

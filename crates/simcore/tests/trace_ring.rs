@@ -1,0 +1,133 @@
+//! Property tests for the trace ring buffer: arbitrary event sequences
+//! round-trip through [`TraceRecorder`] with oldest-first eviction at
+//! capacity, exact ordering, no loss below capacity, and lossless JSONL
+//! serialization — plus the overhead guard asserting that a *disabled*
+//! recorder adds no measurable cost to the event hot path.
+
+use proptest::prelude::*;
+use simcore::trace::{self, Trace, TraceEvent, TraceKind, TraceRecorder};
+
+/// SplitMix64 finalizer — decorrelates the per-field values derived
+/// from one seed.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An arbitrary event: kind and payload words drawn from the seed, time
+/// from the sequence position (recorders never see time go backwards).
+#[allow(clippy::cast_possible_truncation)]
+fn event(i: usize, seed: u64) -> TraceEvent {
+    let kind = TraceKind::ALL[(mix(seed) % TraceKind::ALL.len() as u64) as usize];
+    TraceEvent::new(
+        i as u64,
+        kind,
+        mix(seed ^ 1),
+        mix(seed ^ 2) as u32,
+        mix(seed ^ 3) as u32,
+        mix(seed ^ 4),
+        mix(seed ^ 5),
+    )
+}
+
+fn events(seeds: &[u64]) -> Vec<TraceEvent> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| event(i, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn below_capacity_nothing_is_lost(
+        seeds in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+        slack in 0usize..64,
+    ) {
+        let evs = events(&seeds);
+        let mut r = TraceRecorder::new(evs.len() + slack + 1);
+        for (i, &e) in evs.iter().enumerate() {
+            r.push(e);
+            prop_assert_eq!(r.len(), i + 1);
+            prop_assert_eq!(r.dropped(), 0);
+        }
+        prop_assert_eq!(r.is_empty(), evs.is_empty());
+        let t = r.into_trace();
+        prop_assert!(t.is_lossless());
+        prop_assert_eq!(&t.events, &evs);
+    }
+
+    #[test]
+    fn at_capacity_oldest_events_evict_first(
+        seeds in proptest::collection::vec(0u64..=u64::MAX, 1..400),
+        cap in 1usize..64,
+    ) {
+        let evs = events(&seeds);
+        let mut r = TraceRecorder::new(cap);
+        for (i, &e) in evs.iter().enumerate() {
+            r.push(e);
+            prop_assert_eq!(r.len(), (i + 1).min(cap));
+            prop_assert_eq!(r.dropped(), (i + 1).saturating_sub(cap) as u64);
+        }
+        let t = r.into_trace();
+        let start = evs.len().saturating_sub(cap);
+        prop_assert_eq!(&t.events, &evs[start..]);
+        prop_assert_eq!(t.dropped, start as u64);
+        prop_assert_eq!(t.is_lossless(), start == 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one(seeds in proptest::collection::vec(0u64..=u64::MAX, 1..20)) {
+        let evs = events(&seeds);
+        let mut r = TraceRecorder::new(0);
+        for &e in &evs {
+            r.push(e);
+        }
+        let t = r.into_trace();
+        prop_assert_eq!(&t.events[..], &evs[evs.len() - 1..]);
+        prop_assert_eq!(t.dropped, evs.len() as u64 - 1);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless(
+        seeds in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+        cap in 1usize..256,
+    ) {
+        let mut r = TraceRecorder::new(cap);
+        for e in events(&seeds) {
+            r.push(e);
+        }
+        let t = r.into_trace();
+        let parsed = Trace::from_jsonl(&t.to_jsonl());
+        prop_assert!(parsed.is_ok(), "round-trip parse failed: {:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), t);
+    }
+}
+
+/// Overhead guard: with no recorder installed, [`trace::record_with`]
+/// must never build its event (the closure is the expensive part on the
+/// hot path) and must cost no more than a TLS flag read — budgeted here
+/// at two orders of magnitude above the real cost so the guard only
+/// trips on a genuine regression (an always-built event or an
+/// always-taken lock), never on a slow CI machine.
+#[test]
+fn disabled_recorder_skips_event_construction_on_the_hot_path() {
+    assert!(!trace::enabled());
+    const CALLS: u64 = 10_000_000;
+    let start = std::time::Instant::now();
+    for i in 0..CALLS {
+        trace::record_with(|| {
+            panic!("event built with tracing disabled (call {i})");
+        });
+    }
+    let elapsed = start.elapsed();
+    assert!(trace::take().is_none(), "no recorder was ever installed");
+    let per_call_ns = elapsed.as_nanos() as f64 / CALLS as f64;
+    assert!(
+        per_call_ns < 200.0,
+        "disabled record_with costs {per_call_ns:.1} ns/call — the no-op path regressed"
+    );
+}

@@ -59,4 +59,17 @@ hits=$(grep -o '"hits": [0-9]*' target/isol-bench/timings.json | head -1 | grep 
     || { echo "FAIL: warm run reported zero cache hits"; exit 1; }
 rm -rf "$cold_dir"
 
+echo "==> trace check (traced smoke run must satisfy every trace invariant)"
+rm -rf target/isol-bench/traces
+./target/release/figures --smoke --no-cache --trace fig4 > /dev/null
+./target/release/traceck
+
+echo "==> partial-trace check (a panicked traced cell must still leave a checkable trace)"
+rm -rf target/isol-bench/traces
+./target/release/figures --smoke --faults --no-cache --trace \
+    --inject-panic q_faults-io.cost q_faults > /dev/null
+test -s target/isol-bench/traces/q_faults-io.cost.trace.jsonl \
+    || { echo "FAIL: panicked cell left no partial trace"; exit 1; }
+./target/release/traceck
+
 echo "OK"
