@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! figures [--fidelity smoke|standard|full] [--smoke] [--jobs N|auto]
-//!         [--no-cache] [--refresh] [--profile] [--faults]
-//!         [--trace[=N]] [--inject-panic LABEL]
+//!         [--shards N|auto] [--no-cache] [--refresh] [--profile]
+//!         [--faults] [--trace[=N]] [--inject-panic LABEL]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
 //!          q_faults | all]
 //! ```
@@ -14,9 +14,13 @@
 //! selected.
 //!
 //! `--jobs` sets how many scenarios run concurrently (default: all
-//! available cores). Output is byte-identical for every jobs value;
-//! only wall-clock time changes. Per-experiment and per-cell timings
-//! land in `target/isol-bench/timings.json`.
+//! available cores). `--shards` sets how many engine shards a *single*
+//! scenario may use when its devices decouple (default: the cores left
+//! over after `--jobs`; `jobs × shards` is clamped to the available
+//! cores with a warning instead of silently oversubscribing). Output is
+//! byte-identical for every jobs and shards value; only wall-clock time
+//! changes. Per-experiment and per-cell timings land in
+//! `target/isol-bench/timings.json`.
 //!
 //! # Incremental runs
 //!
@@ -81,7 +85,7 @@ use isol_bench::experiments::{
 };
 use isol_bench::{cache, runner, Cell, Fidelity, OutputSink, Staged};
 use isol_bench_harness::{
-    parse_jobs, parse_selection, CellTiming, Failures, Profiles, Timings, OUTPUT_DIR,
+    parse_jobs, parse_selection, parse_shards, CellTiming, Failures, Profiles, Timings, OUTPUT_DIR,
 };
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -175,6 +179,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--shards" {
+            match args.next().as_deref().map(parse_shards) {
+                Some(Ok(n)) => runner::set_shards(n),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--shards needs a value (a shard count or `auto`)");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             rest.push(a);
         }
@@ -209,8 +225,21 @@ fn main() -> ExitCode {
         }
     };
     let jobs = runner::jobs();
+    // Sharding is bit-exact, so capping it only changes wall-clock time:
+    // refuse to oversubscribe the machine silently.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shards = runner::shards();
+    let capped = (cores / jobs).max(1);
+    if shards > capped {
+        eprintln!(
+            "warning: --jobs {jobs} x --shards {shards} oversubscribes {cores} core(s); \
+             capping shards to {capped} (results are identical for any shard count)"
+        );
+        runner::set_shards(capped);
+    }
+    let shards = runner::shards();
     sink.note(&format!(
-        "# isol-bench figure regeneration ({fidelity:?} fidelity, {jobs} jobs), CSVs in {OUTPUT_DIR}/"
+        "# isol-bench figure regeneration ({fidelity:?} fidelity, {jobs} jobs, {shards} shards), CSVs in {OUTPUT_DIR}/"
     ));
     if let Some(capacity) = isol_bench::tracing::capacity() {
         isol_bench::tracing::reset_written();
@@ -229,6 +258,7 @@ fn main() -> ExitCode {
     let t0 = Instant::now();
     let mut timings = Timings::new(&format!("{fidelity:?}").to_lowercase(), jobs);
     timings.set_scheduler(if global_sched { "global" } else { "sequential" });
+    timings.set_shards(shards);
     let mut profiles = Profiles::new();
     let mut failures = Failures::new();
     let mut batch_cells: Vec<cache::CellStat> = Vec::new();
@@ -247,8 +277,19 @@ fn main() -> ExitCode {
                         after.events_popped - $before.events_popped,
                         $elapsed,
                         after.peak_pending,
+                        (
+                            after.sharded_runs - $before.sharded_runs,
+                            after.barrier_stalls - $before.barrier_stalls,
+                            after.mailbox_batches - $before.mailbox_batches,
+                        ),
                     );
                     sink.note(&line);
+                    let per_shard = host_sim::stats::shard_events();
+                    if after.sharded_runs > $before.sharded_runs && !per_shard.is_empty() {
+                        sink.note(&format!(
+                            "(last sharded run: events per shard {per_shard:?})"
+                        ));
+                    }
                 }
             };
         }

@@ -1,0 +1,282 @@
+//! Performance snapshot and regression gate (`BENCH_pr6.json`).
+//!
+//! ```text
+//! perfsnap --update   # measure and (over)write BENCH_pr6.json
+//! perfsnap --check    # measure and fail on >10 % regression
+//! ```
+//!
+//! Three hand-rolled measurements (Criterion is a dev-dependency of the
+//! benches only, so this binary times by hand — median of
+//! [`SAMPLES`] runs each):
+//!
+//! * `event_queue_mops` — wheel-backed `EventQueue` churn throughput
+//!   (the engine's hot path; mirrors the `event_queue` Criterion bench),
+//! * `fleet_shard1_ms` / `fleet_shard4_ms` — the 7-SSD fleet scenario
+//!   at `--shards 1` vs `--shards 4` (mirrors the `shard` bench). The
+//!   reports must be identical; the ratio is the sharding speedup,
+//! * `cells_per_sec` — end-to-end smoke-fidelity cell throughput from a
+//!   `figures` run's `timings.json` when one is present (skipped
+//!   otherwise, so `--check` works in a fresh checkout).
+//!
+//! `--check` compares against the committed snapshot and fails when a
+//! throughput metric drops (or a latency metric rises) by more than
+//! [`TOLERANCE`]. The `shards = 4` speedup gate (≥ 2.5×) only arms when
+//! the machine has at least 4 cores — on smaller hosts the snapshot
+//! still records the measured ratio, but physics caps it near 1×.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use isol_bench::experiments::fleet;
+use isol_bench::Knob;
+use isol_bench_harness::OUTPUT_DIR;
+use simcore::{EventQueue, SimDuration, SimTime};
+
+/// Committed snapshot path (repo root).
+const SNAPSHOT: &str = "BENCH_pr6.json";
+/// Regression tolerance: fail `--check` beyond ±10 %.
+const TOLERANCE: f64 = 0.10;
+/// Timed samples per metric (median reported).
+const SAMPLES: usize = 5;
+/// Cores needed before the sharding-speedup gate arms.
+const SPEEDUP_CORES: usize = 4;
+/// Required fleet speedup at 4 shards on a ≥ 4-core machine.
+const SPEEDUP_FLOOR: f64 = 2.5;
+
+/// Median of `n` timed runs, in seconds.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The `event_queue` churn workload: bounded pending set, one re-arm
+/// per pop (10k events, QD 256) — events per second.
+fn event_queue_mops() -> f64 {
+    const EVENTS: u64 = 100_000;
+    const PENDING: u64 = 256;
+    let run = || {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(PENDING as usize);
+        for i in 0..PENDING {
+            q.schedule(SimTime::from_nanos(i * 997), i);
+        }
+        let mut sum = 0u64;
+        let mut next = PENDING;
+        while next < EVENTS {
+            let (t, v) = q.pop().expect("pending set never empties");
+            sum = sum.wrapping_add(v);
+            q.schedule(t + SimDuration::from_nanos(997 + v % 131), next);
+            next += 1;
+        }
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
+    };
+    let secs = median_secs(SAMPLES, run);
+    EVENTS as f64 / secs / 1e6
+}
+
+/// One fleet run at the given shard count, returning (median seconds,
+/// a determinism fingerprint of the report).
+fn fleet_run(shards: usize) -> (f64, u64) {
+    let until = fleet::bench_duration();
+    let mut fingerprint = 0u64;
+    let secs = median_secs(SAMPLES, || {
+        let sim = fleet::fleet_scenario(Knob::None, fleet::FLEET_SSDS).build_host(until);
+        let r = sim.run_sharded(until, shards);
+        fingerprint = r.apps.iter().fold(0u64, |acc, a| {
+            acc.wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(a.completed)
+                .wrapping_add(a.latency.p99_us.to_bits())
+        });
+        black_box(&r);
+    });
+    (secs, fingerprint)
+}
+
+/// Cells per second from the latest `figures` run, if one exists.
+fn cells_per_sec() -> Option<f64> {
+    let json = std::fs::read_to_string(format!("{OUTPUT_DIR}/timings.json")).ok()?;
+    // Count cell objects and sum their seconds (hand-rolled scan over
+    // the hand-rolled JSON).
+    let mut count = 0usize;
+    let mut secs = 0.0f64;
+    for line in json.lines() {
+        let line = line.trim_start();
+        if line.starts_with("{\"experiment\": ") {
+            if let Some(v) = line
+                .split("\"seconds\": ")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+            {
+                if let Ok(s) = v.parse::<f64>() {
+                    count += 1;
+                    secs += s;
+                }
+            }
+        }
+    }
+    (count > 0 && secs > 0.0).then(|| count as f64 / secs)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    host_cores: usize,
+    event_queue_mops: f64,
+    fleet_shard1_ms: f64,
+    fleet_shard4_ms: f64,
+    speedup: f64,
+    cells_per_sec: Option<f64>,
+}
+
+impl Snapshot {
+    fn measure() -> Self {
+        let host_cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mops = event_queue_mops();
+        let (s1, fp1) = fleet_run(1);
+        let (s4, fp4) = fleet_run(4);
+        assert_eq!(
+            fp1, fp4,
+            "sharded fleet report diverged from the sequential report"
+        );
+        Snapshot {
+            host_cores,
+            event_queue_mops: mops,
+            fleet_shard1_ms: s1 * 1e3,
+            fleet_shard4_ms: s4 * 1e3,
+            speedup: s1 / s4,
+            cells_per_sec: cells_per_sec(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let cells = self
+            .cells_per_sec
+            .map_or("null".to_owned(), |v| format!("{v:.2}"));
+        format!(
+            "{{\n  \"host_cores\": {},\n  \"event_queue_mops\": {:.2},\n  \
+             \"fleet_shard1_ms\": {:.2},\n  \"fleet_shard4_ms\": {:.2},\n  \
+             \"fleet_speedup_4shards\": {:.3},\n  \"cells_per_sec\": {cells}\n}}\n",
+            self.host_cores,
+            self.event_queue_mops,
+            self.fleet_shard1_ms,
+            self.fleet_shard4_ms,
+            self.speedup,
+        )
+    }
+}
+
+/// Pulls `"key": <number>` out of the snapshot JSON.
+fn field(json: &str, key: &str) -> Option<f64> {
+    json.split(&format!("\"{key}\": "))
+        .nth(1)?
+        .split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn check(current: Snapshot, baseline: &str) -> Result<(), String> {
+    let mut failures = Vec::new();
+    // Throughput metrics: fail when current drops >10 % below baseline.
+    if let Some(base) = field(baseline, "event_queue_mops") {
+        if current.event_queue_mops < base * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "event_queue_mops regressed: {:.2} vs baseline {base:.2}",
+                current.event_queue_mops
+            ));
+        }
+    }
+    // Latency metrics: fail when current rises >10 % above baseline.
+    for (key, cur) in [
+        ("fleet_shard1_ms", current.fleet_shard1_ms),
+        ("fleet_shard4_ms", current.fleet_shard4_ms),
+    ] {
+        if let Some(base) = field(baseline, key) {
+            if cur > base * (1.0 + TOLERANCE) {
+                failures.push(format!(
+                    "{key} regressed: {cur:.2} ms vs baseline {base:.2} ms"
+                ));
+            }
+        }
+    }
+    if let (Some(base), Some(cur)) = (field(baseline, "cells_per_sec"), current.cells_per_sec) {
+        if cur < base * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "cells_per_sec regressed: {cur:.2} vs baseline {base:.2}"
+            ));
+        }
+    }
+    // The acceptance gate: ≥ 2.5× at 4 shards, only meaningful with the
+    // cores to run them.
+    if current.host_cores >= SPEEDUP_CORES && current.speedup < SPEEDUP_FLOOR {
+        failures.push(format!(
+            "fleet speedup at 4 shards is {:.2}x on a {}-core host (floor {SPEEDUP_FLOOR}x)",
+            current.speedup, current.host_cores
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1);
+    let current = Snapshot::measure();
+    println!(
+        "perfsnap: {} core(s), event_queue {:.2} Mops/s, fleet {:.2} ms @1 shard / {:.2} ms @4 shards ({:.2}x), cells/s {}",
+        current.host_cores,
+        current.event_queue_mops,
+        current.fleet_shard1_ms,
+        current.fleet_shard4_ms,
+        current.speedup,
+        current
+            .cells_per_sec
+            .map_or("n/a".to_owned(), |v| format!("{v:.2}")),
+    );
+    match mode.as_deref() {
+        Some("--update") => {
+            if let Err(e) = std::fs::write(SNAPSHOT, current.to_json()) {
+                eprintln!("cannot write {SNAPSHOT}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("perfsnap: wrote {SNAPSHOT}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let baseline = match std::fs::read_to_string(SNAPSHOT) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {SNAPSHOT}: {e} (run `perfsnap --update` first)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match check(current, &baseline) {
+                Ok(()) => {
+                    println!("perfsnap: within {:.0} % of {SNAPSHOT}", TOLERANCE * 100.0);
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("perfsnap: REGRESSION\n{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("usage: perfsnap --update | --check (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -38,6 +38,24 @@ pub fn parse_jobs(value: &str) -> Result<usize, String> {
         .map_err(|_| format!("invalid --jobs value `{value}` (expected a number or `auto`)"))
 }
 
+/// Parses the value of a `--shards` flag: a positive per-scenario shard
+/// count, or `auto`/`0` for "whatever cores `--jobs` leaves free".
+///
+/// Returns the value to pass to `isol_bench::runner::set_shards` (where
+/// 0 means auto-detect).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the value is not a count.
+pub fn parse_shards(value: &str) -> Result<usize, String> {
+    if value.eq_ignore_ascii_case("auto") {
+        return Ok(0);
+    }
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("invalid --shards value `{value}` (expected a number or `auto`)"))
+}
+
 /// One grid cell's wall-clock + cache outcome, reported in the
 /// `cells` array of `timings.json`.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +80,7 @@ pub struct Timings {
     jobs: usize,
     entries: Vec<(String, Duration)>,
     scheduler: String,
+    shards: usize,
     cache: (usize, usize, usize, usize),
     cells: Vec<CellTiming>,
 }
@@ -76,6 +95,7 @@ impl Timings {
             jobs,
             entries: Vec::new(),
             scheduler: "sequential".to_owned(),
+            shards: 1,
             cache: (0, 0, 0, 0),
             cells: Vec::new(),
         }
@@ -90,6 +110,12 @@ impl Timings {
     /// experiment, or `global` for the cross-experiment batch).
     pub fn set_scheduler(&mut self, scheduler: &str) {
         self.scheduler = scheduler.to_owned();
+    }
+
+    /// Records the resolved per-scenario shard count the run used (the
+    /// engine's intra-scenario parallelism; results are shard-invariant).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
     }
 
     /// Records the run's cache traffic counters.
@@ -135,8 +161,9 @@ impl Timings {
         }
         s.push_str("  ],\n");
         s.push_str(&format!(
-            "  \"scheduler\": \"{}\",\n",
-            json_escape(&self.scheduler)
+            "  \"scheduler\": {{\"kind\": \"{}\", \"shards\": {}}},\n",
+            json_escape(&self.scheduler),
+            self.shards
         ));
         let (hits, misses, stored, bypassed) = self.cache;
         s.push_str(&format!(
@@ -183,6 +210,13 @@ pub struct ProfileEntry {
     pub pops_per_sec: f64,
     /// Peak pending events in any single run.
     pub peak_pending: u64,
+    /// Scenario runs that executed on more than one engine shard.
+    pub sharded_runs: u64,
+    /// Times a shard coordinator blocked on a worker's journal batch
+    /// (timing-dependent; profiling signal only).
+    pub barrier_stalls: u64,
+    /// Journal batches that crossed shard→coordinator mailboxes.
+    pub mailbox_batches: u64,
 }
 
 /// Per-experiment engine profiles (the `figures --profile` payload),
@@ -205,6 +239,7 @@ impl Profiles {
 
     /// Records one experiment's sample and returns the human-readable
     /// one-liner the harness prints alongside the tables.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         name: &str,
@@ -212,21 +247,31 @@ impl Profiles {
         events: u64,
         elapsed: Duration,
         peak: u64,
+        sharded: (u64, u64, u64),
     ) -> String {
         let pops_per_sec = if elapsed.as_secs_f64() > 0.0 {
             events as f64 / elapsed.as_secs_f64()
         } else {
             0.0
         };
+        let (sharded_runs, barrier_stalls, mailbox_batches) = sharded;
         self.entries.push(ProfileEntry {
             name: name.to_owned(),
             runs,
             events,
             pops_per_sec,
             peak_pending: peak,
+            sharded_runs,
+            barrier_stalls,
+            mailbox_batches,
         });
+        let shard_note = if sharded_runs > 0 {
+            format!(", {sharded_runs} sharded ({barrier_stalls} stalls, {mailbox_batches} batches)")
+        } else {
+            String::new()
+        };
         format!(
-            "(profile: {runs} runs, {events} events, {:.2} Mpops/s, peak pending {peak})",
+            "(profile: {runs} runs, {events} events, {:.2} Mpops/s, peak pending {peak}{shard_note})",
             pops_per_sec / 1e6
         )
     }
@@ -244,12 +289,15 @@ impl Profiles {
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"pops_per_sec\": {:.0}, \"peak_pending\": {}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"pops_per_sec\": {:.0}, \"peak_pending\": {}, \"sharded_runs\": {}, \"barrier_stalls\": {}, \"mailbox_batches\": {}}}{comma}\n",
                 json_escape(&e.name),
                 e.runs,
                 e.events,
                 e.pops_per_sec,
-                e.peak_pending
+                e.peak_pending,
+                e.sharded_runs,
+                e.barrier_stalls,
+                e.mailbox_batches
             ));
         }
         s.push_str("  ]\n}\n");
@@ -511,8 +559,9 @@ mod tests {
                 outcome: "hit".into(),
             },
         ]);
+        t.set_shards(4);
         let json = t.to_json(Duration::from_millis(100));
-        assert!(json.contains("\"scheduler\": \"global\""));
+        assert!(json.contains("\"scheduler\": {\"kind\": \"global\", \"shards\": 4}"));
         assert!(json
             .contains("\"cache\": {\"hits\": 10, \"misses\": 2, \"stored\": 2, \"bypassed\": 1}"));
         // Cells are sorted by (experiment, label): fig3 first.
@@ -537,16 +586,32 @@ mod tests {
     #[test]
     fn profiles_record_and_serialize() {
         let mut p = Profiles::new();
-        let line = p.record("fig4", 12, 3_000_000, Duration::from_secs(2), 512);
+        let line = p.record(
+            "fig4",
+            12,
+            3_000_000,
+            Duration::from_secs(2),
+            512,
+            (0, 0, 0),
+        );
         assert!(line.contains("12 runs"));
         assert!(line.contains("3000000 events"));
         assert!(line.contains("1.50 Mpops/s"));
         assert!(line.contains("peak pending 512"));
-        p.record("q10", 6, 1_000_000, Duration::from_millis(500), 64);
+        assert!(!line.contains("sharded"));
+        let line = p.record(
+            "q10",
+            6,
+            1_000_000,
+            Duration::from_millis(500),
+            64,
+            (6, 2, 40),
+        );
+        assert!(line.contains("6 sharded (2 stalls, 40 batches)"));
         assert_eq!(p.entries().len(), 2);
         let json = p.to_json();
-        assert!(json.contains("{\"name\": \"fig4\", \"runs\": 12, \"events\": 3000000, \"pops_per_sec\": 1500000, \"peak_pending\": 512},"));
-        assert!(json.contains("{\"name\": \"q10\", \"runs\": 6, \"events\": 1000000, \"pops_per_sec\": 2000000, \"peak_pending\": 64}\n"));
+        assert!(json.contains("{\"name\": \"fig4\", \"runs\": 12, \"events\": 3000000, \"pops_per_sec\": 1500000, \"peak_pending\": 512, \"sharded_runs\": 0, \"barrier_stalls\": 0, \"mailbox_batches\": 0},"));
+        assert!(json.contains("{\"name\": \"q10\", \"runs\": 6, \"events\": 1000000, \"pops_per_sec\": 2000000, \"peak_pending\": 64, \"sharded_runs\": 6, \"barrier_stalls\": 2, \"mailbox_batches\": 40}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -554,7 +619,15 @@ mod tests {
     #[test]
     fn profiles_zero_elapsed_yields_zero_rate() {
         let mut p = Profiles::new();
-        p.record("x", 1, 10, Duration::ZERO, 1);
+        p.record("x", 1, 10, Duration::ZERO, 1, (0, 0, 0));
         assert_eq!(p.entries()[0].pops_per_sec, 0.0);
+    }
+
+    #[test]
+    fn shards_values_parse() {
+        assert_eq!(parse_shards("4"), Ok(4));
+        assert_eq!(parse_shards("auto"), Ok(0));
+        assert_eq!(parse_shards("0"), Ok(0));
+        assert!(parse_shards("many").is_err());
     }
 }

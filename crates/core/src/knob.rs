@@ -290,6 +290,78 @@ impl Knob {
     }
 }
 
+/// Configures `knob` to favor cgroup `prio` over `be` on device `dev`
+/// only — the fleet scenario's per-SSD tenant wiring (one prioritized
+/// app vs a best-effort pack, same intent as the Q10 burst study but
+/// replicated per device).
+pub(crate) fn configure_fleet_priority(
+    knob: Knob,
+    s: &mut Scenario,
+    prio: GroupId,
+    be: GroupId,
+    dev_index: usize,
+) {
+    let dev = DevNode::nvme(dev_index as u32);
+    match knob {
+        Knob::None => {}
+        Knob::MqDlPrio => {
+            let h = s.hierarchy_mut();
+            h.apply(prio, KnobWrite::PrioClass(blkio::PrioClass::Realtime))
+                .expect("prio write");
+            h.apply(be, KnobWrite::PrioClass(blkio::PrioClass::Idle))
+                .expect("prio write");
+        }
+        Knob::BfqWeight => {
+            let h = s.hierarchy_mut();
+            let pw = IoWeight {
+                default: 1000,
+                ..IoWeight::default()
+            };
+            h.apply(prio, KnobWrite::BfqWeight(BfqWeight(pw)))
+                .expect("bfq write");
+            let bw = IoWeight {
+                default: 100,
+                ..IoWeight::default()
+            };
+            h.apply(be, KnobWrite::BfqWeight(BfqWeight(bw)))
+                .expect("bfq write");
+        }
+        Knob::IoMax => {
+            let cap = (0.9 * 1024.0 * 1024.0 * 1024.0) as u64;
+            let m = IoMax {
+                rbps: Some(cap),
+                wbps: Some(cap),
+                ..IoMax::default()
+            };
+            s.hierarchy_mut()
+                .apply(be, KnobWrite::Max(dev, m))
+                .expect("io.max write");
+        }
+        Knob::IoLatency => {
+            s.hierarchy_mut()
+                .apply(prio, KnobWrite::Latency(dev, IoLatency { target_us: 200 }))
+                .expect("io.latency write");
+        }
+        Knob::IoCost => {
+            let model = Knob::generated_model(&s.devices_mut()[dev_index].profile.clone());
+            let qos = Knob::fairness_qos();
+            let h = s.hierarchy_mut();
+            Knob::write_iocost(h, dev, model, qos);
+            let pw = IoWeight {
+                default: 10_000,
+                ..IoWeight::default()
+            };
+            h.apply(prio, KnobWrite::Weight(pw))
+                .expect("io.weight write");
+            let bw = IoWeight {
+                default: 100,
+                ..IoWeight::default()
+            };
+            h.apply(be, KnobWrite::Weight(bw)).expect("io.weight write");
+        }
+    }
+}
+
 impl std::fmt::Display for Knob {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())

@@ -167,10 +167,12 @@ impl Scenario {
         self.devices.iter().any(|d| d.faults.is_enabled())
     }
 
-    /// Runs the scenario until `until` and returns the report. Every app
-    /// is stopped at `until` at the latest.
+    /// Builds the host machine for a run ending at `until` (every app is
+    /// stopped at `until` at the latest) without running it — callers
+    /// that pick their own shard count (benches, the shards-axis
+    /// determinism tests) drive [`HostSim::run_sharded`] themselves.
     #[must_use]
-    pub fn run(self, until: SimTime) -> RunReport {
+    pub fn build_host(self, until: SimTime) -> HostSim {
         let config = HostConfig {
             cores: self.cores,
             seed: self.seed,
@@ -187,7 +189,18 @@ impl Scenario {
                 AppSetup::new(spec, a.devices)
             })
             .collect();
-        HostSim::build(config, self.hierarchy, apps, self.devices).run(until)
+        HostSim::build(config, self.hierarchy, apps, self.devices)
+    }
+
+    /// Runs the scenario until `until` and returns the report.
+    ///
+    /// Scenarios whose devices decouple into independent components run
+    /// on up to [`crate::runner::shards`] parallel workers; results are
+    /// bit-exact for any shard count (`--shards 1` is the reference).
+    #[must_use]
+    pub fn run(self, until: SimTime) -> RunReport {
+        self.build_host(until)
+            .run_sharded(until, crate::runner::shards())
     }
 
     /// Runs the scenario with the request-lifecycle trace recorder

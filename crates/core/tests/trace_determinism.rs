@@ -17,8 +17,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use isol_bench::experiments::fig4;
-use isol_bench::{runner, tracing, Fidelity, Knob, OutputSink, Scenario};
+use isol_bench::experiments::{fig4, fleet};
+use isol_bench::{runner, traceck, tracing, Fidelity, Knob, OutputSink, Scenario};
 use simcore::{set_default_backend, QueueBackend, SimTime};
 use workload::JobSpec;
 
@@ -122,5 +122,55 @@ fn trace_matches_committed_golden() {
         "trace stream diverged from the committed golden \
          (if the schema or engine changed intentionally, regenerate with \
          UPDATE_TRACE_GOLDEN=1)"
+    );
+}
+
+// ===== The shards axis =====
+
+/// One traced fleet run at an explicit shard count: the coordinator
+/// must replay the exact global interleaving, so the JSONL bytes are
+/// the contract.
+fn fleet_trace_jsonl(shards: usize) -> String {
+    let until = SimTime::from_millis(5);
+    simcore::trace::install(1 << 18);
+    let sim = fleet::fleet_scenario(Knob::MqDlPrio, 3).build_host(until);
+    let report = sim.run_sharded(until, shards);
+    let trace = simcore::trace::take().expect("recorder installed");
+    assert!(trace.is_complete(), "fleet trace missing run_end");
+    let mut violations = traceck::check(&trace).violations;
+    violations.extend(traceck::check_against_report(&trace, &report));
+    assert!(
+        violations.is_empty(),
+        "fleet trace (shards={shards}) violates invariants: {violations:?}"
+    );
+    trace.to_jsonl()
+}
+
+#[test]
+fn sharded_fleet_trace_is_byte_identical_and_passes_traceck() {
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = fleet_trace_jsonl(1);
+    for shards in [2, 3] {
+        assert_eq!(
+            reference,
+            fleet_trace_jsonl(shards),
+            "fleet trace bytes differ between shards=1 and shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_is_byte_stable_under_a_shards_setting() {
+    // The golden cell is single-component, so any `--shards` value must
+    // leave its bytes untouched (the sharded path falls back to the
+    // sequential engine).
+    let _guard = GLOBAL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = golden_jsonl(QueueBackend::Wheel);
+    runner::set_shards(4);
+    let sharded = golden_jsonl(QueueBackend::Wheel);
+    runner::set_shards(0);
+    assert_eq!(
+        reference, sharded,
+        "golden trace bytes changed under --shards 4"
     );
 }

@@ -67,7 +67,7 @@ fn submit_event(req: &IoRequest, now: SimTime) -> TraceEvent {
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     AppWake(AppId),
     CpuDone(CoreId),
     SchedDispatchDone(DeviceId),
@@ -100,19 +100,24 @@ enum Event {
 /// crate docs for an end-to-end example.
 #[derive(Debug)]
 pub struct HostSim {
-    config: HostConfig,
-    now: SimTime,
-    queue: EventQueue<Event>,
-    apps: Vec<AppRuntime>,
-    cores: Vec<Core>,
-    devs: Vec<DeviceHost>,
-    next_req_id: ReqId,
+    pub(crate) config: HostConfig,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) apps: Vec<AppRuntime>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) devs: Vec<DeviceHost>,
+    pub(crate) next_req_id: ReqId,
     /// Reused scratch for QoS-released requests (kept empty between
     /// [`HostSim::pump_device`] calls).
-    qos_scratch: Vec<IoRequest>,
+    pub(crate) qos_scratch: Vec<IoRequest>,
     /// Reused scratch for device service starts (kept empty between
     /// [`HostSim::pump_device`] calls).
-    start_scratch: Vec<StartedCmd>,
+    pub(crate) start_scratch: Vec<StartedCmd>,
+    /// Event journal for sharded runs: records every insert/pop so the
+    /// coordinator can replay the global event order (see
+    /// [`crate::shard`]). `None` outside traced sharded runs; `run`
+    /// leaves it untouched, so the sequential path is byte-identical.
+    pub(crate) journal: Option<crate::shard::JournalSink>,
 }
 
 impl HostSim {
@@ -352,12 +357,7 @@ impl HostSim {
         // Pre-sizing the heap to that bound keeps the event loop
         // allocation-free in the fault-free case (aborts and resets can
         // leave extra stale DeviceDone events; the queue then grows).
-        let event_capacity = apps.len() * 2
-            + cores.len()
-            + devs
-                .iter()
-                .map(|d| 7 + d.device.profile().max_qd as usize)
-                .sum::<usize>();
+        let event_capacity = Self::event_capacity(&apps, &cores, &devs);
 
         HostSim {
             config,
@@ -369,27 +369,96 @@ impl HostSim {
             next_req_id: 0,
             qos_scratch: Vec::new(),
             start_scratch: Vec::new(),
+            journal: None,
         }
+    }
+
+    /// Pre-sized event-queue capacity for the given machine slices (see
+    /// the bound derivation at the `build` call site).
+    pub(crate) fn event_capacity(
+        apps: &[AppRuntime],
+        cores: &[Core],
+        devs: &[DeviceHost],
+    ) -> usize {
+        apps.len() * 2
+            + cores.len()
+            + devs
+                .iter()
+                .map(|d| 7 + d.device.profile().max_qd as usize)
+                .sum::<usize>()
+    }
+
+    /// Schedules `ev`, journaling the insert time when a sharded-run
+    /// journal is attached. A free-standing helper over the two fields
+    /// (not `&mut self`) so call sites holding `&mut self.devs[..]` or
+    /// `&mut self.apps[..]` borrows keep compiling.
+    #[inline]
+    fn sched_event(
+        journal: &mut Option<crate::shard::JournalSink>,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        ev: Event,
+    ) {
+        if let Some(j) = journal.as_mut() {
+            j.child(at);
+        }
+        queue.schedule(at, ev);
     }
 
     /// Runs the simulation until `until`, consuming the engine and
     /// returning the measurement report.
     #[must_use]
     pub fn run(mut self, until: SimTime) -> RunReport {
-        for (i, app) in self.apps.iter().enumerate() {
-            self.queue
-                .schedule(app.spec.start_at(), Event::AppWake(AppId(i)));
-        }
-        for d in 0..self.devs.len() {
-            self.schedule_qos_pump(DeviceId(d));
-            if let Some(period) = self.devs[d].reset_period {
-                self.queue
-                    .schedule(SimTime::ZERO + period, Event::DeviceReset(DeviceId(d)));
-            }
-        }
+        self.seed_initial_events();
         // Profiling totals, kept in locals through the loop and folded
         // into the process-global counters once at the end (see
         // `crate::stats`).
+        let (popped, peak) = self.run_loop(until);
+        crate::stats::record_run(popped, peak);
+        let (t, r, f) = self.fault_totals();
+        crate::stats::record_faults(t, r, f);
+        self.now = until;
+        trace::record_with(|| TraceEvent::new(until.as_nanos(), TraceKind::RunEnd, 0, 0, 0, 0, 0));
+        self.finish(until)
+    }
+
+    /// Seeds the initial event population: one `AppWake` per app (in app
+    /// order), then per device (in device order) the QoS pump and the
+    /// first injected reset. Sharded runs journal this order so the
+    /// coordinator can replay the exact global insert sequence.
+    pub(crate) fn seed_initial_events(&mut self) {
+        for i in 0..self.apps.len() {
+            if let Some(j) = self.journal.as_mut() {
+                j.mark_app(i);
+            }
+            let at = self.apps[i].spec.start_at();
+            Self::sched_event(
+                &mut self.journal,
+                &mut self.queue,
+                at,
+                Event::AppWake(AppId(i)),
+            );
+        }
+        for d in 0..self.devs.len() {
+            if let Some(j) = self.journal.as_mut() {
+                j.mark_dev(d);
+            }
+            self.schedule_qos_pump(DeviceId(d));
+            if let Some(period) = self.devs[d].reset_period {
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    SimTime::ZERO + period,
+                    Event::DeviceReset(DeviceId(d)),
+                );
+            }
+        }
+    }
+
+    /// Drains the event queue up to `until`, returning `(events popped,
+    /// peak pending)`. The first event past `until` is consumed but not
+    /// processed, exactly as before the shard split.
+    pub(crate) fn run_loop(&mut self, until: SimTime) -> (u64, u64) {
         let mut popped = 0u64;
         let mut peak = self.queue.len() as u64;
         while let Some((t, ev)) = self.queue.pop() {
@@ -398,6 +467,10 @@ impl HostSim {
             }
             self.now = t;
             popped += 1;
+            let ids_before = self.next_req_id;
+            if let Some(j) = self.journal.as_mut() {
+                j.begin_pop(t);
+            }
             match ev {
                 Event::AppWake(a) => self.on_app_wake(a),
                 Event::CpuDone(c) => self.on_cpu_done(c),
@@ -424,16 +497,20 @@ impl HostSim {
                     self.pump_device(d);
                 }
             }
+            if let Some(j) = self.journal.as_mut() {
+                let n_alloc = (self.next_req_id - ids_before) as u32;
+                j.finish_pop(n_alloc, trace::drain_events());
+            }
             peak = peak.max(self.queue.len() as u64);
         }
-        crate::stats::record_run(popped, peak);
-        let (t, r, f) = self.devs.iter().fold((0, 0, 0), |(t, r, f), d| {
+        (popped, peak)
+    }
+
+    /// Summed `(timeouts fired, retries, failed)` across devices.
+    pub(crate) fn fault_totals(&self) -> (u64, u64, u64) {
+        self.devs.iter().fold((0, 0, 0), |(t, r, f), d| {
             (t + d.timeouts_fired, r + d.retries, f + d.failed)
-        });
-        crate::stats::record_faults(t, r, f);
-        self.now = until;
-        trace::record_with(|| TraceEvent::new(until.as_nanos(), TraceKind::RunEnd, 0, 0, 0, 0, 0));
-        self.finish(until)
+        })
     }
 
     fn measured(&self) -> bool {
@@ -444,7 +521,7 @@ impl HostSim {
         let app = &mut self.apps[a.index()];
         if app.wake_scheduled_at.is_none_or(|e| at < e) {
             app.wake_scheduled_at = Some(at);
-            self.queue.schedule(at, Event::AppWake(a));
+            Self::sched_event(&mut self.journal, &mut self.queue, at, Event::AppWake(a));
         }
     }
 
@@ -530,7 +607,12 @@ impl HostSim {
 
     fn push_cpu_work(&mut self, core: CoreId, work: Work, dur: SimDuration) {
         if let Some(done_at) = self.cores[core.index()].push(work, dur, self.now) {
-            self.queue.schedule(done_at, Event::CpuDone(core));
+            Self::sched_event(
+                &mut self.journal,
+                &mut self.queue,
+                done_at,
+                Event::CpuDone(core),
+            );
         }
     }
 
@@ -538,7 +620,7 @@ impl HostSim {
         let measured = self.measured();
         let (work, next) = self.cores[c.index()].finish_current(self.now, measured);
         if let Some(t) = next {
-            self.queue.schedule(t, Event::CpuDone(c));
+            Self::sched_event(&mut self.journal, &mut self.queue, t, Event::CpuDone(c));
         }
         match work {
             Work::Submit(mut req) => {
@@ -619,8 +701,12 @@ impl HostSim {
             if let Some(req) = dh.sched.dispatch(now) {
                 let cost = dh.sched.dispatch_overhead();
                 dh.dispatching = Some(req);
-                self.queue
-                    .schedule(now + cost, Event::SchedDispatchDone(dev));
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    now + cost,
+                    Event::SchedDispatchDone(dev),
+                );
             }
         }
         // Start service on free device units.
@@ -628,8 +714,12 @@ impl HostSim {
         let io_timeout = self.config.io_timeout;
         let started_any = !self.start_scratch.is_empty();
         for c in self.start_scratch.drain(..) {
-            self.queue
-                .schedule(c.done_at, Event::DeviceDone(dev, c.slot, c.gen));
+            Self::sched_event(
+                &mut self.journal,
+                &mut self.queue,
+                c.done_at,
+                Event::DeviceDone(dev, c.slot, c.gen),
+            );
             if let Some(deadline) = io_timeout {
                 // Constant offset from service start keeps this FIFO in
                 // deadline order; one coalesced IoTimeout event covers
@@ -835,9 +925,19 @@ impl HostSim {
             r.scheduled_at = now;
             dh.sched.insert(r, now);
         }
-        self.queue.schedule(until, Event::DeviceRestart(dev));
+        Self::sched_event(
+            &mut self.journal,
+            &mut self.queue,
+            until,
+            Event::DeviceRestart(dev),
+        );
         if let Some(period) = dh.reset_period {
-            self.queue.schedule(now + period, Event::DeviceReset(dev));
+            Self::sched_event(
+                &mut self.journal,
+                &mut self.queue,
+                now + period,
+                Event::DeviceReset(dev),
+            );
         }
     }
 
@@ -856,8 +956,12 @@ impl HostSim {
             if dh.timeout_at.is_none_or(|e| t < e) {
                 dh.timeout_at = Some(t);
                 dh.timeout_gen += 1;
-                self.queue
-                    .schedule(t, Event::IoTimeout(dev, dh.timeout_gen));
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    t,
+                    Event::IoTimeout(dev, dh.timeout_gen),
+                );
             }
         }
     }
@@ -872,7 +976,12 @@ impl HostSim {
         if dh.retry_at.is_none_or(|e| t < e) {
             dh.retry_at = Some(t);
             dh.retry_gen += 1;
-            self.queue.schedule(t, Event::RetryTimer(dev, dh.retry_gen));
+            Self::sched_event(
+                &mut self.journal,
+                &mut self.queue,
+                t,
+                Event::RetryTimer(dev, dh.retry_gen),
+            );
         }
     }
 
@@ -907,7 +1016,12 @@ impl HostSim {
             if dh.qos_pump_at.is_none_or(|e| t < e) {
                 dh.qos_pump_at = Some(t);
                 dh.qos_pump_gen += 1;
-                self.queue.schedule(t, Event::QosPump(dev, dh.qos_pump_gen));
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    t,
+                    Event::QosPump(dev, dh.qos_pump_gen),
+                );
             }
         }
     }
@@ -920,13 +1034,17 @@ impl HostSim {
             if dh.sched_timer_at.is_none_or(|e| t < e) {
                 dh.sched_timer_at = Some(t);
                 dh.sched_timer_gen += 1;
-                self.queue
-                    .schedule(t, Event::SchedTimer(dev, dh.sched_timer_gen));
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    t,
+                    Event::SchedTimer(dev, dh.sched_timer_gen),
+                );
             }
         }
     }
 
-    fn finish(mut self, until: SimTime) -> RunReport {
+    pub(crate) fn finish(mut self, until: SimTime) -> RunReport {
         let measure_from = self.config.measure_from;
         let window = until.saturating_since(measure_from);
         let apps = self

@@ -56,6 +56,7 @@ mod devhost;
 mod engine;
 mod report;
 mod setup;
+mod shard;
 pub mod stats;
 
 pub use engine::HostSim;

@@ -10,6 +10,7 @@
 //! experiments mix; profile with `--jobs 1` for clean attribution.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
 static RUNS: AtomicU64 = AtomicU64::new(0);
@@ -17,6 +18,12 @@ static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
 static IO_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static IO_RETRIES: AtomicU64 = AtomicU64::new(0);
 static IO_FAILED: AtomicU64 = AtomicU64::new(0);
+static SHARDED_RUNS: AtomicU64 = AtomicU64::new(0);
+static BARRIER_STALLS: AtomicU64 = AtomicU64::new(0);
+static MAILBOX_BATCHES: AtomicU64 = AtomicU64::new(0);
+static HORIZON_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+/// Per-shard events processed during the most recent sharded run.
+static SHARD_EVENTS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
 /// A snapshot of the global engine counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +42,17 @@ pub struct EngineStats {
     pub io_retries: u64,
     /// Requests failed back to apps after exhausting retries.
     pub io_failed: u64,
+    /// Scenario runs that executed on more than one shard.
+    pub sharded_runs: u64,
+    /// Times the shard coordinator blocked waiting for a worker's next
+    /// journal batch (timing-dependent; for profiling only).
+    pub barrier_stalls: u64,
+    /// Journal batches that crossed the shard→coordinator mailbox.
+    pub mailbox_batches: u64,
+    /// Journal records observed below their shard's committed time
+    /// horizon. Always 0 when the lookahead window is safe; the shard
+    /// proptest asserts exactly that.
+    pub horizon_violations: u64,
 }
 
 /// Reads the current counter values.
@@ -47,7 +65,21 @@ pub fn snapshot() -> EngineStats {
         io_timeouts: IO_TIMEOUTS.load(Ordering::Relaxed),
         io_retries: IO_RETRIES.load(Ordering::Relaxed),
         io_failed: IO_FAILED.load(Ordering::Relaxed),
+        sharded_runs: SHARDED_RUNS.load(Ordering::Relaxed),
+        barrier_stalls: BARRIER_STALLS.load(Ordering::Relaxed),
+        mailbox_batches: MAILBOX_BATCHES.load(Ordering::Relaxed),
+        horizon_violations: HORIZON_VIOLATIONS.load(Ordering::Relaxed),
     }
+}
+
+/// Per-shard events-processed counts from the most recent sharded run
+/// (empty until a sharded run finishes).
+#[must_use]
+pub fn shard_events() -> Vec<u64> {
+    SHARD_EVENTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 /// Resets the peak-pending high-water mark (the cumulative counters are
@@ -61,6 +93,16 @@ pub(crate) fn record_run(events_popped: u64, peak_pending: u64) {
     EVENTS_POPPED.fetch_add(events_popped, Ordering::Relaxed);
     RUNS.fetch_add(1, Ordering::Relaxed);
     PEAK_PENDING.fetch_max(peak_pending, Ordering::Relaxed);
+}
+
+/// Folds one finished sharded run's coordination totals into the global
+/// counters and publishes its per-shard event counts.
+pub(crate) fn record_sharded(per_shard: Vec<u64>, stalls: u64, batches: u64, violations: u64) {
+    SHARDED_RUNS.fetch_add(1, Ordering::Relaxed);
+    BARRIER_STALLS.fetch_add(stalls, Ordering::Relaxed);
+    MAILBOX_BATCHES.fetch_add(batches, Ordering::Relaxed);
+    HORIZON_VIOLATIONS.fetch_add(violations, Ordering::Relaxed);
+    *SHARD_EVENTS.lock().unwrap_or_else(|e| e.into_inner()) = per_shard;
 }
 
 /// Folds one finished run's recovery-path totals into the global

@@ -105,6 +105,12 @@ impl IoLatencyController {
         self.groups.get(&group).map_or(0, |g| g.use_delay)
     }
 
+    /// Total held requests across groups.
+    #[must_use]
+    pub fn held_count(&self) -> usize {
+        self.groups.values().map(|g| g.held.len()).sum()
+    }
+
     fn group_mut(&mut self, id: GroupId) -> &mut GroupState {
         let max_qd = self.max_qd;
         self.groups

@@ -22,8 +22,8 @@ if [[ "${1:-}" == "--quick" ]]; then
     exit 0
 fi
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
@@ -63,6 +63,19 @@ echo "==> trace check (traced smoke run must satisfy every trace invariant)"
 rm -rf target/isol-bench/traces
 ./target/release/figures --smoke --no-cache --trace fig4 > /dev/null
 ./target/release/traceck
+
+echo "==> sharded-run check (a sharded smoke run must be byte-identical to the cached sequential one)"
+shard_dir=$(mktemp -d)
+cp target/isol-bench/fig4*.csv "$shard_dir"/
+./target/release/figures --smoke --no-cache --shards 4 fig4 > /dev/null
+for f in "$shard_dir"/*.csv; do
+    cmp -s "$f" "target/isol-bench/$(basename "$f")" \
+        || { echo "FAIL: $(basename "$f") differs between sequential and --shards 4 runs"; exit 1; }
+done
+rm -rf "$shard_dir"
+
+echo "==> perf snapshot check (>10% regression against BENCH_pr6.json fails)"
+./target/release/perfsnap --check
 
 echo "==> partial-trace check (a panicked traced cell must still leave a checkable trace)"
 rm -rf target/isol-bench/traces
