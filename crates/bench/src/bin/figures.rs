@@ -5,7 +5,7 @@
 //!         [--shards N|auto] [--no-cache] [--refresh] [--profile]
 //!         [--faults] [--trace[=N]] [--inject-panic LABEL]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
-//!          q_faults | all]
+//!          q_faults fleet_scale | all]
 //! ```
 //!
 //! Prints the paper-style tables and writes CSVs under
@@ -81,7 +81,7 @@ use std::time::{Duration, Instant};
 
 use isol_bench::cell::FinishFn;
 use isol_bench::experiments::{
-    fig2, fig3, fig4, fig5, fig6, fig7, optane, q10, q_faults, table1, writeback,
+    fig2, fig3, fig4, fig5, fig6, fig7, fleet_scale, optane, q10, q_faults, table1, writeback,
 };
 use isol_bench::{cache, runner, Cell, Fidelity, OutputSink, Staged};
 use isol_bench_harness::{
@@ -200,7 +200,7 @@ fn main() -> ExitCode {
         Err(bad) => {
             eprintln!(
                 "unknown experiment `{bad}`; known: fig2..fig7, q10, table1, optane, \
-                 writeback, q_faults, all"
+                 writeback, q_faults, fleet_scale, all"
             );
             return ExitCode::FAILURE;
         }
@@ -341,6 +341,8 @@ fn main() -> ExitCode {
                 .then(|| stage_push(writeback::stage(fidelity), &mut batch, &mut spans));
             let fin_q_faults = wants("q_faults")
                 .then(|| stage_push(q_faults::stage(fidelity), &mut batch, &mut spans));
+            let fin_fleet_scale = wants("fleet_scale")
+                .then(|| stage_push(fleet_scale::stage(fidelity), &mut batch, &mut spans));
             let fin_fig3 = (wants("fig3") || needs_table1)
                 .then(|| stage_push(fig3::stage(fidelity), &mut batch, &mut spans));
             let fin_fig4 = (wants("fig4") || needs_table1)
@@ -411,6 +413,7 @@ fn main() -> ExitCode {
             finish_exp!("optane", fin_optane);
             finish_exp!("writeback", fin_writeback);
             finish_exp!("q_faults", fin_q_faults);
+            finish_exp!("fleet_scale", fin_fleet_scale);
             let f3 = finish_exp!("fig3", fin_fig3);
             let f4 = finish_exp!("fig4", fin_fig4);
             let f5 = finish_exp!("fig5", fin_fig5);
@@ -475,6 +478,7 @@ fn main() -> ExitCode {
         standalone!("optane", optane);
         standalone!("writeback", writeback);
         standalone!("q_faults", q_faults);
+        standalone!("fleet_scale", fleet_scale);
         let mut f3 = None;
         let mut f4 = None;
         let mut f5 = None;

@@ -17,6 +17,8 @@
 use std::io::Write as _;
 use std::time::Duration;
 
+pub mod mapqos;
+
 /// The directory experiment CSVs are written into.
 pub const OUTPUT_DIR: &str = "target/isol-bench";
 
@@ -438,7 +440,7 @@ pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<St
     ];
     // Extra studies that must be requested by name (or via their own
     // flag, like `--faults` for the fault-injection study).
-    const EXTRA: [&str; 1] = ["q_faults"];
+    const EXTRA: [&str; 2] = ["q_faults", "fleet_scale"];
     let mut out = Vec::new();
     for a in args {
         let a = a.to_lowercase();
@@ -494,6 +496,14 @@ mod tests {
         assert!(!all.contains(&"q_faults".to_owned()));
         let sel = parse_selection(vec!["fig3".into(), "q_faults".into()]).unwrap();
         assert_eq!(sel, vec!["fig3", "q_faults"]);
+    }
+
+    #[test]
+    fn fleet_scale_is_selectable_but_not_in_all() {
+        let sel = parse_selection(vec!["fleet_scale".into()]).unwrap();
+        assert_eq!(sel, vec!["fleet_scale"]);
+        let all = parse_selection(vec!["all".into()]).unwrap();
+        assert!(!all.contains(&"fleet_scale".to_owned()));
     }
 
     #[test]

@@ -390,6 +390,33 @@ impl Hierarchy {
     // Effective-configuration accessors used by the controllers.
     // ------------------------------------------------------------------
 
+    /// Snapshots the tree into a [`crate::FlatTopology`]: dense
+    /// parent/children indices, cached depths, and interned paths for
+    /// fleet-scale bulk queries.
+    #[must_use]
+    pub fn flatten(&self) -> crate::FlatTopology {
+        crate::FlatTopology::build(self)
+    }
+
+    /// The group's *own* `io.max` entry for a device, ignoring
+    /// ancestors (the raw file content; [`Hierarchy::io_max`] resolves
+    /// the hierarchical minimum).
+    #[must_use]
+    pub fn own_io_max(&self, id: GroupId, dev: DevNode) -> Option<IoMax> {
+        self.get(id)
+            .ok()
+            .and_then(|g| g.knobs.io_max.get(&dev).copied())
+    }
+
+    /// The group's *own* `io.latency` entry for a device, ignoring
+    /// ancestors.
+    #[must_use]
+    pub fn own_io_latency(&self, id: GroupId, dev: DevNode) -> Option<IoLatency> {
+        self.get(id)
+            .ok()
+            .and_then(|g| g.knobs.io_latency.get(&dev).copied())
+    }
+
     /// Effective `io.max` for a group on a device: the most restrictive
     /// limit along the ancestor chain (hierarchical throttling).
     #[must_use]

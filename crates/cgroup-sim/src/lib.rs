@@ -40,10 +40,12 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flat;
 mod hierarchy;
 mod knobs;
 
 pub use error::CgroupError;
+pub use flat::FlatTopology;
 pub use hierarchy::{Group, Hierarchy};
 pub use knobs::{
     BfqWeight, CostCtrl, DevNode, IoCostModel, IoCostQos, IoLatency, IoMax, IoWeight, Knob,

@@ -1,0 +1,172 @@
+//! Property tests: the flattened topology view must agree with the
+//! pointer-walk accessors on [`Hierarchy`] for arbitrary create/remove
+//! sequences — including tombstoned slots, which stay addressable and
+//! resolve to their own-knobs-only values.
+
+use proptest::prelude::*;
+
+use blkio::GroupId;
+use cgroup_sim::{DevNode, Hierarchy};
+use std::collections::HashSet;
+
+/// SplitMix64 finalizer — decorrelates per-field draws from one seed.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Grows a hierarchy by replaying `ops`: each op either creates a group
+/// under a random live management slot (enabling `+io` on a fraction so
+/// trees get 3–4 levels deep), sets a knob, or removes a random empty
+/// leaf (tombstoning its slot). Returns the hierarchy.
+fn grow(ops: &[u64]) -> Hierarchy {
+    let mut h = Hierarchy::new();
+    let mut live: Vec<GroupId> = vec![Hierarchy::ROOT];
+    for (i, &op) in ops.iter().enumerate() {
+        let r = mix(op ^ i as u64);
+        match r % 10 {
+            // 60%: create a child somewhere.
+            0..=5 => {
+                let parent = live[(mix(r ^ 1) as usize) % live.len()];
+                let name = format!("g{i}");
+                if let Ok(id) = h.create(parent, &name) {
+                    // Most non-leaf candidates become management groups
+                    // so later creates can nest under them.
+                    if !mix(r ^ 2).is_multiple_of(3) {
+                        let _ = h.enable_io(id);
+                    }
+                    live.push(id);
+                }
+            }
+            // 20%: write a knob on a random group (may fail placement
+            // rules — that's fine, failures leave state untouched).
+            6 | 7 => {
+                let target = live[(mix(r ^ 3) as usize) % live.len()];
+                match mix(r ^ 4) % 3 {
+                    0 => {
+                        let bps = 1_000_000 + mix(r ^ 5) % 1_000_000_000;
+                        let _ = h.write(target, "io.max", &format!("259:0 rbps={bps}"));
+                    }
+                    1 => {
+                        let us = 50 + mix(r ^ 6) % 10_000;
+                        let _ = h.write(target, "io.latency", &format!("259:0 target={us}"));
+                    }
+                    _ => {
+                        let w = 1 + mix(r ^ 7) % 10_000;
+                        let _ = h.write(target, "io.weight", &format!("default {w}"));
+                    }
+                }
+            }
+            // 20%: remove a random group (only empty leaves succeed;
+            // successes tombstone the slot).
+            _ => {
+                let target = live[(mix(r ^ 8) as usize) % live.len()];
+                if h.remove(target).is_ok() {
+                    live.retain(|&g| g != target);
+                }
+            }
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_view_matches_pointer_walks(
+        ops in proptest::collection::vec(0u64..=u64::MAX, 5..60),
+    ) {
+        let h = grow(&ops);
+        let flat = h.flatten();
+        let dev = DevNode::nvme(0);
+        prop_assert_eq!(flat.len(), h.len());
+
+        let eff_max = flat.effective_io_max(&h, dev);
+        let eff_lat = flat.effective_io_latency(&h, dev);
+        let mult = flat.weight_multipliers(|g| h.io_weight(g, dev));
+
+        for idx in 0..h.len() {
+            let id = GroupId(idx);
+            let g = h.group(id).unwrap();
+
+            // Structure: parent, children, depth, path.
+            prop_assert_eq!(flat.parent(id), g.parent());
+            let flat_children: Vec<GroupId> = flat.children(id).collect();
+            prop_assert_eq!(flat_children.as_slice(), g.children());
+            let walk_depth = {
+                let mut d = 0u32;
+                let mut cur = g.parent();
+                while let Some(p) = cur {
+                    d += 1;
+                    cur = h.group(p).unwrap().parent();
+                }
+                d
+            };
+            prop_assert_eq!(flat.depth(id), walk_depth);
+            let walk_path = h.path(id).unwrap();
+            prop_assert_eq!(flat.path(id), walk_path.as_str());
+            let tombstoned = id != Hierarchy::ROOT && g.parent().is_none();
+            prop_assert_eq!(flat.is_live(id), !tombstoned);
+            let chain: Vec<GroupId> = flat.self_and_ancestors(id).collect();
+            prop_assert_eq!(chain[0], id);
+            prop_assert_eq!(chain.len() as u32, walk_depth + 1);
+
+            // Effective knobs: bulk forward passes vs. per-id walks.
+            let walk_max = h.io_max(id, dev);
+            prop_assert_eq!(eff_max[idx].rbps, walk_max.rbps);
+            prop_assert_eq!(eff_max[idx].wbps, walk_max.wbps);
+            prop_assert_eq!(eff_max[idx].riops, walk_max.riops);
+            prop_assert_eq!(eff_max[idx].wiops, walk_max.wiops);
+            prop_assert_eq!(
+                eff_lat[idx].map(|l| l.target_us),
+                h.io_latency(id, dev).map(|l| l.target_us)
+            );
+
+            // Weight multiplier: product over proper ancestors below
+            // the root of weight/100.
+            let mut walk_mult = 1.0f64;
+            let mut cur = g.parent();
+            while let Some(p) = cur {
+                if p != Hierarchy::ROOT {
+                    walk_mult *= f64::from(h.io_weight(p, dev)) / 100.0;
+                }
+                cur = h.group(p).unwrap().parent();
+            }
+            prop_assert!(
+                (mult[idx] - walk_mult).abs() <= 1e-12 * walk_mult.abs().max(1.0),
+                "weight multiplier mismatch at {}: flat {} vs walk {}",
+                idx, mult[idx], walk_mult
+            );
+        }
+    }
+
+    #[test]
+    fn flat_hweight_matches_hierarchy_hweight(
+        ops in proptest::collection::vec(0u64..=u64::MAX, 5..50),
+        picks in proptest::collection::vec(0u64..=u64::MAX, 1..8),
+    ) {
+        let h = grow(&ops);
+        let flat = h.flatten();
+        let dev = DevNode::nvme(0);
+        // Draw an active set from the live process-capable groups.
+        let ids: Vec<GroupId> = (0..h.len()).map(GroupId).collect();
+        let active: Vec<GroupId> = picks
+            .iter()
+            .map(|&p| ids[(mix(p) as usize) % ids.len()])
+            .filter(|&g| flat.is_live(g))
+            .collect();
+        let active_set: HashSet<GroupId> = active.iter().copied().collect();
+        let wf = |g: GroupId| h.io_weight(g, dev);
+        for &id in &ids {
+            let want = h.hweight(id, &active_set, wf);
+            let got = flat.hweight(id, &active, wf);
+            prop_assert!(
+                (want - got).abs() <= 1e-12,
+                "hweight mismatch for {:?}: hierarchy {} vs flat {}",
+                id, want, got
+            );
+        }
+    }
+}

@@ -136,6 +136,30 @@ impl Fidelity {
         }
     }
 
+    /// Tenant-count sweep for the `fleet_scale` scalability study
+    /// (ROADMAP open item 1: the paper stops at ~8 cgroups; production
+    /// hosts run thousands).
+    #[must_use]
+    pub fn fleet_scale_group_counts(self) -> Vec<usize> {
+        match self {
+            Fidelity::Smoke => vec![256],
+            Fidelity::Standard => vec![256, 1024],
+            Fidelity::Full => vec![256, 1024, 4096],
+        }
+    }
+
+    /// Duration of one `fleet_scale` cell: several diurnal burst
+    /// periods so every tenant cohort gets on-phases inside the
+    /// measured window.
+    #[must_use]
+    pub fn fleet_scale_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(100),
+            Fidelity::Standard => SimTime::from_millis(400),
+            Fidelity::Full => SimTime::from_secs(1),
+        }
+    }
+
     /// Number of repetitions for fairness runs (the paper repeats 5×).
     #[must_use]
     pub fn fairness_reps(self) -> usize {

@@ -109,6 +109,33 @@ impl Scenario {
             .expect("unique cgroup name")
     }
 
+    /// The managed `isol.slice` group every benchmark cgroup descends
+    /// from — the root anchor for multi-level fleet trees.
+    #[must_use]
+    pub fn slice(&self) -> GroupId {
+        self.slice
+    }
+
+    /// Creates a cgroup under an arbitrary parent (for 3–4-level fleet
+    /// hierarchies; [`Scenario::add_cgroup`] covers the flat case).
+    /// With `management` the new group gets `+io` enabled so its own
+    /// children may carry knobs; leave it false for leaf tenant groups
+    /// that will hold processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate sibling names or a non-management parent.
+    pub fn add_cgroup_under(&mut self, parent: GroupId, name: &str, management: bool) -> GroupId {
+        let id = self
+            .hierarchy
+            .create(parent, name)
+            .expect("unique cgroup name under live management parent");
+        if management {
+            self.hierarchy.enable_io(id).expect("no processes yet");
+        }
+        id
+    }
+
     /// Adds an app inside `group`, issuing to every device (the default).
     /// Returns the app id.
     pub fn add_app(&mut self, group: GroupId, spec: JobSpec) -> AppId {

@@ -142,6 +142,11 @@ impl HostSim {
         assert!(config.cores > 0, "need at least one core");
         let mut rng = DetRng::new(config.seed);
         let group_ids = hierarchy.group_ids();
+        // One flattened snapshot serves every device's knob resolution:
+        // effective io.max / io.latency and hierarchical weight products
+        // resolve for the whole fleet in O(groups) forward passes
+        // instead of O(groups x depth) pointer walks per device.
+        let flat = hierarchy.flatten();
 
         let devs: Vec<DeviceHost> = devices
             .iter()
@@ -184,8 +189,10 @@ impl HostSim {
                 let mut qos = QosChain::new();
                 let mut throttler = IoMaxThrottler::new();
                 let mut any_max = false;
+                let eff_max = flat.effective_io_max(&hierarchy, node);
+                let eff_latency = flat.effective_io_latency(&hierarchy, node);
                 for &g in &group_ids {
-                    let limits = hierarchy.io_max(g, node);
+                    let limits = eff_max[g.index()];
                     if !limits.is_unlimited() {
                         // Self-describing trace: one CfgIoMax event per
                         // configured bucket (0 rbps, 1 wbps, 2 riops,
@@ -231,8 +238,14 @@ impl HostSim {
                             }
                         });
                         let mut cost = IoCostController::new(IoCostConfig::new(model, *qcfg));
+                        // Fold ancestor weights below the root into each
+                        // group's absolute weight (identity while every
+                        // intermediate slice keeps the default of 100).
+                        let mult = flat.weight_multipliers(|g| hierarchy.io_weight(g, node));
                         for &g in &group_ids {
-                            cost.set_weight(g, hierarchy.io_weight(g, node));
+                            let own = f64::from(hierarchy.io_weight(g, node));
+                            let eff = (own * mult[g.index()]).round().clamp(1.0, 10_000.0);
+                            cost.set_weight(g, eff as u32);
                         }
                         qos.push_io_cost(cost);
                     }
@@ -240,7 +253,7 @@ impl HostSim {
                 let mut latency = IoLatencyController::new(setup.profile.max_qd);
                 let mut any_latency = false;
                 for &g in &group_ids {
-                    if let Some(l) = hierarchy.io_latency(g, node) {
+                    if let Some(l) = eff_latency[g.index()] {
                         latency.set_target(g, Some(l.target_us));
                         any_latency = true;
                     }

@@ -1,0 +1,336 @@
+//! Dense per-group state storage for the QoS controllers.
+//!
+//! Cgroup ids are already dense indices (`Hierarchy` hands them out
+//! sequentially and never reuses a slot, see `cgroup-sim`), so a
+//! controller's per-group state does not need a hash map: a slab vector
+//! indexed by [`GroupSlot`] turns every lookup on the submit/complete
+//! path into an array index — the same move the nvme-sim request arena
+//! made for in-service commands. Two containers cover every controller:
+//!
+//! * [`GroupArena`] — auto-growing `Vec<Option<T>>` keyed by group slot,
+//!   with an occupied counter so `len()` stays O(1). Iteration order is
+//!   ascending slot order by construction, which makes controller walks
+//!   deterministic without collect-and-sort.
+//! * [`SlotSet`] — a word-packed bitmap of group slots with O(1)
+//!   insert/remove/contains and ascending-order iteration. Controllers
+//!   keep *active* / *backlogged* membership here so periodic work walks
+//!   only the groups that need attention, not every group ever seen.
+
+use blkio::GroupId;
+
+/// A compact index for one cgroup inside a controller's arenas.
+///
+/// Group ids are dense (`GroupId(n)` is the n-th created group), so the
+/// slot *is* the id's index; the newtype only documents intent where a
+/// raw index crosses an API boundary.
+pub type GroupSlot = u32;
+
+/// Converts a group id to its arena slot.
+#[must_use]
+#[inline]
+pub fn slot_of(group: GroupId) -> GroupSlot {
+    group.index() as GroupSlot
+}
+
+/// Dense per-group storage: `Vec<Option<T>>` indexed by group slot.
+#[derive(Debug, Clone)]
+pub struct GroupArena<T> {
+    slots: Vec<Option<T>>,
+    occupied: usize,
+}
+
+impl<T> Default for GroupArena<T> {
+    fn default() -> Self {
+        GroupArena {
+            slots: Vec::new(),
+            occupied: 0,
+        }
+    }
+}
+
+impl<T> GroupArena<T> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        GroupArena::default()
+    }
+
+    /// Number of occupied slots (groups with materialized state).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether no group has materialized state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// The group's state, if materialized.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, group: GroupId) -> Option<&T> {
+        self.slots.get(group.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the group's state, if materialized.
+    #[inline]
+    pub fn get_mut(&mut self, group: GroupId) -> Option<&mut T> {
+        self.slots.get_mut(group.index()).and_then(Option::as_mut)
+    }
+
+    /// Whether the group has materialized state.
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, group: GroupId) -> bool {
+        self.get(group).is_some()
+    }
+
+    /// Returns the group's state, materializing it with `make` on first
+    /// contact (the arena analogue of `HashMap::entry().or_insert_with`).
+    pub fn get_or_insert_with(&mut self, group: GroupId, make: impl FnOnce() -> T) -> &mut T {
+        let idx = group.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.slots[idx];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.occupied += 1;
+        }
+        slot.as_mut().expect("just materialized")
+    }
+
+    /// Inserts (or replaces) the group's state, returning the previous
+    /// value if the slot was occupied.
+    pub fn insert(&mut self, group: GroupId, value: T) -> Option<T> {
+        let idx = group.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let prev = self.slots[idx].replace(value);
+        if prev.is_none() {
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the group's state.
+    pub fn remove(&mut self, group: GroupId) -> Option<T> {
+        let prev = self.slots.get_mut(group.index()).and_then(Option::take);
+        if prev.is_some() {
+            self.occupied -= 1;
+        }
+        prev
+    }
+
+    /// Iterates occupied slots in ascending group order.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (GroupId(i), v)))
+    }
+
+    /// Iterates occupied slots mutably, in ascending group order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (GroupId(i), v)))
+    }
+}
+
+/// A set of group slots as a packed bitmap.
+///
+/// Membership tests and updates are O(1); iteration visits members in
+/// ascending slot order scanning one 64-bit word at a time, so a sparse
+/// set over thousands of slots costs a few dozen word reads.
+#[derive(Debug, Clone, Default)]
+pub struct SlotSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SlotSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SlotSet::default()
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `group` is a member.
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, group: GroupId) -> bool {
+        let idx = group.index();
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    /// Adds `group`; returns true if it was not already a member.
+    pub fn insert(&mut self, group: GroupId) -> bool {
+        let idx = group.index();
+        let word = idx / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (idx % 64);
+        let fresh = self.words[word] & bit == 0;
+        if fresh {
+            self.words[word] |= bit;
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `group`; returns true if it was a member.
+    pub fn remove(&mut self, group: GroupId) -> bool {
+        let idx = group.index();
+        let Some(w) = self.words.get_mut(idx / 64) else {
+            return false;
+        };
+        let bit = 1u64 << (idx % 64);
+        let present = *w & bit != 0;
+        if present {
+            *w &= !bit;
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Removes all members (keeps capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending slot order.
+    pub fn iter(&self) -> SlotSetIter<'_> {
+        SlotSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`SlotSet`].
+#[derive(Debug)]
+pub struct SlotSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SlotSetIter<'_> {
+    type Item = GroupId;
+
+    fn next(&mut self) -> Option<GroupId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(GroupId(self.word_idx * 64 + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_materializes_once_and_counts() {
+        let mut a: GroupArena<u32> = GroupArena::new();
+        assert!(a.is_empty());
+        *a.get_or_insert_with(GroupId(5), || 7) += 1;
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(GroupId(5)), Some(&8));
+        // Second contact reuses the slot.
+        *a.get_or_insert_with(GroupId(5), || 100) += 1;
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(GroupId(5)), Some(&9));
+        assert!(!a.contains(GroupId(4)));
+        assert_eq!(a.get(GroupId(999)), None);
+    }
+
+    #[test]
+    fn arena_insert_remove_roundtrip() {
+        let mut a: GroupArena<&str> = GroupArena::new();
+        assert_eq!(a.insert(GroupId(2), "x"), None);
+        assert_eq!(a.insert(GroupId(2), "y"), Some("x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove(GroupId(2)), Some("y"));
+        assert_eq!(a.remove(GroupId(2)), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn arena_iterates_in_ascending_order() {
+        let mut a: GroupArena<u32> = GroupArena::new();
+        for g in [9usize, 1, 64, 3] {
+            a.insert(GroupId(g), g as u32);
+        }
+        let order: Vec<usize> = a.iter().map(|(g, _)| g.index()).collect();
+        assert_eq!(order, vec![1, 3, 9, 64]);
+    }
+
+    #[test]
+    fn slot_set_basic_ops() {
+        let mut s = SlotSet::new();
+        assert!(s.insert(GroupId(0)));
+        assert!(s.insert(GroupId(63)));
+        assert!(s.insert(GroupId(64)));
+        assert!(s.insert(GroupId(1000)));
+        assert!(!s.insert(GroupId(64)), "double insert");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(GroupId(63)));
+        assert!(!s.contains(GroupId(62)));
+        assert!(s.remove(GroupId(63)));
+        assert!(!s.remove(GroupId(63)));
+        assert_eq!(s.len(), 3);
+        let members: Vec<usize> = s.iter().map(GroupId::index).collect();
+        assert_eq!(members, vec![0, 64, 1000]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn slot_set_iterates_sparse_ascending() {
+        let mut s = SlotSet::new();
+        let mut expect: Vec<usize> = (0..4096).filter(|i| i % 97 == 3).collect();
+        for &i in expect.iter().rev() {
+            s.insert(GroupId(i));
+        }
+        expect.sort_unstable();
+        let got: Vec<usize> = s.iter().map(GroupId::index).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn slot_conversion_is_the_index() {
+        assert_eq!(slot_of(GroupId(17)), 17);
+    }
+}

@@ -22,8 +22,32 @@
 //! everyone down proportionally; clean periods speed everyone up. This
 //! is why io.cost responds to priority bursts in milliseconds (O10) and
 //! why its configuration bounds achievable bandwidth (O3).
+//!
+//! # Fleet-scale fast path
+//!
+//! Per-group state lives in dense [`GroupArena`]s (group ids are dense
+//! slab indices), and the controller maintains two slot sets so periodic
+//! work is O(active), not O(every group ever seen):
+//!
+//! * `active` — a conservative superset of the groups whose activity
+//!   predicate (`active_until ≥ now ∨ held ≠ ∅ ∨ inflight > 0`) holds.
+//!   Membership is added on submit and pruned only in `adjust_vrate`
+//!   after the per-period `spent` reset, which preserves the invariant
+//!   that non-members have `spent_in_period == 0`.
+//! * `backlogged` — groups with held requests (`⊆ active`), so drain
+//!   and `next_event` walk only groups that can actually release.
+//!
+//! `hweight` values are memoized per group behind an `epoch` counter
+//! (bumped whenever any hweight input changes: weights, usage EMAs,
+//! active-set membership, a held queue flipping empty↔nonempty) plus a
+//! `valid_until` horizon (the earliest `active_until` of any row member,
+//! after which time alone can change row membership). A stale entry
+//! falls back to a full recompute over the active set — exactly the
+//! value the pre-cache controller produced, so output bytes are
+//! unchanged; the cache only skips redundant recomputation.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 
 use blkio::{AccessPattern, GroupId, IoOp, IoRequest};
 use cgroup_sim::{IoCostModel, IoCostQos};
@@ -31,6 +55,7 @@ use serde::{Deserialize, Serialize};
 use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime};
 
+use crate::arena::{GroupArena, SlotSet};
 use crate::{QosController, SubmitOutcome};
 
 /// A group's vtime advanced to `vtime` charging `abs` for `req` (probe).
@@ -87,6 +112,12 @@ struct GroupCost {
     /// scales its weight in `hweight` (the donation mechanism: an
     /// underusing group cedes share to backlogged groups).
     usage: f64,
+    /// Memoized hweight (interior-mutable: `hweight` is called from
+    /// `&self` paths like `next_event`). Valid while the controller
+    /// epoch matches and `now ≤ hw_valid_until`.
+    hw_value: Cell<f64>,
+    hw_epoch: Cell<u64>,
+    hw_valid_until: Cell<SimTime>,
 }
 
 impl Default for GroupCost {
@@ -98,6 +129,9 @@ impl Default for GroupCost {
             active_until: SimTime::ZERO,
             spent_in_period: 0.0,
             usage: 1.0,
+            hw_value: Cell::new(0.0),
+            hw_epoch: Cell::new(u64::MAX),
+            hw_valid_until: Cell::new(SimTime::ZERO),
         }
     }
 }
@@ -110,16 +144,29 @@ const ACTIVE_WINDOW: SimDuration = SimDuration::from_millis(100);
 #[derive(Debug)]
 pub struct IoCostController {
     config: IoCostConfig,
-    weights: HashMap<GroupId, u32>,
-    groups: HashMap<GroupId, GroupCost>,
+    weights: GroupArena<u32>,
+    groups: GroupArena<GroupCost>,
+    /// Conservative superset of groups whose activity predicate holds
+    /// (pruned each period in `adjust_vrate`).
+    active: SlotSet,
+    /// Groups with a nonempty held queue (always a subset of `active`).
+    backlogged: SlotSet,
+    /// Total held requests across groups (kept in sync on push/pop).
+    held_total: usize,
+    /// Bumped whenever any input of `hweight` changes; invalidates all
+    /// memoized hweights at once.
+    epoch: u64,
     vrate: f64,
     vbase: f64,
     tbase: SimTime,
     next_tick: SimTime,
     window_rlat_ns: Vec<u64>,
     window_wlat_ns: Vec<u64>,
-    /// Reused scratch for the drain pass (kept empty between calls).
-    drain_ids: Vec<GroupId>,
+    /// Reused scratch for drain/adjust walks (kept empty between calls).
+    scratch_ids: Vec<GroupId>,
+    /// Reused scratch for hweight row builds (interior-mutable because
+    /// `hweight` serves `&self` callers).
+    hw_rows: RefCell<Vec<(GroupId, f64, f64, bool)>>,
 }
 
 impl IoCostController {
@@ -130,26 +177,32 @@ impl IoCostController {
         IoCostController {
             next_tick: SimTime::ZERO + config.period,
             config,
-            weights: HashMap::new(),
-            groups: HashMap::new(),
+            weights: GroupArena::new(),
+            groups: GroupArena::new(),
+            active: SlotSet::new(),
+            backlogged: SlotSet::new(),
+            held_total: 0,
+            epoch: 0,
             vrate,
             vbase: 0.0,
             tbase: SimTime::ZERO,
             window_rlat_ns: Vec::new(),
             window_wlat_ns: Vec::new(),
-            drain_ids: Vec::new(),
+            scratch_ids: Vec::new(),
+            hw_rows: RefCell::new(Vec::new()),
         }
     }
 
     /// Sets a group's absolute weight (`io.weight`, 1..=10000).
     pub fn set_weight(&mut self, group: GroupId, weight: u32) {
         self.weights.insert(group, weight.clamp(1, 10_000));
+        self.epoch += 1;
     }
 
     /// The group's absolute weight (default 100).
     #[must_use]
     pub fn weight(&self, group: GroupId) -> u32 {
-        self.weights.get(&group).copied().unwrap_or(100)
+        self.weights.get(group).copied().unwrap_or(100)
     }
 
     /// The current global vrate multiplier.
@@ -161,7 +214,13 @@ impl IoCostController {
     /// Total held requests.
     #[must_use]
     pub fn held_count(&self) -> usize {
-        self.groups.values().map(|g| g.held.len()).sum()
+        self.held_total
+    }
+
+    /// A group's held-queue length (state inspection for tests).
+    #[cfg(test)]
+    fn held_len(&self, group: GroupId) -> usize {
+        self.groups.get(group).map_or(0, |g| g.held.len())
     }
 
     fn vnow(&self, now: SimTime) -> f64 {
@@ -197,29 +256,66 @@ impl IoCostController {
     /// (backlogged or fully-using), proportionally to their nominal
     /// weights. A group alone — or the only backlogged one — therefore
     /// converges to the full device speed (work conservation, O9).
+    ///
+    /// Serves from the per-group memo when the controller epoch and the
+    /// time horizon still hold; otherwise recomputes over the active set
+    /// and refreshes the memo.
     fn hweight(&self, group: GroupId, now: SimTime) -> f64 {
+        if let Some(g) = self.groups.get(group) {
+            if g.hw_epoch.get() == self.epoch && now <= g.hw_valid_until.get() {
+                return g.hw_value.get();
+            }
+        }
+        let (value, valid_until) = self.hweight_compute(group, now);
+        if let Some(g) = self.groups.get(group) {
+            g.hw_value.set(value);
+            g.hw_epoch.set(self.epoch);
+            g.hw_valid_until.set(valid_until);
+        }
+        value
+    }
+
+    /// Full hweight recomputation over the active set; returns the value
+    /// and the horizon up to which it stays valid at the current epoch
+    /// (the earliest `active_until` among row members — past it a member
+    /// can lapse out of the rows without any epoch bump).
+    fn hweight_compute(&self, group: GroupId, now: SimTime) -> (f64, SimTime) {
         const USAGE_FLOOR: f64 = 0.02;
         const WANTS_MORE: f64 = 0.9;
         // (id, nominal weight, usage, wants_more)
-        let mut rows: Vec<(GroupId, f64, f64, bool)> = Vec::with_capacity(self.groups.len());
+        let mut rows = self.hw_rows.borrow_mut();
+        rows.clear();
         let mut seen = false;
-        for (&id, g) in &self.groups {
+        let mut valid_until = SimTime::MAX;
+        for id in self.active.iter() {
+            let g = self
+                .groups
+                .get(id)
+                .expect("active members are materialized");
             if id == group || g.active_until >= now || !g.held.is_empty() || g.inflight > 0 {
                 // A group asking right now always wants more.
                 let wants = id == group || !g.held.is_empty() || g.usage >= WANTS_MORE;
                 rows.push((id, f64::from(self.weight(id)), g.usage, wants));
                 seen |= id == group;
+                valid_until = valid_until.min(g.active_until);
             }
         }
         if !seen {
-            // First contact: nominal share, full usage.
-            rows.push((group, f64::from(self.weight(group)), 1.0, true));
+            if let Some(g) = self.groups.get(group) {
+                // Materialized but lapsed out of the active set: its own
+                // row is pinned by `id == group`, historical usage kept.
+                rows.push((group, f64::from(self.weight(group)), g.usage, true));
+                valid_until = valid_until.min(g.active_until);
+            } else {
+                // First contact: nominal share, full usage.
+                rows.push((group, f64::from(self.weight(group)), 1.0, true));
+            }
         }
         let total_w: f64 = rows.iter().map(|r| r.1).sum();
         let mut inuse: f64 = 0.0;
         let mut mine = 0.0;
         let mut wants_w = 0.0;
-        for &(id, w, usage, wants) in &rows {
+        for &(id, w, usage, wants) in rows.iter() {
             let nominal = w / total_w;
             let used = nominal * usage.clamp(USAGE_FLOOR, 1.0);
             inuse += used;
@@ -235,7 +331,7 @@ impl IoCostController {
             // The caller is always in the wants set (see above).
             mine += surplus * f64::from(self.weight(group)) / wants_w;
         }
-        mine.clamp(1e-6, 1.0)
+        (mine.clamp(1e-6, 1.0), valid_until)
     }
 
     fn adjust_vrate(&mut self, now: SimTime) {
@@ -266,15 +362,32 @@ impl IoCostController {
             self.window_wlat_ns.clear();
         }
         // Donation bookkeeping: how much of its entitlement did each
-        // group use this period?
+        // group use this period? Only active-set members can have spent
+        // anything (non-members were pruned *after* their reset below,
+        // so their `spent_in_period` is already zero), which keeps this
+        // walk O(active), not O(every group ever seen).
         let entitlement = self.config.period.as_nanos() as f64 * self.vrate;
-        for g in self.groups.values_mut() {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.extend(self.active.iter());
+        for &id in &ids {
+            let g = self
+                .groups
+                .get_mut(id)
+                .expect("active members are materialized");
             if g.active_until >= now || !g.held.is_empty() || g.inflight > 0 {
                 let sample = (g.spent_in_period / entitlement).clamp(0.0, 1.0);
                 g.usage = 0.5 * g.usage + 0.5 * sample;
+            } else {
+                // Predicate lapsed: drop from the active set so future
+                // ticks and hweight row builds skip this group.
+                self.active.remove(id);
             }
             g.spent_in_period = 0.0;
         }
+        ids.clear();
+        self.scratch_ids = ids;
+        // Usage EMAs (and possibly membership) moved.
+        self.epoch += 1;
         // Settle the vtime baseline before changing the rate.
         self.vbase = self.vnow(now);
         self.tbase = now;
@@ -293,11 +406,20 @@ impl IoCostController {
 impl QosController for IoCostController {
     fn on_submit(&mut self, req: IoRequest, now: SimTime) -> SubmitOutcome {
         let abs = self.abs_cost(req.op, req.pattern, req.len);
+        // Priced against the pre-contact state, like the kernel charges
+        // before linking the iocg in.
         let charge = abs / self.hweight(req.group, now);
         let vnow = self.vnow(now);
         let margin = self.margin_v();
-        let g = self.groups.entry(req.group).or_default();
+        let newly_active = self.active.insert(req.group);
+        let g = self
+            .groups
+            .get_or_insert_with(req.group, GroupCost::default);
         let was_idle = g.inflight == 0 && g.held.is_empty();
+        // A lapsed group re-entering the rows changes everyone's share.
+        if newly_active || (was_idle && g.active_until < now) {
+            self.epoch += 1;
+        }
         g.active_until = now + ACTIVE_WINDOW;
         if was_idle {
             // No banking: an idle group resumes near the global clock.
@@ -311,7 +433,13 @@ impl QosController for IoCostController {
             trace::record_with(|| vtime_event(&req, now, vtime, abs));
             SubmitOutcome::Pass(req)
         } else {
+            if g.held.is_empty() {
+                // The group's "wants more" flag flips on.
+                self.backlogged.insert(req.group);
+                self.epoch += 1;
+            }
             g.held.push_back((req, abs));
+            self.held_total += 1;
             SubmitOutcome::Held
         }
     }
@@ -327,7 +455,11 @@ impl QosController for IoCostController {
         } else {
             self.window_wlat_ns.push(lat);
         }
-        if let Some(g) = self.groups.get_mut(&req.group) {
+        if let Some(g) = self.groups.get_mut(req.group) {
+            // No epoch bump: a completion can only lapse a group out of
+            // the hweight rows when its `active_until` is already past,
+            // and every memo containing such a member carried a
+            // `valid_until ≤ active_until` and has expired on its own.
             g.inflight = g.inflight.saturating_sub(1);
         }
     }
@@ -335,22 +467,23 @@ impl QosController for IoCostController {
     fn drain_released_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
         let vnow = self.vnow(now);
         let margin = self.margin_v();
-        let mut ids = std::mem::take(&mut self.drain_ids);
-        ids.extend(
-            self.groups
-                .iter()
-                .filter(|(_, g)| !g.held.is_empty())
-                .map(|(&id, _)| id),
-        );
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        // Arena/slot order is ascending group order by construction —
+        // deterministic without collect-and-sort.
+        ids.extend(self.backlogged.iter());
         for &id in &ids {
             // Shares move with donation; price each head at the current
             // hweight, not the submit-time one.
             let hw = self.hweight(id, now);
-            let g = self.groups.get_mut(&id).expect("listed above");
+            let g = self
+                .groups
+                .get_mut(id)
+                .expect("backlogged members are materialized");
             while let Some((_, abs)) = g.held.front() {
                 let charge = abs / hw;
                 if g.vtime + charge <= vnow + margin {
                     let (req, abs) = g.held.pop_front().expect("nonempty");
+                    self.held_total -= 1;
                     g.vtime += charge;
                     g.spent_in_period += charge;
                     g.inflight += 1;
@@ -361,16 +494,26 @@ impl QosController for IoCostController {
                     break;
                 }
             }
+            if g.held.is_empty() {
+                // The group's "wants more" flag flips off.
+                self.backlogged.remove(id);
+                self.epoch += 1;
+            }
         }
         ids.clear();
-        self.drain_ids = ids;
+        self.scratch_ids = ids;
     }
 
     fn next_event(&self, now: SimTime) -> Option<SimTime> {
         let mut earliest = self.next_tick;
-        // Earliest hold release across groups (estimated at the current
-        // share; the periodic tick re-evaluates as shares move).
-        for (&id, g) in &self.groups {
+        // Earliest hold release across backlogged groups (estimated at
+        // the current share; the periodic tick re-evaluates as shares
+        // move).
+        for id in self.backlogged.iter() {
+            let g = self
+                .groups
+                .get(id)
+                .expect("backlogged members are materialized");
             if let Some((_, abs)) = g.held.front() {
                 let charge = abs / self.hweight(id, now);
                 let needed_v = g.vtime + charge - self.margin_v();
@@ -528,7 +671,7 @@ mod tests {
             // Keep both groups backlogged; count immediate passes too.
             for g in [1usize, 2] {
                 loop {
-                    let pending = c.groups.get(&GroupId(g)).map_or(0, |x| x.held.len());
+                    let pending = c.held_len(GroupId(g));
                     if pending >= 4 {
                         break;
                     }
@@ -689,7 +832,7 @@ mod tests {
             }
             // B: backlogged (keep 4 held).
             loop {
-                let pending = c.groups.get(&GroupId(2)).map_or(0, |g| g.held.len());
+                let pending = c.held_len(GroupId(2));
                 if pending >= 4 {
                     break;
                 }
@@ -725,5 +868,94 @@ mod tests {
         c.set_weight(GroupId(1), 20_000);
         assert_eq!(c.weight(GroupId(1)), 10_000);
         let _ = req(0, 1, IoOp::Read, 4096, SimTime::ZERO);
+    }
+
+    #[test]
+    fn drain_releases_in_ascending_group_order() {
+        // Backlog three groups in shuffled submission order, then let
+        // everything release at once: the drain must surface requests in
+        // ascending group order (arena/slot order by construction), FIFO
+        // within each group.
+        let mut c = IoCostController::new(fixed_cfg());
+        let mut id = 0;
+        // Saturate group 5 first, then 1, then 3, leaving ≥2 held each.
+        for g in [5usize, 1, 3] {
+            let mut held = 0;
+            while held < 2 {
+                if let SubmitOutcome::Held =
+                    c.on_submit(read4k(id, g, SimTime::ZERO), SimTime::ZERO)
+                {
+                    held += 1;
+                }
+                id += 1;
+            }
+        }
+        let held = c.held_count();
+        assert!(held >= 6);
+        // Far enough out that every hold clears.
+        let released = c.drain_released(SimTime::from_secs(2));
+        assert_eq!(released.len(), held, "all holds must clear");
+        assert_eq!(c.held_count(), 0);
+        let groups: Vec<usize> = released.iter().map(|r| r.group.index()).collect();
+        let mut sorted = groups.clone();
+        sorted.sort_unstable();
+        assert_eq!(groups, sorted, "release order must be ascending slot order");
+        // FIFO within each group: request ids increase per group.
+        for g in [1usize, 3, 5] {
+            let ids: Vec<u64> = released
+                .iter()
+                .filter(|r| r.group.index() == g)
+                .map(|r| r.id)
+                .collect();
+            let mut s = ids.clone();
+            s.sort_unstable();
+            assert_eq!(ids, s, "FIFO violated for group {g}");
+        }
+    }
+
+    #[test]
+    fn idle_groups_are_pruned_from_the_active_set() {
+        let mut c = IoCostController::new(fixed_cfg());
+        let mut now = SimTime::ZERO;
+        for g in 1..=8usize {
+            if let SubmitOutcome::Pass(r) = c.on_submit(read4k(g as u64, g, now), now) {
+                c.on_device_complete(&r, now);
+            }
+        }
+        assert_eq!(c.active.len(), 8);
+        // Let the activity window lapse and a tick prune.
+        now += ACTIVE_WINDOW + SimDuration::from_millis(10);
+        c.tick(now);
+        assert_eq!(c.active.len(), 0, "idle groups must be pruned");
+        // State stays materialized (overhead model counts total groups).
+        assert_eq!(c.groups.len(), 8);
+    }
+
+    #[test]
+    fn hweight_memo_matches_recompute() {
+        // Against a busy mix, every cached hweight answer must equal a
+        // from-scratch recomputation at the same instant.
+        let mut c = IoCostController::new(fixed_cfg());
+        c.set_weight(GroupId(1), 300);
+        c.set_weight(GroupId(2), 100);
+        c.set_weight(GroupId(4), 1000);
+        let mut id = 0;
+        let mut now = SimTime::ZERO;
+        while now < SimTime::from_millis(50) {
+            now += SimDuration::from_micros(100);
+            for g in [1usize, 2, 4] {
+                if let SubmitOutcome::Pass(r) = c.on_submit(read4k(id, g, now), now) {
+                    c.on_device_complete(&r, now);
+                }
+                id += 1;
+                let memo = c.hweight(GroupId(g), now);
+                let (fresh, _) = c.hweight_compute(GroupId(g), now);
+                assert_eq!(memo.to_bits(), fresh.to_bits(), "group {g} at {now:?}");
+            }
+            for r in c.drain_released(now) {
+                c.on_device_complete(&r, now);
+            }
+            c.tick(now);
+        }
     }
 }

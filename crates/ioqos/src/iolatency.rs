@@ -10,12 +10,26 @@
 //! `use_delay` (one per window) and only then recover queue depth in
 //! steps of `max_qd / 4`. With `max_qd = 1024` a full throttle-down
 //! takes 10 windows ≈ 5 s — the paper's O10 burst finding.
+//!
+//! # Fleet-scale fast path
+//!
+//! Per-group state lives in dense [`GroupArena`]s, and two slot sets
+//! keep periodic work proportional to groups that need attention:
+//!
+//! * `dirty` — groups away from their settled fixpoint (`effective_qd ==
+//!   max_qd`, `use_delay == 0`, empty latency window). A clean window
+//!   evaluation is a no-op for settled groups, so the walk visits only
+//!   dirty members; a *violated* window walks every materialized group
+//!   (victim selection is global by design).
+//! * `backlogged` — groups with held requests, so the per-pump drain
+//!   never touches idle tenants.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use blkio::{GroupId, IoRequest};
 use simcore::{SimDuration, SimTime};
 
+use crate::arena::{GroupArena, SlotSet};
 use crate::{QosController, SubmitOutcome};
 
 /// Evaluation window (kernel: 500 ms).
@@ -42,15 +56,31 @@ impl GroupState {
             window_lat_ns: Vec::new(),
         }
     }
+
+    /// A settled group: nothing a clean window evaluation would change.
+    fn at_fixpoint(&self, max_qd: u32) -> bool {
+        self.effective_qd == max_qd && self.use_delay == 0 && self.window_lat_ns.is_empty()
+    }
 }
 
 /// The `io.latency` controller for one device.
 #[derive(Debug)]
 pub struct IoLatencyController {
     max_qd: u32,
-    targets: HashMap<GroupId, u64>,
-    groups: HashMap<GroupId, GroupState>,
+    targets: GroupArena<u64>,
+    groups: GroupArena<GroupState>,
+    /// Groups away from their fixpoint (see [`GroupState::at_fixpoint`]);
+    /// the only groups a clean window evaluation needs to visit.
+    dirty: SlotSet,
+    /// Groups with held requests.
+    backlogged: SlotSet,
+    /// Total held requests across groups.
+    held_total: usize,
     next_window_at: SimTime,
+    /// Reused scratch for window walks (kept empty between calls).
+    scratch_ids: Vec<GroupId>,
+    /// Reused scratch for percentile sorts.
+    scratch_lats: Vec<u64>,
 }
 
 impl IoLatencyController {
@@ -65,9 +95,14 @@ impl IoLatencyController {
         assert!(max_qd > 0, "max_qd must be positive");
         IoLatencyController {
             max_qd,
-            targets: HashMap::new(),
-            groups: HashMap::new(),
+            targets: GroupArena::new(),
+            groups: GroupArena::new(),
+            dirty: SlotSet::new(),
+            backlogged: SlotSet::new(),
+            held_total: 0,
             next_window_at: SimTime::ZERO + WINDOW,
+            scratch_ids: Vec::new(),
+            scratch_lats: Vec::new(),
         }
     }
 
@@ -79,7 +114,7 @@ impl IoLatencyController {
                 self.targets.insert(group, t);
             }
             None => {
-                self.targets.remove(&group);
+                self.targets.remove(group);
             }
         }
     }
@@ -95,61 +130,75 @@ impl IoLatencyController {
     #[must_use]
     pub fn effective_qd(&self, group: GroupId) -> u32 {
         self.groups
-            .get(&group)
+            .get(group)
             .map_or(self.max_qd, |g| g.effective_qd)
     }
 
     /// The current `use_delay` counter of a group.
     #[must_use]
     pub fn use_delay(&self, group: GroupId) -> u32 {
-        self.groups.get(&group).map_or(0, |g| g.use_delay)
+        self.groups.get(group).map_or(0, |g| g.use_delay)
     }
 
     /// Total held requests across groups.
     #[must_use]
     pub fn held_count(&self) -> usize {
-        self.groups.values().map(|g| g.held.len()).sum()
+        self.held_total
     }
 
     fn group_mut(&mut self, id: GroupId) -> &mut GroupState {
         let max_qd = self.max_qd;
         self.groups
-            .entry(id)
-            .or_insert_with(|| GroupState::new(max_qd))
+            .get_or_insert_with(id, || GroupState::new(max_qd))
     }
 
     fn effective_target(&self, id: GroupId) -> u64 {
-        self.targets.get(&id).copied().unwrap_or(u64::MAX)
+        self.targets.get(id).copied().unwrap_or(u64::MAX)
     }
 
     fn evaluate_window(&mut self) {
-        // Which protected groups are violated this window?
-        let mut violated_targets: Vec<u64> = Vec::new();
-        for (&g, &target_us) in &self.targets {
-            if let Some(state) = self.groups.get(&g) {
+        // Which protected groups are violated this window? Only the
+        // strictest violated target matters for victim selection.
+        let mut strictest_violated: Option<u64> = None;
+        for (g, &target_us) in self.targets.iter() {
+            if let Some(state) = self.groups.get(g) {
                 if state.window_lat_ns.is_empty() {
                     continue;
                 }
-                let mut lats = state.window_lat_ns.clone();
-                lats.sort_unstable();
+                self.scratch_lats.clear();
+                self.scratch_lats.extend_from_slice(&state.window_lat_ns);
+                self.scratch_lats.sort_unstable();
+                let lats = &self.scratch_lats;
                 let idx =
                     ((lats.len() as f64 * PERCENTILE).ceil() as usize).clamp(1, lats.len()) - 1;
                 let p90_us = lats[idx] / 1_000;
                 if p90_us > target_us {
-                    violated_targets.push(target_us);
+                    strictest_violated =
+                        Some(strictest_violated.map_or(target_us, |t| t.min(target_us)));
                 }
             }
         }
-        let strictest_violated = violated_targets.iter().min().copied();
-        // Apply to every group with traffic or configuration.
-        let ids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for id in ids {
+        let max_qd = self.max_qd;
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        if strictest_violated.is_some() {
+            // Victim selection is global: every group with traffic or
+            // configuration is (re)examined.
+            ids.extend(self.groups.iter().map(|(id, _)| id));
+        } else {
+            // A clean window changes nothing for settled groups — walk
+            // only the dirty ones, so thousands of idle tenants cost
+            // nothing here.
+            ids.extend(self.dirty.iter());
+        }
+        for &id in &ids {
             let my_target = self.effective_target(id);
             // A group is a victim if some *stricter* protected group is
             // violated.
             let victim_of_violation = strictest_violated.is_some_and(|t| my_target > t);
-            let max_qd = self.max_qd;
-            let g = self.group_mut(id);
+            let g = self
+                .groups
+                .get_mut(id)
+                .expect("walked ids are materialized");
             if victim_of_violation {
                 if g.effective_qd > 1 {
                     g.effective_qd = (g.effective_qd / 2).max(1);
@@ -162,7 +211,14 @@ impl IoLatencyController {
                 g.effective_qd = (g.effective_qd + max_qd / 4).min(max_qd);
             }
             g.window_lat_ns.clear();
+            if g.at_fixpoint(max_qd) {
+                self.dirty.remove(id);
+            } else {
+                self.dirty.insert(id);
+            }
         }
+        ids.clear();
+        self.scratch_ids = ids;
     }
 }
 
@@ -176,7 +232,10 @@ impl QosController for IoLatencyController {
             g.inflight += 1;
             SubmitOutcome::Pass(req)
         } else {
+            let group = req.group;
             g.held.push_back(req);
+            self.held_total += 1;
+            self.backlogged.insert(group);
             SubmitOutcome::Held
         }
     }
@@ -186,19 +245,37 @@ impl QosController for IoLatencyController {
             return;
         }
         let lat = now.saturating_since(req.scheduled_at).as_nanos();
-        let g = self.group_mut(req.group);
+        let group = req.group;
+        let g = self.group_mut(group);
         g.inflight = g.inflight.saturating_sub(1);
         g.window_lat_ns.push(lat);
+        // A nonempty window needs clearing at the next evaluation.
+        self.dirty.insert(group);
     }
 
     fn drain_released_into(&mut self, _now: SimTime, out: &mut Vec<IoRequest>) {
-        for g in self.groups.values_mut() {
+        if self.backlogged.is_empty() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.extend(self.backlogged.iter());
+        for &id in &ids {
+            let g = self
+                .groups
+                .get_mut(id)
+                .expect("backlogged members are materialized");
             while !g.held.is_empty() && g.inflight < g.effective_qd {
                 let req = g.held.pop_front().expect("nonempty");
+                self.held_total -= 1;
                 g.inflight += 1;
                 out.push(req);
             }
+            if g.held.is_empty() {
+                self.backlogged.remove(id);
+            }
         }
+        ids.clear();
+        self.scratch_ids = ids;
     }
 
     fn next_event(&self, _now: SimTime) -> Option<SimTime> {
@@ -405,5 +482,34 @@ mod tests {
         let rel = c.drain_released(SimTime::ZERO);
         assert_eq!(rel.len(), 1);
         assert_eq!(rel[0].id, 2);
+    }
+
+    #[test]
+    fn settled_groups_leave_the_dirty_set() {
+        let mut c = IoLatencyController::new(1024);
+        c.set_target(GroupId(1), Some(100));
+        // Traffic in several groups, all meeting targets.
+        for g in 1..=6usize {
+            let r = read4k(g as u64, g, SimTime::ZERO);
+            c.on_submit(r.clone(), SimTime::ZERO);
+            complete(&mut c, r, SimTime::ZERO, 10);
+        }
+        assert_eq!(c.dirty.len(), 6, "nonempty windows are dirty");
+        c.tick(SimTime::ZERO + WINDOW);
+        assert_eq!(
+            c.dirty.len(),
+            0,
+            "clean evaluation settles every group back to its fixpoint"
+        );
+        // A violation drags everyone back in.
+        for i in 0..10 {
+            let r = read4k(100 + i, 1, SimTime::ZERO + WINDOW);
+            c.on_submit(r.clone(), SimTime::ZERO + WINDOW);
+            complete(&mut c, r, SimTime::ZERO + WINDOW, 900);
+        }
+        c.tick(SimTime::ZERO + WINDOW + WINDOW);
+        // Victims (groups 2..=6) halved → dirty again.
+        assert!(c.dirty.len() >= 5, "victims are dirty: {}", c.dirty.len());
+        assert_eq!(c.effective_qd(GroupId(2)), 512);
     }
 }

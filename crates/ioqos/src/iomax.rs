@@ -1,12 +1,13 @@
 //! `io.max` (blk-throttle): static token-bucket limiting.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use blkio::{GroupId, IoRequest};
 use cgroup_sim::IoMax;
 use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{SimDuration, SimTime, TokenBucket};
 
+use crate::arena::{GroupArena, SlotSet};
 use crate::{QosController, SubmitOutcome};
 
 /// Burst window the buckets accumulate (kernel `throtl_slice`-like).
@@ -114,7 +115,13 @@ impl GroupThrottle {
 /// work-conserving, O8) and provides no prioritization.
 #[derive(Debug, Default)]
 pub struct IoMaxThrottler {
-    groups: HashMap<GroupId, GroupThrottle>,
+    /// Only limited groups occupy a slot; everyone else passes through.
+    groups: GroupArena<GroupThrottle>,
+    /// Groups with held requests — the only slots the per-pump drain and
+    /// `next_event` walks touch.
+    backlogged: SlotSet,
+    /// Total held requests across groups.
+    held_total: usize,
 }
 
 impl IoMaxThrottler {
@@ -128,9 +135,12 @@ impl IoMaxThrottler {
     /// that group's `io.max` file would.
     pub fn set_limits(&mut self, group: GroupId, limits: IoMax) {
         if limits.is_unlimited() {
-            self.groups.remove(&group);
+            if let Some(g) = self.groups.remove(group) {
+                self.held_total -= g.held_r.len() + g.held_w.len();
+                self.backlogged.remove(group);
+            }
         } else {
-            match self.groups.get_mut(&group) {
+            match self.groups.get_mut(group) {
                 // Preserve held requests across reconfiguration.
                 Some(g) => {
                     let held_r = std::mem::take(&mut g.held_r);
@@ -151,23 +161,20 @@ impl IoMaxThrottler {
     #[must_use]
     pub fn limits(&self, group: GroupId) -> IoMax {
         self.groups
-            .get(&group)
+            .get(group)
             .map_or_else(IoMax::default, |g| g.limits)
     }
 
     /// Number of requests currently held.
     #[must_use]
     pub fn held_count(&self) -> usize {
-        self.groups
-            .values()
-            .map(|g| g.held_r.len() + g.held_w.len())
-            .sum()
+        self.held_total
     }
 }
 
 impl QosController for IoMaxThrottler {
     fn on_submit(&mut self, req: IoRequest, now: SimTime) -> SubmitOutcome {
-        let Some(g) = self.groups.get_mut(&req.group) else {
+        let Some(g) = self.groups.get_mut(req.group) else {
             return SubmitOutcome::Pass(req);
         };
         let queue_empty = if req.op.is_read() {
@@ -178,11 +185,15 @@ impl QosController for IoMaxThrottler {
         if queue_empty && g.try_take(&req, now).is_ok() {
             trace::record_with(|| iomax_pass_event(&req, now));
             SubmitOutcome::Pass(req)
-        } else if req.op.is_read() {
-            g.held_r.push_back(req);
-            SubmitOutcome::Held
         } else {
-            g.held_w.push_back(req);
+            let group = req.group;
+            if req.op.is_read() {
+                g.held_r.push_back(req);
+            } else {
+                g.held_w.push_back(req);
+            }
+            self.held_total += 1;
+            self.backlogged.insert(group);
             SubmitOutcome::Held
         }
     }
@@ -190,7 +201,21 @@ impl QosController for IoMaxThrottler {
     fn on_device_complete(&mut self, _req: &IoRequest, _now: SimTime) {}
 
     fn drain_released_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
-        for g in self.groups.values_mut() {
+        if self.backlogged.is_empty() {
+            return;
+        }
+        // Walk only groups with held requests, in ascending slot order
+        // (deterministic by construction).
+        let mut cursor = 0usize;
+        // SlotSet iteration cannot outlive the `get_mut` borrow, so step
+        // the membership manually: find the next backlogged slot at or
+        // after `cursor`.
+        while let Some(id) = self.backlogged.iter().find(|g| g.index() >= cursor) {
+            cursor = id.index() + 1;
+            let g = self
+                .groups
+                .get_mut(id)
+                .expect("backlogged members are limited");
             for dir in 0..2 {
                 loop {
                     let head = if dir == 0 {
@@ -207,6 +232,7 @@ impl QosController for IoMaxThrottler {
                             &mut g.held_w
                         };
                         let released = q.pop_front().expect("head exists");
+                        self.held_total -= 1;
                         trace::record_with(|| iomax_pass_event(&released, now));
                         out.push(released);
                     } else {
@@ -214,13 +240,16 @@ impl QosController for IoMaxThrottler {
                     }
                 }
             }
+            if g.held_r.is_empty() && g.held_w.is_empty() {
+                self.backlogged.remove(id);
+            }
         }
     }
 
     fn next_event(&self, now: SimTime) -> Option<SimTime> {
-        self.groups
-            .values()
-            .filter_map(|g| g.next_ready_at(now))
+        self.backlogged
+            .iter()
+            .filter_map(|id| self.groups.get(id).and_then(|g| g.next_ready_at(now)))
             .min()
     }
 

@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod chain;
 mod iocost;
 mod iolatency;
 mod iomax;
 
+pub use arena::{slot_of, GroupArena, GroupSlot, SlotSet};
 pub use chain::QosChain;
 pub use iocost::{IoCostConfig, IoCostController};
 pub use iolatency::IoLatencyController;

@@ -64,6 +64,15 @@ rm -rf target/isol-bench/traces
 ./target/release/figures --smoke --no-cache --trace fig4 > /dev/null
 ./target/release/traceck
 
+echo "==> fleet_scale check (256-tenant smoke grid, byte-identical across --jobs/--shards)"
+fleet_dir=$(mktemp -d)
+./target/release/figures --smoke --no-cache --jobs 1 --shards 1 fleet_scale > /dev/null
+cp target/isol-bench/fleet_scale.csv "$fleet_dir"/
+./target/release/figures --smoke --no-cache --jobs 4 --shards 4 fleet_scale > /dev/null
+cmp -s "$fleet_dir/fleet_scale.csv" target/isol-bench/fleet_scale.csv \
+    || { echo "FAIL: fleet_scale.csv differs between sequential and parallel runs"; exit 1; }
+rm -rf "$fleet_dir"
+
 echo "==> sharded-run check (a sharded smoke run must be byte-identical to the cached sequential one)"
 shard_dir=$(mktemp -d)
 cp target/isol-bench/fig4*.csv "$shard_dir"/
@@ -74,7 +83,10 @@ for f in "$shard_dir"/*.csv; do
 done
 rm -rf "$shard_dir"
 
-echo "==> perf snapshot check (>10% regression against BENCH_pr6.json fails)"
+# Note: perfsnap's cells_per_sec reads timings.json from the most recent
+# figures run, so this must come right after the fig4 sharded-run check
+# (the fleet_scale grid above has much heavier cells).
+echo "==> perf snapshot check (>10% regression against BENCH_pr7.json fails; includes the arena-vs-map io.cost tick gate)"
 ./target/release/perfsnap --check
 
 echo "==> partial-trace check (a panicked traced cell must still leave a checkable trace)"
