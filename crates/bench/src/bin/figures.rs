@@ -4,6 +4,9 @@
 //! figures [--fidelity smoke|standard|full] [--smoke] [--jobs N|auto]
 //!         [--shards N|auto] [--no-cache] [--refresh] [--profile]
 //!         [--faults] [--trace[=N]] [--inject-panic LABEL]
+//!         [--inject-hang LABEL] [--resume] [--watchdog-soft-ms N]
+//!         [--watchdog-hard-ms N] [--cell-retries N]
+//!         [--retry-backoff-ms N]
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
 //!          q_faults fleet_scale | all]
 //! ```
@@ -66,15 +69,45 @@
 //!
 //! # Graceful degradation
 //!
-//! A panicking grid cell no longer kills the run: the cell is dropped,
-//! the remaining cells complete, partial CSVs are written, and
-//! `target/isol-bench/failures.json` names every failed cell (the file
-//! is written on every run; an empty `failures` array is the healthy
-//! signal). The process still exits 0 — CI distinguishes degraded runs
-//! by inspecting `failures.json`. `--inject-panic LABEL` deliberately
-//! panics the cell with that label (e.g. `q_faults-io.cost`) to
-//! exercise this path end to end. Panicked cells are never written to
-//! the cache.
+//! A failing grid cell no longer kills the run: a panicking or hung
+//! cell is retried (with backoff) up to `--cell-retries` times, then
+//! quarantined and dropped; the remaining cells complete, partial CSVs
+//! are written, and `target/isol-bench/failures.json` names every
+//! failed cell with a structured class (`panic`, `timed_out`,
+//! `cancelled`, `cache_corrupt`, `invariant_violation`) and its attempt
+//! count (the file is written on every run; an empty `failures` array
+//! is the healthy signal). The process still exits 0 — CI distinguishes
+//! degraded runs by inspecting `failures.json`. `--inject-panic LABEL`
+//! deliberately panics the cell with that label (e.g.
+//! `q_faults-io.cost`); `--inject-hang LABEL` deliberately hangs it
+//! (exercising the watchdog → cancel → retry → quarantine chain, and
+//! arming a default watchdog if none was configured). Failed cells are
+//! never written to the cache.
+//!
+//! # Watchdog
+//!
+//! `--watchdog-soft-ms N` arms every cell attempt with a cooperative
+//! cancellation deadline: a cell still running after N ms is cancelled
+//! (the simulation event loops poll the token and unwind with partial
+//! stats, which are discarded) and the attempt counts as `timed_out`.
+//! `--watchdog-hard-ms N` additionally declares the cell stuck for
+//! accounting once N ms pass. Both default to off; watchdog fires,
+//! retries, and quarantined labels are reported under `"resilience"` in
+//! `timings.json`.
+//!
+//! # Crash-safe resume
+//!
+//! Every run appends completed cells (fingerprint, outcome, result
+//! rows) to an append-only journal at
+//! `target/isol-bench/journal/run.jsonl`, flushed per cell — a SIGKILL
+//! can at worst tear the final line, which the parser treats as a clean
+//! end of journal. `--resume` replays the journal of an interrupted run
+//! (same engine salt + fidelity): already-completed cells return their
+//! journaled rows without simulating, so the resumed run's CSVs and
+//! `timings.json` cell outcomes are byte-identical to an uninterrupted
+//! run. Without `--resume` the journal is truncated and started fresh.
+//! Stale cache temp files (`*.tmp-<pid>` from killed runs) are swept at
+//! startup.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -83,9 +116,10 @@ use isol_bench::cell::FinishFn;
 use isol_bench::experiments::{
     fig2, fig3, fig4, fig5, fig6, fig7, fleet_scale, optane, q10, q_faults, table1, writeback,
 };
-use isol_bench::{cache, runner, Cell, Fidelity, OutputSink, Staged};
+use isol_bench::{cache, journal, runner, Cell, Fidelity, OutputSink, Staged};
 use isol_bench_harness::{
-    parse_jobs, parse_selection, parse_shards, CellTiming, Failures, Profiles, Timings, OUTPUT_DIR,
+    parse_jobs, parse_selection, parse_shards, CellTiming, Failures, Profiles, ResilienceSummary,
+    Timings, OUTPUT_DIR,
 };
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -126,8 +160,20 @@ fn main() -> ExitCode {
     let mut profile = false;
     let mut no_cache = false;
     let mut refresh = false;
+    let mut resume = false;
+    let mut inject_hang = false;
+    let mut watchdog_soft: Option<Duration> = None;
+    let mut watchdog_hard: Option<Duration> = None;
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
+    // Parses the millisecond value of a watchdog/backoff flag.
+    let parse_ms = |flag: &str, v: Option<String>| -> Result<Duration, String> {
+        match v.as_deref().map(str::parse::<u64>) {
+            Some(Ok(ms)) if ms > 0 => Ok(Duration::from_millis(ms)),
+            Some(_) => Err(format!("{flag} needs a positive millisecond count")),
+            None => Err(format!("{flag} needs a value (milliseconds)")),
+        }
+    };
     while let Some(a) = args.next() {
         if a == "--profile" {
             profile = true;
@@ -154,6 +200,51 @@ fn main() -> ExitCode {
                 Some(label) => runner::set_inject_panic(Some(&label)),
                 None => {
                     eprintln!("--inject-panic needs a cell label (e.g. q_faults-io.cost)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--inject-hang" {
+            match args.next() {
+                Some(label) => {
+                    runner::set_inject_hang(Some(&label));
+                    inject_hang = true;
+                }
+                None => {
+                    eprintln!("--inject-hang needs a cell label (e.g. fig4-none-1ssd-1)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--resume" {
+            resume = true;
+        } else if a == "--watchdog-soft-ms" {
+            match parse_ms(&a, args.next()) {
+                Ok(d) => watchdog_soft = Some(d),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--watchdog-hard-ms" {
+            match parse_ms(&a, args.next()) {
+                Ok(d) => watchdog_hard = Some(d),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--cell-retries" {
+            match args.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) => runner::set_cell_retries(n),
+                _ => {
+                    eprintln!("--cell-retries needs a count (0 disables retry)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--retry-backoff-ms" {
+            match parse_ms(&a, args.next()) {
+                Ok(d) => runner::set_retry_backoff(d),
+                Err(e) => {
+                    eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -214,8 +305,51 @@ fn main() -> ExitCode {
         } else {
             cache::CacheMode::ReadWrite
         });
+        // A killed run can leave half-written `*.tmp-<pid>` files next
+        // to the entries; they are dead weight (stores rename away
+        // their temp file on success), so sweep them at open time.
+        let swept = cache::sweep_stale_tmp(&cache::dir());
+        if swept > 0 {
+            eprintln!("cache: swept {swept} stale temp file(s) left by interrupted runs");
+        }
     }
     cache::reset_stats();
+    runner::reset_resilience();
+    // A hang test without a watchdog would hang forever; give
+    // --inject-hang a deadline unless one was configured explicitly.
+    if inject_hang && watchdog_soft.is_none() {
+        watchdog_soft = Some(Duration::from_millis(2_000));
+        if watchdog_hard.is_none() {
+            watchdog_hard = Some(Duration::from_millis(5_000));
+        }
+    }
+    runner::set_watchdog(watchdog_soft, watchdog_hard);
+    let fidelity_token = format!("{fidelity:?}").to_lowercase();
+    let journal_dir = std::path::PathBuf::from(format!("{OUTPUT_DIR}/journal"));
+    match journal::arm(&journal_dir, resume, &fidelity_token) {
+        Ok(sum) => {
+            if resume && sum.fresh {
+                eprintln!(
+                    "resume: no matching journal (missing, or different engine salt/fidelity); \
+                     starting fresh"
+                );
+            } else if resume {
+                eprintln!(
+                    "resume: {} completed cell(s) replayable from {}",
+                    sum.replayable,
+                    journal::file_path(&journal_dir).display()
+                );
+            }
+        }
+        Err(e) => {
+            // The journal is advisory: a run that cannot journal still
+            // produces correct output, it just cannot be resumed.
+            eprintln!(
+                "warning: cannot arm run journal in {}: {e}",
+                journal_dir.display()
+            );
+        }
+    }
 
     let mut sink = match OutputSink::with_dir(OUTPUT_DIR) {
         Ok(s) => s,
@@ -313,10 +447,24 @@ fn main() -> ExitCode {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body)).map_err(|p| {
                         let msg = payload_message(p);
                         eprintln!("{} panicked: {msg}", $name);
-                        failures.record($name, 0, concat!($name, " (experiment)"), &msg);
+                        failures.record(
+                            $name,
+                            0,
+                            concat!($name, " (experiment)"),
+                            &msg,
+                            runner::classify_panic(&msg).as_str(),
+                            1,
+                        );
                     });
                 for f in runner::take_failures() {
-                    failures.record($name, f.index, &f.label, &f.message);
+                    failures.record(
+                        $name,
+                        f.index,
+                        &f.label,
+                        &f.message,
+                        f.class.as_str(),
+                        f.attempts,
+                    );
                 }
                 match out {
                     Ok(r) => Some(r),
@@ -370,7 +518,14 @@ fn main() -> ExitCode {
                     .iter()
                     .find(|s| f.index >= s.start && f.index < s.end)
                     .map_or(("batch", f.index), |s| (s.name, f.index - s.start));
-                failures.record(exp, local, &f.label, &f.message);
+                failures.record(
+                    exp,
+                    local,
+                    &f.label,
+                    &f.message,
+                    f.class.as_str(),
+                    f.attempts,
+                );
             }
             batch_cells = cache::take_cell_stats();
             sink.note(&format!("(batch ran in {batch_elapsed:.1?})"));
@@ -555,18 +710,48 @@ fn main() -> ExitCode {
     }
     if !failures.is_empty() {
         sink.note(&format!(
-            "WARNING: {} cell(s) panicked and were dropped; see {failures_path}:",
+            "WARNING: {} cell(s) failed and were dropped; see {failures_path}:",
             failures.len()
         ));
         for f in failures.entries() {
             sink.note(&format!(
-                "  - {} cell #{} ({}): {}",
-                f.experiment, f.index, f.label, f.message
+                "  - {} cell #{} ({}) [{}, {} attempt(s)]: {}",
+                f.experiment, f.index, f.label, f.class, f.attempts, f.message
             ));
         }
     }
     let stats = cache::stats();
-    timings.set_cache_summary(stats.hits, stats.misses, stats.stored, stats.bypassed);
+    timings.set_cache_summary(
+        stats.hits,
+        stats.misses,
+        stats.stored,
+        stats.bypassed,
+        stats.corrupt,
+    );
+    let res = runner::resilience_stats();
+    let resumed = journal::resumed_count();
+    if res.watchdog_soft + res.watchdog_hard + res.retries > 0 || !res.quarantined.is_empty() {
+        sink.note(&format!(
+            "(resilience: {} soft / {} hard watchdog fire(s), {} retr{}, {} quarantined)",
+            res.watchdog_soft,
+            res.watchdog_hard,
+            res.retries,
+            if res.retries == 1 { "y" } else { "ies" },
+            res.quarantined.len()
+        ));
+    }
+    if resumed > 0 {
+        sink.note(&format!(
+            "(resume: {resumed} cell(s) replayed from the run journal)"
+        ));
+    }
+    timings.set_resilience(ResilienceSummary {
+        watchdog_soft: res.watchdog_soft,
+        watchdog_hard: res.watchdog_hard,
+        retries: res.retries,
+        quarantined: res.quarantined,
+        resumed,
+    });
     batch_cells.extend(cache::take_cell_stats());
     timings.set_cells(
         batch_cells
@@ -575,17 +760,18 @@ fn main() -> ExitCode {
                 experiment: c.experiment,
                 label: c.label,
                 seconds: c.seconds,
-                outcome: c.outcome.as_str().to_owned(),
+                outcome: c.outcome,
             })
             .collect(),
     );
     if cache::mode() != cache::CacheMode::Off {
         sink.note(&format!(
-            "(cell cache: {} hits, {} misses, {} stored, {} bypassed — {})",
+            "(cell cache: {} hits, {} misses, {} stored, {} bypassed, {} corrupt — {})",
             stats.hits,
             stats.misses,
             stats.stored,
             stats.bypassed,
+            stats.corrupt,
             cache::dir().display()
         ));
     }

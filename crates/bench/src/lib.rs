@@ -83,8 +83,26 @@ pub struct Timings {
     entries: Vec<(String, Duration)>,
     scheduler: String,
     shards: usize,
-    cache: (usize, usize, usize, usize),
+    cache: (usize, usize, usize, usize, usize),
+    resilience: ResilienceSummary,
     cells: Vec<CellTiming>,
+}
+
+/// Watchdog/retry/resume telemetry for one run, reported under
+/// `"resilience"` in `timings.json`. All zeros on a healthy,
+/// uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResilienceSummary {
+    /// Watchdog soft-deadline fires (cooperative cancels issued).
+    pub watchdog_soft: usize,
+    /// Watchdog hard-deadline fires (cells declared stuck).
+    pub watchdog_hard: usize,
+    /// Retry attempts executed after failed attempts.
+    pub retries: usize,
+    /// Cell labels quarantined after exhausting their retry budget.
+    pub quarantined: Vec<String>,
+    /// Cells answered from the run journal by `--resume`.
+    pub resumed: usize,
 }
 
 impl Timings {
@@ -98,7 +116,8 @@ impl Timings {
             entries: Vec::new(),
             scheduler: "sequential".to_owned(),
             shards: 1,
-            cache: (0, 0, 0, 0),
+            cache: (0, 0, 0, 0, 0),
+            resilience: ResilienceSummary::default(),
             cells: Vec::new(),
         }
     }
@@ -120,15 +139,23 @@ impl Timings {
         self.shards = shards;
     }
 
-    /// Records the run's cache traffic counters.
+    /// Records the run's cache traffic counters. `corrupt` counts
+    /// entries that were present on disk but failed validation (each is
+    /// also a miss).
     pub fn set_cache_summary(
         &mut self,
         hits: usize,
         misses: usize,
         stored: usize,
         bypassed: usize,
+        corrupt: usize,
     ) {
-        self.cache = (hits, misses, stored, bypassed);
+        self.cache = (hits, misses, stored, bypassed, corrupt);
+    }
+
+    /// Records the run's watchdog/retry/resume telemetry.
+    pub fn set_resilience(&mut self, resilience: ResilienceSummary) {
+        self.resilience = resilience;
     }
 
     /// Replaces the per-cell breakdown. Entries are sorted by
@@ -167,9 +194,20 @@ impl Timings {
             json_escape(&self.scheduler),
             self.shards
         ));
-        let (hits, misses, stored, bypassed) = self.cache;
+        let (hits, misses, stored, bypassed, corrupt) = self.cache;
         s.push_str(&format!(
-            "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"stored\": {stored}, \"bypassed\": {bypassed}}},\n",
+            "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"stored\": {stored}, \"bypassed\": {bypassed}, \"corrupt\": {corrupt}}},\n",
+        ));
+        let r = &self.resilience;
+        let quarantined = r
+            .quarantined
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "  \"resilience\": {{\"watchdog_soft\": {}, \"watchdog_hard\": {}, \"retries\": {}, \"quarantined\": [{quarantined}], \"resumed\": {}}},\n",
+            r.watchdog_soft, r.watchdog_hard, r.retries, r.resumed
         ));
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
@@ -317,7 +355,7 @@ impl Profiles {
     }
 }
 
-/// One grid cell that panicked instead of producing a result.
+/// One grid cell that failed instead of producing a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureEntry {
     /// The experiment the cell belonged to (`q_faults`, `fig5`, ...).
@@ -326,11 +364,17 @@ pub struct FailureEntry {
     pub index: usize,
     /// The cell's label (scenario name, or `#index`).
     pub label: String,
-    /// The panic payload, stringified.
+    /// The panic payload or cancellation cause, stringified.
     pub message: String,
+    /// Structured failure class token (`panic`, `timed_out`,
+    /// `cancelled`, `cache_corrupt`, `invariant_violation`) — the same
+    /// taxonomy the run journal records.
+    pub class: String,
+    /// Attempts the cell consumed before being given up on.
+    pub attempts: u32,
 }
 
-/// Grid cells that panicked during a `figures` run, serialized as
+/// Grid cells that failed during a `figures` run, serialized as
 /// `failures.json` next to the CSVs (same hand-rolled JSON as
 /// [`Timings`]). The file is written on every run — an empty
 /// `failures` array is the healthy signal, a populated one names each
@@ -348,12 +392,22 @@ impl Failures {
     }
 
     /// Records one failed cell.
-    pub fn record(&mut self, experiment: &str, index: usize, label: &str, message: &str) {
+    pub fn record(
+        &mut self,
+        experiment: &str,
+        index: usize,
+        label: &str,
+        message: &str,
+        class: &str,
+        attempts: u32,
+    ) {
         self.entries.push(FailureEntry {
             experiment: experiment.to_owned(),
             index,
             label: label.to_owned(),
             message: message.to_owned(),
+            class: class.to_owned(),
+            attempts,
         });
     }
 
@@ -382,11 +436,13 @@ impl Failures {
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{\"experiment\": \"{}\", \"index\": {}, \"label\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+                "    {{\"experiment\": \"{}\", \"index\": {}, \"label\": \"{}\", \"message\": \"{}\", \"class\": \"{}\", \"attempts\": {}}}{comma}\n",
                 json_escape(&e.experiment),
                 e.index,
                 json_escape(&e.label),
-                json_escape(&e.message)
+                json_escape(&e.message),
+                json_escape(&e.class),
+                e.attempts
             ));
         }
         s.push_str("  ]\n}\n");
@@ -512,12 +568,20 @@ mod tests {
         assert!(f.is_empty());
         let empty = f.to_json();
         assert!(empty.contains("\"failures\": ["));
-        f.record("q_faults", 4, "q_faults-io.cost", "boom \"quoted\"");
+        f.record(
+            "q_faults",
+            4,
+            "q_faults-io.cost",
+            "boom \"quoted\"",
+            "timed_out",
+            2,
+        );
         assert_eq!(f.len(), 1);
         let json = f.to_json();
         assert!(json.contains(
             "{\"experiment\": \"q_faults\", \"index\": 4, \
-             \"label\": \"q_faults-io.cost\", \"message\": \"boom \\\"quoted\\\"\"}"
+             \"label\": \"q_faults-io.cost\", \"message\": \"boom \\\"quoted\\\"\", \
+             \"class\": \"timed_out\", \"attempts\": 2}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -554,7 +618,14 @@ mod tests {
         let mut t = Timings::new("smoke", 4);
         t.record("fig4", Duration::from_millis(100));
         t.set_scheduler("global");
-        t.set_cache_summary(10, 2, 2, 1);
+        t.set_cache_summary(10, 2, 2, 1, 1);
+        t.set_resilience(ResilienceSummary {
+            watchdog_soft: 2,
+            watchdog_hard: 1,
+            retries: 3,
+            quarantined: vec!["fig4-hung".into()],
+            resumed: 5,
+        });
         t.set_cells(vec![
             CellTiming {
                 experiment: "fig4".into(),
@@ -572,8 +643,13 @@ mod tests {
         t.set_shards(4);
         let json = t.to_json(Duration::from_millis(100));
         assert!(json.contains("\"scheduler\": {\"kind\": \"global\", \"shards\": 4}"));
-        assert!(json
-            .contains("\"cache\": {\"hits\": 10, \"misses\": 2, \"stored\": 2, \"bypassed\": 1}"));
+        assert!(json.contains(
+            "\"cache\": {\"hits\": 10, \"misses\": 2, \"stored\": 2, \"bypassed\": 1, \"corrupt\": 1}"
+        ));
+        assert!(json.contains(
+            "\"resilience\": {\"watchdog_soft\": 2, \"watchdog_hard\": 1, \"retries\": 3, \
+             \"quarantined\": [\"fig4-hung\"], \"resumed\": 5}"
+        ));
         // Cells are sorted by (experiment, label): fig3 first.
         let f3 = json.find("fig3-none-16").unwrap();
         let f4 = json.find("fig4-none-1ssd-4").unwrap();

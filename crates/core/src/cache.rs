@@ -99,6 +99,7 @@ static HITS: AtomicUsize = AtomicUsize::new(0);
 static MISSES: AtomicUsize = AtomicUsize::new(0);
 static STORED: AtomicUsize = AtomicUsize::new(0);
 static BYPASSED: AtomicUsize = AtomicUsize::new(0);
+static CORRUPT: AtomicUsize = AtomicUsize::new(0);
 static DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static TEST_SALT: Mutex<Option<u64>> = Mutex::new(None);
 static CELL_STATS: Mutex<Vec<CellStat>> = Mutex::new(Vec::new());
@@ -150,6 +151,14 @@ fn salt() -> u64 {
         .unwrap_or(ENGINE_SALT)
 }
 
+/// The engine salt currently in effect (the test override if set, else
+/// [`ENGINE_SALT`]). The run journal pins this in its header so a
+/// journal written by a different engine version is never replayed.
+#[must_use]
+pub fn active_salt() -> u64 {
+    salt()
+}
+
 /// Cache traffic counters for one run (see [`stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -161,6 +170,12 @@ pub struct CacheStats {
     pub stored: usize,
     /// Cells excluded from caching (fault injection armed).
     pub bypassed: usize,
+    /// Entries that were *present* on disk but failed validation
+    /// (truncated, checksum mismatch, stale salt, wrong spec). Each is
+    /// also counted as a miss; this counter separates "never computed"
+    /// from "computed but the bytes rotted", which the failure taxonomy
+    /// reports as `cache_corrupt` pressure.
+    pub corrupt: usize,
 }
 
 /// Snapshot of the traffic counters since the last [`reset_stats`].
@@ -171,6 +186,7 @@ pub fn stats() -> CacheStats {
         misses: MISSES.load(Ordering::Relaxed),
         stored: STORED.load(Ordering::Relaxed),
         bypassed: BYPASSED.load(Ordering::Relaxed),
+        corrupt: CORRUPT.load(Ordering::Relaxed),
     }
 }
 
@@ -180,6 +196,7 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
     STORED.store(0, Ordering::Relaxed);
     BYPASSED.store(0, Ordering::Relaxed);
+    CORRUPT.store(0, Ordering::Relaxed);
     CELL_STATS.lock().expect("cell stats poisoned").clear();
 }
 
@@ -219,8 +236,10 @@ pub struct CellStat {
     pub label: String,
     /// Wall-clock spent in the cell, including cache I/O.
     pub seconds: f64,
-    /// How the cache treated this cell.
-    pub outcome: CellOutcome,
+    /// How the cache treated this cell — a [`CellOutcome`] token, kept
+    /// as a string so a journal-resumed cell can report the *original*
+    /// run's token and keep `timings.json` outcomes byte-identical.
+    pub outcome: String,
 }
 
 /// Drains the per-cell telemetry recorded since the last call (or
@@ -302,12 +321,62 @@ fn parse_entry(text: &str, want_spec: &str) -> Option<Vec<Vec<f64>>> {
     (rows.len() == count).then_some(rows)
 }
 
+/// Why a load did not produce rows.
+enum LoadOutcome {
+    /// Valid entry.
+    Loaded(Vec<Vec<f64>>),
+    /// No entry file at all.
+    Missing,
+    /// Entry file present but failed validation.
+    Corrupt,
+}
+
+fn load_classified(dir: &Path, spec: &str) -> LoadOutcome {
+    let Ok(bytes) = fs::read(entry_path(dir, spec)) else {
+        return LoadOutcome::Missing;
+    };
+    match std::str::from_utf8(&bytes)
+        .ok()
+        .and_then(|text| parse_entry(text, spec))
+    {
+        Some(rows) => LoadOutcome::Loaded(rows),
+        None => LoadOutcome::Corrupt,
+    }
+}
+
 /// Loads the entry for `spec` from `dir`; `None` is a miss (including
 /// every corruption mode — this function never panics on bad bytes).
 #[must_use]
 pub fn load_rows(dir: &Path, spec: &str) -> Option<Vec<Vec<f64>>> {
-    let bytes = fs::read(entry_path(dir, spec)).ok()?;
-    parse_entry(std::str::from_utf8(&bytes).ok()?, spec)
+    match load_classified(dir, spec) {
+        LoadOutcome::Loaded(rows) => Some(rows),
+        LoadOutcome::Missing | LoadOutcome::Corrupt => None,
+    }
+}
+
+/// Removes stale `*.tmp-<pid>` temp files left behind by crashed or
+/// killed runs (a successful store renames its temp file away). Called
+/// by the harness at cache-open time, before any store of this process
+/// could have created a live temp file; returns how many were swept.
+pub fn sweep_stale_tmp(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let is_tmp = Path::new(name)
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.starts_with("tmp-"));
+        if is_tmp && fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 /// Stores `rows` for `spec` under `dir` (temp file + atomic rename).
@@ -324,7 +393,7 @@ pub fn store_rows(dir: &Path, spec: &str, rows: &[Vec<f64>]) -> std::io::Result<
     fs::rename(&tmp, &path)
 }
 
-fn record_cell(experiment: &str, label: &str, started: Instant, outcome: CellOutcome) {
+fn record_cell(experiment: &str, label: &str, started: Instant, outcome: &str) {
     CELL_STATS
         .lock()
         .expect("cell stats poisoned")
@@ -332,18 +401,27 @@ fn record_cell(experiment: &str, label: &str, started: Instant, outcome: CellOut
             experiment: experiment.to_owned(),
             label: label.to_owned(),
             seconds: started.elapsed().as_secs_f64(),
-            outcome,
+            outcome: outcome.to_owned(),
         });
 }
 
-/// Runs one scenario cell through the cache.
+/// Runs one scenario cell through the cache and the run journal.
 ///
-/// On a hit the scenario is **not** simulated — the stored rows come
-/// back as-is (bit-exact, via the hex-bits row encoding). On a miss the
-/// scenario runs, `extract` turns the report into rows, and the rows
-/// are stored (best-effort). Faulted scenarios always simulate and are
-/// never stored. A panic in the simulation or in `extract` propagates
-/// before any store, so degraded cells never poison the cache.
+/// On a cache hit the scenario is **not** simulated — the stored rows
+/// come back as-is (bit-exact, via the hex-bits row encoding). On a
+/// miss the scenario runs, `extract` turns the report into rows, and
+/// the rows are stored (best-effort). Faulted scenarios always simulate
+/// and are never cached. A panic in the simulation or in `extract`
+/// propagates before any store, so degraded cells never poison the
+/// cache.
+///
+/// When the run journal is armed ([`crate::journal::arm`]) the cell is
+/// first checked against the journal's durable completed cells — a
+/// `--resume` replay short-circuits even faulted and cache-off cells,
+/// reporting the *journaled* outcome token so the resumed run's
+/// telemetry matches the interrupted run byte-for-byte. Every cell that
+/// completes live appends its rows and outcome to the journal before
+/// returning. Traced cells bypass both the cache and the journal.
 #[must_use]
 pub fn run_scenario(
     experiment: &str,
@@ -360,36 +438,87 @@ pub fn run_scenario(
         // closures run, so timings would differ from untraced entries.
         let rows = run_traced_cell(label, scenario, until, capacity, extract);
         BYPASSED.fetch_add(1, Ordering::Relaxed);
-        record_cell(experiment, label, started, CellOutcome::Bypass);
-        return rows;
-    }
-    if scenario.has_faults() {
-        let rows = extract(scenario.run(until));
-        BYPASSED.fetch_add(1, Ordering::Relaxed);
-        record_cell(experiment, label, started, CellOutcome::Bypass);
+        record_cell(experiment, label, started, CellOutcome::Bypass.as_str());
         return rows;
     }
     let mode = mode();
-    if mode == CacheMode::Off {
-        let rows = extract(scenario.run(until));
-        record_cell(experiment, label, started, CellOutcome::Off);
-        return rows;
-    }
-    let spec = spec_string(experiment, label, fidelity, &scenario, until);
-    let cache_dir = dir();
-    if mode == CacheMode::ReadWrite {
-        if let Some(rows) = load_rows(&cache_dir, &spec) {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            record_cell(experiment, label, started, CellOutcome::Hit);
+    let faulted = scenario.has_faults();
+    let journaled = crate::journal::armed();
+    // The spec is needed for the cache (non-faulted, cache on) and for
+    // the journal key (always, so faulted and cache-off cells resume
+    // too). Computed at most once.
+    let spec = (journaled || (!faulted && mode != CacheMode::Off))
+        .then(|| spec_string(experiment, label, fidelity, &scenario, until));
+    let fp = journaled
+        .then(|| spec.as_deref().map(|s| fingerprint(s).hex()))
+        .flatten();
+    if let Some(fp) = &fp {
+        if let Some((rows, outcome)) = crate::journal::replay(fp, experiment, label) {
+            record_cell(experiment, label, started, &outcome);
             return rows;
         }
     }
+    let journal_done = |outcome: CellOutcome, rows: &[Vec<f64>]| {
+        if let Some(fp) = &fp {
+            crate::journal::record_cell(
+                fp,
+                experiment,
+                label,
+                outcome.as_str(),
+                crate::runner::current_attempt(),
+                rows,
+            );
+        }
+    };
+    if faulted {
+        let rows = extract(scenario.run(until));
+        if simcore::cancel::cancelled() {
+            return rows; // discarded by the runner; see below
+        }
+        BYPASSED.fetch_add(1, Ordering::Relaxed);
+        journal_done(CellOutcome::Bypass, &rows);
+        record_cell(experiment, label, started, CellOutcome::Bypass.as_str());
+        return rows;
+    }
+    if mode == CacheMode::Off {
+        let rows = extract(scenario.run(until));
+        if simcore::cancel::cancelled() {
+            return rows;
+        }
+        journal_done(CellOutcome::Off, &rows);
+        record_cell(experiment, label, started, CellOutcome::Off.as_str());
+        return rows;
+    }
+    let spec = spec.expect("spec computed for cache-on path above");
+    let cache_dir = dir();
+    if mode == CacheMode::ReadWrite {
+        match load_classified(&cache_dir, &spec) {
+            LoadOutcome::Loaded(rows) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                journal_done(CellOutcome::Hit, &rows);
+                record_cell(experiment, label, started, CellOutcome::Hit.as_str());
+                return rows;
+            }
+            LoadOutcome::Corrupt => {
+                CORRUPT.fetch_add(1, Ordering::Relaxed);
+            }
+            LoadOutcome::Missing => {}
+        }
+    }
     let rows = extract(scenario.run(until));
+    if simcore::cancel::cancelled() {
+        // The attempt's cancel token latched mid-simulation: these rows
+        // are partial stats. The resilient runner discards the attempt,
+        // so they must never reach the cache, the journal, or the
+        // per-cell telemetry.
+        return rows;
+    }
     MISSES.fetch_add(1, Ordering::Relaxed);
     if store_rows(&cache_dir, &spec, &rows).is_ok() {
         STORED.fetch_add(1, Ordering::Relaxed);
     }
-    record_cell(experiment, label, started, CellOutcome::Miss);
+    journal_done(CellOutcome::Miss, &rows);
+    record_cell(experiment, label, started, CellOutcome::Miss.as_str());
     rows
 }
 
@@ -509,6 +638,23 @@ mod tests {
     fn missing_entry_is_a_miss() {
         let dir = temp_dir("missing");
         assert!(load_rows(&dir, "never-stored").is_none());
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_tmp_files() {
+        let dir = temp_dir("sweep");
+        store_rows(&dir, "spec-s", &[vec![1.0]]).unwrap();
+        // Simulate turds from two crashed runs plus an unrelated file.
+        fs::write(dir.join("deadbeef.tmp-1234"), "partial").unwrap();
+        fs::write(dir.join("cafebabe.tmp-99999"), "partial").unwrap();
+        fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        assert_eq!(sweep_stale_tmp(&dir), 2);
+        assert!(load_rows(&dir, "spec-s").is_some(), "live entry survives");
+        assert!(dir.join("notes.txt").exists());
+        assert!(!dir.join("deadbeef.tmp-1234").exists());
+        // Sweeping a missing directory is a quiet no-op.
+        assert_eq!(sweep_stale_tmp(&dir.join("nope")), 0);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

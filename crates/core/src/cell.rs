@@ -43,10 +43,14 @@ pub type CellRows = Vec<Vec<f64>>;
 pub type FinishFn<R> = Box<dyn FnOnce(Vec<Option<CellRows>>, &mut OutputSink) -> io::Result<R>>;
 
 /// One schedulable grid cell.
+///
+/// The task is `Fn`, not `FnOnce`: the resilient runner re-invokes it
+/// when an attempt fails (watchdog cancel, panic), so a cell must be a
+/// pure description that can re-simulate from scratch.
 pub struct Cell {
     experiment: &'static str,
     label: String,
-    task: Box<dyn FnOnce() -> CellRows + Send>,
+    task: Box<dyn Fn() -> CellRows + Send>,
 }
 
 impl std::fmt::Debug for Cell {
@@ -65,22 +69,49 @@ impl Cell {
     /// faulted scenarios always run live and are never stored).
     ///
     /// The cell label is the scenario name, which doubles as the
-    /// `--inject-panic` target and the failure-registry label.
+    /// `--inject-panic` / `--inject-hang` target and the
+    /// failure-registry label.
     pub fn scenario(
         experiment: &'static str,
         fidelity: Fidelity,
         scenario: Scenario,
         until: SimTime,
-        extract: impl FnOnce(RunReport) -> CellRows + Send + 'static,
+        extract: impl Fn(RunReport) -> CellRows + Send + 'static,
     ) -> Self {
         let label = scenario.name().to_owned();
         let task_label = label.clone();
         Cell {
             experiment,
             label,
+            // Each attempt clones the scenario: a retry re-simulates
+            // from an identical starting value, so a transient failure
+            // cannot skew results.
             task: Box::new(move || {
-                cache::run_scenario(experiment, &task_label, fidelity, scenario, until, extract)
+                cache::run_scenario(
+                    experiment,
+                    &task_label,
+                    fidelity,
+                    scenario.clone(),
+                    until,
+                    &extract,
+                )
             }),
+        }
+    }
+
+    /// A cell with an arbitrary task, bypassing the scenario/cache
+    /// machinery. Intended for harness tests and ad-hoc batches; the
+    /// task must be re-runnable (the resilient runner retries it on
+    /// failure).
+    pub fn from_fn(
+        experiment: &'static str,
+        label: impl Into<String>,
+        task: impl Fn() -> CellRows + Send + 'static,
+    ) -> Self {
+        Cell {
+            experiment,
+            label: label.into(),
+            task: Box::new(task),
         }
     }
 
@@ -162,12 +193,14 @@ impl<R> Staged<R> {
 }
 
 /// Runs a batch of cells (possibly spanning many experiments) on the
-/// configured worker pool. One result slot per cell, in submission
-/// order; `None` marks a panicked cell (recorded in the failure
-/// registry with its batch index and label).
+/// resilient worker pool: per-cell watchdog, bounded retry with
+/// backoff, quarantine (see [`crate::runner`]). One result slot per
+/// cell, in submission order; `None` marks a cell that failed every
+/// attempt (recorded in the failure registry with its batch index,
+/// label, and failure class).
 #[must_use]
 pub fn run_cells(cells: Vec<Cell>) -> Vec<Option<CellRows>> {
-    runner::run_labeled_keep(
+    runner::run_cells_keep(
         runner::jobs(),
         cells.into_iter().map(|c| (c.label, c.task)).collect(),
     )

@@ -13,7 +13,12 @@ use workload::JobSpec;
 /// list; [`Scenario::run`] assembles and runs a [`HostSim`].
 ///
 /// See the crate-level example.
-#[derive(Debug)]
+///
+/// `Clone` exists for the resilient cell runner: a retried cell
+/// re-simulates from an identical `Scenario` value, so a flaky attempt
+/// (watchdog cancel, injected panic) can be re-run without the
+/// experiment rebuilding its grid.
+#[derive(Debug, Clone)]
 pub struct Scenario {
     name: String,
     hierarchy: Hierarchy,

@@ -468,14 +468,33 @@ impl HostSim {
         }
     }
 
+    /// How many pops the event loop processes between polls of the
+    /// thread-local cancellation token: cheap enough to be invisible on
+    /// healthy runs, tight enough that a cancelled cell unwinds within
+    /// milliseconds of simulated work.
+    const CANCEL_POLL_INTERVAL: u64 = 4096;
+
     /// Drains the event queue up to `until`, returning `(events popped,
     /// peak pending)`. The first event past `until` is consumed but not
     /// processed, exactly as before the shard split.
+    ///
+    /// Cooperative cancellation: every [`Self::CANCEL_POLL_INTERVAL`]
+    /// pops the loop charges the thread-local [`simcore::cancel`] token
+    /// and breaks out early if it latched — the run then finishes
+    /// normally with partial statistics (and the cell runner discards
+    /// them; a cancelled run never contributes rows to any output, so
+    /// determinism is unaffected).
     pub(crate) fn run_loop(&mut self, until: SimTime) -> (u64, u64) {
         let mut popped = 0u64;
         let mut peak = self.queue.len() as u64;
         while let Some((t, ev)) = self.queue.pop() {
             if t > until {
+                break;
+            }
+            if popped.is_multiple_of(Self::CANCEL_POLL_INTERVAL)
+                && simcore::cancel::charge_current(Self::CANCEL_POLL_INTERVAL)
+            {
+                crate::stats::record_cancelled();
                 break;
             }
             self.now = t;

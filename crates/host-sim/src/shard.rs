@@ -557,20 +557,43 @@ impl CompChan {
     /// Next journal record, receiving batches as needed. Blocking waits
     /// count as barrier stalls; received records are checked against the
     /// component's committed horizon.
-    fn next_record(&mut self, ci: usize, totals: &mut CoordTotals) -> PopRecord {
+    ///
+    /// Returns `None` only under cooperative cancellation: the epoch
+    /// barrier polls the coordinator thread's [`simcore::cancel`] token
+    /// while waiting, and a cancelled worker closes its journal early,
+    /// so a stalled replay unwinds instead of blocking forever. On a
+    /// healthy run every replayed pop finds its record (a short journal
+    /// is still a panic then — that is an invariant violation).
+    fn next_record(&mut self, ci: usize, totals: &mut CoordTotals) -> Option<PopRecord> {
         loop {
             if let Some(r) = self.records.pop_front() {
-                return r;
+                return Some(r);
             }
             let msg = match self.rx.try_recv() {
                 Ok(m) => m,
                 Err(TryRecvError::Empty) => {
                     totals.stalls += 1;
-                    self.rx
-                        .recv()
-                        .unwrap_or_else(|_| panic!("shard {ci} worker died mid-run"))
+                    loop {
+                        match self.rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                            Ok(m) => break m,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                if simcore::cancel::cancelled() {
+                                    return None;
+                                }
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                if simcore::cancel::cancelled() {
+                                    return None;
+                                }
+                                panic!("shard {ci} worker died mid-run")
+                            }
+                        }
+                    }
                 }
                 Err(TryRecvError::Disconnected) => {
+                    if simcore::cancel::cancelled() {
+                        return None;
+                    }
                     panic!("shard {ci} journal ended before its replayed pop")
                 }
             };
@@ -628,7 +651,11 @@ fn coordinate(plan: &[Component], chans: &mut [CompChan], until: SimTime) -> Coo
         if t > until {
             break;
         }
-        let rec = chans[ci].next_record(ci, &mut totals);
+        let Some(rec) = chans[ci].next_record(ci, &mut totals) else {
+            // Cancelled mid-replay: stop re-emitting; the partial trace
+            // is discarded with the cell.
+            break;
+        };
         assert_eq!(
             rec.t, t,
             "shard {ci} journal diverged from the replay order"
@@ -667,6 +694,10 @@ fn run_workers<T>(
     let mut slots: Vec<Option<HostSim>> = parts.into_iter().map(Some).collect();
     let results: Mutex<Vec<Option<CompResult>>> =
         Mutex::new((0..slots.len()).map(|_| None).collect());
+    // Thread-locals do not cross `thread::scope`: hand the launching
+    // thread's cancellation token to every worker explicitly so a
+    // watchdog cancel reaches all component loops.
+    let cancel = simcore::cancel::current();
     let out = std::thread::scope(|s| {
         for g in groups {
             let mine: Vec<(usize, HostSim)> = g
@@ -674,7 +705,11 @@ fn run_workers<T>(
                 .map(|&ci| (ci, slots[ci].take().expect("component packed once")))
                 .collect();
             let results = &results;
+            let cancel = cancel.clone();
             s.spawn(move || {
+                if let Some(token) = cancel {
+                    simcore::cancel::install(token);
+                }
                 if traced {
                     // Journaled runs capture their trace events through
                     // this worker-local recorder (drained per pop).

@@ -18,6 +18,7 @@ static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
 static IO_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static IO_RETRIES: AtomicU64 = AtomicU64::new(0);
 static IO_FAILED: AtomicU64 = AtomicU64::new(0);
+static CANCELLED_RUNS: AtomicU64 = AtomicU64::new(0);
 static SHARDED_RUNS: AtomicU64 = AtomicU64::new(0);
 static BARRIER_STALLS: AtomicU64 = AtomicU64::new(0);
 static MAILBOX_BATCHES: AtomicU64 = AtomicU64::new(0);
@@ -42,6 +43,10 @@ pub struct EngineStats {
     pub io_retries: u64,
     /// Requests failed back to apps after exhausting retries.
     pub io_failed: u64,
+    /// Event loops that stopped early on a cooperative cancellation
+    /// token (watchdog soft deadline, wall-clock/event budget). Sharded
+    /// runs count once per cancelled component loop.
+    pub cancelled_runs: u64,
     /// Scenario runs that executed on more than one shard.
     pub sharded_runs: u64,
     /// Times the shard coordinator blocked waiting for a worker's next
@@ -65,6 +70,7 @@ pub fn snapshot() -> EngineStats {
         io_timeouts: IO_TIMEOUTS.load(Ordering::Relaxed),
         io_retries: IO_RETRIES.load(Ordering::Relaxed),
         io_failed: IO_FAILED.load(Ordering::Relaxed),
+        cancelled_runs: CANCELLED_RUNS.load(Ordering::Relaxed),
         sharded_runs: SHARDED_RUNS.load(Ordering::Relaxed),
         barrier_stalls: BARRIER_STALLS.load(Ordering::Relaxed),
         mailbox_batches: MAILBOX_BATCHES.load(Ordering::Relaxed),
@@ -86,6 +92,11 @@ pub fn shard_events() -> Vec<u64> {
 /// monotonic; profilers attribute them by delta instead).
 pub fn reset_peak() {
     PEAK_PENDING.store(0, Ordering::Relaxed);
+}
+
+/// Counts one event loop stopped early by cooperative cancellation.
+pub(crate) fn record_cancelled() {
+    CANCELLED_RUNS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Folds one finished run's totals into the global counters.

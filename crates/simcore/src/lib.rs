@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod events;
 mod ewma;
 pub mod hash;
@@ -39,6 +40,7 @@ mod time;
 mod token;
 pub mod trace;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use events::{default_backend, set_default_backend, EventQueue, QueueBackend};
 pub use ewma::Ewma;
 pub use hash::{fnv1a_64, xxhash64, Fingerprint};

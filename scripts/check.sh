@@ -97,4 +97,45 @@ test -s target/isol-bench/traces/q_faults-io.cost.trace.jsonl \
     || { echo "FAIL: panicked cell left no partial trace"; exit 1; }
 ./target/release/traceck
 
+echo "==> chaos check (SIGKILL mid-run, then --resume must be byte-identical)"
+chaos_dir=$(mktemp -d)
+rm -rf target/isol-bench/journal
+./target/release/figures --smoke fig4 --no-cache > /dev/null
+cp target/isol-bench/fig4*.csv "$chaos_dir"/
+rm -rf target/isol-bench/journal
+./target/release/figures --smoke fig4 --no-cache > /dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 600); do
+    cells=$(grep -c '"cell":' target/isol-bench/journal/run.jsonl 2>/dev/null || true)
+    [[ "${cells:-0}" -ge 3 ]] && break
+    kill -0 "$victim" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+./target/release/figures --smoke fig4 --no-cache --resume > /dev/null
+for f in "$chaos_dir"/*.csv; do
+    cmp -s "$f" "target/isol-bench/$(basename "$f")" \
+        || { echo "FAIL: $(basename "$f") differs after SIGKILL + --resume"; exit 1; }
+done
+grep -q '"resumed": [1-9]' target/isol-bench/timings.json \
+    || { echo "FAIL: resumed run replayed no cells from the journal"; exit 1; }
+rm -rf "$chaos_dir"
+
+echo "==> watchdog check (--inject-hang cell must be cancelled within the deadline, retried, quarantined; run still exits 0)"
+hang_start=$SECONDS
+./target/release/figures --smoke fig4 --no-cache --inject-hang fig4-none-1ssd-1 \
+    --watchdog-soft-ms 4000 --watchdog-hard-ms 10000 \
+    --cell-retries 1 --retry-backoff-ms 10 > /dev/null 2>&1 \
+    || { echo "FAIL: a hung cell must not fail the run"; exit 1; }
+hang_elapsed=$(( SECONDS - hang_start ))
+# Two 4s soft-deadline attempts + the healthy grid: a watchdog-bounded
+# run stays far under this; an unbounded hang never returns at all.
+[[ "$hang_elapsed" -lt 90 ]] \
+    || { echo "FAIL: watchdog did not bound the hung run (${hang_elapsed}s)"; exit 1; }
+grep -q '"class": "timed_out"' target/isol-bench/failures.json \
+    || { echo "FAIL: hung cell was not classified timed_out"; exit 1; }
+grep -q '"quarantined": \["fig4-none-1ssd-1"\]' target/isol-bench/timings.json \
+    || { echo "FAIL: hung cell was not quarantined"; exit 1; }
+
 echo "OK"
