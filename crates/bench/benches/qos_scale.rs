@@ -1,7 +1,7 @@
 //! `qos_scale`: controller-cost scaling with tenant count.
 //!
-//! Two cost axes, each at 8 / 256 / 1024 / 4096 materialized tenant
-//! groups with ~10% of them active (the fleet steady state: most
+//! Two cost axes, each at 8 / 256 / 1024 / 4096 / 16384 materialized
+//! tenant groups with ~10% of them active (the fleet steady state: most
 //! tenants idle between diurnal bursts):
 //!
 //! * **tick** — one `io.cost` period boundary (`adjust_vrate`): usage
@@ -23,7 +23,7 @@ use ioqos::{IoCostController, QosController};
 use isol_bench_harness::mapqos::{self, CostControl, MapIoCost};
 use simcore::SimDuration;
 
-const GROUP_COUNTS: [usize; 4] = [8, 256, 1024, 4096];
+const GROUP_COUNTS: [usize; 5] = [8, 256, 1024, 4096, 16384];
 
 fn bench_tick(c: &mut Criterion) {
     let mut g = c.benchmark_group("qos_scale_tick");

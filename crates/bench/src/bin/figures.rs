@@ -387,8 +387,11 @@ fn main() -> ExitCode {
     let needs_table1 = wants("table1");
     // --profile attributes engine-counter deltas per experiment, which
     // the cross-experiment batch would smear; it keeps the sequential
-    // per-experiment scheduler.
+    // per-experiment scheduler. Subsystem wall-clock attribution costs
+    // two Instant reads per instrumented section, so it's armed only
+    // here.
     let global_sched = !profile;
+    host_sim::stats::set_subsystem_timing(profile);
     let t0 = Instant::now();
     let mut timings = Timings::new(&format!("{fidelity:?}").to_lowercase(), jobs);
     timings.set_scheduler(if global_sched { "global" } else { "sequential" });
@@ -404,22 +407,32 @@ fn main() -> ExitCode {
         macro_rules! profiled {
             ($name:literal, $elapsed:expr, $before:expr) => {
                 if profile {
+                    let (before, subsys_before) = $before;
                     let after = host_sim::stats::snapshot();
-                    let line = profiles.record(
+                    let subsys_after = host_sim::stats::subsys_snapshot();
+                    let mut subsys = [(0u64, 0u64); 5];
+                    for (d, (a, b)) in subsys
+                        .iter_mut()
+                        .zip(subsys_after.iter().zip(&subsys_before))
+                    {
+                        *d = (a.0 - b.0, a.1 - b.1);
+                    }
+                    let line = profiles.record_with_subsys(
                         $name,
-                        after.runs - $before.runs,
-                        after.events_popped - $before.events_popped,
+                        after.runs - before.runs,
+                        after.events_popped - before.events_popped,
                         $elapsed,
                         after.peak_pending,
                         (
-                            after.sharded_runs - $before.sharded_runs,
-                            after.barrier_stalls - $before.barrier_stalls,
-                            after.mailbox_batches - $before.mailbox_batches,
+                            after.sharded_runs - before.sharded_runs,
+                            after.barrier_stalls - before.barrier_stalls,
+                            after.mailbox_batches - before.mailbox_batches,
                         ),
+                        subsys,
                     );
                     sink.note(&line);
                     let per_shard = host_sim::stats::shard_events();
-                    if after.sharded_runs > $before.sharded_runs && !per_shard.is_empty() {
+                    if after.sharded_runs > before.sharded_runs && !per_shard.is_empty() {
                         sink.note(&format!(
                             "(last sharded run: events per shard {per_shard:?})"
                         ));
@@ -432,7 +445,10 @@ fn main() -> ExitCode {
                 if profile {
                     host_sim::stats::reset_peak();
                 }
-                host_sim::stats::snapshot()
+                (
+                    host_sim::stats::snapshot(),
+                    host_sim::stats::subsys_snapshot(),
+                )
             }};
         }
         // Runs one experiment (or one finishing step) without letting a
@@ -788,6 +804,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if profile {
+        let s = host_sim::stats::snapshot();
+        profiles.set_tourney(s.tourney_active_hwm, s.tourney_leaves);
         let profile_path = format!("{OUTPUT_DIR}/profile.json");
         if let Err(e) = profiles.write_json(&profile_path) {
             eprintln!("cannot write {profile_path}: {e}");

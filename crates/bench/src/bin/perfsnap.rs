@@ -1,7 +1,8 @@
-//! Performance snapshot and regression gate (`BENCH_pr7.json`).
+//! Performance snapshot and regression gate (`BENCH_pr7.json` +
+//! `BENCH_pr9.json`).
 //!
 //! ```text
-//! perfsnap --update   # measure and (over)write BENCH_pr7.json
+//! perfsnap --update   # measure and (over)write both snapshots
 //! perfsnap --check    # measure and fail on >10 % regression
 //! ```
 //!
@@ -31,6 +32,40 @@
 //! [`TOLERANCE`]. The `shards = 4` speedup gate (≥ 2.5×) only arms when
 //! the machine has at least 4 cores — on smaller hosts the snapshot
 //! still records the measured ratio, but physics caps it near 1×.
+//!
+//! # The PR 9 snapshot (`BENCH_pr9.json`)
+//!
+//! The O(active) engine work is gated by a second snapshot:
+//!
+//! * `fleet4096_cell_ms` / `fleet4096_legacy_cell_ms` — the 4096-tenant
+//!   smoke `fleet_scale` cell (scenario + build + run) under the merged
+//!   engine vs the in-binary queue-only engine. The merged engine must
+//!   stay at least [`ENGINE_SPEEDUP_FLOOR`]× the legacy engine, and the
+//!   cell must not regress past the PR 8 seed's recorded wall-clock
+//!   ([`PR8_FLEET4096_CELL_MS`]).
+//! * `fleet65536_cell_ms` — the 65536-tenant smoke cell end to end.
+//!   Gated two ways: at least [`SCALE_SPEEDUP_FLOOR`]× faster than the
+//!   PR 8 seed's recorded wall-clock for the same cell
+//!   ([`PR8_FLEET65536_CELL_MS`]; the win comes from the O(n) cgroup
+//!   name index and lazy histogram allocation), and absolutely within
+//!   [`FLEET64K_BUDGET_MS`] — the standard-fidelity per-cell time
+//!   budget.
+//! * `engine_events_per_sec` — merged-engine pop throughput on the
+//!   4096-tenant cell.
+//! * `fig4_cells_ms` / `q10_cells_ms` — summed per-cell seconds for the
+//!   fig4 and q10 grids from the most recent `figures` run's
+//!   `timings.json` (gated only when both snapshot and current runs
+//!   have them).
+//!
+//! The 4096-tenant cell does *not* carry a 3× gate: ~60 % of its run
+//! is device-model sampling and completion statistics that any engine
+//! pays per I/O, so Amdahl caps the whole-cell speedup well below the
+//! per-event savings (see DESIGN.md §17 for the measured breakdown).
+//! The 3× gate lives where the work actually removed 3×+ of wall-clock
+//! — the 64k-tenant cell.
+//!
+//! Like `BENCH_pr7.json`, absolute milliseconds are machine-specific:
+//! regenerate with `--update` when moving to different hardware.
 
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -61,6 +96,31 @@ const QOS_TICK_ITERS: u32 = 50_000;
 /// regression (noise adds time; the per-metric best across passes is
 /// the robust estimate).
 const CHECK_ATTEMPTS: usize = 4;
+
+// --- PR 9: O(active) engine gates ---
+
+/// Committed PR 9 snapshot path (repo root).
+const SNAPSHOT_PR9: &str = "BENCH_pr9.json";
+/// PR 8 seed wall-clock for the 4096-tenant smoke `fleet_scale` cell
+/// (scenario + build + run), measured on this host class from the seed
+/// checkout (commit cf33866): ~2.8 ms scenario + ~58 ms build + ~224 ms
+/// run, best of interleaved samples.
+const PR8_FLEET4096_CELL_MS: f64 = 285.0;
+/// PR 8 seed wall-clock for the 65536-tenant smoke cell on this host
+/// class: ~1.2 s scenario (the O(n²) duplicate-name scan) + ~9.4 s
+/// build (eager histogram zeroing) + ~1.4 s run.
+const PR8_FLEET65536_CELL_MS: f64 = 12_000.0;
+/// Required speedup of the 65536-tenant cell over the PR 8 seed.
+const SCALE_SPEEDUP_FLOOR: f64 = 3.0;
+/// The merged engine must not run the 4096-tenant cell slower than the
+/// in-binary queue-only engine (ratio legacy/merged, noise-tolerant).
+const ENGINE_SPEEDUP_FLOOR: f64 = 0.95;
+/// Standard-fidelity per-cell time budget the 65536-tenant smoke cell
+/// must fit in (the per-cell watchdog deadline a fleet-scale run would
+/// arm; see EXPERIMENTS.md).
+const FLEET64K_BUDGET_MS: f64 = 30_000.0;
+/// Timed samples for the 65536-tenant cell (each costs seconds).
+const FLEET64K_SAMPLES: usize = 2;
 
 /// Minimum of `n` timed runs, in seconds. The minimum is the
 /// lowest-noise estimator of the true cost on a shared host: background
@@ -151,6 +211,59 @@ fn fleet_scale_cell_ms() -> f64 {
         black_box(&s.build_host(until).run_sharded(until, 4));
     });
     secs * 1e3
+}
+
+/// One 4096-tenant smoke `fleet_scale` cell (scenario + build + run)
+/// under the merged or the queue-only engine: (min ms, events per run).
+fn fleet4096_cell(merged: bool) -> (f64, u64) {
+    let until = Fidelity::Smoke.fleet_scale_duration();
+    let was = host_sim::merge_events();
+    host_sim::set_merge_events(merged);
+    let before = host_sim::stats::snapshot();
+    let secs = min_secs(SAMPLES, || {
+        let (s, _, _) = fleet_scale::fleet_scale_scenario(Knob::None, 4096);
+        black_box(&s.build_host(until).run(until));
+    });
+    let after = host_sim::stats::snapshot();
+    host_sim::set_merge_events(was);
+    let events_per_run = (after.events_popped - before.events_popped) / SAMPLES as u64;
+    (secs * 1e3, events_per_run)
+}
+
+/// The 65536-tenant smoke cell end to end (scenario + build + run),
+/// min milliseconds over [`FLEET64K_SAMPLES`].
+fn fleet65536_cell_ms() -> f64 {
+    let until = Fidelity::Smoke.fleet_scale_duration();
+    let secs = min_secs(FLEET64K_SAMPLES, || {
+        let (s, _, _) = fleet_scale::fleet_scale_scenario(Knob::None, 65536);
+        black_box(&s.build_host(until).run(until));
+    });
+    secs * 1e3
+}
+
+/// Summed per-cell seconds for one experiment from the latest `figures`
+/// run's `timings.json`, in milliseconds (None when absent).
+fn experiment_cells_ms(experiment: &str) -> Option<f64> {
+    let json = std::fs::read_to_string(format!("{OUTPUT_DIR}/timings.json")).ok()?;
+    let needle = format!("{{\"experiment\": \"{experiment}\"");
+    let mut secs = 0.0f64;
+    let mut count = 0usize;
+    for line in json.lines() {
+        let line = line.trim_start();
+        if line.starts_with(&needle) {
+            if let Some(v) = line
+                .split("\"seconds\": ")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+            {
+                if let Ok(s) = v.parse::<f64>() {
+                    count += 1;
+                    secs += s;
+                }
+            }
+        }
+    }
+    (count > 0).then_some(secs * 1e3)
 }
 
 /// Cells per second from the latest `figures` run, if one exists.
@@ -364,6 +477,144 @@ fn check(current: Snapshot, baseline: &str) -> Result<(), String> {
     }
 }
 
+/// The PR 9 snapshot: O(active) engine + fleet-scale cell gates.
+#[derive(Debug, Clone, Copy)]
+struct Pr9Snapshot {
+    fleet4096_cell_ms: f64,
+    fleet4096_legacy_cell_ms: f64,
+    engine_speedup_4096: f64,
+    speedup_vs_pr8_4096: f64,
+    engine_events_per_sec: f64,
+    fleet65536_cell_ms: f64,
+    speedup_vs_pr8_65536: f64,
+    fig4_cells_ms: Option<f64>,
+    q10_cells_ms: Option<f64>,
+}
+
+impl Pr9Snapshot {
+    fn measure() -> Self {
+        let (merged_ms, events) = fleet4096_cell(true);
+        let (legacy_ms, _) = fleet4096_cell(false);
+        let scale_ms = fleet65536_cell_ms();
+        Pr9Snapshot {
+            fleet4096_cell_ms: merged_ms,
+            fleet4096_legacy_cell_ms: legacy_ms,
+            engine_speedup_4096: legacy_ms / merged_ms,
+            speedup_vs_pr8_4096: PR8_FLEET4096_CELL_MS / merged_ms,
+            engine_events_per_sec: events as f64 / (merged_ms / 1e3),
+            fleet65536_cell_ms: scale_ms,
+            speedup_vs_pr8_65536: PR8_FLEET65536_CELL_MS / scale_ms,
+            fig4_cells_ms: experiment_cells_ms("fig4"),
+            q10_cells_ms: experiment_cells_ms("q10"),
+        }
+    }
+
+    /// Per-metric best of two passes (min wall-clock, max throughput,
+    /// ratios recomputed) — same estimator as [`Snapshot::merge_best`].
+    fn merge_best(self, other: Self) -> Self {
+        let fleet4096_cell_ms = self.fleet4096_cell_ms.min(other.fleet4096_cell_ms);
+        let fleet4096_legacy_cell_ms = self
+            .fleet4096_legacy_cell_ms
+            .min(other.fleet4096_legacy_cell_ms);
+        let fleet65536_cell_ms = self.fleet65536_cell_ms.min(other.fleet65536_cell_ms);
+        let min_opt = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Pr9Snapshot {
+            fleet4096_cell_ms,
+            fleet4096_legacy_cell_ms,
+            engine_speedup_4096: fleet4096_legacy_cell_ms / fleet4096_cell_ms,
+            speedup_vs_pr8_4096: PR8_FLEET4096_CELL_MS / fleet4096_cell_ms,
+            engine_events_per_sec: self.engine_events_per_sec.max(other.engine_events_per_sec),
+            fleet65536_cell_ms,
+            speedup_vs_pr8_65536: PR8_FLEET65536_CELL_MS / fleet65536_cell_ms,
+            fig4_cells_ms: min_opt(self.fig4_cells_ms, other.fig4_cells_ms),
+            q10_cells_ms: min_opt(self.q10_cells_ms, other.q10_cells_ms),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let opt = |v: Option<f64>| v.map_or("null".to_owned(), |v| format!("{v:.2}"));
+        format!(
+            "{{\n  \"fleet4096_cell_ms\": {:.2},\n  \
+             \"fleet4096_legacy_cell_ms\": {:.2},\n  \
+             \"engine_speedup_4096\": {:.3},\n  \
+             \"pr8_fleet4096_cell_ms\": {PR8_FLEET4096_CELL_MS:.2},\n  \
+             \"speedup_vs_pr8_4096\": {:.3},\n  \
+             \"engine_events_per_sec\": {:.0},\n  \
+             \"fleet65536_cell_ms\": {:.2},\n  \
+             \"pr8_fleet65536_cell_ms\": {PR8_FLEET65536_CELL_MS:.2},\n  \
+             \"speedup_vs_pr8_65536\": {:.3},\n  \
+             \"fleet65536_budget_ms\": {FLEET64K_BUDGET_MS:.0},\n  \
+             \"fig4_cells_ms\": {},\n  \"q10_cells_ms\": {}\n}}\n",
+            self.fleet4096_cell_ms,
+            self.fleet4096_legacy_cell_ms,
+            self.engine_speedup_4096,
+            self.speedup_vs_pr8_4096,
+            self.engine_events_per_sec,
+            self.fleet65536_cell_ms,
+            self.speedup_vs_pr8_65536,
+            opt(self.fig4_cells_ms),
+            opt(self.q10_cells_ms),
+        )
+    }
+}
+
+fn check_pr9(current: Pr9Snapshot, baseline: &str) -> Result<(), String> {
+    let mut failures = Vec::new();
+    // Regressions against the committed snapshot (latency metrics).
+    for (key, cur) in [
+        ("fleet4096_cell_ms", Some(current.fleet4096_cell_ms)),
+        ("fleet65536_cell_ms", Some(current.fleet65536_cell_ms)),
+        ("fig4_cells_ms", current.fig4_cells_ms),
+        ("q10_cells_ms", current.q10_cells_ms),
+    ] {
+        if let (Some(base), Some(cur)) = (field(baseline, key), cur) {
+            if cur > base * (1.0 + TOLERANCE) {
+                failures.push(format!(
+                    "{key} regressed: {cur:.2} ms vs baseline {base:.2} ms"
+                ));
+            }
+        }
+    }
+    // The merged engine must not lose to the in-binary legacy engine.
+    if current.engine_speedup_4096 < ENGINE_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "merged engine is slower than the queue-only engine at 4096 tenants: \
+             {:.2} ms vs {:.2} ms (floor {ENGINE_SPEEDUP_FLOOR}x)",
+            current.fleet4096_cell_ms, current.fleet4096_legacy_cell_ms
+        ));
+    }
+    // The 4096-tenant cell must not be slower than the PR 8 seed.
+    if current.fleet4096_cell_ms > PR8_FLEET4096_CELL_MS * (1.0 + TOLERANCE) {
+        failures.push(format!(
+            "fleet4096 cell regressed past the PR 8 seed: {:.2} ms vs {PR8_FLEET4096_CELL_MS} ms",
+            current.fleet4096_cell_ms
+        ));
+    }
+    // The scale gates: ≥3× over the PR 8 seed at 65536 tenants, and
+    // absolutely within the standard-fidelity cell budget.
+    if current.speedup_vs_pr8_65536 < SCALE_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "fleet65536 cell is only {:.2}x faster than the PR 8 seed \
+             ({:.0} ms vs {PR8_FLEET65536_CELL_MS:.0} ms; floor {SCALE_SPEEDUP_FLOOR}x)",
+            current.speedup_vs_pr8_65536, current.fleet65536_cell_ms
+        ));
+    }
+    if current.fleet65536_cell_ms > FLEET64K_BUDGET_MS {
+        failures.push(format!(
+            "fleet65536 cell blew the standard-fidelity budget: {:.0} ms > {FLEET64K_BUDGET_MS:.0} ms",
+            current.fleet65536_cell_ms
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1);
     let current = Snapshot::measure();
@@ -388,6 +639,16 @@ fn main() -> ExitCode {
         current.fleet_scale_cell_ms,
         1e3 / current.fleet_scale_cell_ms,
     );
+    let current9 = Pr9Snapshot::measure();
+    println!(
+        "perfsnap: fleet4096 cell {:.1} ms merged / {:.1} ms legacy ({:.2}x, {:.2} Mev/s), fleet65536 cell {:.0} ms ({:.2}x vs PR 8 seed)",
+        current9.fleet4096_cell_ms,
+        current9.fleet4096_legacy_cell_ms,
+        current9.engine_speedup_4096,
+        current9.engine_events_per_sec / 1e6,
+        current9.fleet65536_cell_ms,
+        current9.speedup_vs_pr8_65536,
+    );
     match mode.as_deref() {
         Some("--update") => {
             // A second pass merged in keeps a transient slow window out
@@ -398,6 +659,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("perfsnap: wrote {SNAPSHOT}");
+            let best9 = current9.merge_best(Pr9Snapshot::measure());
+            if let Err(e) = std::fs::write(SNAPSHOT_PR9, best9.to_json()) {
+                eprintln!("cannot write {SNAPSHOT_PR9}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("perfsnap: wrote {SNAPSHOT_PR9}");
             ExitCode::SUCCESS
         }
         Some("--check") => {
@@ -408,26 +675,49 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let baseline9 = match std::fs::read_to_string(SNAPSHOT_PR9) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {SNAPSHOT_PR9}: {e} (run `perfsnap --update` first)");
+                    return ExitCode::FAILURE;
+                }
+            };
             // Noise only ever slows a pass down, so an apparent
             // regression earns re-measurement: merge per-metric bests
             // until the check passes or the attempts run out. Genuine
             // regressions stay slow on every pass.
             let mut best = current;
+            let mut best9 = current9;
             let mut verdict = check(best, &baseline);
+            let mut verdict9 = check_pr9(best9, &baseline9);
             for attempt in 1..CHECK_ATTEMPTS {
-                if verdict.is_ok() {
+                if verdict.is_ok() && verdict9.is_ok() {
                     break;
                 }
                 println!("perfsnap: noisy pass, re-measuring ({attempt}/{CHECK_ATTEMPTS})");
-                best = best.merge_best(Snapshot::measure());
-                verdict = check(best, &baseline);
+                if verdict.is_err() {
+                    best = best.merge_best(Snapshot::measure());
+                    verdict = check(best, &baseline);
+                }
+                if verdict9.is_err() {
+                    best9 = best9.merge_best(Pr9Snapshot::measure());
+                    verdict9 = check_pr9(best9, &baseline9);
+                }
             }
-            match verdict {
-                Ok(()) => {
-                    println!("perfsnap: within {:.0} % of {SNAPSHOT}", TOLERANCE * 100.0);
+            match (verdict, verdict9) {
+                (Ok(()), Ok(())) => {
+                    println!(
+                        "perfsnap: within {:.0} % of {SNAPSHOT} and {SNAPSHOT_PR9}",
+                        TOLERANCE * 100.0
+                    );
                     ExitCode::SUCCESS
                 }
-                Err(msg) => {
+                (v, v9) => {
+                    let msg = [v.err(), v9.err()]
+                        .into_iter()
+                        .flatten()
+                        .collect::<Vec<_>>()
+                        .join("\n");
                     eprintln!("perfsnap: REGRESSION\n{msg}");
                     ExitCode::FAILURE
                 }

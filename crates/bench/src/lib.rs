@@ -257,6 +257,10 @@ pub struct ProfileEntry {
     pub barrier_stalls: u64,
     /// Journal batches that crossed shard→coordinator mailboxes.
     pub mailbox_batches: u64,
+    /// Per-subsystem `(wall ns, calls)` deltas, indexed like
+    /// [`host_sim::stats::SUBSYS_NAMES`]. All zero unless subsystem
+    /// timing was enabled for the run.
+    pub subsys: [(u64, u64); 5],
 }
 
 /// Per-experiment engine profiles (the `figures --profile` payload),
@@ -268,6 +272,10 @@ pub struct ProfileEntry {
 #[derive(Debug, Default)]
 pub struct Profiles {
     entries: Vec<ProfileEntry>,
+    /// Run-level wake-tournament occupancy `(active high-water mark,
+    /// provisioned leaves)` from the merged engine, if any merged run
+    /// executed.
+    tourney: Option<(u64, u64)>,
 }
 
 impl Profiles {
@@ -289,6 +297,22 @@ impl Profiles {
         peak: u64,
         sharded: (u64, u64, u64),
     ) -> String {
+        self.record_with_subsys(name, runs, events, elapsed, peak, sharded, [(0, 0); 5])
+    }
+
+    /// [`record`](Profiles::record) plus per-subsystem `(ns, calls)`
+    /// deltas (see [`host_sim::stats::subsys_snapshot`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_subsys(
+        &mut self,
+        name: &str,
+        runs: u64,
+        events: u64,
+        elapsed: Duration,
+        peak: u64,
+        sharded: (u64, u64, u64),
+        subsys: [(u64, u64); 5],
+    ) -> String {
         let pops_per_sec = if elapsed.as_secs_f64() > 0.0 {
             events as f64 / elapsed.as_secs_f64()
         } else {
@@ -304,16 +328,38 @@ impl Profiles {
             sharded_runs,
             barrier_stalls,
             mailbox_batches,
+            subsys,
         });
         let shard_note = if sharded_runs > 0 {
             format!(", {sharded_runs} sharded ({barrier_stalls} stalls, {mailbox_batches} batches)")
         } else {
             String::new()
         };
+        let subsys_note = if subsys.iter().any(|&(ns, _)| ns > 0) {
+            let total: u64 = subsys.iter().map(|&(ns, _)| ns).sum();
+            let mut parts = Vec::new();
+            for (name, &(ns, _)) in host_sim::stats::SUBSYS_NAMES.iter().zip(&subsys) {
+                if ns > 0 {
+                    parts.push(format!("{name} {:.0}%", 100.0 * ns as f64 / total as f64));
+                }
+            }
+            format!(", subsys: {}", parts.join(" / "))
+        } else {
+            String::new()
+        };
         format!(
-            "(profile: {runs} runs, {events} events, {:.2} Mpops/s, peak pending {peak}{shard_note})",
+            "(profile: {runs} runs, {events} events, {:.2} Mpops/s, peak pending {peak}{shard_note}{subsys_note})",
             pops_per_sec / 1e6
         )
+    }
+
+    /// Records the run-level wake-tournament occupancy (merged engine
+    /// only): the active-leaf high-water mark and the provisioned leaf
+    /// count. `1 - hwm/leaves` is the suppressed-tenant ratio.
+    pub fn set_tourney(&mut self, active_hwm: u64, leaves: u64) {
+        if leaves > 0 {
+            self.tourney = Some((active_hwm, leaves));
+        }
     }
 
     /// Recorded samples, in run order.
@@ -328,8 +374,21 @@ impl Profiles {
         let mut s = String::from("{\n  \"experiments\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            // The subsys object appears only when timing was on, so
+            // profiles taken without `--profile`'s sequential scheduler
+            // keep the compact shape.
+            let subsys = if e.subsys.iter().any(|&(ns, n)| ns > 0 || n > 0) {
+                let fields: Vec<String> = host_sim::stats::SUBSYS_NAMES
+                    .iter()
+                    .zip(&e.subsys)
+                    .map(|(name, &(ns, n))| format!("\"{name}\": {{\"ns\": {ns}, \"calls\": {n}}}"))
+                    .collect();
+                format!(", \"subsys\": {{{}}}", fields.join(", "))
+            } else {
+                String::new()
+            };
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"pops_per_sec\": {:.0}, \"peak_pending\": {}, \"sharded_runs\": {}, \"barrier_stalls\": {}, \"mailbox_batches\": {}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \"pops_per_sec\": {:.0}, \"peak_pending\": {}, \"sharded_runs\": {}, \"barrier_stalls\": {}, \"mailbox_batches\": {}{subsys}}}{comma}\n",
                 json_escape(&e.name),
                 e.runs,
                 e.events,
@@ -340,7 +399,14 @@ impl Profiles {
                 e.mailbox_batches
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some((hwm, leaves)) = self.tourney {
+            s.push_str(&format!(
+                ",\n  \"tourney\": {{\"active_hwm\": {hwm}, \"leaves\": {leaves}, \"suppressed_ratio\": {:.4}}}",
+                1.0 - hwm as f64 / leaves as f64
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -700,6 +766,38 @@ mod tests {
         assert!(json.contains("{\"name\": \"q10\", \"runs\": 6, \"events\": 1000000, \"pops_per_sec\": 2000000, \"peak_pending\": 64, \"sharded_runs\": 6, \"barrier_stalls\": 2, \"mailbox_batches\": 40}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn profiles_subsys_and_tourney_serialize() {
+        let mut p = Profiles::new();
+        let mut subsys = [(0u64, 0u64); 5];
+        subsys[0] = (750_000, 1_000); // arrival-gen
+        subsys[4] = (250_000, 2_000); // stats
+        let line = p.record_with_subsys(
+            "fleet_scale",
+            3,
+            900_000,
+            Duration::from_secs(1),
+            128,
+            (0, 0, 0),
+            subsys,
+        );
+        assert!(
+            line.contains("subsys: arrival-gen 75% / stats 25%"),
+            "{line}"
+        );
+        p.set_tourney(214, 4096);
+        let json = p.to_json();
+        assert!(json.contains("\"subsys\": {\"arrival-gen\": {\"ns\": 750000, \"calls\": 1000}"));
+        assert!(json.contains(
+            "\"tourney\": {\"active_hwm\": 214, \"leaves\": 4096, \"suppressed_ratio\": 0.9478}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Zero leaves never records (legacy-only runs).
+        let mut q = Profiles::new();
+        q.set_tourney(0, 0);
+        assert!(!q.to_json().contains("tourney"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The cgroup-v2 tree: groups, the management/process-group rule,
 //! knob storage, and hierarchical weight resolution.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use blkio::{AppId, GroupId, PrioClass};
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,15 @@ pub struct Hierarchy {
     cost_model: BTreeMap<DevNode, IoCostModel>,
     cost_qos: BTreeMap<DevNode, IoCostQos>,
     proc_group: BTreeMap<AppId, GroupId>,
+    /// Per-parent child-name sets, built lazily for wide fan-outs so
+    /// [`Hierarchy::create`]'s duplicate-sibling check stays O(1)
+    /// amortized (fleet scenarios hang tens of thousands of tenant
+    /// leaves off a handful of teams; the naive sibling scan made
+    /// scenario construction quadratic in fleet size). Pure cache: not
+    /// serialized, rebuilt per parent on the next `create` after
+    /// deserialization.
+    #[serde(skip)]
+    name_index: HashMap<GroupId, HashSet<String>>,
 }
 
 impl Hierarchy {
@@ -101,6 +110,7 @@ impl Hierarchy {
             cost_model: BTreeMap::new(),
             cost_qos: BTreeMap::new(),
             proc_group: BTreeMap::new(),
+            name_index: HashMap::new(),
         }
     }
 
@@ -182,8 +192,28 @@ impl Hierarchy {
         if name.is_empty() || name.contains('/') || name.contains('\0') {
             return Err(CgroupError::InvalidName(name.to_owned()));
         }
-        let parent_group = self.live(parent)?;
-        if parent_group
+        let fanout = self.live(parent)?.children.len();
+        // Duplicate-sibling check: linear for small families, via the
+        // lazily built per-parent name set once the fan-out is wide
+        // enough that repeated scans would turn bulk creation quadratic.
+        const INDEX_FANOUT: usize = 32;
+        if self.name_index.contains_key(&parent) || fanout >= INDEX_FANOUT {
+            if !self.name_index.contains_key(&parent) {
+                let names: HashSet<String> = self.groups[parent.index()]
+                    .children
+                    .iter()
+                    .map(|&c| self.groups[c.index()].name.clone())
+                    .collect();
+                self.name_index.insert(parent, names);
+            }
+            let names = self
+                .name_index
+                .get_mut(&parent)
+                .expect("index entry just ensured");
+            if !names.insert(name.to_owned()) {
+                return Err(CgroupError::DuplicateName(name.to_owned()));
+            }
+        } else if self.groups[parent.index()]
             .children
             .iter()
             .any(|&c| self.groups[c.index()].name == name)
@@ -268,7 +298,10 @@ impl Hierarchy {
         // reused.
         let slot = self.get_mut(id)?;
         slot.parent = None;
-        slot.name.clear();
+        let name = std::mem::take(&mut slot.name);
+        if let Some(names) = self.name_index.get_mut(&parent) {
+            names.remove(&name);
+        }
         Ok(())
     }
 

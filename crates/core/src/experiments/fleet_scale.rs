@@ -56,6 +56,9 @@ const PERIOD: SimDuration = SimDuration::from_millis(20);
 /// fleet outright.
 const IOMAX_OVERSUB: f64 = 8.0;
 
+/// The baseline hierarchy depth (root → slice → dept → team → tenant).
+pub const BASE_DEPTH: usize = 4;
+
 /// The cell label (`fleet_scale-<knob>-<tenants>`), also the
 /// `--inject-panic` target.
 #[must_use]
@@ -63,13 +66,28 @@ pub fn cell_label(knob: Knob, tenants: usize) -> String {
     format!("fleet_scale-{}-{}", knob.label(), tenants)
 }
 
-/// One (tenant count, knob) cell's outcome.
+/// The label of a depth-sweep cell. Depth-[`BASE_DEPTH`] cells keep the
+/// plain [`cell_label`] (they are the pre-existing grid); deeper trees
+/// get a `-d<depth>` suffix.
+#[must_use]
+pub fn cell_label_depth(knob: Knob, tenants: usize, depth: usize) -> String {
+    if depth == BASE_DEPTH {
+        cell_label(knob, tenants)
+    } else {
+        format!("fleet_scale-{}-{}-d{}", knob.label(), tenants, depth)
+    }
+}
+
+/// One (tenant count, knob, depth) cell's outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetScaleRow {
     /// Tenant (leaf cgroup) count.
     pub tenants: usize,
     /// The knob under test.
     pub knob: Knob,
+    /// Hierarchy depth of the tenant leaves ([`BASE_DEPTH`] on the
+    /// standard grid).
+    pub depth: usize,
     /// Aggregate fleet throughput, MiB/s.
     pub agg_mib_s: f64,
     /// Weight-adjusted Jain fairness over per-tenant bandwidth.
@@ -89,12 +107,12 @@ pub struct FleetScaleResult {
 }
 
 impl FleetScaleResult {
-    /// Looks up one cell's row.
+    /// Looks up one standard-grid (depth-[`BASE_DEPTH`]) cell's row.
     #[must_use]
     pub fn row(&self, tenants: usize, knob: Knob) -> Option<&FleetScaleRow> {
         self.rows
             .iter()
-            .find(|r| r.tenants == tenants && r.knob == knob)
+            .find(|r| r.tenants == tenants && r.knob == knob && r.depth == BASE_DEPTH)
     }
 }
 
@@ -108,21 +126,52 @@ impl FleetScaleResult {
 /// Panics if `tenants` is zero.
 #[must_use]
 pub fn fleet_scale_scenario(knob: Knob, tenants: usize) -> (Scenario, Vec<GroupId>, Vec<u32>) {
+    fleet_scale_scenario_depth(knob, tenants, BASE_DEPTH)
+}
+
+/// [`fleet_scale_scenario`] with a configurable hierarchy depth: tenant
+/// leaves sit `depth` levels below the root. Depths beyond
+/// [`BASE_DEPTH`] insert `org-<j>` sub-levels between each team and its
+/// tenants, so knob semantics that walk or propagate along ancestor
+/// chains (weight scaling, latency protection, cost accounting) pay for
+/// the longer chain.
+///
+/// # Panics
+///
+/// Panics if `tenants` is zero or `depth < BASE_DEPTH`.
+#[must_use]
+pub fn fleet_scale_scenario_depth(
+    knob: Knob,
+    tenants: usize,
+    depth: usize,
+) -> (Scenario, Vec<GroupId>, Vec<u32>) {
     assert!(tenants > 0, "need at least one tenant");
+    assert!(
+        depth >= BASE_DEPTH,
+        "tree is at least slice/dept/team/tenant"
+    );
     let devices = (0..FLEET_DEVICES)
         .map(|_| knob.device_setup(false))
         .collect();
-    let mut s = Scenario::new(&cell_label(knob, tenants), FLEET_CORES, devices);
+    let mut s = Scenario::new(
+        &cell_label_depth(knob, tenants, depth),
+        FLEET_CORES,
+        devices,
+    );
     s.set_bw_window(SimDuration::from_millis(10));
 
-    // isol.slice → dept → team → tenant: the management levels carry
-    // `+io` so leaves may hold knobs.
+    // isol.slice → dept → team [→ org…] → tenant: the management levels
+    // carry `+io` so leaves may hold knobs.
     let slice = s.slice();
     let mut teams = Vec::with_capacity(DEPTS * TEAMS_PER_DEPT);
     for d in 0..DEPTS {
         let dept = s.add_cgroup_under(slice, &format!("dept-{d}"), true);
         for t in 0..TEAMS_PER_DEPT {
-            teams.push(s.add_cgroup_under(dept, &format!("team-{t}"), true));
+            let mut parent = s.add_cgroup_under(dept, &format!("team-{t}"), true);
+            for j in 0..depth - BASE_DEPTH {
+                parent = s.add_cgroup_under(parent, &format!("org-{j}"), true);
+            }
+            teams.push(parent);
         }
     }
 
@@ -239,10 +288,10 @@ fn configure_knob(knob: Knob, s: &mut Scenario, groups: &[GroupId], weights: &[u
     }
 }
 
-/// Builds the cell for one (tenant count, knob) point. Cell rows:
-/// `[[tenants, agg_mib_s, fairness, p99_us, core_util]]`.
-fn scale_cell(knob: Knob, tenants: usize, fidelity: Fidelity) -> Cell {
-    let (s, groups, weights) = fleet_scale_scenario(knob, tenants);
+/// Builds the cell for one (tenant count, knob, depth) point. Cell
+/// rows: `[[tenants, agg_mib_s, fairness, p99_us, core_util]]`.
+fn scale_cell(knob: Knob, tenants: usize, depth: usize, fidelity: Fidelity) -> Cell {
+    let (s, groups, weights) = fleet_scale_scenario_depth(knob, tenants, depth);
     let app_groups = s.app_groups().to_vec();
     Cell::scenario(
         "fleet_scale",
@@ -276,28 +325,43 @@ fn scale_cell(knob: Knob, tenants: usize, fidelity: Fidelity) -> Cell {
     )
 }
 
-/// Stages the scalability study: one cell per (tenant count, knob).
+/// Stages the scalability study: one cell per (tenant count, knob) on
+/// the baseline-depth grid, plus — at the smallest tenant count — one
+/// cell per (knob, depth) for the deeper trees in
+/// [`Fidelity::fleet_scale_depths`].
 #[must_use]
 pub fn stage(fidelity: Fidelity) -> Staged<FleetScaleResult> {
     let counts = fidelity.fleet_scale_group_counts();
-    let keys: Vec<(usize, Knob)> = counts
+    let mut keys: Vec<(usize, Knob, usize)> = counts
         .iter()
-        .flat_map(|&n| Knob::ALL.iter().map(move |&k| (n, k)))
+        .flat_map(|&n| Knob::ALL.iter().map(move |&k| (n, k, BASE_DEPTH)))
         .collect();
+    // The depth sweep holds the fleet small and fixed so depth is the
+    // only moving variable.
+    let depth_tenants = counts[0];
+    for depth in fidelity.fleet_scale_depths() {
+        if depth == BASE_DEPTH {
+            continue;
+        }
+        for &k in Knob::ALL.iter() {
+            keys.push((depth_tenants, k, depth));
+        }
+    }
     let cells = keys
         .iter()
-        .map(|&(n, k)| scale_cell(k, n, fidelity))
+        .map(|&(n, k, d)| scale_cell(k, n, d, fidelity))
         .collect();
     Staged::new("fleet_scale", cells, move |results, sink| {
         let rows: Vec<FleetScaleRow> = keys
             .iter()
             .zip(results)
-            .filter_map(|(&(tenants, knob), cell)| {
+            .filter_map(|(&(tenants, knob, depth), cell)| {
                 let cell = cell?;
                 let v = &cell[0];
                 Some(FleetScaleRow {
                     tenants,
                     knob,
+                    depth,
                     agg_mib_s: v[1],
                     fairness: v[2],
                     p99_us: v[3],
@@ -319,7 +383,7 @@ fn emit_table(rows: &[FleetScaleRow], sink: &mut OutputSink) -> io::Result<()> {
         "P99 (us)",
         "core util",
     ]);
-    for r in rows {
+    for r in rows.iter().filter(|r| r.depth == BASE_DEPTH) {
         t.row(vec![
             r.tenants.to_string(),
             r.knob.label().to_owned(),
@@ -336,6 +400,37 @@ fn emit_table(rows: &[FleetScaleRow], sink: &mut OutputSink) -> io::Result<()> {
          walks every configured group shows up as busy cores as the \
          fleet grows)",
     );
+    // Depth-sweep rows go in their own table so the standard grid's
+    // bytes stay independent of the sweep configuration.
+    let deep: Vec<_> = rows.iter().filter(|r| r.depth != BASE_DEPTH).collect();
+    if !deep.is_empty() {
+        let mut t = Table::new(vec![
+            "depth",
+            "groups",
+            "knob",
+            "agg MiB/s",
+            "fairness",
+            "P99 (us)",
+            "core util",
+        ]);
+        for r in deep {
+            t.row(vec![
+                r.depth.to_string(),
+                r.tenants.to_string(),
+                r.knob.label().to_owned(),
+                format!("{:.0}", r.agg_mib_s),
+                format!("{:.4}", r.fairness),
+                format!("{:.1}", r.p99_us),
+                format!("{:.4}", r.core_util),
+            ]);
+        }
+        sink.emit("fleet_scale_depth", &t)?;
+        sink.note(
+            "(depth sweep: same fleet, tenants pushed 5-8 levels below \
+             the root — the cost of knob semantics that walk ancestor \
+             chains)",
+        );
+    }
     Ok(())
 }
 
@@ -369,6 +464,23 @@ mod tests {
     }
 
     #[test]
+    fn depth_sweep_builds_deeper_trees() {
+        for depth in [5, 8] {
+            let (s, groups, _) = fleet_scale_scenario_depth(Knob::BfqWeight, 32, depth);
+            let flat = s.hierarchy().flatten();
+            for &g in &groups {
+                assert_eq!(flat.depth(g) as usize, depth, "depth {depth}");
+            }
+        }
+        // The base-depth label has no suffix; deeper ones do.
+        assert_eq!(cell_label_depth(Knob::None, 256, 4), "fleet_scale-none-256");
+        assert_eq!(
+            cell_label_depth(Knob::None, 256, 8),
+            "fleet_scale-none-256-d8"
+        );
+    }
+
+    #[test]
     fn smoke_run_emits_rows_for_every_knob() {
         // A tiny fleet keeps the unit test fast; the real tenant counts
         // come from Fidelity::fleet_scale_group_counts.
@@ -376,7 +488,7 @@ mod tests {
         let keys: Vec<(usize, Knob)> = Knob::ALL.iter().map(|&k| (24usize, k)).collect();
         let cells: Vec<Cell> = keys
             .iter()
-            .map(|&(n, k)| scale_cell(k, n, fidelity))
+            .map(|&(n, k)| scale_cell(k, n, BASE_DEPTH, fidelity))
             .collect();
         let staged = Staged::new("fleet_scale", cells, move |results, sink| {
             let rows: Vec<FleetScaleRow> = keys
@@ -388,6 +500,7 @@ mod tests {
                     Some(FleetScaleRow {
                         tenants,
                         knob,
+                        depth: BASE_DEPTH,
                         agg_mib_s: v[1],
                         fairness: v[2],
                         p99_us: v[3],

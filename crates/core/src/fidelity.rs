@@ -144,7 +144,21 @@ impl Fidelity {
         match self {
             Fidelity::Smoke => vec![256],
             Fidelity::Standard => vec![256, 1024],
-            Fidelity::Full => vec![256, 1024, 4096],
+            Fidelity::Full => vec![256, 1024, 4096, 8192, 16384, 65536],
+        }
+    }
+
+    /// Hierarchy depths for the `fleet_scale` depth sweep: how many
+    /// levels tenant leaves sit below the root. 4 is the baseline
+    /// consolidation tree (slice → dept → team → tenant); deeper trees
+    /// insert org sub-levels between team and tenant, stressing knob
+    /// propagation down long ancestor chains.
+    #[must_use]
+    pub fn fleet_scale_depths(self) -> Vec<usize> {
+        match self {
+            Fidelity::Smoke => vec![4],
+            Fidelity::Standard => vec![4, 6, 8],
+            Fidelity::Full => vec![4, 5, 6, 7, 8],
         }
     }
 

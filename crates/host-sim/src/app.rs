@@ -2,8 +2,8 @@
 
 use blkio::{CoreId, DeviceId, GroupId, PrioClass};
 use iostats::{BandwidthSeries, LatencyHistogram};
-use simcore::TokenBucket;
-use workload::{AddressStream, JobSpec};
+use simcore::{SimTime, TokenBucket};
+use workload::{AddressStream, ArrivalBatch, JobSpec};
 
 /// Runtime state of one application.
 #[derive(Debug)]
@@ -15,6 +15,9 @@ pub(crate) struct AppRuntime {
     pub devices: Vec<DeviceId>,
     pub next_dev: usize,
     pub stream: AddressStream,
+    /// Pregenerated arrival chunk the merged engine's issue path draws
+    /// from (unused on the legacy per-call path).
+    pub batch: ArrivalBatch,
     pub rate: Option<TokenBucket>,
     pub inflight: u32,
     pub issued: u64,
@@ -31,15 +34,66 @@ pub(crate) struct AppRuntime {
     /// Multiplier on scheduler-lock contention cost, fixed per app
     /// (models NUMA/lock-position asymmetry under CPU saturation).
     pub lock_luck: f64,
-    /// Guards against duplicate AppWake events at the same instant.
-    pub wake_scheduled_at: Option<simcore::SimTime>,
+    /// Guards against duplicate AppWake events at the same instant
+    /// (legacy engine only; the merged engine dedups against `wakes`).
+    pub wake_scheduled_at: Option<SimTime>,
+    /// Outstanding wakes, sorted ascending by `(time, seq)`: the merged
+    /// engine's exact pending set for this app. Exact dedup only admits
+    /// a wake strictly earlier than everything pending, so inserts
+    /// always land at the front and any pop removes the front — the
+    /// list behaves as a (tiny) stack.
+    pub wakes: Vec<Wake>,
+    /// How many entries of `wakes` are near-term (FIFO- or
+    /// tree-routed); the app counts toward the engine's active set
+    /// while this is non-zero.
+    pub near_wakes: u32,
+    /// Cached `spec.is_active` result, valid while `now <
+    /// phase_cached_until` (phase activity is constant between
+    /// transitions, so the per-wake spec walk — which allocates in
+    /// `next_transition` — only runs at phase edges).
+    pub phase_active: bool,
+    /// Cached `spec.next_transition` result over the same interval.
+    pub phase_trans: Option<SimTime>,
+    /// Instant at which the phase cache must be recomputed.
+    pub phase_cached_until: SimTime,
+}
+
+/// One pending merged-engine wake: its global `(time, seq)` key plus
+/// which container holds it (see [`WakeRoute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Wake {
+    pub at: SimTime,
+    pub seq: u64,
+    pub route: WakeRoute,
+}
+
+/// Which merge source a pending wake was filed into. Pop order is
+/// independent of the split — each container yields its entries in
+/// `(time, seq)` order and the engine takes the min across fronts — so
+/// routing is purely a cost decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeRoute {
+    /// `at == now` at insert: global FIFO (keys are monotone because
+    /// both `now` and the seq counter only grow — no ordering work).
+    Fifo,
+    /// Near future: the app's tournament leaf.
+    Tree,
+    /// Far future: a regular `AppWake` timer-wheel event (idle tenants
+    /// thereby leave the tournament until their next phase edge).
+    Wheel,
 }
 
 impl AppRuntime {
     /// Picks the next target device (round-robin across the app's list).
     pub(crate) fn pick_device(&mut self) -> DeviceId {
-        let dev = self.devices[self.next_dev % self.devices.len()];
-        self.next_dev = (self.next_dev + 1) % self.devices.len();
+        // One modulo on wrap (or on the staggered initial value) instead
+        // of two per call; the emitted sequence is unchanged.
+        let n = self.devices.len();
+        if self.next_dev >= n {
+            self.next_dev %= n;
+        }
+        let dev = self.devices[self.next_dev];
+        self.next_dev += 1;
         dev
     }
 }

@@ -10,16 +10,61 @@ use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
 use workload::AddressStream;
 
-use crate::app::AppRuntime;
+use std::collections::VecDeque;
+
+use crate::app::{AppRuntime, Wake, WakeRoute};
 use crate::cpu::{Core, Work};
 use crate::devhost::DeviceHost;
 use crate::report::{AppReport, CoreReport, DeviceReport, RunReport};
 use crate::setup::{AppSetup, DeviceSetup, HostConfig};
+use crate::stats::{SS_ARRIVAL, SS_DEVICE, SS_QOS, SS_SCHED, SS_STATS};
+use crate::tourney::Tourney;
+
+/// Whether new engines merge their bounded event classes through
+/// tournament trees (the O(active) fast path) instead of routing every
+/// event through the timer wheel. On by default; the legacy path is
+/// kept for A/B benchmarking (`perfsnap` gates the speedup against it)
+/// and as a bisection aid.
+static MERGE_EVENTS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Selects the event plumbing for engines built *after* this call:
+/// `true` (the default) merges app wakes, CPU completions, and dispatch
+/// completions through per-source tournament frontiers; `false` routes
+/// every event through the event queue (the pre-merge engine). Both
+/// produce bit-identical results; see DESIGN.md §17.
+pub fn set_merge_events(on: bool) {
+    MERGE_EVENTS.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide default for [`set_merge_events`].
+#[must_use]
+pub fn merge_events() -> bool {
+    MERGE_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Folds a `--profile` span started at `t0` into subsystem bucket
+/// `idx` (no-op when profiling is off and `t0` is `None`).
+#[inline]
+fn prof_add(t0: Option<std::time::Instant>, idx: usize) {
+    if let Some(t0) = t0 {
+        crate::stats::add_subsys(idx, t0.elapsed().as_nanos() as u64);
+    }
+}
 
 /// Queue depth at or above which a submitter counts as a deep-queue
 /// batch app (ring batching amortizes engine costs; scheduler-lock
 /// contention applies).
 const DEEP_QD: u32 = 64;
+
+/// Horizon splitting near from far future wakes on the merged path.
+/// Wakes due within it (rate-limiter waits, imminent phase edges) arm
+/// the app's tournament leaf; wakes beyond it (a sleeping tenant's next
+/// burst) go to the timer wheel, whose cost is O(1) amortized per far
+/// timer, so idle tenants occupy no tournament leaf at all. Any split
+/// is correct — each container yields keys in `(time, seq)` order and
+/// the pop takes the min across fronts — so the constant is purely a
+/// cost tuning knob (one wheel level-0 horizon).
+const NEAR_WAKE: SimDuration = SimDuration::from_nanos(1 << 18);
 
 /// Fraction of the per-I/O engine cost that does *not* amortize away at
 /// infinite queue depth (calibrated: ~3.8 µs/IO at QD 256 with io_uring,
@@ -118,6 +163,50 @@ pub struct HostSim {
     /// [`crate::shard`]). `None` outside traced sharded runs; `run`
     /// leaves it untouched, so the sequential path is byte-identical.
     pub(crate) journal: Option<crate::shard::JournalSink>,
+    /// `true` when this engine merges its bounded event classes through
+    /// the tournament trees below (see [`set_merge_events`]).
+    pub(crate) merge: bool,
+    /// Merge of per-app *near-term* wake frontiers; see [`NEAR_WAKE`]
+    /// for the near/far split. Leaves are dynamic slots handed out by
+    /// `wake_leaf` and recycled when an app's last tree wake pops, so
+    /// the tree is sized to the active-set high-water mark — a 64k
+    /// fleet with a few hundred active tenants replays over a few
+    /// hundred cache-resident leaves, not 64k mostly-idle ones.
+    pub(crate) wake_tree: Tourney,
+    /// Leaf slot in `wake_tree` per app; `LEAF_NONE` when the app holds
+    /// no tree-routed wake.
+    pub(crate) app_leaf: Vec<u32>,
+    /// Owning app per leaf slot (stale for freed slots; only read while
+    /// the slot holds a live key).
+    pub(crate) leaf_app: Vec<u32>,
+    /// Recycled `wake_tree` leaf slots.
+    pub(crate) free_leaves: Vec<u32>,
+    /// Same-instant wakes (`at == now` at insert), in order: both `now`
+    /// and the seq counter are monotone, so pushes arrive pre-sorted
+    /// and the front is the class minimum with zero ordering work. This
+    /// carries the completion-driven refill wakes — the bulk of all
+    /// wake traffic.
+    pub(crate) wake_fifo: VecDeque<(SimTime, u64, u32)>,
+    /// Merge of per-core `CpuDone` slots (≤ 1 outstanding per core).
+    pub(crate) cpu_tree: Tourney,
+    /// Merge of per-device `SchedDispatchDone` slots (≤ 1 per device).
+    pub(crate) disp_tree: Tourney,
+    /// Cached earliest `(time, seq)` in `queue`; `None` after a queue
+    /// pop (stale). Inserts min-update it in place, so the wheel is
+    /// only re-peeked once per queue pop instead of once per event.
+    pub(crate) qfront: Option<(SimTime, u64)>,
+    /// Events currently held by the trees/FIFO rather than the queue
+    /// (so peak-pending accounting spans both containers).
+    pub(crate) tree_pending: usize,
+    /// Apps with at least one near-term wake pending — the engine's
+    /// active set. Far-only (sleeping) apps are suppressed: they hold
+    /// no tournament leaf and cost nothing per event.
+    pub(crate) active_leaves: usize,
+    /// High-water mark of `active_leaves` over the run.
+    pub(crate) active_hwm: usize,
+    /// Cached [`crate::stats::subsystem_timing_enabled`] for the run
+    /// (one atomic load per run, not per event).
+    pub(crate) profile: bool,
 }
 
 impl HostSim {
@@ -346,6 +435,7 @@ impl HostSim {
                     devices: setup.devices,
                     next_dev: i, // stagger multi-device round-robins
                     stream,
+                    batch: workload::ArrivalBatch::new(),
                     rate,
                     inflight: 0,
                     issued: 0,
@@ -356,6 +446,11 @@ impl HostSim {
                     bw: BandwidthSeries::new(config.bw_window),
                     stage_sums_ns: [0.0; 5],
                     wake_scheduled_at: None,
+                    wakes: Vec::new(),
+                    near_wakes: 0,
+                    phase_active: false,
+                    phase_trans: None,
+                    phase_cached_until: SimTime::ZERO,
                     spec: setup.spec,
                 }
             })
@@ -372,6 +467,13 @@ impl HostSim {
         // leave extra stale DeviceDone events; the queue then grows).
         let event_capacity = Self::event_capacity(&apps, &cores, &devs);
 
+        // The wake tree starts small and grows with the active set; the
+        // per-core / per-device trees are provisioned in full (their
+        // source counts are machine-sized, not fleet-sized).
+        let wake_tree = Tourney::new(apps.len().clamp(1, 64));
+        let app_leaf = vec![Self::LEAF_NONE; apps.len()];
+        let cpu_tree = Tourney::new(cores.len());
+        let disp_tree = Tourney::new(devs.len());
         HostSim {
             config,
             now: SimTime::ZERO,
@@ -383,7 +485,46 @@ impl HostSim {
             qos_scratch: Vec::new(),
             start_scratch: Vec::new(),
             journal: None,
+            merge: merge_events(),
+            wake_tree,
+            app_leaf,
+            leaf_app: Vec::new(),
+            free_leaves: Vec::new(),
+            wake_fifo: VecDeque::new(),
+            cpu_tree,
+            disp_tree,
+            qfront: None,
+            tree_pending: 0,
+            active_leaves: 0,
+            active_hwm: 0,
+            profile: false,
         }
+    }
+
+    /// Sentinel in `app_leaf` for "no tree leaf held".
+    pub(crate) const LEAF_NONE: u32 = u32::MAX;
+
+    /// The app's `wake_tree` leaf slot, allocating (and growing the
+    /// tree if every slot is taken) on first use.
+    fn wake_leaf(&mut self, i: usize) -> usize {
+        let cur = self.app_leaf[i];
+        if cur != Self::LEAF_NONE {
+            return cur as usize;
+        }
+        let leaf = match self.free_leaves.pop() {
+            Some(l) => l,
+            None => {
+                let l = self.leaf_app.len() as u32;
+                if l as usize >= self.wake_tree.capacity() {
+                    self.wake_tree.grow_to(self.wake_tree.capacity() * 2);
+                }
+                self.leaf_app.push(Self::LEAF_NONE);
+                l
+            }
+        };
+        self.app_leaf[i] = leaf;
+        self.leaf_app[leaf as usize] = i as u32;
+        leaf as usize
     }
 
     /// Pre-sized event-queue capacity for the given machine slices (see
@@ -402,20 +543,140 @@ impl HostSim {
     }
 
     /// Schedules `ev`, journaling the insert time when a sharded-run
-    /// journal is attached. A free-standing helper over the two fields
-    /// (not `&mut self`) so call sites holding `&mut self.devs[..]` or
-    /// `&mut self.apps[..]` borrows keep compiling.
+    /// journal is attached and min-updating the cached queue front key.
+    /// A free-standing helper over the fields (not `&mut self`) so call
+    /// sites holding `&mut self.devs[..]` or `&mut self.apps[..]`
+    /// borrows keep compiling.
     #[inline]
     fn sched_event(
         journal: &mut Option<crate::shard::JournalSink>,
         queue: &mut EventQueue<Event>,
+        qfront: &mut Option<(SimTime, u64)>,
         at: SimTime,
         ev: Event,
     ) {
         if let Some(j) = journal.as_mut() {
             j.child(at);
         }
-        queue.schedule(at, ev);
+        let seq = queue.schedule(at, ev);
+        if let Some(f) = qfront {
+            if (at, seq) < *f {
+                *f = (at, seq);
+            }
+        }
+    }
+
+    /// Merged-path twin of [`Self::sched_event`] for single-slot
+    /// sources (per-core `CpuDone`, per-device `SchedDispatchDone`):
+    /// journals the insert, draws the shared tie-break seq, and arms the
+    /// source's tournament leaf. The leaf must be parked (the source
+    /// invariantly has at most one outstanding event).
+    #[inline]
+    fn slot_event(
+        journal: &mut Option<crate::shard::JournalSink>,
+        queue: &mut EventQueue<Event>,
+        tree: &mut Tourney,
+        tree_pending: &mut usize,
+        leaf: usize,
+        at: SimTime,
+    ) {
+        if let Some(j) = journal.as_mut() {
+            j.child(at);
+        }
+        let seq = queue.alloc_seq();
+        tree.set(leaf, (at, seq));
+        *tree_pending += 1;
+    }
+
+    /// Merged-path wake insert. The caller has already applied exact
+    /// dedup (`at` is strictly earlier than every wake pending for this
+    /// app), so the new wake is the app's front; it is routed by
+    /// distance — same-instant to the global FIFO, near to the app's
+    /// tournament leaf, far to the timer wheel — and pushed onto the
+    /// app's pending stack. Journal/seq side effects match a legacy
+    /// queue insert one for one, so replay order is preserved.
+    fn insert_wake_merged(&mut self, a: AppId, at: SimTime) {
+        debug_assert!(at >= self.now, "wakes cannot target the past");
+        if let Some(j) = self.journal.as_mut() {
+            j.child(at);
+        }
+        let i = a.index();
+        let (seq, route) = if at == self.now {
+            let seq = self.queue.alloc_seq();
+            self.wake_fifo.push_back((at, seq, i as u32));
+            self.tree_pending += 1;
+            (seq, WakeRoute::Fifo)
+        } else if at.saturating_since(self.now) <= NEAR_WAKE {
+            let seq = self.queue.alloc_seq();
+            // Earlier than all pending wakes ⇒ earlier than all
+            // tree-routed ones ⇒ the new leaf key.
+            let leaf = self.wake_leaf(i);
+            self.wake_tree.set(leaf, (at, seq));
+            self.tree_pending += 1;
+            (seq, WakeRoute::Tree)
+        } else {
+            let seq = self.queue.schedule(at, Event::AppWake(a));
+            if let Some(f) = &mut self.qfront {
+                if (at, seq) < *f {
+                    *f = (at, seq);
+                }
+            }
+            (seq, WakeRoute::Wheel)
+        };
+        let newly_active = {
+            let app = &mut self.apps[i];
+            debug_assert!(app.wakes.first().is_none_or(|w| at < w.at));
+            app.wakes.insert(0, Wake { at, seq, route });
+            if route == WakeRoute::Wheel {
+                false
+            } else {
+                app.near_wakes += 1;
+                app.near_wakes == 1
+            }
+        };
+        if newly_active {
+            self.active_leaves += 1;
+            self.active_hwm = self.active_hwm.max(self.active_leaves);
+        }
+    }
+
+    /// Books the pop of app `a`'s front wake — the popped key is always
+    /// the app's earliest pending wake, whichever container delivered
+    /// it (an earlier one would have been some container's front with a
+    /// smaller key and popped first) — and re-arms the app's tournament
+    /// leaf with its next tree-routed wake when a tree wake left.
+    fn wake_popped(&mut self, a: AppId, key: (SimTime, u64)) {
+        let i = a.index();
+        let w = self.apps[i].wakes.remove(0);
+        debug_assert_eq!((w.at, w.seq), key);
+        if w.route == WakeRoute::Wheel {
+            return;
+        }
+        self.tree_pending -= 1;
+        let now_idle = {
+            let app = &mut self.apps[i];
+            app.near_wakes -= 1;
+            app.near_wakes == 0
+        };
+        if now_idle {
+            self.active_leaves -= 1;
+        }
+        if w.route == WakeRoute::Tree {
+            let next = self.apps[i]
+                .wakes
+                .iter()
+                .find(|x| x.route == WakeRoute::Tree)
+                .map_or(Tourney::INF, |x| (x.at, x.seq));
+            let leaf = self.app_leaf[i];
+            debug_assert_ne!(leaf, Self::LEAF_NONE);
+            self.wake_tree.set(leaf as usize, next);
+            if next == Tourney::INF {
+                // Last tree wake gone: the app leaves the tournament
+                // and the slot recycles to whichever app activates next.
+                self.app_leaf[i] = Self::LEAF_NONE;
+                self.free_leaves.push(leaf);
+            }
+        }
     }
 
     /// Runs the simulation until `until`, consuming the engine and
@@ -428,6 +689,9 @@ impl HostSim {
         // `crate::stats`).
         let (popped, peak) = self.run_loop(until);
         crate::stats::record_run(popped, peak);
+        if self.merge {
+            crate::stats::record_tourney(self.active_hwm as u64, self.apps.len() as u64);
+        }
         let (t, r, f) = self.fault_totals();
         crate::stats::record_faults(t, r, f);
         self.now = until;
@@ -445,12 +709,17 @@ impl HostSim {
                 j.mark_app(i);
             }
             let at = self.apps[i].spec.start_at();
-            Self::sched_event(
-                &mut self.journal,
-                &mut self.queue,
-                at,
-                Event::AppWake(AppId(i)),
-            );
+            if self.merge {
+                self.insert_wake_merged(AppId(i), at);
+            } else {
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.qfront,
+                    at,
+                    Event::AppWake(AppId(i)),
+                );
+            }
         }
         for d in 0..self.devs.len() {
             if let Some(j) = self.journal.as_mut() {
@@ -461,6 +730,7 @@ impl HostSim {
                 Self::sched_event(
                     &mut self.journal,
                     &mut self.queue,
+                    &mut self.qfront,
                     SimTime::ZERO + period,
                     Event::DeviceReset(DeviceId(d)),
                 );
@@ -474,9 +744,70 @@ impl HostSim {
     /// milliseconds of simulated work.
     const CANCEL_POLL_INTERVAL: u64 = 4096;
 
-    /// Drains the event queue up to `until`, returning `(events popped,
-    /// peak pending)`. The first event past `until` is consumed but not
-    /// processed, exactly as before the shard split.
+    /// Removes and returns the next event in global `(time, seq)` order
+    /// from whichever source holds the minimum: the queue's front, the
+    /// same-instant wake FIFO, the app-wake tournament, the CPU-slot
+    /// tournament, or the dispatch-slot tournament. Keys never collide
+    /// across sources — every seq comes from the queue's one counter.
+    /// The queue front is cached in `qfront` and invalidated on queue
+    /// pops; inserts min-update the cache in place (handlers routinely
+    /// schedule events earlier than the previous front, so a stale
+    /// cache would replay out of order — the min-update keeps it
+    /// exact).
+    #[inline]
+    fn pop_merged(&mut self) -> Option<(SimTime, Event)> {
+        let qkey = match self.qfront {
+            Some(k) => k,
+            None => {
+                let k = self.queue.peek_key().unwrap_or(Tourney::INF);
+                self.qfront = Some(k);
+                k
+            }
+        };
+        let fkey = self
+            .wake_fifo
+            .front()
+            .map_or(Tourney::INF, |&(t, s, _)| (t, s));
+        let (ckey, cleaf) = self.cpu_tree.min();
+        let (wkey, wleaf) = self.wake_tree.min();
+        let (dkey, dleaf) = self.disp_tree.min();
+        let min = qkey.min(fkey).min(ckey).min(wkey).min(dkey);
+        if min == Tourney::INF {
+            return None;
+        }
+        if min == qkey {
+            let (t, seq, ev) = self.queue.pop_keyed().expect("cached front exists");
+            self.qfront = None;
+            if let Event::AppWake(a) = ev {
+                // A far-routed wake: unwind the app's pending stack too.
+                self.wake_popped(a, (t, seq));
+            }
+            return Some((t, ev));
+        }
+        if min == fkey {
+            let (t, seq, ai) = self.wake_fifo.pop_front().expect("front exists");
+            let a = AppId(ai as usize);
+            self.wake_popped(a, (t, seq));
+            return Some((t, Event::AppWake(a)));
+        }
+        if min == wkey {
+            let a = AppId(self.leaf_app[wleaf] as usize);
+            self.wake_popped(a, min);
+            return Some((min.0, Event::AppWake(a)));
+        }
+        self.tree_pending -= 1;
+        if min == ckey {
+            self.cpu_tree.set(cleaf, Tourney::INF);
+            Some((min.0, Event::CpuDone(CoreId(cleaf))))
+        } else {
+            self.disp_tree.set(dleaf, Tourney::INF);
+            Some((min.0, Event::SchedDispatchDone(DeviceId(dleaf))))
+        }
+    }
+
+    /// Drains the pending events up to `until`, returning `(events
+    /// popped, peak pending)`. The first event past `until` is consumed
+    /// but not processed, exactly as before the shard split.
     ///
     /// Cooperative cancellation: every [`Self::CANCEL_POLL_INTERVAL`]
     /// pops the loop charges the thread-local [`simcore::cancel`] token
@@ -485,9 +816,18 @@ impl HostSim {
     /// them; a cancelled run never contributes rows to any output, so
     /// determinism is unaffected).
     pub(crate) fn run_loop(&mut self, until: SimTime) -> (u64, u64) {
+        self.profile = crate::stats::subsystem_timing_enabled();
         let mut popped = 0u64;
-        let mut peak = self.queue.len() as u64;
-        while let Some((t, ev)) = self.queue.pop() {
+        let mut peak = (self.queue.len() + self.tree_pending) as u64;
+        loop {
+            let next = if self.merge {
+                self.pop_merged()
+            } else {
+                self.queue.pop()
+            };
+            let Some((t, ev)) = next else {
+                break;
+            };
             if t > until {
                 break;
             }
@@ -533,7 +873,7 @@ impl HostSim {
                 let n_alloc = (self.next_req_id - ids_before) as u32;
                 j.finish_pop(n_alloc, trace::drain_events());
             }
-            peak = peak.max(self.queue.len() as u64);
+            peak = peak.max((self.queue.len() + self.tree_pending) as u64);
         }
         (popped, peak)
     }
@@ -550,10 +890,31 @@ impl HostSim {
     }
 
     fn schedule_wake(&mut self, a: AppId, at: SimTime) {
-        let app = &mut self.apps[a.index()];
-        if app.wake_scheduled_at.is_none_or(|e| at < e) {
-            app.wake_scheduled_at = Some(at);
-            Self::sched_event(&mut self.journal, &mut self.queue, at, Event::AppWake(a));
+        if self.merge {
+            // Exact dedup: the pending stack knows every outstanding
+            // wake, so a wake at or after the app's earliest pending
+            // one is pure noise — by the time it would fire, the
+            // earlier wake has already driven the issue loop at that
+            // instant or later (re-arming any phase-edge follow-up
+            // itself). The legacy path below forgets pending wakes
+            // beyond the earliest and so re-inserts such duplicates;
+            // their pops are no-ops, and suppressing them changes no
+            // I/O-visible behavior (see DESIGN.md §17).
+            if self.apps[a.index()].wakes.first().is_none_or(|w| at < w.at) {
+                self.insert_wake_merged(a, at);
+            }
+        } else {
+            let app = &mut self.apps[a.index()];
+            if app.wake_scheduled_at.is_none_or(|e| at < e) {
+                app.wake_scheduled_at = Some(at);
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.qfront,
+                    at,
+                    Event::AppWake(a),
+                );
+            }
         }
     }
 
@@ -575,11 +936,30 @@ impl HostSim {
     }
 
     fn on_app_wake(&mut self, a: AppId) {
-        if self.apps[a.index()].wake_scheduled_at == Some(self.now) {
+        if !self.merge && self.apps[a.index()].wake_scheduled_at == Some(self.now) {
             self.apps[a.index()].wake_scheduled_at = None;
         }
-        let active = self.apps[a.index()].spec.is_active(self.now);
-        if let Some(t) = self.apps[a.index()].spec.next_transition(self.now) {
+        let (active, trans) = if self.merge {
+            // Phase cache: `is_active`/`next_transition` are constant
+            // between phase edges (the spec's burst/start/stop schedule
+            // is a fixed step function of absolute time), so both spec
+            // walks — one of which allocates — run once per phase
+            // instead of once per wake.
+            let app = &mut self.apps[a.index()];
+            if self.now >= app.phase_cached_until {
+                app.phase_active = app.spec.is_active(self.now);
+                app.phase_trans = app.spec.next_transition(self.now);
+                app.phase_cached_until = app.phase_trans.unwrap_or(SimTime::MAX);
+            }
+            (app.phase_active, app.phase_trans)
+        } else {
+            let app = &self.apps[a.index()];
+            (
+                app.spec.is_active(self.now),
+                app.spec.next_transition(self.now),
+            )
+        };
+        if let Some(t) = trans {
             self.schedule_wake(a, t);
         }
         if !active {
@@ -605,7 +985,17 @@ impl HostSim {
                 }
             }
             let dev = app.pick_device();
-            let (op, pattern, offset) = app.stream.next_io();
+            let t0 = self.profile.then(std::time::Instant::now);
+            let (op, pattern, offset) = if self.merge {
+                // Same tuple sequence as `next_io()` (proven by the
+                // batch_equivalence proptests), drawn from a
+                // pregenerated chunk. The stream RNG is private to this
+                // app, so drawing ahead is unobservable.
+                app.batch.next(&mut app.stream)
+            } else {
+                app.stream.next_io()
+            };
+            prof_add(t0, SS_ARRIVAL);
             let id = self.next_req_id;
             self.next_req_id += 1;
             let mut req = IoRequest::new(id, a, app.group, dev, op, pattern, len, offset, self.now);
@@ -639,12 +1029,27 @@ impl HostSim {
 
     fn push_cpu_work(&mut self, core: CoreId, work: Work, dur: SimDuration) {
         if let Some(done_at) = self.cores[core.index()].push(work, dur, self.now) {
-            Self::sched_event(
-                &mut self.journal,
-                &mut self.queue,
-                done_at,
-                Event::CpuDone(core),
-            );
+            if self.merge {
+                // At most one outstanding CpuDone per core (the FIFO
+                // only reports a finish time when it goes busy), so the
+                // core's tournament leaf is a one-slot frontier.
+                Self::slot_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.cpu_tree,
+                    &mut self.tree_pending,
+                    core.index(),
+                    done_at,
+                );
+            } else {
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.qfront,
+                    done_at,
+                    Event::CpuDone(core),
+                );
+            }
         }
     }
 
@@ -652,16 +1057,38 @@ impl HostSim {
         let measured = self.measured();
         let (work, next) = self.cores[c.index()].finish_current(self.now, measured);
         if let Some(t) = next {
-            Self::sched_event(&mut self.journal, &mut self.queue, t, Event::CpuDone(c));
+            if self.merge {
+                Self::slot_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.cpu_tree,
+                    &mut self.tree_pending,
+                    c.index(),
+                    t,
+                );
+            } else {
+                Self::sched_event(
+                    &mut self.journal,
+                    &mut self.queue,
+                    &mut self.qfront,
+                    t,
+                    Event::CpuDone(c),
+                );
+            }
         }
         match work {
             Work::Submit(mut req) => {
                 req.submitted_at = self.now;
                 let dev = req.dev;
+                let t0 = self.profile.then(std::time::Instant::now);
                 let dh = &mut self.devs[dev.index()];
-                if let Some(mut cleared) = dh.qos.submit(req, self.now) {
+                let cleared = dh.qos.submit(req, self.now);
+                prof_add(t0, SS_QOS);
+                if let Some(mut cleared) = cleared {
+                    let t1 = self.profile.then(std::time::Instant::now);
                     cleared.scheduled_at = self.now;
                     dh.sched.insert(cleared, self.now);
+                    prof_add(t1, SS_SCHED);
                 }
                 self.pump_device(dev);
             }
@@ -677,6 +1104,7 @@ impl HostSim {
                     )
                 });
                 let ctx_factor = self.devs[req.dev.index()].ctx_factor;
+                let t0 = self.profile.then(std::time::Instant::now);
                 let app = &mut self.apps[req.app.index()];
                 app.inflight = app.inflight.saturating_sub(1);
                 if measured {
@@ -698,6 +1126,7 @@ impl HostSim {
                     // Still record the series so time plots start at 0.
                     app.bw.record(self.now, u64::from(req.len));
                 }
+                prof_add(t0, SS_STATS);
                 let a = req.app;
                 self.schedule_wake(a, self.now);
             }
@@ -721,34 +1150,64 @@ impl HostSim {
     fn pump_device(&mut self, dev: DeviceId) {
         let now = self.now;
         let dh = &mut self.devs[dev.index()];
-        // Pass requests released by QoS stages on to the scheduler
-        // (scratch buffers keep this per-event path allocation-free).
-        dh.qos.drain_into(now, &mut self.qos_scratch);
-        for mut r in self.qos_scratch.drain(..) {
-            r.scheduled_at = now;
-            dh.sched.insert(r, now);
+        // Lean pump: with no QoS stages configured the chain can never
+        // hold requests (`submit` passes through) nor ask for a pump
+        // (`next_event` is None), so both the drain and the follow-up
+        // scheduling are provable no-ops — skip them. This is the
+        // common case on the `none`/`MQ-DL`/`BFQ` knob rows.
+        let has_qos = !dh.qos.is_empty();
+        if has_qos {
+            let t0 = self.profile.then(std::time::Instant::now);
+            // Pass requests released by QoS stages on to the scheduler
+            // (scratch buffers keep this per-event path allocation-free).
+            dh.qos.drain_into(now, &mut self.qos_scratch);
+            prof_add(t0, SS_QOS);
+            for mut r in self.qos_scratch.drain(..) {
+                r.scheduled_at = now;
+                dh.sched.insert(r, now);
+            }
         }
         // Serialized dispatch path: start the next dispatch if free.
+        let t0 = self.profile.then(std::time::Instant::now);
         if dh.dispatching.is_none() && dh.device.has_capacity(now) {
             if let Some(req) = dh.sched.dispatch(now) {
                 let cost = dh.sched.dispatch_overhead();
                 dh.dispatching = Some(req);
-                Self::sched_event(
-                    &mut self.journal,
-                    &mut self.queue,
-                    now + cost,
-                    Event::SchedDispatchDone(dev),
-                );
+                if self.merge {
+                    // The dispatch path is serialized per device
+                    // (`dispatching` is a one-slot latch), so like CPU
+                    // cores it gets a one-slot tournament leaf.
+                    Self::slot_event(
+                        &mut self.journal,
+                        &mut self.queue,
+                        &mut self.disp_tree,
+                        &mut self.tree_pending,
+                        dev.index(),
+                        now + cost,
+                    );
+                } else {
+                    Self::sched_event(
+                        &mut self.journal,
+                        &mut self.queue,
+                        &mut self.qfront,
+                        now + cost,
+                        Event::SchedDispatchDone(dev),
+                    );
+                }
             }
         }
+        prof_add(t0, SS_SCHED);
         // Start service on free device units.
+        let t0 = self.profile.then(std::time::Instant::now);
         dh.device.start_ready_into(now, &mut self.start_scratch);
+        prof_add(t0, SS_DEVICE);
         let io_timeout = self.config.io_timeout;
         let started_any = !self.start_scratch.is_empty();
         for c in self.start_scratch.drain(..) {
             Self::sched_event(
                 &mut self.journal,
                 &mut self.queue,
+                &mut self.qfront,
                 c.done_at,
                 Event::DeviceDone(dev, c.slot, c.gen),
             );
@@ -762,7 +1221,9 @@ impl HostSim {
         if io_timeout.is_some() && started_any {
             self.schedule_io_timeout(dev);
         }
-        self.schedule_qos_pump(dev);
+        if has_qos {
+            self.schedule_qos_pump(dev);
+        }
         self.schedule_sched_timer(dev);
     }
 
@@ -772,7 +1233,9 @@ impl HostSim {
         let mut req = dh.dispatching.take().expect("dispatch path was busy");
         if dh.device.is_online(now) {
             req.dispatched_at = now;
+            let t0 = self.profile.then(std::time::Instant::now);
             dh.device.accept(req, now);
+            prof_add(t0, SS_DEVICE);
         } else {
             // The device went into reset mid-dispatch: requeue through
             // the scheduler like any other bounced request.
@@ -960,6 +1423,7 @@ impl HostSim {
         Self::sched_event(
             &mut self.journal,
             &mut self.queue,
+            &mut self.qfront,
             until,
             Event::DeviceRestart(dev),
         );
@@ -967,6 +1431,7 @@ impl HostSim {
             Self::sched_event(
                 &mut self.journal,
                 &mut self.queue,
+                &mut self.qfront,
                 now + period,
                 Event::DeviceReset(dev),
             );
@@ -991,6 +1456,7 @@ impl HostSim {
                 Self::sched_event(
                     &mut self.journal,
                     &mut self.queue,
+                    &mut self.qfront,
                     t,
                     Event::IoTimeout(dev, dh.timeout_gen),
                 );
@@ -1011,6 +1477,7 @@ impl HostSim {
             Self::sched_event(
                 &mut self.journal,
                 &mut self.queue,
+                &mut self.qfront,
                 t,
                 Event::RetryTimer(dev, dh.retry_gen),
             );
@@ -1026,7 +1493,9 @@ impl HostSim {
             return;
         }
         dh.qos_pump_at = None;
+        let t0 = self.profile.then(std::time::Instant::now);
         dh.qos.tick(now);
+        prof_add(t0, SS_QOS);
         self.pump_device(dev);
     }
 
@@ -1051,6 +1520,7 @@ impl HostSim {
                 Self::sched_event(
                     &mut self.journal,
                     &mut self.queue,
+                    &mut self.qfront,
                     t,
                     Event::QosPump(dev, dh.qos_pump_gen),
                 );
@@ -1069,6 +1539,7 @@ impl HostSim {
                 Self::sched_event(
                     &mut self.journal,
                     &mut self.queue,
+                    &mut self.qfront,
                     t,
                     Event::SchedTimer(dev, dh.sched_timer_gen),
                 );
@@ -1500,6 +1971,89 @@ mod tests {
         // Both entitlements sit below the CPU caps, so the achieved
         // ratio tracks the 8:1 nominal weights.
         assert!((4.0..9.5).contains(&ratio), "weighted ratio {ratio}");
+    }
+
+    /// A deliberately messy machine exercising every wake pattern at
+    /// once: bursty, rate-capped, deep-queue, zipf, multi-device apps on
+    /// few cores, a BFQ device, an io.max throttle, and (optionally)
+    /// injected faults with the timeout/reset recovery paths.
+    fn mixed_scenario(merge: bool, faults: bool) -> RunReport {
+        let stop = SimTime::from_millis(120);
+        let mut h = simple_hierarchy(6);
+        h.write(
+            h.group_of(AppId(2)),
+            "io.max",
+            "259:0 rbps=80000000 wbps=80000000",
+        )
+        .unwrap();
+        let specs = vec![
+            JobSpec::lc_app("lc-a").stop_by(stop),
+            JobSpec::lc_app("lc-b").stop_by(stop),
+            JobSpec::batch_app("deep").stop_by(stop),
+            JobSpec::builder("burst")
+                .iodepth(4)
+                .burst(SimDuration::from_millis(3), SimDuration::from_millis(5))
+                .stop_at(stop)
+                .build(),
+            JobSpec::builder("rated")
+                .iodepth(2)
+                .rate_mib_s(40.0)
+                .stop_at(stop)
+                .build(),
+            JobSpec::builder("zipf")
+                .rw(workload::RwKind::ZipfRead { theta: 0.9 })
+                .iodepth(8)
+                .start_at(SimTime::from_millis(7))
+                .stop_at(stop)
+                .build(),
+        ];
+        let apps = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let devs = if i % 2 == 0 {
+                    vec![DeviceId(0), DeviceId(1)]
+                } else {
+                    vec![DeviceId(i % 2)]
+                };
+                AppSetup::new(s, devs)
+            })
+            .collect();
+        let mut d0 = DeviceSetup::flash();
+        let mut d1 = DeviceSetup::optane().with_scheduler(SchedKind::Bfq);
+        if faults {
+            d0 = d0.with_faults(nvme_sim::FaultConfig {
+                media_error_rate: 0.001,
+                stall_rate: 0.0005,
+                stall: SimDuration::from_millis(10),
+                ..nvme_sim::FaultConfig::none()
+            });
+            d1 = d1.with_faults(nvme_sim::FaultConfig {
+                reset_period: Some(SimDuration::from_millis(30)),
+                reset_duration: SimDuration::from_millis(1),
+                ..nvme_sim::FaultConfig::none()
+            });
+        }
+        let cfg = HostConfig {
+            io_timeout: faults.then(|| SimDuration::from_millis(3)),
+            ..HostConfig::with_cores(2)
+        };
+        let mut sim = HostSim::build(cfg, h, apps, vec![d0, d1]);
+        sim.merge = merge;
+        sim.run(stop)
+    }
+
+    /// The tentpole's byte-identity contract: the tournament-merged
+    /// engine replays the exact `(time, seq)` pop order of the legacy
+    /// queue-only engine, so every observable output — histograms,
+    /// series, stage sums, fault counters — is bit-identical.
+    #[test]
+    fn merged_engine_matches_legacy_bit_for_bit() {
+        for faults in [false, true] {
+            let legacy = format!("{:?}", mixed_scenario(false, faults));
+            let merged = format!("{:?}", mixed_scenario(true, faults));
+            assert_eq!(legacy, merged, "faults={faults}");
+        }
     }
 
     fn run_faulted(

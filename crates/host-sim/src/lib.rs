@@ -58,8 +58,9 @@ mod report;
 mod setup;
 mod shard;
 pub mod stats;
+mod tourney;
 
-pub use engine::HostSim;
+pub use engine::{merge_events, set_merge_events, HostSim};
 pub use report::{AppReport, CoreReport, DeviceReport, RunReport, StageBreakdown};
 pub use setup::{AppSetup, DeviceSetup, HostConfig};
 

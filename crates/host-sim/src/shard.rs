@@ -347,6 +347,7 @@ fn split(sim: HostSim, plan: &[Component]) -> Vec<HostSim> {
             core_local[g] = li;
         }
     }
+    let sim_merge = sim.merge;
     let HostSim {
         config,
         apps,
@@ -382,6 +383,10 @@ fn split(sim: HostSim, plan: &[Component]) -> Vec<HostSim> {
                 .map(|&i| devs[i].take().expect("device in one component"))
                 .collect();
             let cap = HostSim::event_capacity(&c_apps, &c_cores, &c_devs);
+            let wake_tree = crate::tourney::Tourney::new(c_apps.len().clamp(1, 64));
+            let app_leaf = vec![HostSim::LEAF_NONE; c_apps.len()];
+            let cpu_tree = crate::tourney::Tourney::new(c_cores.len());
+            let disp_tree = crate::tourney::Tourney::new(c_devs.len());
             HostSim {
                 config: config.clone(),
                 now: SimTime::ZERO,
@@ -393,6 +398,22 @@ fn split(sim: HostSim, plan: &[Component]) -> Vec<HostSim> {
                 qos_scratch: Vec::new(),
                 start_scratch: Vec::new(),
                 journal: None,
+                // Each component runs its own merged (or legacy) loop;
+                // the split machine is quiescent, so fresh empty trees
+                // are exact.
+                merge: sim_merge,
+                wake_tree,
+                app_leaf,
+                leaf_app: Vec::new(),
+                free_leaves: Vec::new(),
+                wake_fifo: std::collections::VecDeque::new(),
+                cpu_tree,
+                disp_tree,
+                qfront: None,
+                tree_pending: 0,
+                active_leaves: 0,
+                active_hwm: 0,
+                profile: false,
             }
         })
         .collect()
@@ -400,6 +421,12 @@ fn split(sim: HostSim, plan: &[Component]) -> Vec<HostSim> {
 
 /// Conservative lookahead for a shard: the fastest median command time
 /// across its devices (floored at 1 µs against degenerate profiles).
+///
+/// Batched arrival generation does not change this bound: pregeneration
+/// only moves RNG draws earlier in wall-clock time, never an *event*
+/// earlier in simulated time, and the tournament frontiers release pops
+/// in the same `(time, seq)` order the wheel would — so the earliest
+/// cross-shard influence is still a device completion.
 fn lookahead_window(part: &HostSim) -> SimDuration {
     part.devs
         .iter()

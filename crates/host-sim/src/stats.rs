@@ -58,6 +58,15 @@ pub struct EngineStats {
     /// horizon. Always 0 when the lookahead window is safe; the shard
     /// proptest asserts exactly that.
     pub horizon_violations: u64,
+    /// High-water mark of concurrently active wake-tournament leaves
+    /// (apps with at least one pending wake) over all merged runs. Zero
+    /// when only the legacy queue-only engine ran.
+    pub tourney_active_hwm: u64,
+    /// Provisioned wake-tournament leaves (total apps) in the largest
+    /// merged run; `1 - tourney_active_hwm / tourney_leaves` is the
+    /// suppressed-tenant ratio — the fraction of tenants the engine
+    /// never paid per-event cost for.
+    pub tourney_leaves: u64,
 }
 
 /// Reads the current counter values.
@@ -75,6 +84,8 @@ pub fn snapshot() -> EngineStats {
         barrier_stalls: BARRIER_STALLS.load(Ordering::Relaxed),
         mailbox_batches: MAILBOX_BATCHES.load(Ordering::Relaxed),
         horizon_violations: HORIZON_VIOLATIONS.load(Ordering::Relaxed),
+        tourney_active_hwm: TOURNEY_ACTIVE_HWM.load(Ordering::Relaxed),
+        tourney_leaves: TOURNEY_LEAVES.load(Ordering::Relaxed),
     }
 }
 
@@ -97,6 +108,71 @@ pub fn reset_peak() {
 /// Counts one event loop stopped early by cooperative cancellation.
 pub(crate) fn record_cancelled() {
     CANCELLED_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+// --- per-subsystem time attribution ---
+
+/// Display names for the per-subsystem attribution buckets, indexed by
+/// the `SS_*` constants. `figures --profile` reports these in
+/// `profile.json`.
+pub const SUBSYS_NAMES: [&str; 5] = ["arrival-gen", "qos", "scheduler", "device", "stats"];
+
+/// Arrival generation: drawing `(op, pattern, offset)` tuples.
+pub(crate) const SS_ARRIVAL: usize = 0;
+/// QoS chain work: submit, drain, and pump ticks.
+pub(crate) const SS_QOS: usize = 1;
+/// I/O scheduler work: insert and dispatch.
+pub(crate) const SS_SCHED: usize = 2;
+/// Device model work: starting and accepting service.
+pub(crate) const SS_DEVICE: usize = 3;
+/// Completion-side statistics recording (histograms, series, stages).
+pub(crate) const SS_STATS: usize = 4;
+
+static SUBSYS_TIMING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static SUBSYS_NS: [AtomicU64; 5] = [ZERO; 5];
+static SUBSYS_N: [AtomicU64; 5] = [ZERO; 5];
+/// High-water mark of concurrently active tournament leaves (apps with a
+/// pending wake), maxed over finished merged runs.
+static TOURNEY_ACTIVE_HWM: AtomicU64 = AtomicU64::new(0);
+/// Provisioned tournament leaves (total apps), maxed over finished
+/// merged runs; `1 - hwm/leaves` is the suppressed-tenant ratio.
+static TOURNEY_LEAVES: AtomicU64 = AtomicU64::new(0);
+
+/// Enables wall-clock attribution of event-loop work to the five
+/// subsystem buckets in [`SUBSYS_NAMES`]. Costs two `Instant` reads per
+/// instrumented section, so it stays off outside `--profile` runs.
+pub fn set_subsystem_timing(on: bool) {
+    SUBSYS_TIMING.store(on, Ordering::Relaxed);
+}
+
+#[must_use]
+pub(crate) fn subsystem_timing_enabled() -> bool {
+    SUBSYS_TIMING.load(Ordering::Relaxed)
+}
+
+pub(crate) fn add_subsys(idx: usize, ns: u64) {
+    SUBSYS_NS[idx].fetch_add(ns, Ordering::Relaxed);
+    SUBSYS_N[idx].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Per-bucket `(total ns, call count)` pairs, indexed like
+/// [`SUBSYS_NAMES`]. All zero unless [`set_subsystem_timing`] was on
+/// during a run.
+#[must_use]
+pub fn subsys_snapshot() -> [(u64, u64); 5] {
+    let mut out = [(0, 0); 5];
+    for (slot, (ns, n)) in out.iter_mut().zip(SUBSYS_NS.iter().zip(&SUBSYS_N)) {
+        *slot = (ns.load(Ordering::Relaxed), n.load(Ordering::Relaxed));
+    }
+    out
+}
+
+/// Folds one merged run's tournament occupancy into the globals.
+pub(crate) fn record_tourney(active_hwm: u64, leaves: u64) {
+    TOURNEY_ACTIVE_HWM.fetch_max(active_hwm, Ordering::Relaxed);
+    TOURNEY_LEAVES.fetch_max(leaves, Ordering::Relaxed);
 }
 
 /// Folds one finished run's totals into the global counters.

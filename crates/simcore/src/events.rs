@@ -294,11 +294,15 @@ impl<E> Wheel<E> {
         self.l1[idx] = pending;
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
+    /// Advances levels until the earliest pending event sits at the back
+    /// of the drain bucket, and returns its key without removing it
+    /// (`None` on an empty wheel). Cursor movement only ever reorders
+    /// storage, never the pop sequence, so settling from a peek is
+    /// unobservable.
+    fn settle(&mut self) -> Option<(SimTime, u64)> {
         loop {
-            if let Some(e) = self.bucket.pop() {
-                self.len -= 1;
-                return Some((e.at, e.payload));
+            if let Some(e) = self.bucket.last() {
+                return Some(e.key());
             }
             let next0 = occ_next(&self.l0_occ, (self.cursor & SLOT_MASK) as usize)
                 .map(|off| self.cursor + off);
@@ -323,6 +327,13 @@ impl<E> Wheel<E> {
                 }
             }
         }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.settle()?;
+        let e = self.bucket.pop().expect("settled wheel has a front event");
+        self.len -= 1;
+        Some((e.at, e.seq, e.payload))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -425,22 +436,46 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `payload` to fire at instant `at`.
-    pub fn schedule(&mut self, at: SimTime, payload: E) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Schedules `payload` to fire at instant `at`, returning the FIFO
+    /// tie-break seq assigned to it (callers tracking the queue's front
+    /// key can min-update their cache without a peek).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+        let seq = self.alloc_seq();
         let entry = Entry { at, seq, payload };
         match &mut self.imp {
             Imp::Wheel(w) => w.schedule(entry),
             Imp::Heap(h) => h.push(entry),
         }
+        seq
+    }
+
+    /// Claims the next FIFO tie-break sequence number without
+    /// scheduling anything.
+    ///
+    /// Engines that keep some event classes *outside* the queue (e.g. a
+    /// tournament merge over per-source frontiers) draw their keys from
+    /// here so queue events and merged events share one total
+    /// `(time, seq)` order — a merged engine pops in exactly the order a
+    /// queue-only engine would.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(at, _, payload)| (at, payload))
+    }
+
+    /// Removes and returns the earliest event together with its FIFO
+    /// tie-break sequence number (the queue's total order is
+    /// `(time, seq)`). See [`EventQueue::alloc_seq`] for how external
+    /// event sources join that order.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         match &mut self.imp {
             Imp::Wheel(w) => w.pop(),
-            Imp::Heap(h) => h.pop().map(|e| (e.at, e.payload)),
+            Imp::Heap(h) => h.pop().map(|e| (e.at, e.seq, e.payload)),
         }
     }
 
@@ -450,6 +485,22 @@ impl<E> EventQueue<E> {
         match &self.imp {
             Imp::Wheel(w) => w.peek_time(),
             Imp::Heap(h) => h.peek().map(|e| e.at),
+        }
+    }
+
+    /// The full `(time, seq)` key of the earliest pending event, without
+    /// removing it.
+    ///
+    /// Takes `&mut self` because the wheel backend may advance its
+    /// internal levels to surface the front event (storage movement
+    /// only — the pop sequence is unaffected). External-frontier merges
+    /// compare this key against their own candidates to decide which
+    /// source pops next; unlike [`EventQueue::peek_time`], the seq
+    /// resolves same-instant ties exactly.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match &mut self.imp {
+            Imp::Wheel(w) => w.settle(),
+            Imp::Heap(h) => h.peek().map(Entry::key),
         }
     }
 

@@ -18,7 +18,7 @@
 /// let mut b = DetRng::new(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetRng {
     state: [u64; 4],
 }

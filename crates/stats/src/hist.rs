@@ -28,6 +28,10 @@ const SUB_COUNT: u64 = 1 << SUB_BITS;
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyHistogram {
+    /// Bucket counts; allocated lazily on the first sample so that a
+    /// fleet of mostly-idle tenants (e.g. 64k provisioned, a few
+    /// thousand ever active) does not pay ~30 KiB of zeroed memory per
+    /// histogram up front. Empty means "all zeros".
     buckets: Vec<u64>,
     count: u64,
     sum_ns: u128,
@@ -65,7 +69,7 @@ pub struct LatencySummary {
     pub max_us: f64,
 }
 
-fn bucket_index(v: u64) -> usize {
+const fn bucket_index(v: u64) -> usize {
     if v < SUB_COUNT {
         v as usize
     } else {
@@ -95,7 +99,7 @@ impl LatencyHistogram {
     #[must_use]
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: vec![0; bucket_index(u64::MAX) + 1],
+            buckets: Vec::new(),
             count: 0,
             sum_ns: 0,
             min_ns: u64::MAX,
@@ -103,8 +107,20 @@ impl LatencyHistogram {
         }
     }
 
+    /// Total bucket count: exact values below 64 ns, then 64 linear
+    /// sub-buckets per octave up to `u64::MAX`.
+    const NUM_BUCKETS: usize = bucket_index(u64::MAX) + 1;
+
+    #[cold]
+    fn materialize(&mut self) {
+        self.buckets = vec![0; Self::NUM_BUCKETS];
+    }
+
     /// Records one latency sample in nanoseconds.
     pub fn record_ns(&mut self, ns: u64) {
+        if self.buckets.is_empty() {
+            self.materialize();
+        }
         self.buckets[bucket_index(ns)] += 1;
         self.count += 1;
         self.sum_ns += u128::from(ns);
@@ -213,8 +229,13 @@ impl LatencyHistogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += ob;
+        if !other.buckets.is_empty() {
+            if self.buckets.is_empty() {
+                self.materialize();
+            }
+            for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+                *b += ob;
+            }
         }
         self.count += other.count;
         self.sum_ns += other.sum_ns;
@@ -339,6 +360,17 @@ mod tests {
         let before = a.summary();
         a.merge(&LatencyHistogram::new());
         assert_eq!(a.summary(), before);
+    }
+
+    #[test]
+    fn merge_into_never_recorded_histogram() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        b.record_ns(7_000);
+        b.record_ns(9_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.summary(), b.summary());
     }
 
     #[test]

@@ -40,4 +40,4 @@ mod stream;
 
 pub use engine::IoEngine;
 pub use spec::{BurstPattern, JobSpec, JobSpecBuilder, RwKind};
-pub use stream::AddressStream;
+pub use stream::{AddressStream, ArrivalBatch};

@@ -25,16 +25,19 @@ use crate::{JobSpec, RwKind};
 /// assert!(op.is_read());
 /// assert_eq!(off1, off0 + 4096);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AddressStream {
     rw: RwKind,
     block_size: u32,
     blocks: u64,
     next_block: u64,
     rng: DetRng,
-    /// Precomputed normalization constant for Zipf sampling (rejection
-    /// inversion over a truncated harmonic series approximation).
-    zipf_norm: f64,
+    /// Precomputed Zipf inversion scale `norm * (1 - θ)`, where `norm`
+    /// is the continuous approximation of the generalized harmonic
+    /// number (rejection inversion over a truncated series).
+    zipf_scale: f64,
+    /// Precomputed Zipf inversion exponent `1 / (1 - θ)`.
+    zipf_exp: f64,
 }
 
 impl AddressStream {
@@ -48,18 +51,20 @@ impl AddressStream {
     pub fn new(spec: &JobSpec, capacity_bytes: u64, rng: DetRng) -> Self {
         let blocks = capacity_bytes / u64::from(spec.block_size());
         assert!(blocks > 0, "device smaller than one block");
-        let zipf_norm = match spec.rw() {
+        let (zipf_scale, zipf_exp) = match spec.rw() {
             RwKind::ZipfRead { theta } => {
                 assert!(
                     theta > 0.0 && theta != 1.0,
                     "zipf theta must be > 0 and != 1"
                 );
                 // ∫ x^-θ dx over [1, N+1] — continuous approximation of
-                // the generalized harmonic number.
+                // the generalized harmonic number. The scale folds the
+                // `(1 - θ)` factor in so sampling is one fma + one powf.
                 let n = blocks as f64;
-                ((n + 1.0).powf(1.0 - theta) - 1.0) / (1.0 - theta)
+                let norm = ((n + 1.0).powf(1.0 - theta) - 1.0) / (1.0 - theta);
+                (norm * (1.0 - theta), 1.0 / (1.0 - theta))
             }
-            _ => 0.0,
+            _ => (0.0, 0.0),
         };
         AddressStream {
             rw: spec.rw(),
@@ -67,15 +72,16 @@ impl AddressStream {
             blocks,
             next_block: 0,
             rng,
-            zipf_norm,
+            zipf_scale,
+            zipf_exp,
         }
     }
 
     /// Samples a Zipf-distributed block index in `[0, blocks)` by
     /// inverting the continuous CDF (O(1), no tables).
-    fn zipf_block(&mut self, theta: f64) -> u64 {
+    fn zipf_block(&mut self) -> u64 {
         let u = self.rng.f64();
-        let x = (u * self.zipf_norm * (1.0 - theta) + 1.0).powf(1.0 / (1.0 - theta));
+        let x = (u * self.zipf_scale + 1.0).powf(self.zipf_exp);
         // Scatter ranks over the address space deterministically so the
         // hot set is not physically contiguous.
         let rank = (x as u64).clamp(1, self.blocks) - 1;
@@ -114,11 +120,142 @@ impl AddressStream {
                 };
                 (op, AccessPattern::Random, off)
             }
-            RwKind::ZipfRead { theta } => {
-                let off = self.zipf_block(theta) * bs;
+            RwKind::ZipfRead { .. } => {
+                let off = self.zipf_block() * bs;
                 (IoOp::Read, AccessPattern::Random, off)
             }
         }
+    }
+
+    /// Appends the next `n` I/Os to `out` in one pass.
+    ///
+    /// Matches on the stream kind once and runs a tight per-kind loop,
+    /// drawing from the RNG in exactly the order [`next_io`] would:
+    /// the produced tuples — and the stream state afterwards, RNG
+    /// included — are bit-for-bit identical to `n` `next_io()` calls.
+    /// The batched-equivalence proptest pins that contract down.
+    ///
+    /// [`next_io`]: AddressStream::next_io
+    pub fn fill(&mut self, out: &mut Vec<(IoOp, AccessPattern, u64)>, n: usize) {
+        out.reserve(n);
+        let bs = u64::from(self.block_size);
+        match self.rw {
+            RwKind::SeqRead | RwKind::SeqWrite => {
+                let op = if self.rw == RwKind::SeqRead {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
+                let mut block = self.next_block;
+                for _ in 0..n {
+                    out.push((op, AccessPattern::Sequential, block * bs));
+                    block = (block + 1) % self.blocks;
+                }
+                self.next_block = block;
+            }
+            RwKind::RandRead | RwKind::RandWrite => {
+                let op = if self.rw == RwKind::RandRead {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
+                for _ in 0..n {
+                    out.push((op, AccessPattern::Random, self.rng.below(self.blocks) * bs));
+                }
+            }
+            RwKind::RandRw { read_frac } => {
+                for _ in 0..n {
+                    // Offset before the read/write coin, same as next_io.
+                    let off = self.rng.below(self.blocks) * bs;
+                    let op = if self.rng.chance(read_frac) {
+                        IoOp::Read
+                    } else {
+                        IoOp::Write
+                    };
+                    out.push((op, AccessPattern::Random, off));
+                }
+            }
+            RwKind::ZipfRead { .. } => {
+                for _ in 0..n {
+                    out.push((IoOp::Read, AccessPattern::Random, self.zipf_block() * bs));
+                }
+            }
+        }
+    }
+}
+
+/// A refillable chunk of pregenerated arrivals for one job.
+///
+/// The engine's issue path consumes `(op, pattern, offset)` tuples from
+/// here instead of calling [`AddressStream::next_io`] per I/O; when the
+/// chunk runs dry it refills in one [`AddressStream::fill`] pass. The
+/// *time* component of each arrival is not stored — issue times are the
+/// app's wake frontier, which the engine's tournament merge carries as
+/// the per-app key (see DESIGN.md §17).
+///
+/// Pregeneration is safe because each job's stream RNG is private
+/// (forked once at build time): drawing samples early changes when RNG
+/// state advances, but never the sequence of tuples the app observes.
+///
+/// # Example
+///
+/// ```
+/// use workload::{ArrivalBatch, AddressStream, JobSpec, RwKind};
+/// use simcore::DetRng;
+///
+/// let spec = JobSpec::builder("r").rw(RwKind::RandRead).build();
+/// let mut s = AddressStream::new(&spec, 1 << 20, DetRng::new(7));
+/// let mut reference = s.clone();
+/// let mut batch = ArrivalBatch::new();
+/// let (op, pat, off) = batch.next(&mut s);
+/// assert_eq!((op, pat, off), reference.next_io());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalBatch {
+    buf: Vec<(IoOp, AccessPattern, u64)>,
+    pos: usize,
+}
+
+/// How many arrivals one refill pregenerates. Large enough to amortize
+/// the per-chunk dispatch, small enough that the buffer stays within a
+/// few cache lines: at fleet scale thousands of tenants interleave, so
+/// every consume touches a cold buffer and an oversized chunk costs
+/// more in misses than it saves in dispatch (tuples are 24 bytes each).
+const BATCH_CHUNK: usize = 8;
+
+impl ArrivalBatch {
+    /// An empty batch; the first [`next`](ArrivalBatch::next) refills it.
+    #[must_use]
+    pub fn new() -> Self {
+        ArrivalBatch {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The next arrival, refilling from `stream` when the chunk is dry.
+    #[inline]
+    pub fn next(&mut self, stream: &mut AddressStream) -> (IoOp, AccessPattern, u64) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            stream.fill(&mut self.buf, BATCH_CHUNK);
+        }
+        let io = self.buf[self.pos];
+        self.pos += 1;
+        io
+    }
+
+    /// Pregenerated arrivals not yet consumed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl Default for ArrivalBatch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -207,5 +344,38 @@ mod tests {
     #[should_panic(expected = "device smaller than one block")]
     fn tiny_device_panics() {
         let _ = stream(RwKind::RandRead, 1 << 20, 4096, 1);
+    }
+
+    #[test]
+    fn fill_matches_next_io_for_every_kind() {
+        let kinds = [
+            RwKind::SeqRead,
+            RwKind::SeqWrite,
+            RwKind::RandRead,
+            RwKind::RandWrite,
+            RwKind::RandRw { read_frac: 0.7 },
+            RwKind::ZipfRead { theta: 1.2 },
+        ];
+        for kind in kinds {
+            let mut batched = stream(kind, 4096, 3 * 4096, 9);
+            let mut incremental = batched.clone();
+            let mut buf = Vec::new();
+            batched.fill(&mut buf, 200);
+            let reference: Vec<_> = (0..200).map(|_| incremental.next_io()).collect();
+            assert_eq!(buf, reference, "{kind:?} tuples diverge");
+            // Stream state (RNG included) must match bit-for-bit too.
+            assert_eq!(batched, incremental, "{kind:?} state diverges");
+        }
+    }
+
+    #[test]
+    fn arrival_batch_replays_the_stream_in_order() {
+        let mut s = stream(RwKind::RandRw { read_frac: 0.5 }, 4096, 1 << 20, 11);
+        let mut reference = s.clone();
+        let mut batch = ArrivalBatch::new();
+        for _ in 0..500 {
+            assert_eq!(batch.next(&mut s), reference.next_io());
+        }
+        assert!(batch.pending() < 64);
     }
 }

@@ -1,0 +1,93 @@
+//! Property tests: batched arrival generation must be indistinguishable
+//! from incremental generation. For arbitrary job specs and chunk
+//! sizes, [`AddressStream::fill`] produces the same tuples as the same
+//! count of `next_io()` calls — bit-for-bit, including the stream's RNG
+//! state afterwards — and [`ArrivalBatch`] replays them in order
+//! regardless of how refills land. This is the contract that lets the
+//! engine pregenerate arrivals without perturbing a single golden byte.
+
+use proptest::prelude::*;
+
+use simcore::DetRng;
+use workload::{AddressStream, ArrivalBatch, JobSpec, RwKind};
+
+/// SplitMix64 finalizer — decorrelates per-field draws from one seed.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds an arbitrary stream from one seed: any of the six rw kinds,
+/// block sizes from 512 B to 64 KiB, capacities from a handful of
+/// blocks (exercising sequential wrap) up to a few GiB.
+fn arb_stream(seed: u64) -> AddressStream {
+    let rw = match mix(seed) % 6 {
+        0 => RwKind::SeqRead,
+        1 => RwKind::SeqWrite,
+        2 => RwKind::RandRead,
+        3 => RwKind::RandWrite,
+        4 => RwKind::RandRw {
+            // read_frac in [0, 1] inclusive, hitting both pure ends.
+            read_frac: (mix(seed ^ 1) % 101) as f64 / 100.0,
+        },
+        _ => RwKind::ZipfRead {
+            // theta in (0, 2], skipping the excluded value 1.0.
+            theta: match (mix(seed ^ 2) % 20) + 1 {
+                10 => 1.05,
+                t => t as f64 / 10.0,
+            },
+        },
+    };
+    let block_size = 512u32 << (mix(seed ^ 3) % 8); // 512 B ..= 64 KiB
+    let blocks = 1 + mix(seed ^ 4) % 100_000;
+    let spec = JobSpec::builder("p").rw(rw).block_size(block_size).build();
+    AddressStream::new(
+        &spec,
+        blocks * u64::from(block_size),
+        DetRng::new(mix(seed ^ 5)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// fill(n₁), fill(n₂), … over arbitrary chunk sizes (including 0)
+    /// equals the same total of next_io() calls, and leaves the two
+    /// streams in identical states — RNG bits included.
+    #[test]
+    fn fill_chunks_equal_incremental(
+        seed in 0u64..=u64::MAX,
+        chunks in proptest::collection::vec(0usize..130, 1..12),
+    ) {
+        let mut batched = arb_stream(seed);
+        let mut incremental = batched.clone();
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for &n in &chunks {
+            batched.fill(&mut got, n);
+            for _ in 0..n {
+                want.push(incremental.next_io());
+            }
+            // State must agree at every chunk boundary, not just at the
+            // end — a compensating error pair would pass an end check.
+            prop_assert_eq!(&batched, &incremental);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// ArrivalBatch::next() consumed any number of times replays the
+    /// exact next_io() sequence across refill boundaries.
+    #[test]
+    fn arrival_batch_equals_incremental(
+        seed in 0u64..=u64::MAX,
+        count in 0usize..700,
+    ) {
+        let mut stream = arb_stream(seed);
+        let mut incremental = stream.clone();
+        let mut batch = ArrivalBatch::new();
+        for i in 0..count {
+            prop_assert_eq!(batch.next(&mut stream), incremental.next_io(), "arrival {}", i);
+        }
+    }
+}

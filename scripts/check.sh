@@ -83,10 +83,12 @@ for f in "$shard_dir"/*.csv; do
 done
 rm -rf "$shard_dir"
 
-# Note: perfsnap's cells_per_sec reads timings.json from the most recent
-# figures run, so this must come right after the fig4 sharded-run check
-# (the fleet_scale grid above has much heavier cells).
-echo "==> perf snapshot check (>10% regression against BENCH_pr7.json fails; includes the arena-vs-map io.cost tick gate)"
+# Note: perfsnap's cells_per_sec and the PR 9 fig4/q10 per-cell gates
+# read timings.json from the most recent figures run, so the fig4+q10
+# regeneration must come right before it (the fleet_scale grid above
+# has much heavier cells and would skew both).
+echo "==> perf snapshot check (>10% regression against BENCH_pr7.json/BENCH_pr9.json fails; includes the arena-vs-map io.cost tick gate, the merged-vs-legacy engine gate, and the 64k-tenant cell budget + >=3x-vs-PR8 gates)"
+./target/release/figures --smoke --no-cache fig4 q10 > /dev/null
 ./target/release/perfsnap --check
 
 echo "==> partial-trace check (a panicked traced cell must still leave a checkable trace)"
