@@ -6,9 +6,9 @@
 //!         [--faults] [--trace[=N]] [--inject-panic LABEL]
 //!         [--inject-hang LABEL] [--resume] [--watchdog-soft-ms N]
 //!         [--watchdog-hard-ms N] [--cell-retries N]
-//!         [--retry-backoff-ms N]
+//!         [--retry-backoff-ms N] [--scenario FILE.toml]...
 //!         [fig2 fig3 fig4 fig5 fig6 fig7 q10 table1 optane writeback
-//!          q_faults fleet_scale | all]
+//!          q_faults fleet_scale app_mix | all]
 //! ```
 //!
 //! Prints the paper-style tables and writes CSVs under
@@ -54,6 +54,15 @@
 //!
 //! `--faults` adds the fault-injection isolation study (`q_faults`) to
 //! the selection; `--smoke` is shorthand for `--fidelity smoke`.
+//!
+//! # Scenario files
+//!
+//! `--scenario FILE.toml` runs a declarative scenario file (see
+//! `isol_bench::scenario_file` for the schema and `scenarios/` for
+//! committed examples) and emits one per-tenant table. May be repeated.
+//! With no explicit experiment selection alongside, only the scenario
+//! files run; output is byte-identical across `--jobs`/`--shards`
+//! values and event-queue backends like every other artifact.
 //!
 //! # Tracing
 //!
@@ -114,7 +123,8 @@ use std::time::{Duration, Instant};
 
 use isol_bench::cell::FinishFn;
 use isol_bench::experiments::{
-    fig2, fig3, fig4, fig5, fig6, fig7, fleet_scale, optane, q10, q_faults, table1, writeback,
+    app_mix, fig2, fig3, fig4, fig5, fig6, fig7, fleet_scale, optane, q10, q_faults, table1,
+    writeback,
 };
 use isol_bench::{cache, journal, runner, Cell, Fidelity, OutputSink, Staged};
 use isol_bench_harness::{
@@ -165,6 +175,7 @@ fn main() -> ExitCode {
     let mut watchdog_soft: Option<Duration> = None;
     let mut watchdog_hard: Option<Duration> = None;
     let mut rest = Vec::new();
+    let mut scenario_files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     // Parses the millisecond value of a watchdog/backoff flag.
     let parse_ms = |flag: &str, v: Option<String>| -> Result<Duration, String> {
@@ -211,6 +222,14 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("--inject-hang needs a cell label (e.g. fig4-none-1ssd-1)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--scenario" {
+            match args.next() {
+                Some(path) => scenario_files.push(path),
+                None => {
+                    eprintln!("--scenario needs a file path (e.g. scenarios/app_mix.toml)");
                     return ExitCode::FAILURE;
                 }
             }
@@ -286,12 +305,15 @@ fn main() -> ExitCode {
             rest.push(a);
         }
     }
+    // `--scenario` alone runs only the scenario files; naming
+    // experiments next to it runs both.
+    let scenarios_only = !scenario_files.is_empty() && rest.is_empty();
     let selection = match parse_selection(rest) {
         Ok(s) => s,
         Err(bad) => {
             eprintln!(
                 "unknown experiment `{bad}`; known: fig2..fig7, q10, table1, optane, \
-                 writeback, q_faults, fleet_scale, all"
+                 writeback, q_faults, fleet_scale, app_mix, all"
             );
             return ExitCode::FAILURE;
         }
@@ -381,6 +403,33 @@ fn main() -> ExitCode {
             "(tracing: {capacity}-event ring per cell, files in {})",
             isol_bench::tracing::dir().display()
         ));
+    }
+
+    // ===== Scenario files =====
+    if !scenario_files.is_empty() {
+        let started = Instant::now();
+        for path in &scenario_files {
+            sink.note(&format!("\n=== scenario {path} ==="));
+            match isol_bench::scenario_file::run_file(std::path::Path::new(path), &mut sink) {
+                Ok(report) => sink.note(&format!(
+                    "(scenario ran: {} tenant(s), {} completions)",
+                    report.apps.len(),
+                    report.apps.iter().map(|a| a.completed).sum::<u64>()
+                )),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if scenarios_only {
+            sink.note(&format!(
+                "\nDone in {:.1?}; {} tables emitted.",
+                started.elapsed(),
+                sink.emitted().len()
+            ));
+            return ExitCode::SUCCESS;
+        }
     }
 
     let wants = |name: &str| selection.iter().any(|s| s == name);
@@ -507,6 +556,8 @@ fn main() -> ExitCode {
                 .then(|| stage_push(q_faults::stage(fidelity), &mut batch, &mut spans));
             let fin_fleet_scale = wants("fleet_scale")
                 .then(|| stage_push(fleet_scale::stage(fidelity), &mut batch, &mut spans));
+            let fin_app_mix = wants("app_mix")
+                .then(|| stage_push(app_mix::stage(fidelity), &mut batch, &mut spans));
             let fin_fig3 = (wants("fig3") || needs_table1)
                 .then(|| stage_push(fig3::stage(fidelity), &mut batch, &mut spans));
             let fin_fig4 = (wants("fig4") || needs_table1)
@@ -585,6 +636,7 @@ fn main() -> ExitCode {
             finish_exp!("writeback", fin_writeback);
             finish_exp!("q_faults", fin_q_faults);
             finish_exp!("fleet_scale", fin_fleet_scale);
+            finish_exp!("app_mix", fin_app_mix);
             let f3 = finish_exp!("fig3", fin_fig3);
             let f4 = finish_exp!("fig4", fin_fig4);
             let f5 = finish_exp!("fig5", fin_fig5);
@@ -650,6 +702,7 @@ fn main() -> ExitCode {
         standalone!("writeback", writeback);
         standalone!("q_faults", q_faults);
         standalone!("fleet_scale", fleet_scale);
+        standalone!("app_mix", app_mix);
         let mut f3 = None;
         let mut f4 = None;
         let mut f5 = None;

@@ -562,7 +562,7 @@ pub fn parse_selection<I: IntoIterator<Item = String>>(args: I) -> Result<Vec<St
     ];
     // Extra studies that must be requested by name (or via their own
     // flag, like `--faults` for the fault-injection study).
-    const EXTRA: [&str; 2] = ["q_faults", "fleet_scale"];
+    const EXTRA: [&str; 3] = ["q_faults", "fleet_scale", "app_mix"];
     let mut out = Vec::new();
     for a in args {
         let a = a.to_lowercase();
@@ -626,6 +626,14 @@ mod tests {
         assert_eq!(sel, vec!["fleet_scale"]);
         let all = parse_selection(vec!["all".into()]).unwrap();
         assert!(!all.contains(&"fleet_scale".to_owned()));
+    }
+
+    #[test]
+    fn app_mix_is_selectable_but_not_in_all() {
+        let sel = parse_selection(vec!["app_mix".into()]).unwrap();
+        assert_eq!(sel, vec!["app_mix"]);
+        let all = parse_selection(vec!["all".into()]).unwrap();
+        assert!(!all.contains(&"app_mix".to_owned()));
     }
 
     #[test]

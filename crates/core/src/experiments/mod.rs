@@ -3,6 +3,7 @@
 //! result, prints paper-style tables through the sink, and writes CSVs
 //! when the sink has a directory.
 
+pub mod app_mix;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -174,6 +174,18 @@ impl Fidelity {
         }
     }
 
+    /// Duration of one `app_mix` cell: long enough for the closed-loop
+    /// services to settle into steady think-time/completion feedback
+    /// and for the ML-ingest scan to cross several checkpoint barriers.
+    #[must_use]
+    pub fn app_mix_duration(self) -> SimTime {
+        match self {
+            Fidelity::Smoke => SimTime::from_millis(80),
+            Fidelity::Standard => SimTime::from_millis(400),
+            Fidelity::Full => SimTime::from_secs(2),
+        }
+    }
+
     /// Number of repetitions for fairness runs (the paper repeats 5×).
     #[must_use]
     pub fn fairness_reps(self) -> usize {

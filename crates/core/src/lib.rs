@@ -54,6 +54,7 @@ mod knob;
 mod output;
 pub mod runner;
 mod scenario;
+pub mod scenario_file;
 pub mod traceck;
 pub mod tracing;
 

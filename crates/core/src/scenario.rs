@@ -4,7 +4,7 @@ use blkio::{AppId, DeviceId, GroupId};
 use cgroup_sim::Hierarchy;
 use host_sim::{AppSetup, DeviceSetup, HostConfig, HostSim, JobSpecStopExt, RunReport};
 use simcore::{SimDuration, SimTime};
-use workload::JobSpec;
+use workload::{AppModelSpec, JobSpec};
 
 /// A configured benchmark scenario.
 ///
@@ -154,11 +154,39 @@ impl Scenario {
     ///
     /// Panics if `group` cannot hold processes.
     pub fn add_app_on(&mut self, group: GroupId, spec: JobSpec, devices: Vec<DeviceId>) -> AppId {
+        self.push_app(group, AppSetup::new(spec, devices))
+    }
+
+    /// Adds a closed-loop app inside `group`: instead of an open-loop
+    /// fio-style stream, the app is driven by an application model
+    /// (`workload::AppModelSpec`) whose arrivals feed back from
+    /// completions. Empty `devices` means "every device".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` cannot hold processes or `spec.iodepth()`
+    /// differs from the model's window.
+    pub fn add_app_model_on(
+        &mut self,
+        group: GroupId,
+        spec: JobSpec,
+        model: AppModelSpec,
+        devices: Vec<DeviceId>,
+    ) -> AppId {
+        let devices = if devices.is_empty() {
+            (0..self.devices.len()).map(DeviceId).collect()
+        } else {
+            devices
+        };
+        self.push_app(group, AppSetup::closed_loop(spec, model, devices))
+    }
+
+    fn push_app(&mut self, group: GroupId, setup: AppSetup) -> AppId {
         let app = AppId(self.apps.len());
         self.hierarchy
             .attach_process(group, app)
             .expect("process group");
-        self.apps.push(AppSetup::new(spec, devices));
+        self.apps.push(setup);
         self.app_groups.push(group);
         app
     }
@@ -218,7 +246,11 @@ impl Scenario {
             .into_iter()
             .map(|a| {
                 let spec = a.spec.clone().stop_by(until);
-                AppSetup::new(spec, a.devices)
+                AppSetup {
+                    spec,
+                    devices: a.devices,
+                    model: a.model,
+                }
             })
             .collect();
         HostSim::build(config, self.hierarchy, apps, self.devices)

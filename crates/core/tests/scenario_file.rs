@@ -1,0 +1,220 @@
+//! Conformance suite for the declarative scenario DSL: every committed
+//! `scenarios/*.toml` must parse, re-serialize equivalently, and build
+//! a runnable host; malformed inputs must fail with line-numbered
+//! errors — never a panic.
+
+use std::fs;
+use std::path::PathBuf;
+
+use isol_bench::scenario_file::ScenarioSpec;
+
+/// The committed scenario directory at the repository root.
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn committed_scenarios() -> Vec<(PathBuf, String)> {
+    let mut out: Vec<(PathBuf, String)> = fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .map(|p| {
+            let src = fs::read_to_string(&p).expect("scenario file readable");
+            (p, src)
+        })
+        .collect();
+    out.sort();
+    assert!(
+        out.len() >= 2,
+        "expected committed scenario files in scenarios/"
+    );
+    out
+}
+
+#[test]
+fn every_committed_scenario_parses_and_builds() {
+    for (path, src) in committed_scenarios() {
+        let spec = ScenarioSpec::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!spec.name.is_empty());
+        // Building the host exercises cgroup creation, knob wiring, and
+        // tenant attachment — everything short of running the clock.
+        let host = spec.build().build_host(spec.duration);
+        drop(host);
+    }
+}
+
+#[test]
+fn every_committed_scenario_round_trips() {
+    for (path, src) in committed_scenarios() {
+        let spec = ScenarioSpec::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rendered = spec.to_toml();
+        let again = ScenarioSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{}: re-parse of to_toml(): {e}", path.display()));
+        assert_eq!(spec, again, "{}: to_toml() not equivalent", path.display());
+        // Normalized rendering is a fixed point.
+        assert_eq!(
+            rendered,
+            again.to_toml(),
+            "{}: render unstable",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn the_app_mix_scenario_runs_all_four_engines() {
+    let src = fs::read_to_string(scenarios_dir().join("app_mix.toml")).expect("app_mix.toml");
+    let spec = ScenarioSpec::parse(&src).expect("app_mix parses");
+    let mut kinds = spec.tenant_kinds();
+    kinds.sort_unstable();
+    assert_eq!(kinds, vec!["fileserver", "kv", "mlscan", "oltp"]);
+}
+
+// ===== Rejection: malformed inputs fail with line-numbered errors =====
+
+/// A minimal valid scenario the rejection cases mutate.
+const BASE: &str = r#"name = "t"
+cores = 2
+duration_ms = 20
+knob = "none"
+
+[[device]]
+profile = "flash"
+
+[[cgroup]]
+name = "g"
+
+[[tenant]]
+name = "a"
+cgroup = "g"
+workload = "kv"
+"#;
+
+/// Asserts `src` is rejected with a line-numbered error mentioning
+/// `needle` — and that parsing does not panic.
+fn assert_rejected(src: &str, needle: &str) {
+    let result = std::panic::catch_unwind(|| ScenarioSpec::parse(src));
+    let err = result
+        .unwrap_or_else(|_| panic!("parse panicked instead of erroring (wanted: {needle})"))
+        .expect_err(&format!("accepted malformed input (wanted: {needle})"));
+    assert!(err.line > 0, "error has no line number: {err}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(needle),
+        "error {msg:?} does not mention {needle:?}"
+    );
+}
+
+#[test]
+fn unknown_knob_is_rejected_with_line() {
+    assert_rejected(
+        &BASE.replace("knob = \"none\"", "knob = \"io.warp\""),
+        "unknown knob",
+    );
+}
+
+#[test]
+fn unknown_root_key_is_rejected() {
+    assert_rejected(&format!("turbo = 9\n{BASE}"), "unknown key 'turbo'");
+}
+
+#[test]
+fn unknown_workload_key_is_rejected() {
+    assert_rejected(
+        &format!("{BASE}theta_boost = 2\n"),
+        "unknown key 'theta_boost'",
+    );
+}
+
+#[test]
+fn unknown_workload_kind_is_rejected() {
+    assert_rejected(
+        &BASE.replace("workload = \"kv\"", "workload = \"spark\""),
+        "unknown workload",
+    );
+}
+
+#[test]
+fn dangling_cgroup_parent_is_rejected() {
+    assert_rejected(
+        &BASE.replace("name = \"g\"", "name = \"g\"\nparent = \"ghost\""),
+        "unknown parent cgroup",
+    );
+}
+
+#[test]
+fn duplicate_cgroup_is_rejected() {
+    assert_rejected(
+        &BASE.replace("[[tenant]]", "[[cgroup]]\nname = \"g\"\n\n[[tenant]]"),
+        "duplicate cgroup",
+    );
+}
+
+#[test]
+fn zero_devices_is_rejected() {
+    let src: String = BASE
+        .lines()
+        .filter(|l| !l.contains("[[device]]") && !l.contains("profile"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_rejected(&src, "no [[device]]");
+}
+
+#[test]
+fn device_index_out_of_range_is_rejected() {
+    assert_rejected(
+        &BASE.replace("cgroup = \"g\"", "cgroup = \"g\"\ndevices = [0, 3]"),
+        "out of range",
+    );
+}
+
+#[test]
+fn tenant_with_unknown_cgroup_is_rejected() {
+    assert_rejected(
+        &BASE.replace("cgroup = \"g\"", "cgroup = \"nope\""),
+        "unknown cgroup",
+    );
+}
+
+#[test]
+fn tenant_in_management_cgroup_is_rejected() {
+    assert_rejected(
+        &BASE.replace(
+            "[[tenant]]",
+            "[[cgroup]]\nname = \"leaf\"\nparent = \"g\"\n\n[[tenant]]",
+        ),
+        "management",
+    );
+}
+
+#[test]
+fn type_mismatch_is_rejected_with_line() {
+    assert_rejected(
+        &BASE.replace("cores = 2", "cores = \"two\""),
+        "must be an integer",
+    );
+}
+
+#[test]
+fn syntax_error_is_rejected_with_line() {
+    assert_rejected(&BASE.replace("cores = 2", "cores = "), "");
+}
+
+#[test]
+fn unknown_table_is_rejected() {
+    assert_rejected(
+        &format!("{BASE}\n[[gpu]]\nmodel = \"x\"\n"),
+        "unknown table",
+    );
+}
+
+#[test]
+fn missing_required_key_is_rejected() {
+    let src: String = BASE
+        .lines()
+        .filter(|l| !l.starts_with("knob"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_rejected(&src, "missing required key 'knob'");
+}

@@ -1,9 +1,9 @@
 //! Per-app runtime state inside the engine.
 
-use blkio::{CoreId, DeviceId, GroupId, PrioClass};
+use blkio::{CoreId, DeviceId, GroupId, PrioClass, ReqId};
 use iostats::{BandwidthSeries, LatencyHistogram};
 use simcore::{SimTime, TokenBucket};
-use workload::{AddressStream, ArrivalBatch, JobSpec};
+use workload::{AddressStream, AppModel, ArrivalBatch, JobSpec};
 
 /// Runtime state of one application.
 #[derive(Debug)]
@@ -56,6 +56,26 @@ pub(crate) struct AppRuntime {
     pub phase_trans: Option<SimTime>,
     /// Instant at which the phase cache must be recomputed.
     pub phase_cached_until: SimTime,
+    /// Closed-loop application model. `Some` switches this app from
+    /// stream-driven (open-loop) arrivals to model-driven (closed-loop)
+    /// issue: completions feed back into the model, which decides the
+    /// next op. `None` leaves the pre-existing open-loop path — and its
+    /// event stream — untouched byte for byte.
+    pub model: Option<ClosedLoopState>,
+}
+
+/// Host-side state of one closed-loop app: the running model plus the
+/// bookkeeping that maps host request ids back to model tokens.
+#[derive(Debug)]
+pub(crate) struct ClosedLoopState {
+    /// The application model generating ops and absorbing completions.
+    pub engine: AppModel,
+    /// In-flight `(host request id, model token)` pairs. Bounded by the
+    /// model window (≤ a few dozen), so linear scans beat a map.
+    pub tokens: Vec<(ReqId, u64)>,
+    /// Measured bytes actually transferred (closed-loop ops have
+    /// per-op sizes, so `hist.count() * block_size` would be wrong).
+    pub measured_bytes: u64,
 }
 
 /// One pending merged-engine wake: its global `(time, seq)` key plus

@@ -8,11 +8,11 @@ use iostats::{BandwidthSeries, LatencyHistogram};
 use nvme_sim::{CompletionStatus, FaultPlan, NvmeDevice, ServiceSlot, StartedCmd};
 use simcore::trace::{self, TraceEvent, TraceKind};
 use simcore::{DetRng, EventQueue, SimDuration, SimTime, TokenBucket};
-use workload::AddressStream;
+use workload::{AddressStream, AppEngine, AppPoll};
 
 use std::collections::VecDeque;
 
-use crate::app::{AppRuntime, Wake, WakeRoute};
+use crate::app::{AppRuntime, ClosedLoopState, Wake, WakeRoute};
 use crate::cpu::{Core, Work};
 use crate::devhost::DeviceHost;
 use crate::report::{AppReport, CoreReport, DeviceReport, RunReport};
@@ -427,6 +427,21 @@ impl HostSim {
                 } else {
                     1.0
                 };
+                // The model RNG is a pure function of (seed, app index)
+                // — like FaultPlan, NOT a fork of the build rng, whose
+                // state advances per fork: a conditional fork here
+                // would shift every later app's stream and perturb
+                // pre-existing open-loop runs.
+                let model = setup.model.as_ref().map(|m| ClosedLoopState {
+                    engine: m.build(
+                        simcore::DetRng::new(
+                            config.seed ^ (9000 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ),
+                        capacity,
+                    ),
+                    tokens: Vec::new(),
+                    measured_bytes: 0,
+                });
                 AppRuntime {
                     group,
                     prio,
@@ -451,6 +466,7 @@ impl HostSim {
                     phase_active: false,
                     phase_trans: None,
                     phase_cached_until: SimTime::ZERO,
+                    model,
                     spec: setup.spec,
                 }
             })
@@ -965,6 +981,12 @@ impl HostSim {
         if !active {
             return;
         }
+        if self.apps[a.index()].model.is_some() {
+            // Closed-loop apps issue from their application model, not
+            // the open-loop address stream.
+            self.issue_closed_loop(a);
+            return;
+        }
         let now = self.now;
         loop {
             let app = &mut self.apps[a.index()];
@@ -1018,6 +1040,84 @@ impl HostSim {
                 // per-app luck factor models NUMA/lock-position
                 // asymmetry, the source of the fairness collapse past
                 // CPU saturation (O3).
+                let contenders = f64::from(self.deep_submitters_on(dev));
+                let spread = contenders / (4.0 * self.apps[a.index()].devices.len() as f64);
+                let luck = self.apps[a.index()].lock_luck;
+                dur += dh.sched.dispatch_overhead().mul_f64(spread.max(1.0) * luck);
+            }
+            self.push_cpu_work(core, Work::Submit(req), dur);
+        }
+    }
+
+    /// The closed-loop issue path: instead of drawing from the
+    /// open-loop address stream, poll the application model for its
+    /// next op. Completions (including failures) feed back into the
+    /// model via [`Self::on_cpu_done`], and think-time pauses become
+    /// ordinary app wakes — closed-loop apps ride the same
+    /// `ArrivalBatch`/tournament wake machinery as everyone else, so
+    /// FIFO/tree/wheel routing and exact dedup apply unchanged.
+    ///
+    /// Rate buckets are intentionally ignored here: a closed-loop app's
+    /// pacing *is* the model (window + think time); layering a token
+    /// bucket on top would double-throttle.
+    fn issue_closed_loop(&mut self, a: AppId) {
+        let now = self.now;
+        loop {
+            let app = &mut self.apps[a.index()];
+            if app.inflight >= app.spec.iodepth() {
+                break;
+            }
+            let t0 = self.profile.then(std::time::Instant::now);
+            let cl = app.model.as_mut().expect("closed-loop app");
+            let poll = cl.engine.next_op(now);
+            prof_add(t0, SS_ARRIVAL);
+            let aop = match poll {
+                AppPoll::Op(aop) => aop,
+                AppPoll::WaitUntil(at) => {
+                    // Clamp forward like the rate-bucket path: a stale
+                    // expiry must not re-fire at the same instant.
+                    let at = at.max(now + SimDuration::from_nanos(1));
+                    self.schedule_wake(a, at);
+                    break;
+                }
+                // Blocked on in-flight ops: the next completion's
+                // schedule_wake re-polls — no timer needed.
+                AppPoll::Blocked => break,
+            };
+            let dev = app.pick_device();
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            let mut req = IoRequest::new(
+                id,
+                a,
+                app.group,
+                dev,
+                aop.op,
+                aop.pattern,
+                aop.len,
+                aop.offset,
+                now,
+            );
+            req.prio = app.prio;
+            app.inflight += 1;
+            app.issued += 1;
+            app.model
+                .as_mut()
+                .expect("closed-loop app")
+                .tokens
+                .push((id, aop.token));
+            let qd = app.spec.iodepth();
+            let engine = app.spec.engine();
+            let core = app.core;
+            trace::record_with(|| submit_event(&req, now));
+            let deep = qd >= DEEP_QD;
+            let dh = &self.devs[dev.index()];
+            let mut dur = engine.submit_cost().mul_f64(Self::amortization(qd))
+                + dh.sched.submit_cpu_overhead()
+                + dh.qos.submit_cpu_overhead(deep);
+            if deep && dh.sched.kind() != SchedKind::None {
+                // Same deep-queue scheduler-lock contention model as the
+                // open-loop path (Fig. 4c / O3).
                 let contenders = f64::from(self.deep_submitters_on(dev));
                 let spread = contenders / (4.0 * self.apps[a.index()].devices.len() as f64);
                 let luck = self.apps[a.index()].lock_luck;
@@ -1126,6 +1226,15 @@ impl HostSim {
                     // Still record the series so time plots start at 0.
                     app.bw.record(self.now, u64::from(req.len));
                 }
+                if let Some(cl) = app.model.as_mut() {
+                    if measured {
+                        cl.measured_bytes += u64::from(req.len);
+                    }
+                    if let Some(pos) = cl.tokens.iter().position(|t| t.0 == req.id) {
+                        let token = cl.tokens.swap_remove(pos).1;
+                        cl.engine.on_complete(token, true, self.now);
+                    }
+                }
                 prof_add(t0, SS_STATS);
                 let a = req.app;
                 self.schedule_wake(a, self.now);
@@ -1141,6 +1250,14 @@ impl HostSim {
                 let app = &mut self.apps[req.app.index()];
                 app.inflight = app.inflight.saturating_sub(1);
                 app.failed += 1;
+                if let Some(cl) = app.model.as_mut() {
+                    if let Some(pos) = cl.tokens.iter().position(|t| t.0 == req.id) {
+                        let token = cl.tokens.swap_remove(pos).1;
+                        // The model sees the error and advances its
+                        // state machine (aborting the transaction).
+                        cl.engine.on_complete(token, false, self.now);
+                    }
+                }
                 let a = req.app;
                 self.schedule_wake(a, self.now);
             }
@@ -1558,7 +1675,12 @@ impl HostSim {
                 let from = measure_from.max(app.spec.start_at());
                 let to = app.spec.stop_at().unwrap_or(until).min(until);
                 let mean_mib_s = app.bw.mean_mib_s(from, to);
-                let bytes: u64 = app.hist.count() * u64::from(app.spec.block_size());
+                // Open-loop ops are uniformly block-sized; closed-loop
+                // ops carry per-op sizes, measured at completion.
+                let bytes: u64 = match &app.model {
+                    Some(cl) => cl.measured_bytes,
+                    None => app.hist.count() * u64::from(app.spec.block_size()),
+                };
                 let n = app.hist.count().max(1) as f64;
                 let stages = crate::report::StageBreakdown {
                     submit_cpu_us: app.stage_sums_ns[0] / n / 1_000.0,
@@ -2187,5 +2309,156 @@ mod tests {
         assert_eq!(base.apps[0].latency.p99_us, inert.apps[0].latency.p99_us);
         assert_eq!(inert.devices[0].media_errors, 0);
         assert_eq!(inert.devices[0].resets, 0);
+    }
+
+    /// All four closed-loop application engines plus one open-loop app,
+    /// sharing two devices and two cores — exercising model-driven
+    /// issue, think-time wakes, write barriers, and the interleave with
+    /// the pre-existing stream path.
+    fn app_scenario(merge: bool, faults: bool) -> RunReport {
+        use workload::{AppModelSpec, FileServerConfig, KvConfig, MlIngestConfig, OltpConfig};
+        let stop = SimTime::from_millis(120);
+        let h = simple_hierarchy(5);
+        let models = [
+            AppModelSpec::Kv(KvConfig::default()),
+            AppModelSpec::Oltp(OltpConfig::default()),
+            AppModelSpec::FileServer(FileServerConfig::default()),
+            AppModelSpec::MlIngest(MlIngestConfig::default()),
+        ];
+        let mut apps: Vec<AppSetup> = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let spec = JobSpec::builder(m.kind())
+                    .iodepth(m.window())
+                    .stop_at(stop)
+                    .build();
+                let devs = if i % 2 == 0 {
+                    vec![DeviceId(0), DeviceId(1)]
+                } else {
+                    vec![DeviceId(i % 2)]
+                };
+                AppSetup::closed_loop(spec, m, devs)
+            })
+            .collect();
+        apps.push(AppSetup::new(
+            JobSpec::lc_app("open-lc").stop_by(stop),
+            vec![DeviceId(0)],
+        ));
+        let mut d0 = DeviceSetup::flash().with_scheduler(SchedKind::MqDeadline);
+        let d1 = DeviceSetup::optane();
+        if faults {
+            d0 = d0.with_faults(nvme_sim::FaultConfig {
+                media_error_rate: 1.0,
+                ..nvme_sim::FaultConfig::none()
+            });
+        }
+        let mut sim = HostSim::build(HostConfig::with_cores(2), h, apps, vec![d0, d1]);
+        sim.merge = merge;
+        sim.run(stop)
+    }
+
+    /// Closed-loop apps are first-class wake sources: the merged
+    /// (FIFO/tournament/wheel) engine must replay the legacy engine's
+    /// event order bit for bit with application models installed.
+    #[test]
+    fn closed_loop_merged_matches_legacy_bit_for_bit() {
+        let legacy = format!("{:?}", app_scenario(false, false));
+        let merged = format!("{:?}", app_scenario(true, false));
+        assert_eq!(legacy, merged);
+    }
+
+    #[test]
+    fn closed_loop_apps_make_progress_and_conserve_ops() {
+        let r = app_scenario(true, false);
+        for app in &r.apps[..4] {
+            assert!(
+                app.completed > 100,
+                "{}: {} completed",
+                app.name,
+                app.completed
+            );
+            let leftover = app.issued - app.completed - app.failed;
+            // Outstanding never exceeds the model window (= iodepth).
+            assert!(leftover <= 32, "{}: leaked {leftover}", app.name);
+            assert!(app.bytes > 0, "{}: no measured bytes", app.name);
+        }
+        // The scan moves far more bytes per completion than the KV app.
+        let kv = &r.apps[0];
+        let scan = &r.apps[3];
+        assert!(
+            scan.bytes / scan.completed.max(1) > 10 * (kv.bytes / kv.completed.max(1)),
+            "scan should be large-block: {} vs {}",
+            scan.bytes / scan.completed.max(1),
+            kv.bytes / kv.completed.max(1),
+        );
+    }
+
+    /// Failed I/O feeds back into the model as an error completion: the
+    /// closed loop keeps issuing (transactions abort, slots free) and
+    /// op accounting still conserves.
+    #[test]
+    fn closed_loop_survives_total_device_failure() {
+        let r = app_scenario(true, true);
+        // Apps 0 (kv) and 2 (fileserver) round-robin across both
+        // devices, including the always-failing one.
+        for i in [0usize, 2] {
+            assert!(r.apps[i].failed > 0, "{}: no failures seen", r.apps[i].name);
+        }
+        for app in &r.apps[..4] {
+            let leftover = app.issued - app.completed - app.failed;
+            assert!(leftover <= 32, "{}: leaked {leftover}", app.name);
+            assert!(app.issued > 100, "{}: loop stalled", app.name);
+        }
+    }
+
+    /// Closed-loop model RNGs are pure functions of (seed, app index):
+    /// adding a model app must not shift the streams of open-loop apps
+    /// built after it.
+    #[test]
+    fn model_apps_do_not_perturb_open_loop_streams() {
+        let stop = SimTime::from_millis(80);
+        let open_only = {
+            let h = simple_hierarchy(2);
+            let apps = vec![
+                AppSetup::new(JobSpec::lc_app("pad").stop_by(stop), vec![DeviceId(0)]),
+                AppSetup::new(JobSpec::lc_app("probe").stop_by(stop), vec![DeviceId(1)]),
+            ];
+            let sim = HostSim::build(
+                HostConfig::with_cores(2),
+                h,
+                apps,
+                vec![DeviceSetup::flash(), DeviceSetup::flash()],
+            );
+            sim.run(stop)
+        };
+        let with_model = {
+            let h = simple_hierarchy(2);
+            let m = workload::AppModelSpec::Kv(workload::KvConfig::default());
+            let apps = vec![
+                AppSetup::closed_loop(
+                    JobSpec::builder("kv")
+                        .iodepth(m.window())
+                        .stop_at(stop)
+                        .build(),
+                    m,
+                    vec![DeviceId(0)],
+                ),
+                AppSetup::new(JobSpec::lc_app("probe").stop_by(stop), vec![DeviceId(1)]),
+            ];
+            let sim = HostSim::build(
+                HostConfig::with_cores(2),
+                h,
+                apps,
+                vec![DeviceSetup::flash(), DeviceSetup::flash()],
+            );
+            sim.run(stop)
+        };
+        // The probe app on the untouched device sees identical results
+        // whether its neighbor is open- or closed-loop.
+        assert_eq!(
+            format!("{:?}", open_only.apps[1].hist),
+            format!("{:?}", with_model.apps[1].hist)
+        );
     }
 }

@@ -4,7 +4,7 @@ use blkio::DeviceId;
 use iosched_sim::{BfqConfig, KyberConfig, MqDeadlineConfig, SchedKind};
 use nvme_sim::{DeviceProfile, FaultConfig};
 use simcore::{SimDuration, SimTime};
-use workload::JobSpec;
+use workload::{AppModelSpec, JobSpec};
 
 /// Machine-level parameters.
 #[derive(Debug, Clone)]
@@ -67,10 +67,16 @@ pub struct AppSetup {
     pub spec: JobSpec,
     /// Target devices.
     pub devices: Vec<DeviceId>,
+    /// Closed-loop application model. `None` (the default) keeps the
+    /// app on the open-loop fio-style [`workload::AddressStream`] path;
+    /// `Some` replaces stream-driven arrivals with a feedback loop —
+    /// the model decides each next op from completions and think time,
+    /// and `spec.iodepth()` caps its outstanding window.
+    pub model: Option<AppModelSpec>,
 }
 
 impl AppSetup {
-    /// Creates an app setup.
+    /// Creates an open-loop (fio-style) app setup.
     ///
     /// # Panics
     ///
@@ -78,7 +84,36 @@ impl AppSetup {
     #[must_use]
     pub fn new(spec: JobSpec, devices: Vec<DeviceId>) -> Self {
         assert!(!devices.is_empty(), "an app needs at least one device");
-        AppSetup { spec, devices }
+        AppSetup {
+            spec,
+            devices,
+            model: None,
+        }
+    }
+
+    /// Creates a closed-loop app driven by an application model. The
+    /// spec still names the app, pins its active window in time, and
+    /// bounds the in-flight window via `iodepth`, which must match the
+    /// model's configured window so queue-depth-sensitive paths (deep
+    /// submitter accounting) see the true concurrency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty or `spec.iodepth()` differs from
+    /// `model.window()`.
+    #[must_use]
+    pub fn closed_loop(spec: JobSpec, model: AppModelSpec, devices: Vec<DeviceId>) -> Self {
+        assert!(!devices.is_empty(), "an app needs at least one device");
+        assert_eq!(
+            spec.iodepth(),
+            model.window(),
+            "spec iodepth must equal the app model window"
+        );
+        AppSetup {
+            spec,
+            devices,
+            model: Some(model),
+        }
     }
 }
 

@@ -1,0 +1,658 @@
+//! A minimal, dependency-free TOML subset: parser + serializer.
+//!
+//! Scenario files (`scenarios/*.toml`) are the declarative face of the
+//! simulator — devices, cgroup hierarchies, knob configs, and per-tenant
+//! workloads as data. The repo is fully offline (no `toml` crate), so
+//! this module implements the subset those files need, with two
+//! properties the conformance tests lock down:
+//!
+//! * **Line-numbered errors.** Every parse failure is a [`DslError`]
+//!   carrying the 1-based source line, never a panic — a malformed
+//!   scenario file is user input, not a bug.
+//! * **Round-trip stability.** [`Doc::render`] re-serializes a document
+//!   such that parsing the output yields an equivalent [`Doc`]
+//!   (comments are not preserved; values and table structure are).
+//!
+//! Supported: `[table]` headers, `[[table]]` array-of-tables headers,
+//! dotted-free bare keys, basic `"strings"` with `\" \\ \n \t` escapes,
+//! integers (with `_` separators), floats, booleans, single-line arrays,
+//! `#` comments (full-line and trailing). Not supported (rejected with
+//! an error, not silently misread): multi-line strings/arrays, inline
+//! tables, dotted keys, dates.
+
+use std::fmt;
+
+/// A parse or validation error, pinned to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line in the source text (0 = whole-document error).
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl DslError {
+    /// Creates an error at `line`.
+    #[must_use]
+    pub fn at(line: u32, msg: impl Into<String>) -> Self {
+        DslError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A TOML value (the subset scenario files use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Type name for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(x) => {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep floats recognizable as floats on re-parse.
+                if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN")
+                {
+                    out.push_str(".0");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// One `key = value` assignment with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Bare key.
+    pub key: String,
+    /// Parsed value.
+    pub value: Value,
+    /// 1-based source line of the assignment.
+    pub line: u32,
+}
+
+/// One `[name]` or `[[name]]` table with its entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (dotted names kept verbatim); `""` for root keys.
+    pub name: String,
+    /// `true` when declared as `[[name]]` (array-of-tables element).
+    pub array: bool,
+    /// 1-based source line of the header (0 for the implicit root).
+    pub line: u32,
+    /// Assignments in source order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// Looks up an entry by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed document: tables in source order, root keys first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Doc {
+    /// All tables; index 0 is always the implicit root table.
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// Parses a TOML-subset document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered [`DslError`] on any syntax the subset
+    /// does not support or any malformed construct.
+    pub fn parse(src: &str) -> Result<Doc, DslError> {
+        let mut tables = vec![Table {
+            name: String::new(),
+            array: false,
+            line: 0,
+            entries: Vec::new(),
+        }];
+        for (i, raw) in src.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            let line = strip_comment(raw, lineno)?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[[") {
+                let name = rest
+                    .strip_suffix("]]")
+                    .ok_or_else(|| DslError::at(lineno, "unterminated '[[' table header"))?
+                    .trim();
+                check_table_name(name, lineno)?;
+                tables.push(Table {
+                    name: name.to_string(),
+                    array: true,
+                    line: lineno,
+                    entries: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| DslError::at(lineno, "unterminated '[' table header"))?
+                    .trim();
+                check_table_name(name, lineno)?;
+                if tables.iter().any(|t| t.name == name && !t.array) {
+                    return Err(DslError::at(lineno, format!("duplicate table [{name}]")));
+                }
+                tables.push(Table {
+                    name: name.to_string(),
+                    array: false,
+                    line: lineno,
+                    entries: Vec::new(),
+                });
+            } else {
+                let eq = line
+                    .find('=')
+                    .ok_or_else(|| DslError::at(lineno, "expected 'key = value'"))?;
+                let key = line[..eq].trim();
+                check_key(key, lineno)?;
+                let value = parse_value(line[eq + 1..].trim(), lineno)?;
+                let table = tables.last_mut().expect("root table always present");
+                if table.entries.iter().any(|e| e.key == key) {
+                    return Err(DslError::at(lineno, format!("duplicate key '{key}'")));
+                }
+                table.entries.push(Entry {
+                    key: key.to_string(),
+                    value,
+                    line: lineno,
+                });
+            }
+        }
+        Ok(Doc { tables })
+    }
+
+    /// Tables with the given name (all elements for array-of-tables).
+    pub fn tables_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables.iter().filter(move |t| t.name == name)
+    }
+
+    /// The single non-array table with this name, if present.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name && !t.array)
+    }
+
+    /// Serializes back to TOML text. Parsing the output yields a `Doc`
+    /// equal to this one modulo source line numbers.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for table in &self.tables {
+            if table.name.is_empty() && table.entries.is_empty() {
+                continue;
+            }
+            if !table.name.is_empty() {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                if table.array {
+                    out.push_str(&format!("[[{}]]\n", table.name));
+                } else {
+                    out.push_str(&format!("[{}]\n", table.name));
+                }
+            }
+            for e in &table.entries {
+                out.push_str(&e.key);
+                out.push_str(" = ");
+                e.value.render(&mut out);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Structural equality ignoring source line numbers — the
+    /// round-trip test's notion of "equivalent".
+    #[must_use]
+    pub fn same_shape(&self, other: &Doc) -> bool {
+        let a: Vec<_> = self
+            .tables
+            .iter()
+            .filter(|t| !t.entries.is_empty() || !t.name.is_empty())
+            .collect();
+        let b: Vec<_> = other
+            .tables
+            .iter()
+            .filter(|t| !t.entries.is_empty() || !t.name.is_empty())
+            .collect();
+        a.len() == b.len()
+            && a.iter().zip(&b).all(|(x, y)| {
+                x.name == y.name
+                    && x.array == y.array
+                    && x.entries.len() == y.entries.len()
+                    && x.entries
+                        .iter()
+                        .zip(&y.entries)
+                        .all(|(p, q)| p.key == q.key && p.value == q.value)
+            })
+    }
+}
+
+/// Removes a trailing `#` comment, respecting string literals.
+fn strip_comment(line: &str, lineno: u32) -> Result<&str, DslError> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, ch) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+        } else if ch == '"' {
+            in_str = true;
+        } else if ch == '#' {
+            return Ok(&line[..idx]);
+        }
+    }
+    if in_str {
+        return Err(DslError::at(lineno, "unterminated string"));
+    }
+    Ok(line)
+}
+
+fn check_table_name(name: &str, lineno: u32) -> Result<(), DslError> {
+    if name.is_empty() {
+        return Err(DslError::at(lineno, "empty table name"));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+    {
+        return Err(DslError::at(lineno, format!("invalid table name '{name}'")));
+    }
+    Ok(())
+}
+
+fn check_key(key: &str, lineno: u32) -> Result<(), DslError> {
+    if key.is_empty() {
+        return Err(DslError::at(lineno, "empty key"));
+    }
+    if !key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(DslError::at(
+            lineno,
+            format!("invalid key '{key}' (bare keys only)"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_value(src: &str, lineno: u32) -> Result<Value, DslError> {
+    let src = src.trim();
+    if src.is_empty() {
+        return Err(DslError::at(lineno, "missing value"));
+    }
+    if let Some(rest) = src.strip_prefix('"') {
+        return parse_string(rest, lineno);
+    }
+    if let Some(body) = src.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| DslError::at(lineno, "unterminated array (must be single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_array(body, lineno)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    match src {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric = src.replace('_', "");
+    if let Ok(i) = numeric.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = numeric.parse::<f64>() {
+        if numeric.contains('.') || numeric.contains(['e', 'E']) {
+            return Ok(Value::Float(x));
+        }
+    }
+    Err(DslError::at(lineno, format!("unsupported value '{src}'")))
+}
+
+fn parse_string(body: &str, lineno: u32) -> Result<Value, DslError> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => {
+                let rest: String = chars.collect();
+                if !rest.trim().is_empty() {
+                    return Err(DslError::at(
+                        lineno,
+                        format!("trailing characters after string: '{}'", rest.trim()),
+                    ));
+                }
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(c) => {
+                    return Err(DslError::at(lineno, format!("unsupported escape '\\{c}'")));
+                }
+                None => return Err(DslError::at(lineno, "unterminated escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(DslError::at(lineno, "unterminated string"))
+}
+
+/// Splits an array body on commas outside string literals.
+fn split_array(body: &str, lineno: u32) -> Result<Vec<&str>, DslError> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut depth = 0u32;
+    for (idx, ch) in body.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '[' => depth += 1,
+            ']' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| DslError::at(lineno, "unbalanced ']' in array"))?;
+            }
+            ',' if depth == 0 => {
+                parts.push(&body[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(DslError::at(lineno, "unterminated string in array"));
+    }
+    if depth != 0 {
+        return Err(DslError::at(lineno, "unbalanced '[' in array"));
+    }
+    parts.push(&body[start..]);
+    Ok(parts)
+}
+
+// ---------------------------------------------------------------------
+// Typed accessors — the schema layer (core::scenario_file) reads values
+// through these so every type mismatch carries the source line.
+// ---------------------------------------------------------------------
+
+impl Entry {
+    /// The value as a string.
+    ///
+    /// # Errors
+    ///
+    /// Line-numbered error when the value has another type.
+    pub fn as_str(&self) -> Result<&str, DslError> {
+        match &self.value {
+            Value::Str(s) => Ok(s),
+            v => Err(DslError::at(
+                self.line,
+                format!("'{}' must be a string, got {}", self.key, v.type_name()),
+            )),
+        }
+    }
+
+    /// The value as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Line-numbered error when the value is not a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, DslError> {
+        match self.value {
+            Value::Int(i) if i >= 0 => Ok(i as u64),
+            Value::Int(_) => Err(DslError::at(
+                self.line,
+                format!("'{}' must be non-negative", self.key),
+            )),
+            ref v => Err(DslError::at(
+                self.line,
+                format!("'{}' must be an integer, got {}", self.key, v.type_name()),
+            )),
+        }
+    }
+
+    /// The value as a float (integers widen).
+    ///
+    /// # Errors
+    ///
+    /// Line-numbered error when the value is not numeric.
+    pub fn as_f64(&self) -> Result<f64, DslError> {
+        match self.value {
+            Value::Float(x) => Ok(x),
+            Value::Int(i) => Ok(i as f64),
+            ref v => Err(DslError::at(
+                self.line,
+                format!("'{}' must be a number, got {}", self.key, v.type_name()),
+            )),
+        }
+    }
+
+    /// The value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Line-numbered error when the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, DslError> {
+        match self.value {
+            Value::Bool(b) => Ok(b),
+            ref v => Err(DslError::at(
+                self.line,
+                format!("'{}' must be a boolean, got {}", self.key, v.type_name()),
+            )),
+        }
+    }
+
+    /// The value as an array of non-negative integers.
+    ///
+    /// # Errors
+    ///
+    /// Line-numbered error when the value is not such an array.
+    pub fn as_u64_array(&self) -> Result<Vec<u64>, DslError> {
+        match &self.value {
+            Value::Array(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) if *i >= 0 => Ok(*i as u64),
+                    _ => Err(DslError::at(
+                        self.line,
+                        format!("'{}' must contain non-negative integers", self.key),
+                    )),
+                })
+                .collect(),
+            v => Err(DslError::at(
+                self.line,
+                format!("'{}' must be an array, got {}", self.key, v.type_name()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = Doc::parse(
+            r#"
+name = "demo"   # trailing comment
+seed = 42
+frac = 0.5
+flag = true
+list = [1, 2, 3]
+
+[device]
+profile = "flash"
+
+[[tenant]]
+name = "a"
+
+[[tenant]]
+name = "b"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.tables[0].get("name").unwrap().as_str().unwrap(), "demo");
+        assert_eq!(doc.tables[0].get("seed").unwrap().as_u64().unwrap(), 42);
+        assert_eq!(doc.tables[0].get("frac").unwrap().as_f64().unwrap(), 0.5);
+        assert!(doc.tables[0].get("flag").unwrap().as_bool().unwrap());
+        assert_eq!(
+            doc.tables[0].get("list").unwrap().as_u64_array().unwrap(),
+            vec![1, 2, 3]
+        );
+        assert!(doc.table("device").is_some());
+        assert_eq!(doc.tables_named("tenant").count(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Doc::parse("ok = 1\nbroken = @@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+
+        let err = Doc::parse("a = \"unterminated").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = Doc::parse("x = 1\nx = 2").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = Doc::parse("[t]\n[t]").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = Doc::parse("s = \"a # b\"").unwrap();
+        assert_eq!(doc.tables[0].get("s").unwrap().as_str().unwrap(), "a # b");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = Doc::parse(r#"s = "quote \" slash \\ nl \n tab \t""#).unwrap();
+        let rendered = doc.render();
+        let again = Doc::parse(&rendered).unwrap();
+        assert!(doc.same_shape(&again), "{rendered}");
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let src = r#"
+name = "mix"
+seed = 7
+
+[device]
+profile = "flash"
+count = 2
+
+[[tenant]]
+name = "kv"
+devices = [0, 1]
+frac = 0.25
+"#;
+        let doc = Doc::parse(src).unwrap();
+        let again = Doc::parse(&doc.render()).unwrap();
+        assert!(doc.same_shape(&again));
+        // Idempotent: render(parse(render(x))) == render(x).
+        assert_eq!(doc.render(), again.render());
+    }
+
+    #[test]
+    fn floats_stay_floats_through_render() {
+        let doc = Doc::parse("x = 2.0").unwrap();
+        let again = Doc::parse(&doc.render()).unwrap();
+        assert_eq!(again.tables[0].get("x").unwrap().value, Value::Float(2.0));
+    }
+}

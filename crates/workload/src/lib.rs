@@ -34,10 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod apps;
+pub mod dsl;
 mod engine;
 mod spec;
 mod stream;
 
+pub use apps::{
+    AppEngine, AppModel, AppModelSpec, AppOp, AppPoll, FileServerConfig, FileServerEngine,
+    KvConfig, KvEngine, MlIngestConfig, MlIngestEngine, OltpConfig, OltpEngine,
+};
 pub use engine::IoEngine;
 pub use spec::{BurstPattern, JobSpec, JobSpecBuilder, RwKind};
 pub use stream::{AddressStream, ArrivalBatch};

@@ -1,0 +1,212 @@
+//! Closed-loop conformance suite: for arbitrary application models,
+//! completion orders, and failure patterns, every engine must uphold
+//! the contract the host engine relies on:
+//!
+//! * **conservation** — after a full drain, `issued == completed +
+//!   failed` and nothing is outstanding,
+//! * **bounded window** — outstanding ops never exceed the configured
+//!   window, at every step, not just at the end,
+//! * **liveness** — `Blocked` is only ever returned while ops are in
+//!   flight (a `Blocked` with an empty pipeline would deadlock the
+//!   host, which re-polls only on completions),
+//! * **seed purity** — the op sequence is a function of (config, seed,
+//!   completion schedule) alone: replaying the same schedule yields
+//!   bit-identical ops and counters.
+
+use proptest::prelude::*;
+
+use simcore::{DetRng, SimDuration, SimTime};
+use workload::{
+    AppEngine, AppModelSpec, AppOp, FileServerConfig, KvConfig, MlIngestConfig, OltpConfig,
+};
+
+/// SplitMix64 finalizer — decorrelates per-field draws from one seed.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An arbitrary model spec from one seed: any of the four engines with
+/// varied windows, mixes, and think times (including zero think).
+fn arb_spec(seed: u64) -> AppModelSpec {
+    let window = 1 + (mix(seed ^ 1) % 32) as u32;
+    let think = SimDuration::from_micros(mix(seed ^ 2) % 50);
+    match mix(seed) % 4 {
+        0 => AppModelSpec::Kv(KvConfig {
+            window,
+            read_fraction: (mix(seed ^ 3) % 101) as f64 / 100.0,
+            theta: (1 + mix(seed ^ 4) % 15) as f64 / 10.0,
+            value_size: 512 << (mix(seed ^ 5) % 5),
+            think,
+        }),
+        1 => AppModelSpec::Oltp(OltpConfig {
+            window,
+            reads_per_txn: 1 + (mix(seed ^ 3) % 8) as u32,
+            read_size: 4096,
+            log_write_size: 512 << (mix(seed ^ 4) % 6),
+            think,
+        }),
+        2 => AppModelSpec::FileServer(FileServerConfig {
+            window,
+            files: 4 + (mix(seed ^ 3) % 300) as u32,
+            append_size: 4096,
+            think,
+        }),
+        _ => AppModelSpec::MlIngest(MlIngestConfig {
+            window,
+            read_size: 1 << (12 + mix(seed ^ 3) % 9),
+            checkpoint_every: 1 + (mix(seed ^ 4) % 32) as u32,
+            checkpoint_size: 4096,
+            checkpoint_writes: 1 + (mix(seed ^ 5) % 4) as u32,
+        }),
+    }
+}
+
+const CAPACITY: u64 = 64 * 1024 * 1024;
+
+/// Outcome of one simulated host session against an engine.
+#[derive(Debug, PartialEq)]
+struct Session {
+    ops: Vec<AppOp>,
+    counts: (u64, u64, u64),
+}
+
+/// Drives an engine like the host does — polls until `Blocked` or
+/// `WaitUntil`, completes in an RNG-chosen (out-of-order) fashion with
+/// RNG-chosen failures — asserting the window and liveness invariants
+/// at every step, then drains and checks conservation.
+fn drive(spec: &AppModelSpec, seed: u64, steps: usize) -> Session {
+    let mut engine = spec.build(DetRng::new(mix(seed ^ 0xA11CE)), CAPACITY);
+    let mut sched = DetRng::new(mix(seed ^ 0x5EED));
+    let mut now = SimTime::ZERO;
+    let mut inflight: Vec<u64> = Vec::new();
+    let mut ops = Vec::new();
+    let window = engine.window();
+    assert!(window >= 1);
+
+    let complete_one =
+        |engine: &mut dyn AppEngine, inflight: &mut Vec<u64>, now: SimTime, sched: &mut DetRng| {
+            // Out-of-order completion: pick any in-flight op, fail ~1 in 8.
+            let idx = sched.range(0, inflight.len() as u64) as usize;
+            let token = inflight.swap_remove(idx);
+            engine.on_complete(token, !sched.chance(0.125), now);
+        };
+
+    for _ in 0..steps {
+        // Honor the host contract: next_op is only polled while a
+        // window slot is free (the host caps inflight at iodepth ==
+        // window); with a full pipeline the host waits for completions.
+        if engine.outstanding() >= window {
+            complete_one(&mut engine, &mut inflight, now, &mut sched);
+            now += SimDuration::from_nanos(1 + sched.range(0, 10_000));
+            continue;
+        }
+        match engine.next_op(now) {
+            workload::AppPoll::Op(op) => {
+                // Tokens need not be globally unique (the scanner tags
+                // every read with the same token); the host pairs them
+                // with request ids, so the driver just queues them.
+                inflight.push(op.token);
+                ops.push(op);
+                let out = engine.outstanding();
+                assert!(out <= window, "outstanding {out} exceeds window {window}");
+                assert_eq!(out as usize, inflight.len(), "outstanding disagrees");
+            }
+            workload::AppPoll::WaitUntil(t) => {
+                // Think time: jump to the requested instant (the host
+                // clamps to now+1ns; strictly advancing is equivalent).
+                now = t.max(now + SimDuration::from_nanos(1));
+                if !inflight.is_empty() && sched.chance(0.5) {
+                    complete_one(&mut engine, &mut inflight, now, &mut sched);
+                }
+            }
+            workload::AppPoll::Blocked => {
+                assert!(
+                    !inflight.is_empty(),
+                    "Blocked with nothing in flight would deadlock the host"
+                );
+                complete_one(&mut engine, &mut inflight, now, &mut sched);
+                now += SimDuration::from_nanos(1 + sched.range(0, 20_000));
+            }
+        }
+        // Occasionally complete even while the engine could still issue,
+        // interleaving submissions and completions like a busy device.
+        if !inflight.is_empty() && sched.chance(0.3) {
+            complete_one(&mut engine, &mut inflight, now, &mut sched);
+            now += SimDuration::from_nanos(sched.range(0, 5_000));
+        }
+    }
+
+    // Drain: complete everything still in flight.
+    while !inflight.is_empty() {
+        complete_one(&mut engine, &mut inflight, now, &mut sched);
+        now += SimDuration::from_nanos(100);
+    }
+    assert_eq!(engine.outstanding(), 0, "drained engine still outstanding");
+    let counts = engine.op_counts();
+    assert_eq!(
+        counts.0,
+        counts.1 + counts.2,
+        "conservation: issued {} != completed {} + failed {}",
+        counts.0,
+        counts.1,
+        counts.2
+    );
+    Session { ops, counts }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Window bound, liveness, and conservation hold for arbitrary
+    /// engines under arbitrary out-of-order completion schedules with
+    /// injected failures (all asserted inside `drive`).
+    #[test]
+    fn conservation_and_window_bound_hold(
+        seed in 0u64..=u64::MAX,
+        steps in 50usize..400,
+    ) {
+        let spec = arb_spec(seed);
+        let s = drive(&spec, seed, steps);
+        // The session must have actually exercised the engine.
+        prop_assert!(s.counts.0 > 0, "no ops issued");
+        prop_assert_eq!(s.counts.0 as usize, s.ops.len());
+    }
+
+    /// Seed purity: identical (config, seed, schedule) → bit-identical
+    /// op sequences and counters. Any hidden global state, ambient
+    /// randomness, or order dependence fails here.
+    #[test]
+    fn replay_is_bit_identical(
+        seed in 0u64..=u64::MAX,
+        steps in 50usize..250,
+    ) {
+        let spec = arb_spec(seed);
+        let a = drive(&spec, seed, steps);
+        let b = drive(&spec, seed, steps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds diverge (the models are actually randomized, not
+    /// constant): across a handful of seeds at least two sessions must
+    /// produce different op streams for the same config. The ML-ingest
+    /// scan is exempt — its access pattern is deliberately seedless
+    /// (pure sequential scan + fixed checkpoint cadence).
+    #[test]
+    fn seeds_actually_randomize(base in 0u64..=u64::MAX >> 8) {
+        let spec = arb_spec(base);
+        if matches!(spec, AppModelSpec::MlIngest(_)) {
+            return Ok(());
+        }
+        let first = drive(&spec, base, 120);
+        let mut any_diff = false;
+        for k in 1..=4u64 {
+            if drive(&spec, base ^ (k << 40), 120).ops != first.ops {
+                any_diff = true;
+                break;
+            }
+        }
+        prop_assert!(any_diff, "op stream ignores the seed");
+    }
+}

@@ -31,6 +31,18 @@ cargo bench --workspace --no-run
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> closed-loop suite (engine conformance + scenario DSL + app_mix determinism)"
+cargo test -q -p workload --test closed_loop
+cargo test -q -p isol-bench --test scenario_file
+cargo test -q -p isol-bench --test app_mix
+
+echo "==> scenario smoke (figures --scenario must run every committed engine kind)"
+./target/release/figures --scenario scenarios/app_mix_smoke.toml > /dev/null \
+    || { echo "FAIL: scenario smoke run failed"; exit 1; }
+if ./target/release/figures --scenario scenarios/does_not_exist.toml > /dev/null 2>&1; then
+    echo "FAIL: a missing scenario file must fail the run"; exit 1
+fi
+
 echo "==> fault suite (recovery properties + faulted-grid determinism)"
 cargo test -q --test fault_recovery
 cargo test -q -p isol-bench --test determinism q_faults
